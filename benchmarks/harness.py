@@ -1,0 +1,91 @@
+"""Shared benchmark harness (see DESIGN.md §4 for the experiment index).
+
+The paper's 100–500 GB inputs become five row-count steps; the "Spark" line
+of Figures 8–10 becomes the plain engine execution of the unmodified query.
+Every benchmark writes the series it measures to ``benchmarks/results/`` so
+the figures/tables can be regenerated and compared against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.baselines.common import build_s1_trace
+from repro.baselines.wnpp import wnpp_explain
+from repro.engine.executor import Executor
+from repro.scenarios import get_scenario
+from repro.whynot.explain import explain
+
+SCALE_STEPS = [20, 40, 60, 80, 100]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def time_query(scenario_name: str, scale: int) -> float:
+    """Wall time of the plain (partitioned) execution of the scenario query."""
+    scenario = get_scenario(scenario_name)
+    question = scenario.question(scale)
+    executor = Executor(num_partitions=4)
+    started = time.perf_counter()
+    executor.execute(question.query, question.db)
+    return time.perf_counter() - started
+
+
+def time_explain(
+    scenario_name: str, scale: int, with_sas: bool = True, alternatives=None
+) -> tuple[float, int]:
+    """Wall time of the full why-not pipeline; returns (seconds, #SAs)."""
+    scenario = get_scenario(scenario_name)
+    question = scenario.question(scale)
+    groups = scenario.alternatives if alternatives is None else alternatives
+    started = time.perf_counter()
+    result = explain(
+        question,
+        alternatives=groups,
+        use_schema_alternatives=with_sas,
+        validate=False,
+    )
+    return time.perf_counter() - started, result.n_sas
+
+
+def time_wnpp(scenario_name: str, scale: int) -> float:
+    scenario = get_scenario(scenario_name)
+    question = scenario.question(scale)
+    started = time.perf_counter()
+    s1 = build_s1_trace(question)
+    wnpp_explain(question, s1)
+    return time.perf_counter() - started
+
+
+def runtime_series(scenario_name: str, scales=SCALE_STEPS) -> list[dict]:
+    """(scale, query time, RP time, overhead factor) series for one scenario."""
+    series = []
+    for scale in scales:
+        query_s = time_query(scenario_name, scale)
+        rp_s, n_sas = time_explain(scenario_name, scale)
+        series.append(
+            {
+                "scale": scale,
+                "query_s": query_s,
+                "rp_s": rp_s,
+                "overhead": rp_s / query_s if query_s > 0 else float("inf"),
+                "n_sas": n_sas,
+            }
+        )
+    return series
+
+
+def format_series(title: str, series: list[dict]) -> str:
+    lines = [title, f"{'scale':>8} {'query[s]':>10} {'RP[s]':>10} {'overhead':>9} {'#SAs':>5}"]
+    for row in series:
+        lines.append(
+            f"{row['scale']:>8} {row['query_s']:>10.4f} {row['rp_s']:>10.4f} "
+            f"{row['overhead']:>8.1f}x {row['n_sas']:>5}"
+        )
+    return "\n".join(lines) + "\n"

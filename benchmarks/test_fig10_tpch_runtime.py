@@ -1,0 +1,58 @@
+"""Figure 10: TPC-H runtimes — plain query vs RPnoSA vs RP, plus #SAs.
+
+Paper shape: RP ≥ RPnoSA ≥ query everywhere; the overhead grows with the
+number of schema alternatives (Q4's 12 SAs cost more than Q13's single SA,
+relative to their own plain queries).
+"""
+
+import pytest
+
+from harness import time_explain, time_query, write_result
+
+SCENARIOS = ["Q1", "Q3", "Q4", "Q6", "Q10", "Q13"]
+SCALE = 60
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_fig10_rp_runtime(benchmark, name):
+    benchmark.pedantic(lambda: time_explain(name, scale=SCALE), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_fig10_rpnosa_runtime(benchmark, name):
+    benchmark.pedantic(
+        lambda: time_explain(name, scale=SCALE, with_sas=False), rounds=3, iterations=1
+    )
+
+
+def test_fig10_series(benchmark):
+    lines = [
+        f"{'query':>6} {'Spark[s]':>10} {'RPnoSA[s]':>10} {'RP[s]':>10} "
+        f"{'noSA×':>7} {'RP×':>7} {'#SAs':>5}"
+    ]
+    rows = {}
+
+    def build():
+        for name in SCENARIOS:
+            query_s = time_query(name, SCALE)
+            nosa_s, _ = time_explain(name, scale=SCALE, with_sas=False)
+            rp_s, n_sas = time_explain(name, scale=SCALE)
+            rows[name] = (query_s, nosa_s, rp_s, n_sas)
+            lines.append(
+                f"{name:>6} {query_s:>10.4f} {nosa_s:>10.4f} {rp_s:>10.4f} "
+                f"{nosa_s / query_s:>6.1f}x {rp_s / query_s:>6.1f}x {n_sas:>5}"
+            )
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    write_result("fig10_tpch_runtime", "\n".join(lines) + "\n")
+
+    # Shape assertions: tracing always costs more than running the query,
+    # and the full algorithm costs at least as much as the SA-free variant.
+    for name, (query_s, nosa_s, rp_s, n_sas) in rows.items():
+        assert nosa_s > query_s, f"{name}: RPnoSA should exceed the plain query"
+        assert rp_s >= nosa_s * 0.8, f"{name}: RP should not undercut RPnoSA"
+    # More SAs → more relative overhead (compare the extremes).
+    q4_rel = rows["Q4"][2] / rows["Q4"][0]
+    q13_rel = rows["Q13"][2] / rows["Q13"][0]
+    assert rows["Q4"][3] > rows["Q13"][3]
+    assert q4_rel > q13_rel

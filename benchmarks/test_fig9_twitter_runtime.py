@@ -1,0 +1,33 @@
+"""Figure 9: runtime for the Twitter scenarios T1–T4 and T_ASD.
+
+Paper shape: linear scaling; the join-bearing scenario (T3) is the most
+expensive, the short pipelines (T2, T_ASD) the cheapest.
+"""
+
+import pytest
+
+from harness import format_series, runtime_series, time_explain, write_result
+
+SCENARIOS = ["T1", "T2", "T3", "T4", "T_ASD"]
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_fig9_rp_runtime(benchmark, name):
+    benchmark.pedantic(lambda: time_explain(name, scale=80), rounds=3, iterations=1)
+
+
+def test_fig9_series(benchmark):
+    def build():
+        blocks = []
+        timings = {}
+        for name in SCENARIOS:
+            series = runtime_series(name)
+            timings[name] = series[-1]["rp_s"]
+            blocks.append(format_series(f"Figure 9 — {name}", series))
+        return blocks, timings
+
+    blocks, timings = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_result("fig9_twitter_runtime", "\n".join(blocks))
+    # Shape: the self-join scenario dominates the simple projections.
+    assert timings["T3"] > timings["T_ASD"]
+    assert timings["T3"] > timings["T2"]

@@ -1,0 +1,41 @@
+"""Table 6 / §6.4: the crime-scenario comparison against Why-Not and Conseil."""
+
+import pytest
+
+from harness import write_result
+from repro.scenarios import run_scenario
+
+
+def _fmt(sets):
+    if not sets:
+        return "∅"
+    return ", ".join("{" + ", ".join(sorted(s)) + "}" for s in sets)
+
+
+def test_table6(benchmark):
+    def build():
+        runs = {name: run_scenario(name) for name in ["C1", "C2", "C3"]}
+        lines = [f"{'scen.':>6}  {'Why-Not':<16} {'Conseil':<16} RP"]
+        for name, run in runs.items():
+            lines.append(
+                f"{name:>6}  {_fmt(run.wnpp):<16} {_fmt(run.conseil):<16} {_fmt(run.rp)}"
+            )
+        return runs, "\n".join(lines) + "\n"
+
+    runs, table = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_result("table6_crime", table)
+
+    # §6.4's claims:
+    # C1 — Why-Not stops at the selection; Conseil and RP find {σ1, Z2}.
+    assert runs["C1"].wnpp == [frozenset({"σ1"})]
+    assert runs["C1"].conseil == [frozenset({"σ1", "Z2"})]
+    assert runs["C1"].rp == [frozenset({"σ1", "Z2"})]
+    # C2 — Conseil returns σ4 only; RP additionally offers {σ3, σ4}.
+    assert runs["C2"].conseil == [frozenset({"σ4"})]
+    assert runs["C2"].rp == [frozenset({"σ4"}), frozenset({"σ3", "σ4"})]
+    # C3 — the baselines blame the join; RP does not return it at all and
+    # points at the projection instead.
+    assert runs["C3"].wnpp == [frozenset({"Z5"})]
+    assert runs["C3"].conseil == [frozenset({"Z5"})]
+    assert runs["C3"].rp == [frozenset({"π6"})]
+    assert not any("Z5" in s for s in runs["C3"].rp)

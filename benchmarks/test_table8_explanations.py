@@ -1,0 +1,43 @@
+"""Table 8: the explanation sets themselves, per scenario and approach."""
+
+import pytest
+
+from harness import write_result
+from repro.scenarios import run_scenario
+
+ORDER = [
+    "D1", "D2", "D3", "D4", "D5",
+    "T1", "T2", "T3", "T4", "T_ASD",
+    "Q1", "Q3", "Q4", "Q6", "Q10", "Q13", "Q13N",
+]
+SCALE = 40
+
+
+def _fmt(sets):
+    if not sets:
+        return "∅"
+    return ", ".join("{" + ", ".join(sorted(s)) + "}" for s in sets)
+
+
+def test_table8(benchmark):
+    def build():
+        runs = {name: run_scenario(name, scale=SCALE) for name in ORDER}
+        lines = []
+        for name in ORDER:
+            run = runs[name]
+            lines.append(f"{name}:")
+            lines.append(f"  WN++    : {_fmt(run.wnpp)}")
+            lines.append(f"  RPnoSA  : {_fmt(run.rp_nosa)}")
+            lines.append(f"  RP      : {_fmt(run.rp)}")
+        return runs, "\n".join(lines) + "\n"
+
+    runs, table = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_result("table8_explanations", table)
+
+    # Spot-check the headline results discussed in §6.4.
+    assert [sorted(s) for s in runs["Q3"].rp] == [["σ26", "σ27"], ["γ25", "σ26", "σ27"]]
+    assert runs["Q10"].wnpp == [frozenset({"Z38"})]
+    assert runs["Q10"].rp[-1] == frozenset({"σ35", "σ36", "π37"})
+    assert runs["T_ASD"].rp == [frozenset({"F21"}), frozenset({"F21", "σ22"})]
+    assert runs["Q13"].rp == [frozenset({"Z39"})]
+    assert runs["Q13N"].rp == [frozenset({"F39"})]

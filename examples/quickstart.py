@@ -1,0 +1,82 @@
+"""Quickstart: the paper's running example end-to-end (Figures 1–7).
+
+Builds the person/address database, runs the city query, poses the why-not
+question "why is NY missing?", and prints the explanations — including the
+schema-alternative one ({F, σ}) that lineage-based tools cannot find.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ANY, STAR, Bag, Database, Session, Tup, WhyNotQuestion, col, explain, lit
+from repro.nested.pretty import print_relation
+
+
+def main() -> None:
+    # -- the data of Figure 1a ------------------------------------------------
+    db = Database(
+        {
+            "person": [
+                {
+                    "name": "Peter",
+                    "address1": [
+                        {"city": "NY", "year": 2010},
+                        {"city": "LA", "year": 2019},
+                        {"city": "LV", "year": 2017},
+                    ],
+                    "address2": [
+                        {"city": "LA", "year": 2010},
+                        {"city": "SF", "year": 2018},
+                    ],
+                },
+                {
+                    "name": "Sue",
+                    "address1": [
+                        {"city": "LA", "year": 2019},
+                        {"city": "NY", "year": 2018},
+                    ],
+                    "address2": [
+                        {"city": "LA", "year": 2019},
+                        {"city": "NY", "year": 2018},
+                    ],
+                },
+            ]
+        }
+    )
+
+    # -- the query of Figure 1c (Spark-like DataFrame API) --------------------
+    query = (
+        Session(db)
+        .table("person")
+        .explode("address2", label="F")
+        .filter(col("year").ge(lit(2019)), label="σ")
+        .select("name", "city", label="π")
+        .nest(["name"], "nList", label="N")
+        .query("cities-with-recent-workers")
+    )
+
+    print("Query result (Figure 1b):")
+    print_relation(query.evaluate(db))
+    print()
+
+    # -- the why-not question of Example 5 ------------------------------------
+    # t_ex = ⟨city: NY, nList: {{?, *}}⟩ — "why is NY (with at least one
+    # person) not in the result?"
+    question = WhyNotQuestion(
+        query, db, Tup(city="NY", nList=Bag([ANY, STAR])), name="why no NY?"
+    )
+
+    # -- explanations (Example 19) --------------------------------------------
+    # The attribute alternative "address2 could have been address1" enables
+    # the schema-alternative explanation {F, σ}.
+    result = explain(question, alternatives=[["person.address2", "person.address1"]])
+    print(result.describe())
+    print()
+
+    print("What each explanation means:")
+    for e in result.explanations:
+        ops = ", ".join(e.labels)
+        print(f"  {e.rank}. reparameterize {{{ops}}} — found via {e.sa_description}")
+
+
+if __name__ == "__main__":
+    main()

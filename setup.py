@@ -1,0 +1,16 @@
+"""Setup script (legacy path: the environment lacks the `wheel` package, so
+PEP-517 editable installs are unavailable; `setup.py develop` works)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reparameterization-based why-not explanations over nested data "
+        "(SIGMOD 2021 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

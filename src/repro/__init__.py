@@ -1,0 +1,76 @@
+"""repro — why-not explanations over nested data (SIGMOD 2021 reproduction).
+
+Reproduction of Diestelkämper, Lee, Herschel, Glavic: *"To not miss the
+forest for the trees — A holistic approach for explaining missing answers
+over nested data"*.
+
+Quickstart::
+
+    from repro import (
+        Database, Session, col, lit, Tup, Bag, ANY, STAR,
+        WhyNotQuestion, explain,
+    )
+
+    db = Database({"person": [...]})
+    q = (Session(db).table("person")
+            .explode("address2")
+            .filter(col("year").ge(lit(2019)))
+            .select("name", "city")
+            .nest(["name"], "nList")
+            .query("cities"))
+    phi = WhyNotQuestion(q, db, Tup(city="NY", nList=Bag([ANY, STAR])))
+    result = explain(phi, alternatives=[["person.address2", "person.address1"]])
+    print(result.describe())
+"""
+
+from repro.nested.values import NULL, Bag, Tup
+from repro.nested.distance import bag_distance, relation_tree_distance
+from repro.algebra.expressions import col, lit
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.operators import Query
+from repro.engine.database import Database
+from repro.engine.dataframe import DataFrame, Session
+from repro.engine.executor import Executor
+from repro.whynot.placeholders import ANY, STAR, Cond, eq, ge, gt, le, lt, ne
+from repro.whynot.matching import matches
+from repro.whynot.question import WhyNotQuestion
+from repro.whynot.explain import Explanation, WhyNotResult, explain
+from repro.whynot.refine import refine_side_effects
+from repro.whynot.exact import enumerate_explanations
+from repro.baselines import conseil_explain, wnpp_explain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NULL",
+    "Bag",
+    "Tup",
+    "bag_distance",
+    "relation_tree_distance",
+    "col",
+    "lit",
+    "AggSpec",
+    "Query",
+    "Database",
+    "DataFrame",
+    "Session",
+    "Executor",
+    "ANY",
+    "STAR",
+    "Cond",
+    "eq",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+    "ne",
+    "matches",
+    "WhyNotQuestion",
+    "Explanation",
+    "WhyNotResult",
+    "explain",
+    "refine_side_effects",
+    "enumerate_explanations",
+    "conseil_explain",
+    "wnpp_explain",
+]

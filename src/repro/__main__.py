@@ -1,0 +1,90 @@
+"""Command-line interface: run paper scenarios and inspect explanations.
+
+Usage::
+
+    python -m repro list                     # all registered scenarios
+    python -m repro run Q10 [--scale 60]     # one scenario, all approaches
+    python -m repro table7 [--scale 40]      # the Table-7 summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import SCENARIOS
+
+    width = max(len(name) for name in SCENARIOS)
+    for name, scenario in SCENARIOS.items():
+        gold = " [gold]" if scenario.gold else ""
+        print(f"{name:<{width}}  {scenario.description}{gold}")
+    return 0
+
+
+def _fmt(sets) -> str:
+    if not sets:
+        return "∅"
+    return ", ".join("{" + ", ".join(sorted(s)) + "}" for s in sets)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_scenario, run_scenario
+
+    scenario = get_scenario(args.scenario)
+    print(f"{scenario.name}: {scenario.description}")
+    if scenario.notes:
+        print(f"  note: {scenario.notes}")
+    run = run_scenario(scenario, scale=args.scale)
+    print(f"  WN++    : {_fmt(run.wnpp)}")
+    print(f"  Conseil : {_fmt(run.conseil)}")
+    print(f"  RPnoSA  : {_fmt(run.rp_nosa)}")
+    print(f"  RP      : {_fmt(run.rp)}   ({run.n_sas} schema alternatives)")
+    gold = run.gold_position()
+    if scenario.gold is not None:
+        status = f"rank {gold}" if gold else "NOT FOUND"
+        print(f"  gold {{{', '.join(sorted(scenario.gold))}}}: {status}")
+    return 0
+
+
+def _cmd_table7(args: argparse.Namespace) -> int:
+    from repro.scenarios import SCENARIOS, run_scenario
+
+    names = [n for n in SCENARIOS if not n.startswith("C")]
+    print(f"{'scen.':>6} {'WN++':>6} {'RPnoSA':>7} {'RP':>6}  gold-rank")
+    for name in names:
+        run = run_scenario(name, scale=args.scale)
+        wn, nosa, rp = run.counts()
+        gold = run.gold_position()
+        print(f"{name:>6} {wn:>6} {nosa:>7} {rp:>6}  {f'({gold})' if gold else '-'}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Why-not explanations over nested data"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all registered scenarios")
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument("scenario", help="scenario name, e.g. Q10")
+    run_parser.add_argument("--scale", type=int, default=None)
+
+    t7 = sub.add_parser("table7", help="regenerate the Table-7 summary")
+    t7.add_argument("--scale", type=int, default=40)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table7":
+        return _cmd_table7(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Standard SQL aggregate functions (the PTIME restriction of Theorem 1).
+
+The paper restricts the heuristic algorithm to the standard SQL aggregation
+functions, which keeps explanation computation in PTIME.  ⊥ values are
+skipped, ``count`` counts non-null inputs, and ``count(*)`` counts rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.algebra.expressions import Expr
+from repro.nested.values import NULL, is_null
+
+
+AGGREGATE_FUNCTIONS = ("sum", "count", "avg", "min", "max")
+
+
+def apply_aggregate(func: str, values: Iterable[Any], distinct: bool = False) -> Any:
+    """Apply aggregate *func* to an iterable of raw values.
+
+    Returns ⊥ for value aggregates over an empty (or all-null) input and 0 for
+    ``count``, matching SQL.
+    """
+    if func not in AGGREGATE_FUNCTIONS:
+        raise ValueError(f"unknown aggregate {func!r}; expected one of {AGGREGATE_FUNCTIONS}")
+    kept = [value for value in values if not is_null(value)]
+    if distinct:
+        seen: dict[Any, None] = {}
+        for value in kept:
+            seen.setdefault(value, None)
+        kept = list(seen)
+    if func == "count":
+        return len(kept)
+    if not kept:
+        return NULL
+    if func == "sum":
+        return sum(kept)
+    if func == "avg":
+        return sum(kept) / len(kept)
+    if func == "min":
+        return min(kept)
+    if func == "max":
+        return max(kept)
+    raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate column of a group-by aggregation ``γ``.
+
+    ``expr`` is the input expression (``None`` means ``count(*)``), ``out``
+    the output attribute name ``B``, and ``distinct`` adds SQL ``DISTINCT``.
+    """
+
+    func: str
+    expr: Optional[Expr]
+    out: str
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise ValueError(f"unknown aggregate {self.func!r}")
+        if self.expr is None and self.func != "count":
+            raise ValueError(f"aggregate {self.func!r} requires an input expression")
+
+    def label(self) -> str:
+        inner = "*" if self.expr is None else repr(self.expr)
+        distinct = "distinct " if self.distinct else ""
+        return f"{self.func}({distinct}{inner})→{self.out}"
+
+    def __repr__(self) -> str:
+        return self.label()

@@ -1,0 +1,432 @@
+"""Expression language for selection/join conditions and computed columns.
+
+Conditions θ (paper Table 2) consist of attribute references, comparison
+operators ``{=, ≠, <, ≤, >, ≥}``, constants, and logical connectives.
+Computed projection columns additionally use arithmetic.  The Twitter and
+TPC-H scenarios also use substring containment (``"BTS" ∈ text``).
+
+Null semantics follow SQL's pragmatic reading: any comparison involving ⊥
+evaluates to False (so selections filter null-valued tuples), while grouping
+and deduplication elsewhere use plain value equality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.nested.paths import Path, parse_path, path_str
+from repro.nested.values import Bag, Tup, is_null
+
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_CMP_FUNCS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITH_FUNCS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Expr:
+    """Base class for expressions evaluated against a single tuple."""
+
+    def eval(self, tup: Tup) -> Any:
+        raise NotImplementedError
+
+    def attr_paths(self) -> list[Path]:
+        """All attribute paths referenced by this expression (with duplicates,
+        one entry per reference — Table 2 treats repeated references to the
+        same attribute as distinct reparameterization slots)."""
+        return [node.path for node in self.walk() if isinstance(node, Attr)]
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "Expr":
+        """Rebuild the expression with every attribute path rewritten by *fn*."""
+        raise NotImplementedError
+
+    # Builder helpers (explicit methods instead of overloading ``==`` so that
+    # structural equality keeps working for sets and tests).
+    def eq(self, other: "Expr | Any") -> "Cmp":
+        return Cmp("=", self, _wrap(other))
+
+    def ne(self, other: "Expr | Any") -> "Cmp":
+        return Cmp("!=", self, _wrap(other))
+
+    def lt(self, other: "Expr | Any") -> "Cmp":
+        return Cmp("<", self, _wrap(other))
+
+    def le(self, other: "Expr | Any") -> "Cmp":
+        return Cmp("<=", self, _wrap(other))
+
+    def gt(self, other: "Expr | Any") -> "Cmp":
+        return Cmp(">", self, _wrap(other))
+
+    def ge(self, other: "Expr | Any") -> "Cmp":
+        return Cmp(">=", self, _wrap(other))
+
+    def between(self, low: Any, high: Any) -> "And":
+        return And(self.ge(low), self.le(high))
+
+    def contains(self, needle: "Expr | Any") -> "Contains":
+        return Contains(self, _wrap(needle))
+
+    def is_null(self) -> "IsNull":
+        return IsNull(self)
+
+    def __add__(self, other: "Expr | Any") -> "Arith":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other: "Expr | Any") -> "Arith":
+        return Arith("-", self, _wrap(other))
+
+    def __rsub__(self, other: "Expr | Any") -> "Arith":
+        return Arith("-", _wrap(other), self)
+
+    def __mul__(self, other: "Expr | Any") -> "Arith":
+        return Arith("*", self, _wrap(other))
+
+    def __rmul__(self, other: "Expr | Any") -> "Arith":
+        return Arith("*", _wrap(other), self)
+
+    def __truediv__(self, other: "Expr | Any") -> "Arith":
+        return Arith("/", self, _wrap(other))
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+def _wrap(value: "Expr | Any") -> Expr:
+    return value if isinstance(value, Expr) else Const(value)
+
+
+class Attr(Expr):
+    """A reference to an attribute (possibly a dotted path through tuples)."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: "str | Path"):
+        self.path = parse_path(path)
+
+    def eval(self, tup: Tup) -> Any:
+        return tup.get_path(self.path)
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "Attr":
+        return Attr(fn(self.path))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Attr) and self.path == other.path
+
+    def __hash__(self) -> int:
+        return hash(("attr", self.path))
+
+    def __repr__(self) -> str:
+        return path_str(self.path)
+
+
+class Const(Expr):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def eval(self, tup: Tup) -> Any:
+        return self.value
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "Const":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Cmp(Expr):
+    """A comparison ``left op right`` with op ∈ {=, !=, <, <=, >, >=}."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, tup: Tup) -> bool:
+        lhs = self.left.eval(tup)
+        rhs = self.right.eval(tup)
+        if is_null(lhs) or is_null(rhs):
+            return False
+        try:
+            return _CMP_FUNCS[self.op](lhs, rhs)
+        except TypeError:
+            return False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "Cmp":
+        return Cmp(self.op, self.left.map_attrs(fn), self.right.map_attrs(fn))
+
+    def with_op(self, op: str) -> "Cmp":
+        return Cmp(op, self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Cmp)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cmp", self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Arith(Expr):
+    """Arithmetic ``left op right`` with op ∈ {+, -, *, /}; ⊥ is absorbing."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _ARITH_FUNCS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, tup: Tup) -> Any:
+        lhs = self.left.eval(tup)
+        rhs = self.right.eval(tup)
+        if is_null(lhs) or is_null(rhs):
+            from repro.nested.values import NULL
+
+            return NULL
+        return _ARITH_FUNCS[self.op](lhs, rhs)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "Arith":
+        return Arith(self.op, self.left.map_attrs(fn), self.right.map_attrs(fn))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Arith)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("arith", self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expr):
+    """Conjunction of one or more boolean expressions."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, *terms: Expr):
+        flattened: list[Expr] = []
+        for term in terms:
+            if isinstance(term, And):
+                flattened.extend(term.terms)
+            else:
+                flattened.append(term)
+        self.terms = tuple(flattened)
+
+    def eval(self, tup: Tup) -> bool:
+        return all(term.eval(tup) for term in self.terms)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.terms
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "And":
+        return And(*(term.map_attrs(fn) for term in self.terms))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(("and", self.terms))
+
+    def __repr__(self) -> str:
+        return " ∧ ".join(repr(term) for term in self.terms)
+
+
+class Or(Expr):
+    """Disjunction of one or more boolean expressions."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, *terms: Expr):
+        flattened: list[Expr] = []
+        for term in terms:
+            if isinstance(term, Or):
+                flattened.extend(term.terms)
+            else:
+                flattened.append(term)
+        self.terms = tuple(flattened)
+
+    def eval(self, tup: Tup) -> bool:
+        return any(term.eval(tup) for term in self.terms)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.terms
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "Or":
+        return Or(*(term.map_attrs(fn) for term in self.terms))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(("or", self.terms))
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(term) for term in self.terms) + ")"
+
+
+class Not(Expr):
+    """Negation."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: Expr):
+        self.term = term
+
+    def eval(self, tup: Tup) -> bool:
+        return not self.term.eval(tup)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.term,)
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "Not":
+        return Not(self.term.map_attrs(fn))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.term == other.term
+
+    def __hash__(self) -> int:
+        return hash(("not", self.term))
+
+    def __repr__(self) -> str:
+        return f"¬{self.term!r}"
+
+
+class Contains(Expr):
+    """Containment: substring test on strings, membership test on bags.
+
+    Used by the Twitter scenarios (``"BTS" ∈ text``) and TPC-H Q13
+    (``"special" ∉ o_comment`` via ``Not(Contains(...))``).
+    """
+
+    __slots__ = ("haystack", "needle")
+
+    def __init__(self, haystack: Expr, needle: Expr):
+        self.haystack = haystack
+        self.needle = needle
+
+    def eval(self, tup: Tup) -> bool:
+        haystack = self.haystack.eval(tup)
+        needle = self.needle.eval(tup)
+        if is_null(haystack) or is_null(needle):
+            return False
+        if isinstance(haystack, str):
+            return str(needle) in haystack
+        if isinstance(haystack, Bag):
+            return needle in haystack
+        return False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.haystack, self.needle)
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "Contains":
+        return Contains(self.haystack.map_attrs(fn), self.needle.map_attrs(fn))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Contains)
+            and self.haystack == other.haystack
+            and self.needle == other.needle
+        )
+
+    def __hash__(self) -> int:
+        return hash(("contains", self.haystack, self.needle))
+
+    def __repr__(self) -> str:
+        return f"({self.needle!r} ∈ {self.haystack!r})"
+
+
+class IsNull(Expr):
+    """True when the operand evaluates to ⊥."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: Expr):
+        self.term = term
+
+    def eval(self, tup: Tup) -> bool:
+        return is_null(self.term.eval(tup))
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.term,)
+
+    def map_attrs(self, fn: Callable[[Path], Path]) -> "IsNull":
+        return IsNull(self.term.map_attrs(fn))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IsNull) and self.term == other.term
+
+    def __hash__(self) -> int:
+        return hash(("isnull", self.term))
+
+    def __repr__(self) -> str:
+        return f"isnull({self.term!r})"
+
+
+def col(path: "str | Path") -> Attr:
+    """Shorthand attribute reference: ``col("address2.city")``."""
+    return Attr(path)
+
+
+def lit(value: Any) -> Const:
+    """Shorthand constant: ``lit(2019)``."""
+    return Const(value)

@@ -1,0 +1,1052 @@
+"""NRAB operators (paper Table 1) and query plans.
+
+Every operator of the paper's nested relational algebra for bags is
+implemented with exact bag semantics:
+
+* table access, projection (with computed columns), renaming, selection,
+* inner / left outer / right outer / full outer join (``Join`` with ``how``),
+* tuple flatten ``F^T``, relation inner/outer flatten ``F^I``/``F^O``
+  (``RelationFlatten`` with an ``outer`` flag),
+* tuple nesting ``N^T`` and relation nesting ``N^R``,
+* per-tuple aggregation over a nested relation (``NestedAggregation``, the
+  Table-1 ``γ``) and the derived group-by aggregation (``GroupAggregation``),
+* additive union, difference, deduplication, cartesian product, restructuring
+  ``map``, and bag-destroy.
+
+A :class:`Query` wraps an operator tree, assigns stable operator identifiers
+(Def. 7 requires operators to retain identity across reparameterizations), and
+evaluates against a :class:`~repro.engine.database.Database`.
+
+Evaluation works on Python lists of :class:`~repro.nested.values.Tup` (lists
+carry multiplicities naturally); the final result is wrapped into a
+:class:`~repro.nested.values.Bag`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.algebra.aggregates import AggSpec, apply_aggregate
+from repro.algebra.expressions import Attr, Expr
+from repro.nested.paths import Path, parse_path, path_str
+from repro.nested.types import AnyType, BagType, TupleType
+from repro.nested.values import NULL, Bag, Tup, is_null
+
+
+class EvalContext:
+    """Evaluation context: database plus per-operator row schemas."""
+
+    def __init__(self, db, schemas: Mapping[int, TupleType]):
+        self.db = db
+        self.schemas = schemas
+
+    def schema_of(self, op: "Operator") -> TupleType:
+        return self.schemas[op.op_id]
+
+
+class Operator:
+    """Base class for all NRAB operators.
+
+    Operators are nodes of a query tree.  ``op_id`` is assigned by
+    :class:`Query` in deterministic topological order; reparameterizations
+    preserve the tree structure, so identifiers persist (paper Def. 7).
+    Operator instances must not be shared between structurally different
+    queries.
+    """
+
+    symbol = "?"
+
+    def __init__(self, children: Sequence["Operator"], label: Optional[str] = None):
+        self.children: tuple[Operator, ...] = tuple(children)
+        self.op_id: int = -1
+        self._label = label
+
+    @property
+    def label(self) -> str:
+        return self._label if self._label is not None else f"{self.symbol}{self.op_id}"
+
+    def params(self) -> dict[str, Any]:
+        """The operator's parameters ``param(Q, op)`` for Δ comparison."""
+        raise NotImplementedError
+
+    def with_params(self, **changes: Any) -> "Operator":
+        """A copy of this operator with some parameters replaced."""
+        params = self.params()
+        unknown = set(changes) - set(params)
+        if unknown:
+            raise ValueError(f"{type(self).__name__} has no parameters {sorted(unknown)}")
+        params.update(changes)
+        return self._rebuild(self.children, params)
+
+    def clone(self, children: Sequence["Operator"]) -> "Operator":
+        """A copy with new children and identical parameters."""
+        return self._rebuild(children, self.params())
+
+    def _rebuild(self, children: Sequence["Operator"], params: dict[str, Any]) -> "Operator":
+        op = type(self)(*children, **params, label=self._label)
+        return op
+
+    def eval_rows(self, child_rows: list[list[Tup]], ctx: EvalContext) -> list[Tup]:
+        raise NotImplementedError
+
+    def output_schema(self, child_schemas: list[TupleType], db) -> TupleType:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description for explanation output."""
+        return f"{self.label}"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def _strict_resolve(schema: TupleType, path: Path) -> Any:
+    """Resolve a value path (tuples only, no bag crossing) to a type."""
+    current: Any = schema
+    for step in path:
+        if isinstance(current, AnyType):
+            return current
+        if not isinstance(current, TupleType):
+            raise KeyError(f"path step {step!r} cannot enter type {current!r}")
+        current = current.field(step)
+    return current
+
+
+class TableAccess(Operator):
+    """Table access: reads a named relation from the database."""
+
+    symbol = "R"
+
+    def __init__(self, table: str, label: Optional[str] = None):
+        super().__init__((), label=label)
+        self.table = table
+
+    def params(self) -> dict[str, Any]:
+        return {"table": self.table}
+
+    def _rebuild(self, children, params):
+        return TableAccess(params["table"], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        return list(ctx.db.relation(self.table))
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        return db.schema(self.table)
+
+    def describe(self) -> str:
+        return f"{self.label}[{self.table}]"
+
+
+class Projection(Operator):
+    """Projection ``π`` with optional computed columns.
+
+    ``cols`` is a sequence of output column specs; each spec is either a plain
+    attribute name/path (projected and named after its last step) or a pair
+    ``(out_name, expr)``.
+    """
+
+    symbol = "π"
+
+    def __init__(self, child: Operator, cols: Sequence, label: Optional[str] = None):
+        super().__init__((child,), label=label)
+        normalized: list[tuple[str, Expr]] = []
+        for spec in cols:
+            if isinstance(spec, str):
+                path = parse_path(spec)
+                normalized.append((path[-1], Attr(path)))
+            elif isinstance(spec, tuple) and len(spec) == 2:
+                name, expr = spec
+                if isinstance(expr, str):
+                    expr = Attr(expr)
+                normalized.append((name, expr))
+            else:
+                raise ValueError(f"bad projection column spec {spec!r}")
+        names = [name for name, _ in normalized]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate projection output names: {names}")
+        self.cols: tuple[tuple[str, Expr], ...] = tuple(normalized)
+
+    def params(self) -> dict[str, Any]:
+        return {"cols": self.cols}
+
+    def _rebuild(self, children, params):
+        return Projection(children[0], params["cols"], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        return [Tup((name, expr.eval(t)) for name, expr in self.cols) for t in child_rows[0]]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        from repro.algebra.schema import expr_type
+
+        return TupleType((name, expr_type(expr, child_schemas[0])) for name, expr in self.cols)
+
+    def describe(self) -> str:
+        parts = []
+        for name, expr in self.cols:
+            if isinstance(expr, Attr) and expr.path[-1] == name and len(expr.path) == 1:
+                parts.append(name)
+            else:
+                parts.append(f"{name}←{expr!r}")
+        return f"{self.label}[{', '.join(parts)}]"
+
+
+class Renaming(Operator):
+    """Attribute renaming ``ρ``; ``pairs`` maps new ← old (partial allowed)."""
+
+    symbol = "ρ"
+
+    def __init__(
+        self, child: Operator, pairs: Sequence[tuple[str, str]], label: Optional[str] = None
+    ):
+        super().__init__((child,), label=label)
+        self.pairs: tuple[tuple[str, str], ...] = tuple(pairs)
+
+    def params(self) -> dict[str, Any]:
+        return {"pairs": self.pairs}
+
+    def _rebuild(self, children, params):
+        return Renaming(children[0], params["pairs"], label=self._label)
+
+    def _mapping(self) -> dict[str, str]:
+        return {old: new for new, old in self.pairs}
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        mapping = self._mapping()
+        return [t.rename(mapping) for t in child_rows[0]]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        mapping = self._mapping()
+        return TupleType(
+            (mapping.get(name, name), field_type)
+            for name, field_type in child_schemas[0].fields
+        )
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{new}←{old}" for new, old in self.pairs)
+        return f"{self.label}[{inner}]"
+
+
+class Selection(Operator):
+    """Selection ``σ_θ``: keeps tuples satisfying the condition."""
+
+    symbol = "σ"
+
+    def __init__(self, child: Operator, pred: Expr, label: Optional[str] = None):
+        super().__init__((child,), label=label)
+        self.pred = pred
+
+    def params(self) -> dict[str, Any]:
+        return {"pred": self.pred}
+
+    def _rebuild(self, children, params):
+        return Selection(children[0], params["pred"], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        return [t for t in child_rows[0] if self.pred.eval(t)]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        return child_schemas[0]
+
+    def describe(self) -> str:
+        return f"{self.label}[{self.pred!r}]"
+
+
+JOIN_TYPES = ("inner", "left", "right", "full")
+
+
+class Join(Operator):
+    """Equi-join variants ``⋈ / ⟕ / ⟖ / ⟗`` (``how`` selects the variant).
+
+    ``on`` is a list of ``(left_path, right_path)`` pairs; ⊥ keys never match.
+    ``extra`` is an optional residual predicate over the concatenated tuple.
+    ``drop_right_keys`` removes the right-side key columns from the output
+    (used when both sides share key attribute names).
+    """
+
+    symbol = "⋈"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        on: Sequence[tuple],
+        how: str = "inner",
+        extra: Optional[Expr] = None,
+        drop_right_keys: bool = False,
+        label: Optional[str] = None,
+    ):
+        super().__init__((left, right), label=label)
+        if how not in JOIN_TYPES:
+            raise ValueError(f"unknown join type {how!r}; expected one of {JOIN_TYPES}")
+        self.on: tuple[tuple[Path, Path], ...] = tuple(
+            (parse_path(l), parse_path(r)) for l, r in on
+        )
+        self.how = how
+        self.extra = extra
+        self.drop_right_keys = drop_right_keys
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "on": self.on,
+            "how": self.how,
+            "extra": self.extra,
+            "drop_right_keys": self.drop_right_keys,
+        }
+
+    def _rebuild(self, children, params):
+        return Join(
+            children[0],
+            children[1],
+            params["on"],
+            how=params["how"],
+            extra=params["extra"],
+            drop_right_keys=params["drop_right_keys"],
+            label=self._label,
+        )
+
+    def _key(self, t: Tup, paths: Sequence[Path]) -> Optional[tuple]:
+        key = tuple(t.get_path(p) for p in paths)
+        if any(is_null(v) for v in key):
+            return None
+        return key
+
+    def _pad(self, schema: TupleType, drop: Iterable[str] = ()) -> Tup:
+        dropped = set(drop)
+        return Tup((name, NULL) for name, _ in schema.fields if name not in dropped)
+
+    def _right_drop(self) -> set[str]:
+        if not self.drop_right_keys:
+            return set()
+        return {path[0] for _, path in self.on if len(path) == 1}
+
+    def _combine(self, left_t: Tup, right_t: Tup) -> Tup:
+        drop = self._right_drop()
+        if drop:
+            right_t = right_t.drop(drop)
+        return left_t.concat(right_t)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        left_rows, right_rows = child_rows
+        left_paths = [l for l, _ in self.on]
+        right_paths = [r for _, r in self.on]
+        index: dict[tuple, list[int]] = {}
+        for j, r in enumerate(right_rows):
+            key = self._key(r, right_paths)
+            if key is not None:
+                index.setdefault(key, []).append(j)
+        left_schema = ctx.schema_of(self.children[0])
+        right_schema = ctx.schema_of(self.children[1])
+        out: list[Tup] = []
+        matched_right: set[int] = set()
+        for l in left_rows:
+            key = self._key(l, left_paths)
+            any_match = False
+            for j in index.get(key, ()) if key is not None else ():
+                combined = self._combine(l, right_rows[j])
+                if self.extra is not None and not self.extra.eval(combined):
+                    continue
+                out.append(combined)
+                matched_right.add(j)
+                any_match = True
+            if not any_match and self.how in ("left", "full"):
+                out.append(self._combine(l, self._pad(right_schema)))
+        if self.how in ("right", "full"):
+            left_pad = self._pad(left_schema)
+            for j, r in enumerate(right_rows):
+                if j not in matched_right:
+                    out.append(self._combine(left_pad, r))
+        return out
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        left_schema, right_schema = child_schemas
+        drop = self._right_drop()
+        right_fields = [(n, t) for n, t in right_schema.fields if n not in drop]
+        return left_schema.concat(TupleType(right_fields))
+
+    def describe(self) -> str:
+        cond = " ∧ ".join(f"{path_str(l)}={path_str(r)}" for l, r in self.on)
+        how = {"inner": "⋈", "left": "⟕", "right": "⟖", "full": "⟗"}[self.how]
+        return f"{self.label}[{how} {cond}]"
+
+
+class TupleFlatten(Operator):
+    """Tuple flatten ``F^T``: pulls a nested tuple (or one of its fields) up.
+
+    With ``alias`` the value at *path* becomes a single new column (replacing
+    an existing column of the same name, like Spark's ``withColumn``);
+    without, the nested tuple's fields are concatenated onto the row.
+    """
+
+    symbol = "Fᵀ"
+
+    def __init__(
+        self,
+        child: Operator,
+        path: "str | Path",
+        alias: Optional[str] = None,
+        label: Optional[str] = None,
+    ):
+        super().__init__((child,), label=label)
+        self.path = parse_path(path)
+        self.alias = alias
+
+    def params(self) -> dict[str, Any]:
+        return {"path": self.path, "alias": self.alias}
+
+    def _rebuild(self, children, params):
+        return TupleFlatten(children[0], params["path"], params["alias"], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        out = []
+        if self.alias is not None:
+            for t in child_rows[0]:
+                out.append(t.with_attr(self.alias, t.get_path(self.path)))
+            return out
+        schema = ctx.schema_of(self.children[0])
+        nested = _strict_resolve(schema, self.path)
+        field_names = nested.names if isinstance(nested, TupleType) else ()
+        for t in child_rows[0]:
+            value = t.get_path(self.path)
+            if is_null(value):
+                out.append(t.concat(Tup((n, NULL) for n in field_names)))
+            elif isinstance(value, Tup):
+                out.append(t.concat(value))
+            else:
+                raise TypeError(f"tuple flatten of non-tuple value {value!r} at {self.path}")
+        return out
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        schema = child_schemas[0]
+        nested = _strict_resolve(schema, self.path)
+        if self.alias is not None:
+            if schema.has_field(self.alias):
+                return TupleType(
+                    (n, nested if n == self.alias else t) for n, t in schema.fields
+                )
+            return schema.concat(TupleType([(self.alias, nested)]))
+        if not isinstance(nested, TupleType):
+            raise TypeError(f"tuple flatten target {path_str(self.path)} is not tuple-typed")
+        return schema.concat(nested)
+
+    def describe(self) -> str:
+        target = f"{self.alias}←" if self.alias else ""
+        return f"{self.label}[{target}{path_str(self.path)}]"
+
+
+class RelationFlatten(Operator):
+    """Relation flatten ``F^I`` (inner) / ``F^O`` (outer) of a bag attribute.
+
+    Each element of the bag at *path* is either concatenated onto the row
+    (``alias=None``; element must be a tuple) or placed into a single new
+    column *alias*.  The outer variant pads rows whose bag is empty or ⊥ with
+    nulls; the inner variant drops them (the D2/T1 failure mode in the paper).
+    """
+
+    symbol = "F"
+
+    def __init__(
+        self,
+        child: Operator,
+        path: "str | Path",
+        alias: Optional[str] = None,
+        outer: bool = False,
+        label: Optional[str] = None,
+    ):
+        super().__init__((child,), label=label)
+        self.path = parse_path(path)
+        self.alias = alias
+        self.outer = outer
+
+    @property
+    def symbol_typed(self) -> str:
+        return "Fᴼ" if self.outer else "Fᴵ"
+
+    def params(self) -> dict[str, Any]:
+        return {"path": self.path, "alias": self.alias, "outer": self.outer}
+
+    def _rebuild(self, children, params):
+        return RelationFlatten(
+            children[0],
+            params["path"],
+            alias=params["alias"],
+            outer=params["outer"],
+            label=self._label,
+        )
+
+    def _element_fields(self, ctx: EvalContext) -> tuple[str, ...]:
+        schema = ctx.schema_of(self.children[0])
+        bag_type = _strict_resolve(schema, self.path)
+        if isinstance(bag_type, BagType) and isinstance(bag_type.element, TupleType):
+            return bag_type.element.names
+        return ()
+
+    def _pad(self, ctx: EvalContext) -> Tup:
+        if self.alias is not None:
+            return Tup([(self.alias, NULL)])
+        return Tup((name, NULL) for name in self._element_fields(ctx))
+
+    def expand(self, t: Tup, ctx: EvalContext) -> tuple[list[Tup], bool]:
+        """All flattened successors of *t* plus whether padding was used.
+
+        Shared with the tracing module, which always runs the outer variant.
+        """
+        value = t.get_path(self.path)
+        if is_null(value) or (isinstance(value, Bag) and value.is_empty()):
+            return [t.concat(self._pad(ctx))], True
+        if not isinstance(value, Bag):
+            raise TypeError(
+                f"relation flatten of non-bag value {value!r} at {path_str(self.path)}"
+            )
+        out = []
+        for element in value:
+            if self.alias is not None:
+                out.append(t.concat(Tup([(self.alias, element)])))
+            elif isinstance(element, Tup):
+                out.append(t.concat(element))
+            else:
+                raise TypeError(
+                    "relation flatten without alias requires tuple elements; "
+                    f"got {element!r}"
+                )
+        return out, False
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        out: list[Tup] = []
+        for t in child_rows[0]:
+            expanded, padded = self.expand(t, ctx)
+            if padded and not self.outer:
+                continue
+            out.extend(expanded)
+        return out
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        schema = child_schemas[0]
+        bag_type = _strict_resolve(schema, self.path)
+        if self.alias is not None:
+            element = bag_type.element if isinstance(bag_type, BagType) else AnyType()
+            return schema.concat(TupleType([(self.alias, element)]))
+        if isinstance(bag_type, BagType) and isinstance(bag_type.element, TupleType):
+            return schema.concat(bag_type.element)
+        raise TypeError(
+            f"relation flatten target {path_str(self.path)} is not a bag of tuples"
+        )
+
+    def describe(self) -> str:
+        target = f"{self.alias}←" if self.alias else ""
+        return f"{self.label}[{self.symbol_typed} {target}{path_str(self.path)}]"
+
+
+def InnerFlatten(
+    child: Operator, path: "str | Path", alias: Optional[str] = None, label: Optional[str] = None
+) -> RelationFlatten:
+    """Relation inner flatten ``F^I_A`` (Table 1)."""
+    return RelationFlatten(child, path, alias=alias, outer=False, label=label)
+
+
+def OuterFlatten(
+    child: Operator, path: "str | Path", alias: Optional[str] = None, label: Optional[str] = None
+) -> RelationFlatten:
+    """Relation outer flatten ``F^O_A`` (Table 1)."""
+    return RelationFlatten(child, path, alias=alias, outer=True, label=label)
+
+
+class TupleNesting(Operator):
+    """Tuple nesting ``N^T_{A→C}``: packs attributes A into a tuple column C."""
+
+    symbol = "Nᵀ"
+
+    def __init__(
+        self,
+        child: Operator,
+        attrs: Sequence[str],
+        target: str,
+        label: Optional[str] = None,
+    ):
+        super().__init__((child,), label=label)
+        self.attrs = tuple(attrs)
+        self.target = target
+
+    def params(self) -> dict[str, Any]:
+        return {"attrs": self.attrs, "target": self.target}
+
+    def _rebuild(self, children, params):
+        return TupleNesting(children[0], params["attrs"], params["target"], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        return [
+            t.drop(self.attrs).concat(Tup([(self.target, t.project(self.attrs))]))
+            for t in child_rows[0]
+        ]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        schema = child_schemas[0]
+        nested = schema.project(self.attrs)
+        return schema.drop(self.attrs).concat(TupleType([(self.target, nested)]))
+
+    def describe(self) -> str:
+        return f"{self.label}[{','.join(self.attrs)}→{self.target}]"
+
+
+class RelationNesting(Operator):
+    """Relation nesting ``N^R_{A→C}``: groups on the remaining attributes M and
+    nests the projections on A into a bag column C (Table 1)."""
+
+    symbol = "Nᴿ"
+
+    def __init__(
+        self,
+        child: Operator,
+        attrs: Sequence[str],
+        target: str,
+        label: Optional[str] = None,
+    ):
+        super().__init__((child,), label=label)
+        self.attrs = tuple(attrs)
+        self.target = target
+
+    def params(self) -> dict[str, Any]:
+        return {"attrs": self.attrs, "target": self.target}
+
+    def _rebuild(self, children, params):
+        return RelationNesting(
+            children[0], params["attrs"], params["target"], label=self._label
+        )
+
+    def group_key(self, t: Tup) -> Tup:
+        return t.drop(self.attrs)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        groups: dict[Tup, list[Tup]] = {}
+        for t in child_rows[0]:
+            groups.setdefault(self.group_key(t), []).append(t.project(self.attrs))
+        return [
+            key.concat(Tup([(self.target, Bag(members))]))
+            for key, members in groups.items()
+        ]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        schema = child_schemas[0]
+        nested = BagType(schema.project(self.attrs))
+        return schema.drop(self.attrs).concat(TupleType([(self.target, nested)]))
+
+    def describe(self) -> str:
+        return f"{self.label}[{','.join(self.attrs)}→{self.target}]"
+
+
+class NestedAggregation(Operator):
+    """Per-tuple aggregation ``γ_{f(A)→B}`` over a nested relation attribute
+    (the Table-1 form, e.g. D2's ``count(ctitle)→cnt``).
+
+    *field* selects a field of the nested tuples; when omitted, unary nested
+    tuples are unwrapped automatically and ``count`` counts elements.
+    """
+
+    symbol = "γ"
+
+    def __init__(
+        self,
+        child: Operator,
+        func: str,
+        attr: "str | Path",
+        out: str,
+        field: Optional[str] = None,
+        label: Optional[str] = None,
+    ):
+        super().__init__((child,), label=label)
+        self.func = func
+        self.attr = parse_path(attr)
+        self.out = out
+        self.field = field
+
+    def params(self) -> dict[str, Any]:
+        return {"func": self.func, "attr": self.attr, "out": self.out, "field": self.field}
+
+    def _rebuild(self, children, params):
+        return NestedAggregation(
+            children[0],
+            params["func"],
+            params["attr"],
+            params["out"],
+            field=params["field"],
+            label=self._label,
+        )
+
+    def aggregate_value(self, t: Tup) -> Any:
+        bag = t.get_path(self.attr)
+        if is_null(bag):
+            elements: list[Any] = []
+        elif isinstance(bag, Bag):
+            elements = list(bag)
+        else:
+            raise TypeError(f"nested aggregation over non-bag value {bag!r}")
+        values = []
+        for element in elements:
+            if self.field is not None and isinstance(element, Tup):
+                values.append(element.get(self.field, NULL))
+            elif self.func != "count" and isinstance(element, Tup) and len(element) == 1:
+                values.append(element.values()[0])
+            else:
+                values.append(element)
+        return apply_aggregate(self.func, values)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        return [t.with_attr(self.out, self.aggregate_value(t)) for t in child_rows[0]]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        from repro.nested.types import FLOAT, INT
+
+        schema = child_schemas[0]
+        out_type = INT if self.func == "count" else FLOAT
+        if schema.has_field(self.out):
+            return TupleType((n, out_type if n == self.out else t) for n, t in schema.fields)
+        return schema.concat(TupleType([(self.out, out_type)]))
+
+    def describe(self) -> str:
+        field = f".{self.field}" if self.field else ""
+        return f"{self.label}[{self.func}({path_str(self.attr)}{field})→{self.out}]"
+
+
+class GroupAggregation(Operator):
+    """Group-by aggregation (derived operator used by the TPC-H scenarios).
+
+    ``keys`` lists grouping attributes — either plain names or
+    ``(out_name, source_path)`` pairs.  The pair form lets a
+    reparameterization change the grouped-on attribute (Table 2's nesting
+    rule) while the output attribute name — fixed by definition — stays put.
+    ``aggs`` are :class:`AggSpec` columns.  An empty key list yields a single
+    global row (also on empty input, with SQL semantics: counts 0, value
+    aggregates ⊥).
+    """
+
+    symbol = "γ"
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence,
+        aggs: Sequence[AggSpec],
+        label: Optional[str] = None,
+    ):
+        super().__init__((child,), label=label)
+        specs: list[tuple[str, Path]] = []
+        for key in keys:
+            if isinstance(key, str):
+                specs.append((key, (key,)))
+            else:
+                out, src = key
+                specs.append((out, parse_path(src)))
+        self.key_specs: tuple[tuple[str, Path], ...] = tuple(specs)
+        self.aggs = tuple(aggs)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Output names of the grouping attributes."""
+        return tuple(out for out, _ in self.key_specs)
+
+    def key_tuple(self, t: Tup) -> Tup:
+        """The group key of one row (output names, source values)."""
+        return Tup((out, t.get_path(src)) for out, src in self.key_specs)
+
+    def params(self) -> dict[str, Any]:
+        return {"keys": self.key_specs, "aggs": self.aggs}
+
+    def _rebuild(self, children, params):
+        return GroupAggregation(children[0], params["keys"], params["aggs"], label=self._label)
+
+    def aggregate_group(self, rows: list[Tup]) -> list[tuple[str, Any]]:
+        out = []
+        for spec in self.aggs:
+            if spec.expr is None:
+                out.append((spec.out, len(rows)))
+            else:
+                values = [spec.expr.eval(t) for t in rows]
+                out.append((spec.out, apply_aggregate(spec.func, values, spec.distinct)))
+        return out
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        rows = child_rows[0]
+        if not self.key_specs:
+            return [Tup(self.aggregate_group(rows))]
+        groups: dict[Tup, list[Tup]] = {}
+        for t in rows:
+            groups.setdefault(self.key_tuple(t), []).append(t)
+        return [
+            key.concat(Tup(self.aggregate_group(members)))
+            for key, members in groups.items()
+        ]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        from repro.algebra.schema import expr_type
+        from repro.nested.types import FLOAT, INT
+
+        schema = child_schemas[0]
+        fields: list[tuple[str, Any]] = [
+            (out, expr_type(Attr(src), schema)) for out, src in self.key_specs
+        ]
+        for spec in self.aggs:
+            if spec.func == "count":
+                fields.append((spec.out, INT))
+            elif spec.expr is not None:
+                fields.append((spec.out, expr_type(spec.expr, schema)))
+            else:
+                fields.append((spec.out, FLOAT))
+        return TupleType(fields)
+
+    def describe(self) -> str:
+        keys = ",".join(
+            out if (out,) == src else f"{out}←{path_str(src)}"
+            for out, src in self.key_specs
+        )
+        aggs = ",".join(spec.label() for spec in self.aggs)
+        prefix = f"{keys}; " if keys else ""
+        return f"{self.label}[{prefix}{aggs}]"
+
+
+class Union(Operator):
+    """Additive union ``R ∪ S`` (multiplicities add)."""
+
+    symbol = "∪"
+
+    def __init__(self, left: Operator, right: Operator, label: Optional[str] = None):
+        super().__init__((left, right), label=label)
+
+    def params(self) -> dict[str, Any]:
+        return {}
+
+    def _rebuild(self, children, params):
+        return Union(children[0], children[1], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        return list(child_rows[0]) + list(child_rows[1])
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        return child_schemas[0]
+
+
+class Difference(Operator):
+    """Bag difference ``R − S`` (multiplicities subtract, floored at 0)."""
+
+    symbol = "−"
+
+    def __init__(self, left: Operator, right: Operator, label: Optional[str] = None):
+        super().__init__((left, right), label=label)
+
+    def params(self) -> dict[str, Any]:
+        return {}
+
+    def _rebuild(self, children, params):
+        return Difference(children[0], children[1], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        remaining = Bag(child_rows[1])
+        counts: dict[Tup, int] = {}
+        out: list[Tup] = []
+        for t in child_rows[0]:
+            counts[t] = counts.get(t, 0) + 1
+            if counts[t] > remaining.mult(t):
+                out.append(t)
+        return out
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        return child_schemas[0]
+
+
+class Deduplication(Operator):
+    """Duplicate elimination: every multiplicity becomes 1."""
+
+    symbol = "δ"
+
+    def __init__(self, child: Operator, label: Optional[str] = None):
+        super().__init__((child,), label=label)
+
+    def params(self) -> dict[str, Any]:
+        return {}
+
+    def _rebuild(self, children, params):
+        return Deduplication(children[0], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        seen: dict[Tup, None] = {}
+        for t in child_rows[0]:
+            seen.setdefault(t, None)
+        return list(seen)
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        return child_schemas[0]
+
+
+class CartesianProduct(Operator):
+    """Cartesian product ``R × S``."""
+
+    symbol = "×"
+
+    def __init__(self, left: Operator, right: Operator, label: Optional[str] = None):
+        super().__init__((left, right), label=label)
+
+    def params(self) -> dict[str, Any]:
+        return {}
+
+    def _rebuild(self, children, params):
+        return CartesianProduct(children[0], children[1], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        return [l.concat(r) for l in child_rows[0] for r in child_rows[1]]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        return child_schemas[0].concat(child_schemas[1])
+
+
+class Map(Operator):
+    """Restructuring ``map_f``: applies an arbitrary tuple→tuple function.
+
+    Part of NRAB₀; kept for completeness and for the hardness discussion
+    (Thm. 1).  The heuristic algorithm does not trace through map.
+    ``out_schema`` must be provided for schema inference.
+    """
+
+    symbol = "map"
+
+    def __init__(
+        self,
+        child: Operator,
+        fn: Callable[[Tup], Tup],
+        out_schema: Optional[TupleType] = None,
+        label: Optional[str] = None,
+    ):
+        super().__init__((child,), label=label)
+        self.fn = fn
+        self.out_schema = out_schema
+
+    def params(self) -> dict[str, Any]:
+        return {"fn": self.fn, "out_schema": self.out_schema}
+
+    def _rebuild(self, children, params):
+        return Map(children[0], params["fn"], params["out_schema"], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        return [self.fn(t) for t in child_rows[0]]
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        return self.out_schema if self.out_schema is not None else child_schemas[0]
+
+
+class BagDestroy(Operator):
+    """Bag-destroy ``δ`` of NRAB₀: unions the bags held by a single bag-typed
+    attribute (one nesting level removed)."""
+
+    symbol = "bd"
+
+    def __init__(self, child: Operator, attr: str, label: Optional[str] = None):
+        super().__init__((child,), label=label)
+        self.attr = attr
+
+    def params(self) -> dict[str, Any]:
+        return {"attr": self.attr}
+
+    def _rebuild(self, children, params):
+        return BagDestroy(children[0], params["attr"], label=self._label)
+
+    def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        out: list[Tup] = []
+        for t in child_rows[0]:
+            bag = t[self.attr]
+            if is_null(bag):
+                continue
+            for element in bag:
+                if not isinstance(element, Tup):
+                    element = Tup([(self.attr, element)])
+                out.append(element)
+        return out
+
+    def output_schema(self, child_schemas, db) -> TupleType:
+        bag_type = child_schemas[0].field(self.attr)
+        if isinstance(bag_type, BagType) and isinstance(bag_type.element, TupleType):
+            return bag_type.element
+        return TupleType([(self.attr, AnyType())])
+
+
+class Query:
+    """A query plan: an operator tree with stable operator identifiers.
+
+    Identifiers are assigned in deterministic post-order (children first,
+    leftmost first), so a reparameterized query — same structure, different
+    parameters — keeps every operator's identity (paper Def. 7).
+    """
+
+    def __init__(self, root: Operator, name: str = ""):
+        self.root = root
+        self.name = name
+        self.ops: list[Operator] = []
+        self._collect(root)
+        for i, op in enumerate(self.ops):
+            op.op_id = i + 1
+
+    def _collect(self, op: Operator) -> None:
+        for child in op.children:
+            self._collect(child)
+        self.ops.append(op)
+
+    def op(self, op_id: int) -> Operator:
+        return self.ops[op_id - 1]
+
+    def op_by_label(self, label: str) -> Operator:
+        for op in self.ops:
+            if op.label == label:
+                return op
+        raise KeyError(f"no operator labelled {label!r}")
+
+    def infer_schemas(self, db) -> dict[int, TupleType]:
+        """Row schema (TupleType) of every operator's output."""
+        schemas: dict[int, TupleType] = {}
+        for op in self.ops:
+            child_schemas = [schemas[c.op_id] for c in op.children]
+            schemas[op.op_id] = op.output_schema(child_schemas, db)
+        return schemas
+
+    def evaluate(self, db) -> Bag:
+        """Evaluate the plan over *db*, returning the result bag."""
+        ctx = EvalContext(db, self.infer_schemas(db))
+        cache: dict[int, list[Tup]] = {}
+        for op in self.ops:
+            child_rows = [cache[c.op_id] for c in op.children]
+            cache[op.op_id] = op.eval_rows(child_rows, ctx)
+        return Bag(cache[self.root.op_id])
+
+    def evaluate_rows(self, db) -> list[Tup]:
+        """Like :meth:`evaluate` but returns the raw row list."""
+        return list(self.evaluate(db))
+
+    def reparameterize(self, changes: Mapping[int, Mapping[str, Any]]) -> "Query":
+        """A structurally identical query with parameters changed per op id."""
+
+        def rebuild(op: Operator) -> Operator:
+            children = [rebuild(c) for c in op.children]
+            if op.op_id in changes:
+                params = op.params()
+                params.update(changes[op.op_id])
+                return op._rebuild(children, params)
+            return op.clone(children)
+
+        return Query(rebuild(self.root), name=self.name)
+
+    def delta(self, other: "Query") -> frozenset[int]:
+        """Δ(Q, Q′): ids of operators whose parameters differ (Def. 9)."""
+        if len(self.ops) != len(other.ops):
+            raise ValueError("queries are not structurally identical")
+        changed = set()
+        for mine, theirs in zip(self.ops, other.ops):
+            if type(mine) is not type(theirs):
+                raise ValueError("queries are not structurally identical")
+            if mine.params() != theirs.params():
+                changed.add(mine.op_id)
+        return frozenset(changed)
+
+    def describe(self) -> str:
+        lines = [f"Query {self.name or '(unnamed)'}"]
+        for op in self.ops:
+            child_ids = ",".join(str(c.op_id) for c in op.children)
+            lines.append(f"  #{op.op_id} {op.describe()}" + (f" ← [{child_ids}]" if child_ids else ""))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Query({self.root.describe()}, ops={len(self.ops)})"

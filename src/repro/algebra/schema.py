@@ -1,0 +1,87 @@
+"""Expression and plan schema inference (the ``type(·)`` column of Table 1).
+
+Schema inference serves three purposes in the reproduction:
+
+1. null padding for outer joins / outer flattens needs the field names of the
+   missing side;
+2. schema alternatives (paper §5.2) are pruned when they would change the
+   query's output schema;
+3. attribute alternatives must be type-compatible (Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    Contains,
+    Expr,
+    IsNull,
+    Not,
+    Or,
+)
+from repro.nested.types import (
+    ANY_TYPE,
+    BOOL,
+    FLOAT,
+    INT,
+    AnyType,
+    NestedType,
+    PrimitiveType,
+    TupleType,
+    type_of,
+    unify,
+)
+
+
+def expr_type(expr: Expr, schema: TupleType) -> NestedType:
+    """Infer the type of *expr* over rows of *schema*."""
+    if isinstance(expr, Attr):
+        current: NestedType = schema
+        for step in expr.path:
+            if isinstance(current, AnyType):
+                return ANY_TYPE
+            if not isinstance(current, TupleType):
+                raise KeyError(f"attribute path {expr.path} enters non-tuple type {current!r}")
+            if not current.has_field(step):
+                raise KeyError(f"attribute {step!r} not in schema fields {current.names}")
+            current = current.field(step)
+        return current
+    if isinstance(expr, Const):
+        return type_of(expr.value)
+    if isinstance(expr, (Cmp, And, Or, Not, Contains, IsNull)):
+        return BOOL
+    if isinstance(expr, Arith):
+        left = expr_type(expr.left, schema)
+        right = expr_type(expr.right, schema)
+        if isinstance(left, AnyType) and isinstance(right, AnyType):
+            return FLOAT
+        try:
+            merged = unify(left, right)
+        except TypeError:
+            return FLOAT
+        if isinstance(merged, PrimitiveType) and merged.name in ("int", "float"):
+            return merged if expr.op != "/" else FLOAT
+        return FLOAT
+    raise TypeError(f"cannot infer type of expression {expr!r}")
+
+
+def validate_expr(expr: Expr, schema: TupleType) -> bool:
+    """True when every attribute reference in *expr* resolves in *schema*."""
+    try:
+        for node in expr.walk():
+            if isinstance(node, Attr):
+                expr_type(node, schema)
+        return True
+    except KeyError:
+        return False
+
+
+def schema_names(schema: TupleType) -> tuple[str, ...]:
+    return schema.names
+
+
+__all__ = ["expr_type", "validate_expr", "schema_names", "INT", "FLOAT", "BOOL"]

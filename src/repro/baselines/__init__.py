@@ -1,0 +1,6 @@
+"""Baseline why-not approaches the paper compares against (§6.3–6.4)."""
+
+from repro.baselines.wnpp import wnpp_explain
+from repro.baselines.conseil import conseil_explain
+
+__all__ = ["wnpp_explain", "conseil_explain"]

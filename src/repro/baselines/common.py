@@ -1,0 +1,96 @@
+"""Shared machinery for the lineage-based baselines.
+
+Both baselines work on the *original* query only (schema alternative S1) and
+do not re-validate successor compatibility — the two limitations the paper's
+algorithm lifts.  They reuse the tracer of Step 3 restricted to S1: a traced
+row is *strictly alive* when its entire ancestry carries no ``retained=False``
+flag, which is exactly the data flow of the unmodified query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.operators import (
+    GroupAggregation,
+    Join,
+    Operator,
+    Query,
+    RelationNesting,
+    TableAccess,
+)
+from repro.whynot.alternatives import SchemaAlternative, enumerate_schema_alternatives
+from repro.whynot.backtrace import BacktraceResult, backtrace, is_trivial
+from repro.whynot.question import WhyNotQuestion
+from repro.whynot.tracing import TraceResult, trace
+
+
+@dataclass
+class S1Trace:
+    """S1-only tracing of a question, plus derived strict-flow facts."""
+
+    question: WhyNotQuestion
+    backtrace: BacktraceResult
+    trace: TraceResult
+    sa: SchemaAlternative
+    alive: set[int]
+
+    def query(self) -> Query:
+        return self.question.query
+
+
+def build_s1_trace(question: WhyNotQuestion) -> S1Trace:
+    base = backtrace(question.query, question.db, question.nip)
+    sas = enumerate_schema_alternatives(
+        question.query, question.db, question.nip, base, groups=()
+    )
+    traced = trace(question.query, question.db, sas)
+    alive = _strictly_alive(traced)
+    return S1Trace(question, base, traced, sas[0], alive)
+
+
+def _strictly_alive(traced: TraceResult) -> set[int]:
+    """Rows whose full ancestry carries no retained=False flag under S1."""
+    alive: set[int] = set()
+    # rows_by_rid is insertion-ordered: parents precede children.
+    for rid, row in traced.rows_by_rid.items():
+        if row.retained and row.retained[0] is False:
+            continue
+        if all(p in alive for p in row.parents):
+            alive.add(rid)
+    return alive
+
+
+def consumer_of(query: Query, op_id: int) -> "Operator | None":
+    """The operator consuming *op_id*'s output (None for the root)."""
+    for op in query.ops:
+        for child in op.children:
+            if child.op_id == op_id:
+                return op
+    return None
+
+
+def nearest_ancestor_join(query: Query, op_id: int) -> "Operator | None":
+    """The first join above the given operator (the op that would consume the
+    'missing data' of an unsatisfiable table NIP)."""
+    current = op_id
+    while True:
+        consumer = consumer_of(query, current)
+        if consumer is None:
+            return None
+        if isinstance(consumer, Join):
+            return consumer
+        current = consumer.op_id
+
+
+def is_grouping(op: Operator) -> bool:
+    return isinstance(op, (RelationNesting, GroupAggregation))
+
+
+def constrained_tables(base: BacktraceResult) -> dict[int, str]:
+    """Table-access ops whose backtraced NIP actually constrains something."""
+    return {
+        op_id: table
+        for op_id, (table, pattern) in base.table_nips.items()
+        if not is_trivial(pattern)
+    }

@@ -1,0 +1,72 @@
+"""Conseil — the hybrid why-not baseline (paper §6.4, from [19]).
+
+Conseil goes beyond frontier-picky tracing: it *virtually passes* compatibles
+through filtering operators and reports the combined set of operators that
+block a full derivation of the missing answer.  In our reproduction this is
+the S1 relaxed trace: every final traced row whose tuple matches the why-not
+NIP corresponds to one virtual derivation, and the operators carrying a
+``retained=False`` flag in its ancestry are exactly the blockers.
+
+Explanations are the subset-minimal blocker sets.  Like WN++, Conseil knows
+neither schema alternatives nor re-validation, so derivations whose content
+was invalidated midway (e.g. crime scenario C3's wrong ``hair`` description)
+never match the NIP — in that case the consuming join of the unsatisfiable
+table NIP is blamed, as in the original evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    S1Trace,
+    build_s1_trace,
+    constrained_tables,
+    nearest_ancestor_join,
+)
+from repro.baselines.wnpp import BaselineExplanation
+from repro.whynot.question import WhyNotQuestion
+
+
+def conseil_explain(
+    question: WhyNotQuestion, s1: "S1Trace | None" = None
+) -> list[BaselineExplanation]:
+    """Run the Conseil baseline; returns subset-minimal blocker sets."""
+    if s1 is None:
+        s1 = build_s1_trace(question)
+    query = question.query
+    trace = s1.trace
+
+    blocked_sets: set[frozenset[int]] = set()
+    for row in trace.final_rows():
+        if not row.consistent[0]:
+            continue
+        blockers: set[int] = set()
+        for rid in trace.ancestors([row.rid]):
+            ancestor = trace.rows_by_rid[rid]
+            if ancestor.retained and ancestor.retained[0] is False:
+                blockers.add(trace.op_of_rid[rid])
+        if blockers:
+            blocked_sets.add(frozenset(blockers))
+
+    if not blocked_sets:
+        # No virtual derivation matches: missing data — blame the join that
+        # would consume the unsatisfiable table's tuples.
+        explanations = []
+        for op_id, (table, pattern) in s1.backtrace.table_nips.items():
+            if op_id in constrained_tables(s1.backtrace):
+                rows = s1.trace.traces[op_id].rows
+                if not any(r.consistent[0] for r in rows):
+                    join = nearest_ancestor_join(query, op_id)
+                    if join is not None:
+                        explanations.append(
+                            BaselineExplanation(frozenset([join.op_id]), (join.label,))
+                        )
+        return explanations
+
+    minimal = [
+        s for s in blocked_sets if not any(other < s for other in blocked_sets)
+    ]
+    minimal.sort(key=lambda s: (len(s), sorted(s)))
+    return [
+        BaselineExplanation(s, tuple(query.op(op_id).label for op_id in sorted(s)))
+        for s in minimal
+    ]

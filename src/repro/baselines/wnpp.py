@@ -1,0 +1,200 @@
+"""WN++ — the lineage-based Why-Not baseline (paper §6.2, from [9]).
+
+The paper extends Chapman & Jagadish's Why-Not to scale and to handle nested
+data, keeping its lineage-based semantics:
+
+* *compatibles* are input tuples matching the backtraced table NIPs of the
+  original schema only (no schema alternatives);
+* successors are traced blindly (no re-validation — a successor stays
+  "compatible" even when flattening reveals it no longer matches);
+* tracing stops at aggregation/nesting boundaries (Why-Not supports SPJU);
+* the explanation is the *frontier picky operator*: the furthest point in the
+  pipeline where a compatible's last successors were filtered;
+* when a constrained table contains no compatible tuple at all, the join that
+  would have consumed the missing data is blamed (the crime-scenario C3
+  behaviour reported in §6.4).
+
+Known deviation (documented in EXPERIMENTS.md): on crime scenario C2 the
+original evaluation reports the selection σ4 found via partner-side analysis;
+our faithful frontier semantics reports the join where the traced person
+loses its partner.  The qualitative claim — lineage-based tools return a
+single, often incomplete operator — is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.operators import Operator, Query, TableAccess
+from repro.whynot.matching import matches
+from repro.whynot.question import WhyNotQuestion
+from repro.baselines.common import (
+    S1Trace,
+    build_s1_trace,
+    constrained_tables,
+    consumer_of,
+    is_grouping,
+    nearest_ancestor_join,
+)
+
+
+@dataclass
+class BaselineExplanation:
+    """A baseline explanation: a set of operators (singleton for WN++)."""
+
+    ops: frozenset[int]
+    labels: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(self.labels) + "}"
+
+
+def wnpp_explain(question: WhyNotQuestion, s1: "S1Trace | None" = None) -> list[BaselineExplanation]:
+    """Run the WN++ baseline; returns zero or more singleton explanations."""
+    if s1 is None:
+        s1 = build_s1_trace(question)
+    query = question.query
+    explanations: list[BaselineExplanation] = []
+
+    compatibles, missing_tables = _find_compatibles(s1)
+
+    # Unsatisfiable table NIP: blame the consuming join (missing-data case).
+    # Only meaningful when compatibles elsewhere witness the question (C3);
+    # with no compatibles at all, Why-Not stays silent (Q4).
+    if compatibles:
+        for table_op_id in missing_tables:
+            join = nearest_ancestor_join(query, table_op_id)
+            if join is not None:
+                explanations.append(
+                    BaselineExplanation(frozenset([join.op_id]), (join.label,))
+                )
+
+    death = _furthest_death(s1, compatibles)
+    if death is not None:
+        explanations.append(BaselineExplanation(frozenset([death.op_id]), (death.label,)))
+
+    # Deduplicate, preserve order.
+    seen: set[frozenset[int]] = set()
+    unique = []
+    for e in explanations:
+        if e.ops not in seen:
+            seen.add(e.ops)
+            unique.append(e)
+    return unique
+
+
+def _find_compatibles(s1: S1Trace) -> tuple[set[int], list[int]]:
+    """Compatible source rows (rids) and table ops with unsatisfiable NIPs."""
+    constrained = constrained_tables(s1.backtrace)
+    compatibles: set[int] = set()
+    missing: list[int] = []
+    if constrained:
+        for op_id in constrained:
+            rows = s1.trace.traces[op_id].rows
+            found = [r.rid for r in rows if r.consistent[0]]
+            if found:
+                compatibles.update(found)
+            else:
+                missing.append(op_id)
+    else:
+        # No table is constrained (e.g. why-not over a global aggregate):
+        # Why-Not considers every input tuple compatible.
+        for op in s1.query().ops:
+            if isinstance(op, TableAccess):
+                compatibles.update(r.rid for r in s1.trace.traces[op.op_id].rows)
+    return compatibles, missing
+
+
+def _wnpp_alive(s1: S1Trace) -> set[int]:
+    """Strictly-alive rows under WN++'s nested-data extension.
+
+    Whole input tuples are flagged compatible, but tracing through a relation
+    flatten follows only the successors stemming from nested elements that
+    match the why-not pattern (Example 2 traces ``(NY, 2018)`` — not Sue's
+    other address — through the flatten).  Apart from this element-level
+    step, successors are tracked blindly (no re-validation elsewhere)."""
+    from repro.algebra.operators import RelationFlatten
+
+    trace = s1.trace
+    query = s1.query()
+    flatten_ops = {
+        op.op_id for op in query.ops if isinstance(op, RelationFlatten)
+    }
+    constrained_flattens = set()
+    from repro.whynot.backtrace import is_trivial
+
+    for op in query.ops:
+        if op.op_id in flatten_ops:
+            pattern = s1.backtrace.nip_at[op.op_id]
+            if not is_trivial(pattern):
+                constrained_flattens.add(op.op_id)
+    alive: set[int] = set()
+    for rid, row in trace.rows_by_rid.items():
+        if row.retained and row.retained[0] is False:
+            continue
+        if any(p not in alive for p in row.parents):
+            continue
+        op_id = trace.op_of_rid[rid]
+        if op_id in constrained_flattens and not row.consistent[0]:
+            continue
+        alive.add(rid)
+    return alive
+
+
+def _furthest_death(s1: S1Trace, compatibles: set[int]) -> "Operator | None":
+    """The frontier picky operator: the furthest pipeline position at which
+    some compatible's last strictly-alive successor was filtered."""
+    if not compatibles:
+        return None
+    query = s1.query()
+    trace = s1.trace
+    alive = _wnpp_alive(s1)
+    position = {op.op_id: i for i, op in enumerate(query.ops)}
+
+    # Alive consumer index: rid -> alive child rows in the consuming operator.
+    alive_children: dict[int, list[int]] = {}
+    for rid, row in trace.rows_by_rid.items():
+        if rid not in alive:
+            continue
+        for parent in row.parents:
+            alive_children.setdefault(parent, []).append(rid)
+
+    # Survivors: alive rows at the root, or alive rows absorbed by a grouping
+    # operator (Why-Not does not trace through aggregation).
+    survivor_seeds: list[int] = []
+    root_id = query.root.op_id
+    for rid, row in trace.rows_by_rid.items():
+        if rid not in alive:
+            continue
+        op_id = trace.op_of_rid[rid]
+        if op_id == root_id:
+            survivor_seeds.append(rid)
+            continue
+        consumer = consumer_of(query, op_id)
+        if consumer is not None and is_grouping(consumer):
+            survivor_seeds.append(rid)
+    surviving_ancestry = trace.ancestors(survivor_seeds) if survivor_seeds else set()
+
+    # Terminal rows: alive, not absorbed, with no alive successor.
+    deaths_per_compatible: dict[int, int] = {}
+    for rid, row in trace.rows_by_rid.items():
+        if rid not in alive or rid in surviving_ancestry:
+            continue
+        op_id = trace.op_of_rid[rid]
+        if op_id == root_id:
+            continue
+        consumer = consumer_of(query, op_id)
+        if consumer is None or is_grouping(consumer):
+            continue
+        if alive_children.get(rid):
+            continue
+        death_pos = position[consumer.op_id]
+        for ancestor in trace.ancestors([rid]):
+            if ancestor in compatibles and ancestor not in surviving_ancestry:
+                current = deaths_per_compatible.get(ancestor, -1)
+                if death_pos > current:
+                    deaths_per_compatible[ancestor] = death_pos
+    if not deaths_per_compatible:
+        return None
+    furthest = max(deaths_per_compatible.values())
+    return query.ops[furthest]

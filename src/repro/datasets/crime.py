@@ -1,0 +1,90 @@
+"""Crime dataset for the baseline comparison (paper §6.4, Table 6).
+
+Relations:
+
+* ``P``  — persons: name, hair, clothes;
+* ``S``  — sightings: the observed person's description plus the reporting
+  witness and the sector of the sighting;
+* ``W``  — registered witnesses (credible reporters): name, sector;
+* ``C``  — crimes: sector and type.
+
+Planted facts reproduce the C1–C3 walk-throughs:
+
+* C1: Roger has brown hair (the query filters blue) and his sighting's
+  witness is not registered in ``W``;
+* C2: Conedera was sighted by Amit (sector 95, fails the ``name = Susan``
+  filter) and by Bo (sector 50, fails the ``sector > 90`` filter);
+* C3: witness Ashishbakshi reported a sighting whose *clothes* are "snow"
+  while the query projects the ``hair`` description ("grey").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.database import Database
+from repro.nested.values import Tup
+
+
+CRIME_FACTS = {
+    "c1_person": "Roger",
+    "c2_person": "Conedera",
+    "c3_witness": "Ashishbakshi",
+}
+
+_HAIR = ["black", "blonde", "red", "blue", "grey"]
+_CLOTHES = ["jeans", "coat", "suit", "dress", "snow"]
+_TYPES = ["robbery", "fraud", "arson", "burglary"]
+
+
+def crime_database(scale: int = 30, seed: int = 99) -> Database:
+    rng = random.Random(seed)
+
+    persons = [
+        Tup(name="Roger", hair="brown", clothes="jeans"),
+        Tup(name="Conedera", hair="black", clothes="coat"),
+        Tup(name="Blue Benny", hair="blue", clothes="suit"),
+    ]
+    sightings = [
+        # C1: Roger seen by an unregistered witness in sector 12.
+        Tup(s_name="Roger", hair="brown", clothes="jeans", witness="Kayla", sector=12),
+        # C2: Conedera's two sightings.
+        Tup(s_name="Conedera", hair="black", clothes="coat", witness="Amit", sector=95),
+        Tup(s_name="Conedera", hair="black", clothes="coat", witness="Bo", sector=50),
+        # C3: Ashishbakshi's sighting — "snow" is the clothes, not the hair.
+        Tup(s_name="Verda", hair="grey", clothes="snow", witness="Ashishbakshi", sector=7),
+        # A sighting matching the blue-haired person (keeps C1's query result
+        # non-empty).
+        Tup(s_name="Blue Benny", hair="blue", clothes="suit", witness="Amit", sector=95),
+    ]
+    witnesses = [
+        Tup(w_name="Amit", w_sector=95),
+        Tup(w_name="Bo", w_sector=50),
+        Tup(w_name="Susan", w_sector=97),
+        Tup(w_name="Ashishbakshi", w_sector=7),
+    ]
+    crimes = [
+        Tup(c_sector=12, type="robbery"),
+        Tup(c_sector=95, type="fraud"),
+        Tup(c_sector=50, type="arson"),
+        Tup(c_sector=97, type="burglary"),
+        Tup(c_sector=7, type="robbery"),
+    ]
+
+    for i in range(scale):
+        name = f"person{i}"
+        hair = rng.choice(_HAIR)
+        clothes = rng.choice(_CLOTHES)
+        persons.append(Tup(name=name, hair=hair, clothes=clothes))
+        if rng.random() < 0.6:
+            witness = f"witness{i}"
+            sector = rng.randint(1, 99)
+            sightings.append(
+                Tup(s_name=name, hair=hair, clothes=clothes, witness=witness, sector=sector)
+            )
+            witnesses.append(Tup(w_name=witness, w_sector=sector))
+            crimes.append(Tup(c_sector=sector, type=rng.choice(_TYPES)))
+
+    return Database(
+        {"P": persons, "S": sightings, "W": witnesses, "C": crimes}
+    )

@@ -1,0 +1,219 @@
+"""Synthetic DBLP-like dataset (paper §6.2, scenarios D1–D5).
+
+The real evaluation used 100–500 GB DBLP dumps; this generator reproduces the
+*schema* and the data quirks the scenarios exploit, at a row-count scale:
+
+* records carry XML-style nested attributes: ``author``/``editor`` bags of
+  ``⟨_VALUE⟩`` tuples, a ``title`` tuple with ``_VALUE`` and ``_bibtex``
+  fields (``_bibtex`` is ⊥ for >99 % of records — the D2 failure mode),
+* inproceedings reference proceedings through a ``crossref`` bag,
+* proceedings have a short ``booktitle`` ("SIGMOD") and a written-out
+  ``title`` ("Proceedings of the ... SIGMOD ...") — the D1 confusion,
+* publishers/series are ``⟨_VALUE⟩`` tuples (the D4 publisher/series swap),
+* homepage records (``U``) store URLs in ``note`` rather than ``url`` for
+  many authors — the D5 failure mode.
+
+Planted entities referenced by the scenarios are listed in ``DBLP_FACTS``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.database import Database
+from repro.nested.values import NULL, Bag, Tup
+
+
+DBLP_FACTS = {
+    "d1_paper_title": "Efficient Provenance Tracking for Nested Data",
+    "d1_proc_key": "conf/sigmod/2019",
+    "d1_proc_booktitle": "SIGMOD",
+    "d1_proc_title": "Proceedings of the 2019 ACM SIGMOD International Conference on Management of Data",
+    "d2_author": "Anna Schmidt",
+    "d2_article_count": 6,
+    "d3_editor": "Rajan Gupta",
+    "d3_booktitle": "VLDB",
+    "d3_year": 2017,
+    "d4_author": "Mei Tanaka",
+    "d5_author": "Luis Ortega",
+    "d5_homepage": "https://luis-ortega.example.org",
+}
+
+_FIRST = ["Ada", "Bob", "Carl", "Dina", "Ed", "Fay", "Gus", "Hana", "Ivan", "Jil"]
+_LAST = ["Miller", "Chen", "Kumar", "Rossi", "Sato", "Novak", "Diaz", "Okafor"]
+_VENUES = ["VLDB", "ICDE", "EDBT", "CIKM", "KDD", "WWW", "SIGIR"]
+_PUBLISHERS = ["Springer", "IEEE", "Elsevier", "Morgan Kaufmann"]
+_SERIES = ["LNCS", "CEUR", "DagstuhlSeries"]
+_WORDS = [
+    "Scalable", "Adaptive", "Provenance", "Indexing", "Streams", "Graphs",
+    "Queries", "Joins", "Sketches", "Caching", "Learning", "Storage",
+]
+
+
+def _person(name: str) -> Tup:
+    return Tup(_VALUE=name)
+
+
+def _title(text: str, bibtex=NULL) -> Tup:
+    return Tup(_VALUE=text, _bibtex=bibtex)
+
+
+def _rand_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+
+
+def _rand_title(rng: random.Random) -> str:
+    return " ".join(rng.sample(_WORDS, 3))
+
+
+def dblp_database(scale: int = 60, seed: int = 42) -> Database:
+    """Build the DBLP database with ``scale`` noise records per relation."""
+    rng = random.Random(seed)
+
+    proceedings = [
+        # D1/D4 target proceedings.
+        Tup(
+            _key=DBLP_FACTS["d1_proc_key"],
+            title=DBLP_FACTS["d1_proc_title"],
+            booktitle=DBLP_FACTS["d1_proc_booktitle"],
+            year=2019,
+            publisher=Tup(_VALUE="ACM"),
+            series=Tup(_VALUE="ICPS"),
+        ),
+        # D4: B — published 2010 by Springer but in the *ACM* series.
+        Tup(
+            _key="conf/dbpl/2010",
+            title="Proceedings of the 13th Symposium on Database Programming Languages",
+            booktitle="DBPL",
+            year=2010,
+            publisher=Tup(_VALUE="Springer"),
+            series=Tup(_VALUE="ACM"),
+        ),
+        # D4: A — a 2015 venue with a non-ACM publisher and no series.
+        Tup(
+            _key="conf/webdb/2015",
+            title="Proceedings of the 18th International Workshop on the Web and Databases",
+            booktitle="WebDB",
+            year=2015,
+            publisher=Tup(_VALUE="Elsevier"),
+            series=Tup(_VALUE=NULL),
+        ),
+    ]
+    for i in range(scale):
+        venue = rng.choice(_VENUES)
+        year = rng.randint(2000, 2020)
+        proceedings.append(
+            Tup(
+                _key=f"conf/{venue.lower()}/{year}-{i}",
+                title=f"Proceedings of the {year} {venue} Conference",
+                booktitle=venue,
+                year=year,
+                publisher=Tup(_VALUE=rng.choice(_PUBLISHERS)),
+                series=Tup(_VALUE=rng.choice(_SERIES) if rng.random() < 0.6 else NULL),
+            )
+        )
+
+    inproceedings = [
+        # D1: the missing paper, published at SIGMOD 2019.
+        Tup(
+            _key="conf/sigmod/Miller19",
+            title=_title(DBLP_FACTS["d1_paper_title"]),
+            author=Bag([_person("Ada Miller"), _person("Bob Chen")]),
+            editor=Bag(),
+            crossref=Bag([DBLP_FACTS["d1_proc_key"]]),
+            booktitle="SIGMOD",
+            year=2019,
+        ),
+        # D3: a record whose *editor* (not author) is the expected person.
+        Tup(
+            _key="conf/vldb/2017-ed",
+            title=_title("VLDB 2017 Panel Notes"),
+            author=Bag([_person("Carl Kumar")]),
+            editor=Bag([_person(DBLP_FACTS["d3_editor"])]),
+            crossref=Bag(["conf/vldb/2017"]),
+            booktitle=DBLP_FACTS["d3_booktitle"],
+            year=DBLP_FACTS["d3_year"],
+        ),
+        # D4: Mei Tanaka's two publications (→ B 2010/ACM-series, A 2015).
+        Tup(
+            _key="conf/dbpl/Tanaka10",
+            title=_title("Typed Views over Nested Collections"),
+            author=Bag([_person(DBLP_FACTS["d4_author"])]),
+            editor=Bag(),
+            crossref=Bag(["conf/dbpl/2010"]),
+            booktitle="DBPL",
+            year=2010,
+        ),
+        Tup(
+            _key="conf/webdb/Tanaka15",
+            title=_title("Incremental Maintenance of Nested Views"),
+            author=Bag([_person(DBLP_FACTS["d4_author"])]),
+            editor=Bag(),
+            crossref=Bag(["conf/webdb/2015"]),
+            booktitle="WebDB",
+            year=2015,
+        ),
+    ]
+    for i in range(scale):
+        venue_row = rng.choice(proceedings[3:]) if scale else proceedings[0]
+        n_authors = rng.randint(1, 3)
+        inproceedings.append(
+            Tup(
+                _key=f"conf/x/{i}",
+                title=_title(_rand_title(rng), bibtex=NULL),
+                author=Bag([_person(_rand_name(rng)) for _ in range(n_authors)]),
+                editor=Bag(
+                    [_person(_rand_name(rng))] if rng.random() < 0.1 else []
+                ),
+                crossref=Bag([venue_row["_key"]]),
+                booktitle=venue_row["booktitle"],
+                year=venue_row["year"],
+            )
+        )
+
+    articles = []
+    # D2: Anna Schmidt's articles — titles present, _bibtex always ⊥.
+    for i in range(DBLP_FACTS["d2_article_count"]):
+        articles.append(
+            Tup(
+                _key=f"journals/anna/{i}",
+                title=_title(f"Nested Query Processing Part {i + 1}", bibtex=NULL),
+                author=Bag([_person(DBLP_FACTS["d2_author"])]),
+                year=2010 + i,
+            )
+        )
+    for i in range(scale):
+        # >99% of titles have ⊥ bibtex in the real data; keep a couple non-⊥.
+        bibtex = f"@article{{x{i}}}" if rng.random() < 0.01 else NULL
+        articles.append(
+            Tup(
+                _key=f"journals/x/{i}",
+                title=_title(_rand_title(rng), bibtex=bibtex),
+                author=Bag([_person(_rand_name(rng)) for _ in range(rng.randint(1, 3))]),
+                year=rng.randint(2000, 2020),
+            )
+        )
+
+    homepages = [
+        # D5: Luis Ortega's homepage lives in `note`, url bag is empty.
+        Tup(
+            _key="homepages/ortega",
+            author=Bag([_person(DBLP_FACTS["d5_author"])]),
+            url=Bag(),
+            note=Bag([Tup(_VALUE=DBLP_FACTS["d5_homepage"])]),
+        )
+    ]
+    for i in range(scale):
+        has_url = rng.random() < 0.7
+        homepages.append(
+            Tup(
+                _key=f"homepages/x{i}",
+                author=Bag([_person(_rand_name(rng))]),
+                url=Bag([Tup(_VALUE=f"https://example.org/{i}")] if has_url else []),
+                note=Bag([] if has_url else [Tup(_VALUE=f"https://note.example.org/{i}")]),
+            )
+        )
+
+    return Database(
+        {"I": inproceedings, "A": articles, "P": proceedings, "U": homepages}
+    )

@@ -1,0 +1,74 @@
+"""The paper's running example (Figure 1): persons with nested addresses.
+
+``person_database`` builds the two-tuple instance of Figure 1a;
+``person_query`` the pipeline of Figure 1c::
+
+    N^R_{name→nList}(π_{name,city}(σ_{year≥2019}(F^I_{address2}(person))))
+
+whose result over the database is the single nested tuple of Figure 1b,
+``⟨city: LA, nList: {{⟨name: Sue⟩}}⟩``.  ``scale`` appends additional persons
+(noise that never reaches the result) for runtime experiments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.operators import (
+    InnerFlatten,
+    Projection,
+    Query,
+    RelationNesting,
+    Selection,
+    TableAccess,
+)
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+
+
+def _address(city: str, year: int) -> Tup:
+    return Tup(city=city, year=year)
+
+
+def person_database(scale: int = 0, seed: int = 7) -> Database:
+    """The Figure 1a person table, optionally padded with *scale* noise rows."""
+    rows = [
+        Tup(
+            name="Peter",
+            address1=Bag([_address("NY", 2010), _address("LA", 2019), _address("LV", 2017)]),
+            address2=Bag([_address("LA", 2010), _address("SF", 2018)]),
+        ),
+        Tup(
+            name="Sue",
+            address1=Bag([_address("LA", 2019), _address("NY", 2018)]),
+            address2=Bag([_address("LA", 2019), _address("NY", 2018)]),
+        ),
+    ]
+    rng = random.Random(seed)
+    cities = ["SEA", "POR", "AUS", "DEN", "CHI", "BOS"]
+    for i in range(scale):
+        rows.append(
+            Tup(
+                name=f"person{i}",
+                address1=Bag(
+                    _address(rng.choice(cities), rng.randint(2000, 2016))
+                    for _ in range(rng.randint(0, 3))
+                ),
+                address2=Bag(
+                    _address(rng.choice(cities), rng.randint(2000, 2016))
+                    for _ in range(rng.randint(0, 3))
+                ),
+            )
+        )
+    return Database({"person": rows})
+
+
+def person_query() -> Query:
+    """The Figure 1c pipeline (labels follow the paper: F, σ, π, N)."""
+    plan = TableAccess("person")
+    plan = InnerFlatten(plan, "address2", label="F")
+    plan = Selection(plan, col("year").ge(lit(2019)), label="σ")
+    plan = Projection(plan, ["name", "city"], label="π")
+    plan = RelationNesting(plan, ["name"], "nList", label="N")
+    return Query(plan, name="running-example")

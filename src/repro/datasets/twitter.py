@@ -1,0 +1,213 @@
+"""Synthetic Twitter-like dataset (paper §6.2, scenarios T1–T4, T_ASD).
+
+Tweets carry the deeply nested attributes the scenarios exercise:
+
+* ``user`` (name, location, lang, followers_count) — locations often carry
+  the country information that ``place.country`` lacks (T2/T4 failure mode),
+* ``entities`` with ``hashtags``, ``media`` and ``urls`` bags — media is
+  frequently empty while ``urls`` holds the links (T1/T3 failure mode),
+* ``retweeted_status`` / ``quoted_status`` nested tweets plus the
+  ``retweet_count`` / ``quote_count`` counters (T_ASD ambiguity).
+
+Planted tweets referenced by the scenarios are listed in ``TWITTER_FACTS``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.database import Database
+from repro.nested.values import NULL, Bag, Tup
+
+
+TWITTER_FACTS = {
+    "t1_tweet_id": 7001,
+    "t1_media_url": "https://pics.example.com/lebron-dunk.jpg",
+    "t2_fan": "army_jane",
+    "t3_user": "coach_carter",
+    "t3_user_id": 9042,
+    "t4_hashtag": "#MUFC",
+    "asd_famous_id": 5001,
+    "asd_famous_text": "One small step for a man, one giant leap for mankind.",
+}
+
+_COUNTRIES = ["United States", "Brazil", "Japan", "Germany", "India"]
+_LOCATIONS = ["NYC", "Rio", "Tokyo", "Berlin", "Mumbai", "Paris"]
+_HASHTAGS = ["#data", "#sports", "#music", "#news", "#tech"]
+_WORDS = ["great", "match", "today", "listen", "breaking", "launch", "open"]
+
+
+def _hashtags(*tags: str) -> Bag:
+    return Bag([Tup(text=tag) for tag in tags])
+
+
+def _media(*urls: str) -> Bag:
+    return Bag([Tup(url=url) for url in urls])
+
+
+def _mentions(*users) -> Bag:
+    return Bag([Tup(muser=Tup(name=name, id=uid)) for name, uid in users])
+
+
+def _status(sid, text, count) -> Tup:
+    return Tup(id=sid, text=text, count=count)
+
+
+_NULL_STATUS = Tup(id=NULL, text=NULL, count=NULL)
+
+
+def _tweet(
+    tid: int,
+    text: str,
+    user_name: str,
+    user_location,
+    country,
+    hashtags: Bag = None,
+    media: Bag = None,
+    urls: Bag = None,
+    mentions: Bag = None,
+    retweeted=None,
+    quoted=None,
+    retweet_count: int = 0,
+    quote_count: int = 0,
+    followers: int = 100,
+) -> Tup:
+    return Tup(
+        id=tid,
+        text=text,
+        user=Tup(name=user_name, location=user_location, lang="en", followers_count=followers),
+        place=Tup(country=country),
+        entities=Tup(
+            hashtags=hashtags if hashtags is not None else Bag(),
+            media=media if media is not None else Bag(),
+            urls=urls if urls is not None else Bag(),
+            thumbs=Bag(),
+            mentioned_user=mentions if mentions is not None else Bag(),
+        ),
+        retweeted_status=retweeted if retweeted is not None else _NULL_STATUS,
+        quoted_status=quoted if quoted is not None else _NULL_STATUS,
+        pinned_status=_NULL_STATUS,
+        replied_status=_NULL_STATUS,
+        retweet_count=retweet_count,
+        quote_count=quote_count,
+    )
+
+
+def twitter_database(scale: int = 80, seed: int = 77) -> Database:
+    """Build the tweets table with the planted scenario rows."""
+    rng = random.Random(seed)
+    facts = TWITTER_FACTS
+    tweets = [
+        # T1: famous LeBron tweet — empty media bag, link in entities.urls.
+        _tweet(
+            facts["t1_tweet_id"],
+            "LeBron James with the dunk of the year!",
+            "hoops_daily",
+            "Cleveland",
+            "United States",
+            hashtags=_hashtags("#sports"),
+            media=Bag(),
+            urls=_media(facts["t1_media_url"]),
+        ),
+        # T2: the US fan — country only in user.location; two tweets.
+        _tweet(
+            7101,
+            "BTS world tour announcement!!",
+            facts["t2_fan"],
+            "Chicago, United States",
+            NULL,
+            hashtags=_hashtags("#music"),
+        ),
+        _tweet(
+            7102,
+            "Can't wait for the concert tonight",
+            facts["t2_fan"],
+            "Chicago, United States",
+            NULL,
+            hashtags=_hashtags("#music"),
+        ),
+        # T3: a tweet mentioning coach_carter — media empty, urls filled.
+        _tweet(
+            7201,
+            "Huge respect to the coaching staff",
+            "fan_zone",
+            "Boston",
+            "United States",
+            hashtags=_hashtags("#sports"),
+            media=Bag(),
+            urls=_media("https://clips.example.com/timeout.mp4"),
+            mentions=_mentions((facts["t3_user"], facts["t3_user_id"])),
+        ),
+        # T3: the mentioned user's own tweet (the join's left side).
+        _tweet(
+            facts["t3_user_id"],
+            "Proud of the team today",
+            facts["t3_user"],
+            "Boston",
+            "United States",
+        ),
+        # T4: two #MUFC tweets; countries live in user.location only.
+        _tweet(
+            7301,
+            "UEFA Champions League night at Old Trafford #MUFC",
+            "red_devil",
+            "Manchester, England",
+            NULL,
+            hashtags=_hashtags(facts["t4_hashtag"]),
+        ),
+        _tweet(
+            7302,
+            "What a comeback #MUFC",
+            "stretford_end",
+            NULL,
+            NULL,
+            hashtags=_hashtags(facts["t4_hashtag"]),
+        ),
+        # T_ASD: two retweets of the famous tweet; quoted_status is ⊥-padded.
+        _tweet(
+            7401,
+            "RT: moon landing anniversary",
+            "history_buff",
+            "Houston",
+            "United States",
+            retweeted=_status(facts["asd_famous_id"], facts["asd_famous_text"], 999),
+            retweet_count=999,
+            quote_count=3,
+        ),
+        _tweet(
+            7402,
+            "RT: never gets old",
+            "space_fan",
+            "Cape Canaveral",
+            "United States",
+            retweeted=_status(facts["asd_famous_id"], facts["asd_famous_text"], 999),
+            retweet_count=999,
+            quote_count=0,
+        ),
+    ]
+    for i in range(scale):
+        has_place = rng.random() < 0.5
+        quoting = rng.random() < 0.2
+        qid = 90000 + i
+        tweets.append(
+            _tweet(
+                10000 + i,
+                " ".join(rng.sample(_WORDS, 3)),
+                f"user{rng.randint(0, scale)}",
+                rng.choice(_LOCATIONS) if rng.random() < 0.8 else NULL,
+                rng.choice(_COUNTRIES) if has_place else NULL,
+                hashtags=_hashtags(*rng.sample(_HASHTAGS, rng.randint(0, 2))),
+                media=_media(f"https://pics.example.com/{i}.jpg")
+                if rng.random() < 0.4
+                else Bag(),
+                urls=_media(f"https://link.example.com/{i}")
+                if rng.random() < 0.5
+                else Bag(),
+                quoted=_status(qid, f"quoted tweet {qid}", rng.randint(1, 50))
+                if quoting
+                else None,
+                quote_count=rng.randint(1, 50) if quoting else 0,
+                retweet_count=rng.randint(0, 20),
+            )
+        )
+    return Database({"T": tweets})

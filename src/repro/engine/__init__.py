@@ -1,0 +1,12 @@
+"""Execution engine: database catalog, partitioned executor, DataFrame API.
+
+This is the reproduction's stand-in for Apache Spark (paper §6.1): a pure
+Python, partition-aware evaluator for NRAB plans with per-operator metrics,
+plus a Spark-like DataFrame façade for building plans fluently.
+"""
+
+from repro.engine.database import Database
+from repro.engine.executor import Executor, ExecutionMetrics
+from repro.engine.dataframe import DataFrame, Session
+
+__all__ = ["Database", "Executor", "ExecutionMetrics", "DataFrame", "Session"]

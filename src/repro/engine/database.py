@@ -1,0 +1,84 @@
+"""Nested databases: named nested relations with inferred schemas."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.nested.types import ANY_TYPE, NestedType, TupleType, type_of, unify
+from repro.nested.values import Bag, Tup
+
+
+class Database:
+    """A nested database ``D``: a catalog of named nested relations.
+
+    Relations may be given as bags, lists of tuples, or lists of dicts
+    (converted to :class:`Tup` preserving attribute order).  Row schemas are
+    inferred from the data by unifying all tuples' types; an explicit schema
+    overrides inference (needed for empty relations).
+    """
+
+    def __init__(
+        self,
+        relations: Mapping[str, Iterable[Any]] | None = None,
+        schemas: Optional[Mapping[str, TupleType]] = None,
+    ):
+        self._relations: dict[str, Bag] = {}
+        self._schemas: dict[str, TupleType] = {}
+        if relations:
+            for name, rows in relations.items():
+                self.add(name, rows, schema=(schemas or {}).get(name))
+
+    @staticmethod
+    def _to_tup(row: Any) -> Tup:
+        if isinstance(row, Tup):
+            return row
+        if isinstance(row, Mapping):
+            return Tup((k, Database._convert(v)) for k, v in row.items())
+        raise TypeError(f"cannot convert row {row!r} into a tuple")
+
+    @staticmethod
+    def _convert(value: Any) -> Any:
+        if isinstance(value, Mapping):
+            return Tup((k, Database._convert(v)) for k, v in value.items())
+        if isinstance(value, (list, set)):
+            return Bag(Database._convert(v) for v in value)
+        return value
+
+    def add(self, name: str, rows: Iterable[Any], schema: Optional[TupleType] = None) -> None:
+        """Register relation *name* with the given rows."""
+        bag = rows if isinstance(rows, Bag) else Bag(self._to_tup(r) for r in rows)
+        self._relations[name] = bag
+        if schema is not None:
+            self._schemas[name] = schema
+        else:
+            inferred: NestedType = ANY_TYPE
+            for row in bag.distinct():
+                inferred = unify(inferred, type_of(row))
+            if not isinstance(inferred, TupleType):
+                raise ValueError(
+                    f"cannot infer a tuple schema for relation {name!r}; "
+                    "provide an explicit schema"
+                )
+            self._schemas[name] = inferred
+
+    def relation(self, name: str) -> Bag:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"no relation named {name!r}; have {sorted(self._relations)}")
+
+    def schema(self, name: str) -> TupleType:
+        return self._schemas[name]
+
+    def tables(self) -> list[str]:
+        return list(self._relations)
+
+    def size(self, name: str) -> int:
+        return len(self._relations[name])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}[{len(bag)}]" for name, bag in self._relations.items())
+        return f"Database({inner})"

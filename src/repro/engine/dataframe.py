@@ -1,0 +1,193 @@
+"""Spark-like DataFrame façade for building NRAB plans fluently.
+
+The paper implements its approach over Spark's DataFrames (§6.1); this module
+provides the equivalent front end so that examples read like the Spark
+programs the paper debugs::
+
+    session = Session(db)
+    result = (session.table("person")
+                     .explode("address2")
+                     .filter(col("year").ge(2019))
+                     .select("name", "city")
+                     .nest(["name"], "nList")
+                     .collect())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import Expr
+from repro.algebra.operators import (
+    Deduplication,
+    Difference,
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    NestedAggregation,
+    Operator,
+    OuterFlatten,
+    Projection,
+    Query,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+    TupleNesting,
+    Union,
+)
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.nested.values import Bag
+
+
+class DataFrame:
+    """An immutable plan builder; every method returns a new DataFrame."""
+
+    def __init__(self, plan: Operator, session: "Session"):
+        self._plan = plan
+        self._session = session
+
+    # -- transformations (Spark vocabulary → NRAB operators) ----------------
+
+    def filter(self, pred: Expr, label: Optional[str] = None) -> "DataFrame":
+        return self._wrap(Selection(self._plan, pred, label=label))
+
+    where = filter
+
+    def select(self, *cols, label: Optional[str] = None) -> "DataFrame":
+        return self._wrap(Projection(self._plan, list(cols), label=label))
+
+    def with_column(self, name: str, expr, label: Optional[str] = None) -> "DataFrame":
+        """Extract a nested field / computed value into a top-level column.
+
+        For a dotted path this is the paper's tuple flatten ``F^T``.
+        """
+        if isinstance(expr, str):
+            return self._wrap(TupleFlatten(self._plan, expr, alias=name, label=label))
+        raise TypeError(
+            "with_column takes a dotted path; use select((name, expr), ...) for "
+            "computed columns"
+        )
+
+    def explode(
+        self, path: str, alias: Optional[str] = None, label: Optional[str] = None
+    ) -> "DataFrame":
+        """Inner relation flatten ``F^I`` (Spark's ``explode``)."""
+        return self._wrap(InnerFlatten(self._plan, path, alias=alias, label=label))
+
+    def explode_outer(
+        self, path: str, alias: Optional[str] = None, label: Optional[str] = None
+    ) -> "DataFrame":
+        """Outer relation flatten ``F^O`` (Spark's ``explode_outer``)."""
+        return self._wrap(OuterFlatten(self._plan, path, alias=alias, label=label))
+
+    def join(
+        self,
+        other: "DataFrame",
+        on: Sequence[tuple],
+        how: str = "inner",
+        drop_right_keys: bool = False,
+        label: Optional[str] = None,
+    ) -> "DataFrame":
+        return self._wrap(
+            Join(
+                self._plan,
+                other._plan,
+                on,
+                how=how,
+                drop_right_keys=drop_right_keys,
+                label=label,
+            )
+        )
+
+    def nest(self, attrs: Sequence[str], target: str, label: Optional[str] = None) -> "DataFrame":
+        """Relation nesting ``N^R_{A→C}`` (group on the remaining attributes)."""
+        return self._wrap(RelationNesting(self._plan, attrs, target, label=label))
+
+    def nest_tuple(
+        self, attrs: Sequence[str], target: str, label: Optional[str] = None
+    ) -> "DataFrame":
+        return self._wrap(TupleNesting(self._plan, attrs, target, label=label))
+
+    def group_by(self, *keys: str) -> "GroupedDataFrame":
+        return GroupedDataFrame(self, list(keys))
+
+    def agg_nested(
+        self,
+        func: str,
+        attr: str,
+        out: str,
+        field: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> "DataFrame":
+        """Per-tuple aggregation over a nested relation attribute."""
+        return self._wrap(
+            NestedAggregation(self._plan, func, attr, out, field=field, label=label)
+        )
+
+    def rename(self, pairs: Sequence[tuple[str, str]], label: Optional[str] = None) -> "DataFrame":
+        return self._wrap(Renaming(self._plan, pairs, label=label))
+
+    def union(self, other: "DataFrame", label: Optional[str] = None) -> "DataFrame":
+        return self._wrap(Union(self._plan, other._plan, label=label))
+
+    def subtract(self, other: "DataFrame", label: Optional[str] = None) -> "DataFrame":
+        return self._wrap(Difference(self._plan, other._plan, label=label))
+
+    def distinct(self, label: Optional[str] = None) -> "DataFrame":
+        return self._wrap(Deduplication(self._plan, label=label))
+
+    # -- actions -------------------------------------------------------------
+
+    @property
+    def plan(self) -> Operator:
+        return self._plan
+
+    def query(self, name: str = "") -> Query:
+        return Query(self._plan, name=name)
+
+    def collect(self) -> Bag:
+        return self._session.run(self.query())
+
+    def count(self) -> int:
+        return len(self.collect())
+
+    def show(self, max_rows: int = 20) -> None:
+        from repro.nested.pretty import print_relation
+
+        print_relation(self.collect(), max_rows=max_rows)
+
+    def _wrap(self, plan: Operator) -> "DataFrame":
+        return DataFrame(plan, self._session)
+
+
+class GroupedDataFrame:
+    """Intermediate of ``group_by``; finish with ``agg``."""
+
+    def __init__(self, df: DataFrame, keys: list[str]):
+        self._df = df
+        self._keys = keys
+
+    def agg(self, *specs: AggSpec, label: Optional[str] = None) -> DataFrame:
+        return self._df._wrap(
+            GroupAggregation(self._df._plan, self._keys, list(specs), label=label)
+        )
+
+
+class Session:
+    """Entry point binding a database and an executor together."""
+
+    def __init__(self, db: Database, executor: Optional[Executor] = None):
+        self.db = db
+        self.executor = executor or Executor()
+
+    def table(self, name: str, label: Optional[str] = None) -> DataFrame:
+        if name not in self.db:
+            raise KeyError(f"no table {name!r} in database")
+        return DataFrame(TableAccess(name, label=label), self)
+
+    def run(self, query: Query) -> Bag:
+        return self.executor.execute(query, self.db)

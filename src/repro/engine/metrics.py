@@ -1,0 +1,41 @@
+"""Per-operator execution metrics (the reproduction's mini Spark UI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperatorMetrics:
+    """Counters collected for one operator during execution."""
+
+    op_id: int
+    label: str
+    rows_in: int = 0
+    rows_out: int = 0
+    shuffled_rows: int = 0
+    partitions: int = 1
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class ExecutionMetrics:
+    """Counters for one plan execution."""
+
+    operators: dict[int, OperatorMetrics] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def total_rows_processed(self) -> int:
+        return sum(m.rows_in for m in self.operators.values())
+
+    def total_shuffled_rows(self) -> int:
+        return sum(m.shuffled_rows for m in self.operators.values())
+
+    def report(self) -> str:
+        lines = [f"total wall time: {self.wall_seconds:.4f}s"]
+        for m in self.operators.values():
+            lines.append(
+                f"  #{m.op_id} {m.label}: in={m.rows_in} out={m.rows_out} "
+                f"shuffle={m.shuffled_rows} parts={m.partitions} t={m.wall_seconds:.4f}s"
+            )
+        return "\n".join(lines)

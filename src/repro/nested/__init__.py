@@ -1,0 +1,34 @@
+"""Nested relational data model: values, types, paths, trees, distances.
+
+This subpackage implements the preliminaries of Section 3.1 of the paper:
+nested relations are bags of tuples whose attributes are primitives, tuples,
+or nested relations, with an explicit null value ``NULL`` (the paper's ⊥).
+"""
+
+from repro.nested.values import NULL, Bag, Tup, is_null
+from repro.nested.types import (
+    AnyType,
+    BagType,
+    NestedType,
+    PrimitiveType,
+    TupleType,
+    conforms,
+    type_of,
+)
+from repro.nested.paths import Path, parse_path
+
+__all__ = [
+    "NULL",
+    "Bag",
+    "Tup",
+    "is_null",
+    "AnyType",
+    "BagType",
+    "NestedType",
+    "PrimitiveType",
+    "TupleType",
+    "conforms",
+    "type_of",
+    "Path",
+    "parse_path",
+]

@@ -1,0 +1,128 @@
+"""Distance functions between nested relations (the metric ``d`` of Def. 9).
+
+Two metrics are provided:
+
+* :func:`bag_distance` — a PTIME distance: the size of the symmetric bag
+  difference of top-level tuples.  This is the default used by the heuristic
+  algorithm's side-effect bounds (which, per §5.4, reason about top-level
+  tuples added to / removed from the result).
+
+* :func:`tree_edit_distance` — edit distance between the unordered trees of
+  Figure 2.  Exact unordered TED is NP-hard (Zhang/Statman/Shasha), so the
+  implementation recursively computes an *assignment-based* distance: children
+  of matched nodes are aligned with an optimal bipartite assignment (Hungarian
+  algorithm).  This is exact on trees where an optimal mapping never maps a
+  node to a non-sibling (which covers the regular relation trees produced by
+  queries) and an upper-bound approximation otherwise.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.nested.tree import Tree, relation_tree, to_tree
+from repro.nested.values import Bag
+
+
+def bag_distance(left: Bag, right: Bag) -> int:
+    """Symmetric difference size on top-level tuples (PTIME metric)."""
+    total = 0
+    for element in set(left.distinct()) | set(right.distinct()):
+        total += abs(left.mult(element) - right.mult(element))
+    return total
+
+
+def _assignment_cost(costs: list[list[float]]) -> float:
+    """Minimum-cost perfect assignment on a square cost matrix.
+
+    Uses scipy's Hungarian implementation when available, falling back to an
+    exhaustive search for tiny matrices (so the core library has no hard
+    scipy dependency).
+    """
+    n = len(costs)
+    if n == 0:
+        return 0.0
+    try:
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+
+        matrix = np.asarray(costs, dtype=float)
+        rows, cols = linear_sum_assignment(matrix)
+        return float(matrix[rows, cols].sum())
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        best = [float("inf")]
+
+        def search(row: int, used: int, acc: float) -> None:
+            if acc >= best[0]:
+                return
+            if row == n:
+                best[0] = acc
+                return
+            for col in range(n):
+                if not used & (1 << col):
+                    search(row + 1, used | (1 << col), acc + costs[row][col])
+
+        search(0, 0, 0.0)
+        return best[0]
+
+
+def tree_edit_distance(left: Tree, right: Tree) -> float:
+    """Assignment-based edit distance between two unordered trees.
+
+    Edit operations: relabel a node (cost 1), delete a subtree node (cost 1
+    per node), insert a subtree node (cost 1 per node).
+    """
+
+    @lru_cache(maxsize=None)
+    def dist(a: Tree, b: Tree) -> float:
+        relabel = 0.0 if a.label == b.label else 1.0
+        n, m = len(a.children), len(b.children)
+        size = max(n, m)
+        if size == 0:
+            return relabel
+        # Pad the cost matrix with delete/insert costs for unmatched children.
+        costs: list[list[float]] = []
+        for i in range(size):
+            row: list[float] = []
+            for j in range(size):
+                if i < n and j < m:
+                    row.append(dist(a.children[i], b.children[j]))
+                elif i < n:
+                    row.append(float(a.children[i].size()))
+                elif j < m:
+                    row.append(float(b.children[j].size()))
+                else:
+                    row.append(0.0)
+            costs.append(row)
+        return relabel + _assignment_cost(costs)
+
+    return dist(left, right)
+
+
+def relation_tree_distance(left: Bag, right: Bag) -> float:
+    """Tree edit distance between the Figure-2 trees of two relations."""
+    return tree_edit_distance(relation_tree(left), relation_tree(right))
+
+
+def value_tree_distance(left, right) -> float:
+    """Tree edit distance between two arbitrary nested values."""
+    return tree_edit_distance(to_tree(left), to_tree(right))
+
+
+DistanceFn = Callable[[Bag, Bag], float]
+
+DISTANCES: dict[str, DistanceFn] = {
+    "bag": bag_distance,
+    "tree": relation_tree_distance,
+}
+
+
+def get_distance(name: "str | DistanceFn") -> DistanceFn:
+    """Look up a distance function by name (``"bag"`` or ``"tree"``)."""
+    if callable(name):
+        return name
+    try:
+        return DISTANCES[name]
+    except KeyError:
+        raise ValueError(f"unknown distance {name!r}; expected one of {sorted(DISTANCES)}")

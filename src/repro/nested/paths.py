@@ -1,0 +1,98 @@
+"""Attribute paths: dotted navigation through nested tuples and bags.
+
+Paths identify *source attributes* for schema backtracing and schema
+alternatives (paper §5.1–5.2).  A path like ``address2.city`` names the
+``city`` field of the tuples nested in the bag attribute ``address2``.
+Navigation through a bag is only meaningful at the schema level (a value-level
+``get_path`` must stop at bags; flattening is what crosses them at runtime).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.nested.types import AnyType, BagType, NestedType, TupleType
+
+
+Path = tuple[str, ...]
+
+
+def parse_path(path: "str | Path") -> Path:
+    """Normalize a dotted string or tuple into a ``Path`` tuple."""
+    if isinstance(path, tuple):
+        return path
+    if isinstance(path, str):
+        if not path:
+            raise ValueError("empty path")
+        return tuple(path.split("."))
+    raise TypeError(f"cannot parse path from {path!r}")
+
+
+def path_str(path: "str | Path") -> str:
+    return ".".join(parse_path(path))
+
+
+def head(path: "str | Path") -> str:
+    return parse_path(path)[0]
+
+
+def starts_with(path: "str | Path", prefix: "str | Path") -> bool:
+    path = parse_path(path)
+    prefix = parse_path(prefix)
+    return path[: len(prefix)] == prefix
+
+
+def replace_prefix(path: "str | Path", old: "str | Path", new: "str | Path") -> Path:
+    """Rewrite *path* replacing prefix *old* with *new* (used when a structural
+    operator such as flatten switches its source attribute)."""
+    path = parse_path(path)
+    old = parse_path(old)
+    new = parse_path(new)
+    if path[: len(old)] != old:
+        return path
+    return new + path[len(old):]
+
+
+def resolve_type(schema: NestedType, path: "str | Path") -> NestedType:
+    """Resolve the type reached by *path* inside tuple type *schema*.
+
+    Navigation steps enter tuple fields directly and *transparently* cross one
+    bag boundary per step when the field is a bag of tuples (the schema-level
+    reading used by attribute alternatives, e.g. ``address2.year``).
+    """
+    current = schema
+    for step in parse_path(path):
+        if isinstance(current, BagType):
+            current = current.element
+        if isinstance(current, AnyType):
+            return current
+        if not isinstance(current, TupleType):
+            raise KeyError(f"path step {step!r} cannot enter type {current!r}")
+        if not current.has_field(step):
+            raise KeyError(f"path step {step!r} not found in {current.names}")
+        current = current.field(step)
+    return current
+
+
+def path_exists(schema: NestedType, path: "str | Path") -> bool:
+    try:
+        resolve_type(schema, path)
+        return True
+    except KeyError:
+        return False
+
+
+def common_prefix(paths: Iterable["str | Path"]) -> Optional[Path]:
+    """Longest common prefix of a collection of paths (None when empty)."""
+    parsed = [parse_path(p) for p in paths]
+    if not parsed:
+        return None
+    prefix = parsed[0]
+    for p in parsed[1:]:
+        limit = 0
+        for a, b in zip(prefix, p):
+            if a != b:
+                break
+            limit += 1
+        prefix = prefix[:limit]
+    return prefix

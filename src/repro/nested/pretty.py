@@ -1,0 +1,65 @@
+"""Human-readable rendering of nested relations (ASCII tables).
+
+Used by the examples and the benchmark harness to print results the way the
+paper's figures display them: top-level attributes as columns, nested bags
+rendered inline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.nested.values import Bag, Tup, is_null
+
+
+def render_value(value: Any, max_width: int = 60) -> str:
+    """Render a nested value compactly for table cells."""
+    text = _render(value)
+    if len(text) > max_width:
+        text = text[: max_width - 1] + "…"
+    return text
+
+
+def _render(value: Any) -> str:
+    if is_null(value):
+        return "⊥"
+    if isinstance(value, Tup):
+        return "⟨" + ", ".join(f"{k}: {_render(v)}" for k, v in value.items()) + "⟩"
+    if isinstance(value, Bag):
+        parts = []
+        for element, count in value.items():
+            rendered = _render(element)
+            parts.append(f"{rendered}^{count}" if count > 1 else rendered)
+        return "{" + ", ".join(parts) + "}"
+    return str(value)
+
+
+def render_relation(relation: Bag, max_rows: int = 20) -> str:
+    """Render a bag of tuples as an aligned ASCII table."""
+    rows = list(relation)
+    if not rows:
+        return "(empty relation)"
+    if not isinstance(rows[0], Tup):
+        lines = [render_value(row) for row in rows[:max_rows]]
+        if len(rows) > max_rows:
+            lines.append(f"... ({len(rows) - max_rows} more)")
+        return "\n".join(lines)
+    headers = list(rows[0].attrs)
+    table = [[render_value(row.get(h)) for h in headers] for row in rows[:max_rows]]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table)) if table else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in table:
+        out.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if len(rows) > max_rows:
+        out.append(f"... ({len(rows) - max_rows} more rows)")
+    return "\n".join(out)
+
+
+def print_relation(relation: Bag, title: str = "", max_rows: int = 20) -> None:
+    if title:
+        print(f"== {title} ==")
+    print(render_relation(relation, max_rows=max_rows))

@@ -1,0 +1,83 @@
+"""Tree representation of nested instances (paper Figure 2).
+
+Nested relations are rendered as unordered, labelled trees: a bag becomes a
+``{{}}`` node with one child per element occurrence, a tuple becomes a ``⟨⟩``
+node with one child per attribute, and a primitive attribute ``A: v`` becomes
+a leaf labelled ``"A: v"``.  These trees are the domain of the tree edit
+distance used as the side-effect metric ``d`` (Def. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.nested.values import Bag, Tup, is_null
+
+
+class Tree:
+    """An unordered labelled tree node."""
+
+    __slots__ = ("label", "children", "_size")
+
+    def __init__(self, label: str, children: Iterable["Tree"] = ()):
+        self.label = label
+        self.children = tuple(children)
+        self._size: int | None = None
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        if self._size is None:
+            self._size = 1 + sum(child.size() for child in self.children)
+        return self._size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tree):
+            return NotImplemented
+        if self.label != other.label or len(self.children) != len(other.children):
+            return False
+        # Unordered comparison: match children as multisets.
+        remaining = list(other.children)
+        for child in self.children:
+            for i, candidate in enumerate(remaining):
+                if child == candidate:
+                    del remaining[i]
+                    break
+            else:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash((self.label, frozenset((hash(c), 1) for c in self.children)))
+
+    def __repr__(self) -> str:
+        if not self.children:
+            return self.label
+        inner = ", ".join(repr(child) for child in self.children)
+        return f"{self.label}({inner})"
+
+
+def to_tree(value: Any, label: str = "") -> Tree:
+    """Convert a nested value into its Figure-2 style tree.
+
+    *label* carries the attribute name when descending into tuple attributes,
+    so a primitive attribute renders as ``"name: Sue"``.
+    """
+    prefix = f"{label}: " if label else ""
+    if is_null(value):
+        return Tree(f"{prefix}⊥")
+    if isinstance(value, Tup):
+        node_label = f"{label}⟨⟩" if label else "⟨⟩"
+        return Tree(node_label, (to_tree(v, k) for k, v in value.items()))
+    if isinstance(value, Bag):
+        node_label = f"{label}{{{{}}}}" if label else "{{}}"
+        children = []
+        for element, count in value.items():
+            for _ in range(count):
+                children.append(to_tree(element))
+        return Tree(node_label, children)
+    return Tree(f"{prefix}{value!r}")
+
+
+def relation_tree(relation: Bag) -> Tree:
+    """The whole-result tree: a root ``{{}}`` with one child per tuple."""
+    return to_tree(relation)

@@ -1,0 +1,238 @@
+"""Nested relational types (paper Definition 1) and type inference.
+
+The grammar is::
+
+    P ::= int | str | bool | float | date
+    R ::= {{ T }}
+    T ::= ⟨A1: A, ..., An: A⟩
+    A ::= P | T | R
+
+``AnyType`` is the bottom type used for NULL values and empty bags, which are
+valid instances of every type (Def. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.nested.values import Bag, Tup, is_null
+
+
+class NestedType:
+    """Base class for all nested relational types."""
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def is_primitive(self) -> bool:
+        return isinstance(self, PrimitiveType)
+
+    def is_tuple(self) -> bool:
+        return isinstance(self, TupleType)
+
+    def is_bag(self) -> bool:
+        return isinstance(self, BagType)
+
+
+class AnyType(NestedType):
+    """The unconstrained type of NULL and of elements of empty bags."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AnyType)
+
+    def __hash__(self) -> int:
+        return hash("any-type")
+
+    def __repr__(self) -> str:
+        return "any"
+
+
+ANY_TYPE = AnyType()
+
+_PRIMITIVES = ("int", "str", "bool", "float", "date")
+
+
+class PrimitiveType(NestedType):
+    """A primitive type: one of int, str, bool, float, date."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if name not in _PRIMITIVES:
+            raise ValueError(f"unknown primitive type {name!r}; expected one of {_PRIMITIVES}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimitiveType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("prim", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+INT = PrimitiveType("int")
+STR = PrimitiveType("str")
+BOOL = PrimitiveType("bool")
+FLOAT = PrimitiveType("float")
+DATE = PrimitiveType("date")
+
+
+class TupleType(NestedType):
+    """A tuple type ``⟨A1: τ1, ..., An: τn⟩``."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Iterable[tuple[str, NestedType]]):
+        self.fields = tuple(fields)
+        names = [name for name, _ in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in tuple type: {names}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def field(self, name: str) -> NestedType:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        raise KeyError(f"tuple type has no field {name!r}; fields={self.names}")
+
+    def has_field(self, name: str) -> bool:
+        return any(field_name == name for field_name, _ in self.fields)
+
+    def concat(self, other: "TupleType") -> "TupleType":
+        """Schema concatenation ``◦`` on tuple types."""
+        return TupleType(self.fields + other.fields)
+
+    def drop(self, names: Iterable[str]) -> "TupleType":
+        dropped = set(names)
+        return TupleType((n, t) for n, t in self.fields if n not in dropped)
+
+    def project(self, names: Iterable[str]) -> "TupleType":
+        return TupleType((n, self.field(n)) for n in names)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TupleType) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(("tuple", self.fields))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {t!r}" for n, t in self.fields)
+        return f"⟨{inner}⟩"
+
+
+class BagType(NestedType):
+    """A bag (nested relation) type ``{{τ}}``."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: NestedType):
+        self.element = element
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("bag", self.element))
+
+    def __repr__(self) -> str:
+        return f"{{{{{self.element!r}}}}}"
+
+
+def type_of(value: Any) -> NestedType:
+    """Infer the nested type of a value (``type(I)`` in the paper).
+
+    NULL and empty bags get ``AnyType`` components; :func:`unify` merges such
+    partial types when inferring the type of a heterogeneous-looking bag whose
+    members only differ in nulls.
+    """
+    if is_null(value):
+        return ANY_TYPE
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return STR
+    if isinstance(value, Tup):
+        return TupleType((name, type_of(field)) for name, field in value.items())
+    if isinstance(value, Bag):
+        element: NestedType = ANY_TYPE
+        for member in value.distinct():
+            element = unify(element, type_of(member))
+        return BagType(element)
+    raise TypeError(f"value {value!r} is not a nested relational value")
+
+
+def unify(left: NestedType, right: NestedType) -> NestedType:
+    """Least upper bound of two types where AnyType is the bottom element.
+
+    Raises ``TypeError`` on genuinely incompatible types (e.g. int vs a tuple
+    type), which signals a malformed (non-homogeneous) bag.
+    """
+    if isinstance(left, AnyType):
+        return right
+    if isinstance(right, AnyType):
+        return left
+    if isinstance(left, PrimitiveType) and isinstance(right, PrimitiveType):
+        if left == right:
+            return left
+        numeric = {"int", "float"}
+        if {left.name, right.name} <= numeric:
+            return FLOAT
+        raise TypeError(f"cannot unify primitive types {left!r} and {right!r}")
+    if isinstance(left, TupleType) and isinstance(right, TupleType):
+        if left.names != right.names:
+            raise TypeError(f"cannot unify tuple types with fields {left.names} vs {right.names}")
+        return TupleType(
+            (name, unify(ltype, right.field(name))) for name, ltype in left.fields
+        )
+    if isinstance(left, BagType) and isinstance(right, BagType):
+        return BagType(unify(left.element, right.element))
+    raise TypeError(f"cannot unify {left!r} with {right!r}")
+
+
+def conforms(value: Any, expected: NestedType) -> bool:
+    """Check that *value* is an instance of *expected* (Def. 2 rules)."""
+    if isinstance(expected, AnyType) or is_null(value):
+        return True
+    if isinstance(expected, PrimitiveType):
+        inferred = type_of(value) if not isinstance(value, (Tup, Bag)) else None
+        if inferred is None:
+            return False
+        try:
+            unify(inferred, expected)
+            return True
+        except TypeError:
+            return False
+    if isinstance(expected, TupleType):
+        if not isinstance(value, Tup) or value.attrs != expected.names:
+            return False
+        return all(conforms(value[name], expected.field(name)) for name in expected.names)
+    if isinstance(expected, BagType):
+        if not isinstance(value, Bag):
+            return False
+        return all(conforms(member, expected.element) for member in value.distinct())
+    return False
+
+
+def same_kind(left: NestedType, right: NestedType) -> bool:
+    """Loose compatibility used for attribute alternatives (Table 2).
+
+    Two types are of the same kind if unification succeeds, i.e. one can stand
+    in for the other in an operator parameter without a type error.
+    """
+    try:
+        unify(left, right)
+        return True
+    except TypeError:
+        return False

@@ -1,0 +1,279 @@
+"""Immutable nested values: the null value, tuples, and bags.
+
+The paper (Def. 2) models instances as primitives, tuples
+``⟨A1: v1, ..., An: vn⟩`` and homogeneous bags ``{{v1, ..., vn}}`` with an
+explicit null ``⊥`` valid for every type.  ``Tup`` and ``Bag`` here are
+immutable and hashable so that bags of tuples (and bags nested inside tuples)
+can be counted, grouped, and compared with multiplicity-aware semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+
+class _Null:
+    """Singleton for the paper's ⊥ value (valid for every nested type)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __hash__(self) -> int:
+        return hash("⊥-null")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Null)
+
+    def __reduce__(self):
+        return (_Null, ())
+
+
+NULL = _Null()
+
+
+def is_null(value: Any) -> bool:
+    """Return True if *value* is the nested-model null (⊥) or Python None."""
+    return value is None or isinstance(value, _Null)
+
+
+class Tup:
+    """An immutable named tuple ``⟨A1: v1, ..., An: vn⟩``.
+
+    Attribute order is preserved (it matters for display and for the schema
+    concatenation operator ``◦``) but equality and hashing are order
+    *sensitive* on purpose: the algebra keeps schemas aligned, so two equal
+    tuples always list attributes in the same order.
+    """
+
+    __slots__ = ("_names", "_values", "_index", "_hash")
+
+    def __init__(
+        self, items: Mapping[str, Any] | Iterable[tuple[str, Any]] = (), /, **kwargs: Any
+    ):
+        if isinstance(items, Mapping):
+            pairs = list(items.items())
+        else:
+            pairs = list(items)
+        pairs.extend(kwargs.items())
+        names = tuple(name for name, _ in pairs)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in tuple: {names}")
+        object.__setattr__(self, "_names", names)
+        object.__setattr__(self, "_values", tuple(value for _, value in pairs))
+        object.__setattr__(self, "_index", {name: i for i, name in enumerate(names)})
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Tup is immutable")
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        """Attribute names, in schema order (the paper's ``sch``)."""
+        return self._names
+
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return zip(self._names, self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[self._index[name]]
+        except KeyError:
+            raise KeyError(f"tuple has no attribute {name!r}; attrs={self._names}") from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        i = self._index.get(name)
+        return self._values[i] if i is not None else default
+
+    def get_path(self, path: "tuple[str, ...] | str") -> Any:
+        """Navigate a dotted path through nested tuples.
+
+        Navigating through NULL yields NULL (never raises), mirroring how big
+        data systems treat missing struct fields.  Paths may not traverse
+        bags; flatten the bag first.
+        """
+        if isinstance(path, str):
+            path = tuple(path.split("."))
+        current: Any = self
+        for step in path:
+            if is_null(current):
+                return NULL
+            if isinstance(current, Tup):
+                if step not in current:
+                    raise KeyError(f"path step {step!r} not in tuple attrs {current.attrs}")
+                current = current[step]
+            elif isinstance(current, Bag):
+                raise TypeError(f"cannot navigate path step {step!r} through a bag; flatten first")
+            else:
+                raise TypeError(f"cannot navigate path step {step!r} through primitive {current!r}")
+        return current
+
+    def project(self, names: Iterable[str]) -> "Tup":
+        """Projection ``t.L`` on a list of attribute names."""
+        return Tup((name, self[name]) for name in names)
+
+    def drop(self, names: Iterable[str]) -> "Tup":
+        dropped = set(names)
+        return Tup((name, value) for name, value in self.items() if name not in dropped)
+
+    def concat(self, other: "Tup") -> "Tup":
+        """Tuple concatenation (the paper's ``◦``); names must not clash."""
+        return Tup(list(self.items()) + list(other.items()))
+
+    def replace(self, **changes: Any) -> "Tup":
+        return Tup((name, changes.get(name, value)) for name, value in self.items())
+
+    def with_attr(self, name: str, value: Any) -> "Tup":
+        """Return a copy with attribute *name* appended (or replaced in place)."""
+        if name in self:
+            return self.replace(**{name: value})
+        return Tup(list(self.items()) + [(name, value)])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Tup":
+        """Rename attributes; *mapping* maps old names to new names."""
+        return Tup((mapping.get(name, name), value) for name, value in self.items())
+
+    def reorder(self, names: Iterable[str]) -> "Tup":
+        return Tup((name, self[name]) for name in names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tup):
+            return NotImplemented
+        return self._names == other._names and self._values == other._values
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(self, "_hash", hash((self._names, self._values)))
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}: {value!r}" for name, value in self.items())
+        return f"⟨{inner}⟩"
+
+
+class Bag:
+    """An immutable bag (multiset) ``{{...}}`` of nested values.
+
+    Elements are stored as a mapping element → multiplicity with insertion
+    order preserved for deterministic iteration.  ``iter`` yields elements
+    *with* repetition; use :meth:`items` for (element, count) pairs.
+    """
+
+    __slots__ = ("_counts", "_total", "_hash")
+
+    def __init__(self, elements: Iterable[Any] = ()):
+        counts: dict[Any, int] = {}
+        total = 0
+        for element in elements:
+            counts[element] = counts.get(element, 0) + 1
+            total += 1
+        object.__setattr__(self, "_counts", counts)
+        object.__setattr__(self, "_total", total)
+        object.__setattr__(self, "_hash", None)
+
+    @classmethod
+    def from_counts(cls, pairs: Iterable[tuple[Any, int]]) -> "Bag":
+        bag = cls()
+        counts: dict[Any, int] = {}
+        total = 0
+        for element, count in pairs:
+            if count < 0:
+                raise ValueError("negative multiplicity")
+            if count == 0:
+                continue
+            counts[element] = counts.get(element, 0) + count
+            total += count
+        object.__setattr__(bag, "_counts", counts)
+        object.__setattr__(bag, "_total", total)
+        return bag
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Bag is immutable")
+
+    def items(self) -> Iterator[tuple[Any, int]]:
+        """Distinct elements with their multiplicities."""
+        return iter(self._counts.items())
+
+    def distinct(self) -> Iterator[Any]:
+        return iter(self._counts)
+
+    def mult(self, element: Any) -> int:
+        """The paper's ``mult(R, t)``: multiplicity of *element* (0 if absent)."""
+        return self._counts.get(element, 0)
+
+    def __iter__(self) -> Iterator[Any]:
+        for element, count in self._counts.items():
+            for _ in range(count):
+                yield element
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._counts
+
+    def is_empty(self) -> bool:
+        return self._total == 0
+
+    def union(self, other: "Bag") -> "Bag":
+        """Additive union ``R ∪ S`` (multiplicities add)."""
+        return Bag.from_counts(list(self.items()) + list(other.items()))
+
+    def difference(self, other: "Bag") -> "Bag":
+        """Bag difference ``R − S`` (multiplicities subtract, floored at 0)."""
+        return Bag.from_counts(
+            (element, max(count - other.mult(element), 0))
+            for element, count in self.items()
+        )
+
+    def dedup(self) -> "Bag":
+        """Duplicate elimination: every multiplicity becomes 1."""
+        return Bag.from_counts((element, 1) for element in self._counts)
+
+    def map(self, fn: Callable[[Any], Any]) -> "Bag":
+        return Bag.from_counts((fn(element), count) for element, count in self.items())
+
+    def filter(self, pred: Callable[[Any], bool]) -> "Bag":
+        return Bag.from_counts(
+            (element, count) for element, count in self.items() if pred(element)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset((hash(e), c) for e, c in self._counts.items()))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for element, count in self._counts.items():
+            suffix = f"^{count}" if count > 1 else ""
+            parts.append(f"{element!r}{suffix}")
+        return "{{" + ", ".join(parts) + "}}"
+
+
+EMPTY_BAG = Bag()

@@ -1,0 +1,5 @@
+"""Provenance utilities: lineage-tracking execution of NRAB plans."""
+
+from repro.provenance.lineage import LineageRun, lineage_execute, why_provenance
+
+__all__ = ["LineageRun", "lineage_execute", "why_provenance"]

@@ -1,0 +1,218 @@
+"""Lineage capture for NRAB plans (why-provenance for existing answers).
+
+Why-not explanations build on provenance for existing results (paper §2).
+This module executes a query with *strict* semantics while recording, for
+every output row of every operator, the input rows that produced it; the
+why-provenance of an output tuple is then the set of source tuples per table
+in its ancestry.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import (
+    CartesianProduct,
+    Deduplication,
+    Difference,
+    EvalContext,
+    GroupAggregation,
+    Join,
+    Map,
+    NestedAggregation,
+    Operator,
+    Projection,
+    Query,
+    RelationFlatten,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+    TupleNesting,
+    Union,
+)
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+
+
+@dataclass
+class LRow:
+    """One lineage-annotated row."""
+
+    rid: int
+    tup: Tup
+    parents: tuple[int, ...]
+
+
+@dataclass
+class LineageRun:
+    """A lineage-annotated strict execution of a query."""
+
+    query: Query
+    db: Database
+    rows: dict[int, list[LRow]]
+    by_rid: dict[int, LRow] = field(default_factory=dict)
+    op_of_rid: dict[int, int] = field(default_factory=dict)
+
+    def result(self) -> Bag:
+        return Bag(row.tup for row in self.rows[self.query.root.op_id])
+
+    def ancestors(self, rid: int) -> set[int]:
+        seen: set[int] = set()
+        stack = [rid]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.by_rid[current].parents)
+        return seen
+
+    def lineage_of(self, output_tuple: Tup) -> dict[str, list[Tup]]:
+        """Why-provenance: source tuples (per table) of one output tuple."""
+        tables = {
+            op.op_id: op.table for op in self.query.ops if isinstance(op, TableAccess)
+        }
+        out: dict[str, list[Tup]] = {table: [] for table in tables.values()}
+        collected: set[int] = set()
+        for row in self.rows[self.query.root.op_id]:
+            if row.tup != output_tuple:
+                continue
+            for rid in self.ancestors(row.rid):
+                op_id = self.op_of_rid[rid]
+                if op_id in tables and rid not in collected:
+                    collected.add(rid)
+                    out[tables[op_id]].append(self.by_rid[rid].tup)
+        return out
+
+
+def lineage_execute(query: Query, db: Database) -> LineageRun:
+    """Execute *query* strictly, recording per-row lineage."""
+    ctx = EvalContext(db, query.infer_schemas(db))
+    rid_counter = itertools.count(1)
+    run = LineageRun(query, db, {})
+
+    def emit(op_id: int, tup: Tup, parents: tuple[int, ...]) -> None:
+        row = LRow(next(rid_counter), tup, parents)
+        run.rows[op_id].append(row)
+        run.by_rid[row.rid] = row
+        run.op_of_rid[row.rid] = op_id
+
+    for op in query.ops:
+        run.rows[op.op_id] = []
+        children = [run.rows[c.op_id] for c in op.children]
+        _run_op(op, children, ctx, emit)
+    return run
+
+
+def _run_op(op: Operator, children: list[list[LRow]], ctx: EvalContext, emit) -> None:
+    if isinstance(op, TableAccess):
+        for tup in op.eval_rows([], ctx):
+            emit(op.op_id, tup, ())
+        return
+    if isinstance(op, Selection):
+        for row in children[0]:
+            if op.pred.eval(row.tup):
+                emit(op.op_id, row.tup, (row.rid,))
+        return
+    if isinstance(op, (Projection, Renaming, TupleFlatten, TupleNesting, NestedAggregation, Map)):
+        for row in children[0]:
+            out = op.eval_rows([[row.tup]], ctx)
+            for tup in out:
+                emit(op.op_id, tup, (row.rid,))
+        return
+    if isinstance(op, RelationFlatten):
+        for row in children[0]:
+            expanded, padded = op.expand(row.tup, ctx)
+            if padded and not op.outer:
+                continue
+            for tup in expanded:
+                emit(op.op_id, tup, (row.rid,))
+        return
+    if isinstance(op, Join):
+        _run_join(op, children, ctx, emit)
+        return
+    if isinstance(op, (RelationNesting, GroupAggregation)):
+        groups: dict[Tup, list[LRow]] = {}
+        if isinstance(op, GroupAggregation) and not op.key_specs:
+            groups[Tup()] = list(children[0])
+        else:
+            key_fn = (
+                op.group_key
+                if isinstance(op, RelationNesting)
+                else op.key_tuple
+            )
+            for row in children[0]:
+                groups.setdefault(key_fn(row.tup), []).append(row)
+        for key, members in groups.items():
+            if isinstance(op, RelationNesting):
+                nested = Bag(m.tup.project(op.attrs) for m in members)
+                tup = key.concat(Tup([(op.target, nested)]))
+            else:
+                tup = key.concat(Tup(op.aggregate_group([m.tup for m in members])))
+            emit(op.op_id, tup, tuple(m.rid for m in members))
+        return
+    if isinstance(op, Union):
+        for side in children:
+            for row in side:
+                emit(op.op_id, row.tup, (row.rid,))
+        return
+    if isinstance(op, Deduplication):
+        seen: set[Tup] = set()
+        for row in children[0]:
+            if row.tup not in seen:
+                seen.add(row.tup)
+                emit(op.op_id, row.tup, (row.rid,))
+        return
+    if isinstance(op, Difference):
+        right = Bag(r.tup for r in children[1])
+        counts: dict[Tup, int] = {}
+        for row in children[0]:
+            counts[row.tup] = counts.get(row.tup, 0) + 1
+            if counts[row.tup] > right.mult(row.tup):
+                emit(op.op_id, row.tup, (row.rid,))
+        return
+    if isinstance(op, CartesianProduct):
+        for l in children[0]:
+            for r in children[1]:
+                emit(op.op_id, l.tup.concat(r.tup), (l.rid, r.rid))
+        return
+    raise ValueError(f"no lineage rule for {type(op).__name__}")
+
+
+def _run_join(op: Join, children: list[list[LRow]], ctx: EvalContext, emit) -> None:
+    left_rows, right_rows = children
+    left_paths = [l for l, _ in op.on]
+    right_paths = [r for _, r in op.on]
+    index: dict[tuple, list[int]] = {}
+    for j, r in enumerate(right_rows):
+        key = op._key(r.tup, right_paths)
+        if key is not None:
+            index.setdefault(key, []).append(j)
+    left_schema = ctx.schema_of(op.children[0])
+    right_schema = ctx.schema_of(op.children[1])
+    matched_right: set[int] = set()
+    for l in left_rows:
+        key = op._key(l.tup, left_paths)
+        any_match = False
+        for j in index.get(key, ()) if key is not None else ():
+            combined = op._combine(l.tup, right_rows[j].tup)
+            if op.extra is not None and not op.extra.eval(combined):
+                continue
+            emit(op.op_id, combined, (l.rid, right_rows[j].rid))
+            matched_right.add(j)
+            any_match = True
+        if not any_match and op.how in ("left", "full"):
+            emit(op.op_id, op._combine(l.tup, op._pad(right_schema)), (l.rid,))
+    if op.how in ("right", "full"):
+        pad = op._pad(left_schema)
+        for j, r in enumerate(right_rows):
+            if j not in matched_right:
+                emit(op.op_id, op._combine(pad, r.tup), (r.rid,))
+
+
+def why_provenance(query: Query, db: Database, output_tuple: Tup) -> dict[str, list[Tup]]:
+    """Convenience wrapper: lineage of one output tuple."""
+    return lineage_execute(query, db).lineage_of(output_tuple)

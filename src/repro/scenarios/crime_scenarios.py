@@ -1,0 +1,109 @@
+"""Crime scenarios C1–C3: the Why-Not / Conseil comparison (paper §6.4, Table 6)."""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import Join, Projection, Query, Selection, TableAccess
+from repro.datasets.crime import CRIME_FACTS, crime_database
+from repro.nested.values import Tup
+from repro.scenarios.base import Scenario, register
+from repro.whynot.placeholders import ANY
+
+
+def _c1_query() -> Query:
+    """Who was sighted at a crime scene? (blue-hair filter misapplied)."""
+    persons = Selection(TableAccess("P"), col("hair").eq("blue"), label="σ1")
+    sighted = Join(
+        TableAccess("S"),
+        persons,
+        [("hair", "hair"), ("clothes", "clothes")],
+        drop_right_keys=True,
+        label="ZS",
+    )
+    witnessed = Join(sighted, TableAccess("W"), [("witness", "w_name")], label="Z2")
+    at_crime = Join(witnessed, TableAccess("C"), [("sector", "c_sector")], label="ZC")
+    return Query(Projection(at_crime, ["name", "type"], label="π"), name="C1")
+
+
+register(
+    Scenario(
+        name="C1",
+        description="Crime C1: person filtered by hair colour, witness unregistered",
+        make_db=lambda scale: crime_database(scale),
+        make_query=_c1_query,
+        make_nip=lambda: Tup(name=CRIME_FACTS["c1_person"], type=ANY),
+        alternatives=[],
+        gold=frozenset({"σ1", "Z2"}),
+        default_scale=30,
+        notes=(
+            "Roger's hair is brown (σ1 filters blue) and his sighting's "
+            "witness is not registered — both must change."
+        ),
+    )
+)
+
+
+def _c2_query() -> Query:
+    """Which persons match sightings by a specific witness? (name mis-set)."""
+    witnesses = Selection(TableAccess("W"), col("w_sector").gt(90), label="σ3")
+    witnesses = Selection(witnesses, col("w_name").eq("Susan"), label="σ4")
+    crimes = Join(TableAccess("C"), witnesses, [("c_sector", "w_sector")], label="ZC")
+    sighted = Join(TableAccess("S"), crimes, [("witness", "w_name")], label="Z5")
+    persons = Join(
+        TableAccess("P"),
+        sighted,
+        [("hair", "hair"), ("clothes", "clothes")],
+        drop_right_keys=True,
+        label="ZP",
+    )
+    return Query(Projection(persons, ["name"], label="π"), name="C2")
+
+
+register(
+    Scenario(
+        name="C2",
+        description="Crime C2: witness name filter blocks the derivation",
+        make_db=lambda scale: crime_database(scale),
+        make_query=_c2_query,
+        make_nip=lambda: Tup(name=CRIME_FACTS["c2_person"]),
+        alternatives=[],
+        gold=frozenset({"σ4"}),
+        default_scale=30,
+        notes=(
+            "Conedera's sightings were reported by Amit (fails σ4) and Bo "
+            "(fails σ3); relaxing σ4 alone suffices."
+        ),
+    )
+)
+
+
+def _c3_query() -> Query:
+    """Witness reports with the sighted person's description (wrong column)."""
+    witnessed = Join(
+        TableAccess("W"), TableAccess("C"), [("w_sector", "c_sector")], label="ZC"
+    )
+    sighted = Join(TableAccess("S"), witnessed, [("witness", "w_name")], label="Z5")
+    return Query(
+        Projection(
+            sighted, [("name", col("witness")), ("desc", col("hair"))], label="π6"
+        ),
+        name="C3",
+    )
+
+
+register(
+    Scenario(
+        name="C3",
+        description="Crime C3: the description is in `clothes`, not `hair`",
+        make_db=lambda scale: crime_database(scale),
+        make_query=_c3_query,
+        make_nip=lambda: Tup(name=CRIME_FACTS["c3_witness"], desc="snow"),
+        alternatives=[("S.hair", ["S.clothes"])],
+        gold=frozenset({"π6"}),
+        default_scale=30,
+        notes=(
+            "Why-Not and Conseil blame the join Z5; only the reparameterized "
+            "projection π6 (hair → clothes) yields the expected description."
+        ),
+    )
+)

@@ -1,0 +1,375 @@
+"""TPC-H scenarios Q1–Q13 on nested data plus flat variants (Table 9).
+
+The nested scenarios run over ``nestedOrders`` (lineitems nested in orders);
+the flat variants (suffix F) run the same logical queries over ``orders`` /
+``lineitem`` with joins instead of flattens.  Q13N reruns Q13 on the deeply
+nested ``customerNested`` shape.
+
+Attribute-alternative groups follow the paper: (i) ``{l_discount, l_tax}``,
+(ii) ``{l_shipdate, l_commitdate, l_receiptdate}``, and (iii)
+``{o_orderpriority, o_shippriority}`` — mutual sets, so two references in the
+same group swap together (Q6's π31/σ33 linkage).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import Not, col, lit
+from repro.algebra.operators import (
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    Projection,
+    Query,
+    Selection,
+    TableAccess,
+)
+from repro.datasets.tpch import TPCH_FACTS, tpch_database
+from repro.nested.values import Tup
+from repro.scenarios.base import Scenario, register
+from repro.whynot.placeholders import ANY, gt, lt
+
+
+def _groups(table_lineitem: str, prefix: str, table_orders: str):
+    """The paper's three alternative groups, for a given physical layout."""
+    return {
+        "disc_tax": [
+            f"{table_lineitem}.{prefix}l_discount",
+            f"{table_lineitem}.{prefix}l_tax",
+        ],
+        "dates": [
+            f"{table_lineitem}.{prefix}l_shipdate",
+            f"{table_lineitem}.{prefix}l_commitdate",
+            f"{table_lineitem}.{prefix}l_receiptdate",
+        ],
+        "priorities": [
+            f"{table_orders}.o_orderpriority",
+            f"{table_orders}.o_shippriority",
+        ],
+    }
+
+
+NESTED = _groups("nestedOrders", "o_lineitems.", "nestedOrders")
+FLAT = _groups("lineitem", "", "orders")
+
+
+def _lineitems_nested():
+    return InnerFlatten(TableAccess("nestedOrders"), "o_lineitems", label="F")
+
+
+def _lineitems_flat():
+    return TableAccess("lineitem")
+
+
+# ---------------------------------------------------------------------------
+# Q1 — pricing summary (modified aggregation)
+# ---------------------------------------------------------------------------
+
+
+def _q1_query(lineitems) -> Query:
+    plan = Selection(lineitems, col("l_shipdate").le("1998-09-02"), label="σ24")
+    plan = GroupAggregation(
+        plan, [], [AggSpec("avg", col("l_tax"), "avgDisc")], label="γ23"
+    )
+    return Query(plan, name="Q1")
+
+
+for _suffix, _make_items, _g in (
+    ("", _lineitems_nested, NESTED),
+    ("F", _lineitems_flat, FLAT),
+):
+    register(
+        Scenario(
+            name=f"Q1{_suffix}",
+            description="TPC-H Q1 with one modified aggregation",
+            make_db=lambda scale: tpch_database(scale),
+            make_query=(lambda make=_make_items: _q1_query(make())),
+            make_nip=lambda: Tup(avgDisc=lt(TPCH_FACTS["q1_avg_disc_bound"])),
+            alternatives=[_g["disc_tax"], _g["dates"]],
+            gold=frozenset({"γ23"}),
+            notes=(
+                "The aggregation averages l_tax instead of l_discount; the "
+                "expected average discount is below 0.05 while taxes of "
+                "on-time shipments average ~0.075."
+            ),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q3 — unshipped orders (two modified selections)
+# ---------------------------------------------------------------------------
+
+
+def _q3_query(nested: bool) -> Query:
+    if nested:
+        joined = Join(
+            TableAccess("customer"),
+            _lineitems_nested(),
+            [("c_custkey", "o_custkey")],
+            label="⋈",
+        )
+    else:
+        flat = Join(
+            TableAccess("orders"),
+            TableAccess("lineitem"),
+            [("o_orderkey", "l_orderkey")],
+            label="⋈l",
+        )
+        joined = Join(
+            flat, TableAccess("customer"), [("o_custkey", "c_custkey")], label="⋈"
+        )
+    plan = Selection(joined, col("l_commitdate").gt("1995-03-25"), label="σ27")
+    plan = Selection(plan, col("o_orderdate").lt("1995-03-15"), label="σod")
+    plan = Selection(plan, col("c_mktsegment").eq("HOUSEHOLD"), label="σ26")
+    revenue = col("l_extendedprice") * (lit(1) - col("l_discount"))
+    plan = GroupAggregation(
+        plan,
+        ["o_orderkey", "o_orderdate", "o_shippriority"],
+        [AggSpec("sum", revenue, "revenue")],
+        label="γ25",
+    )
+    return Query(plan, name="Q3")
+
+
+for _suffix, _nested, _g in (("", True, NESTED), ("F", False, FLAT)):
+    register(
+        Scenario(
+            name=f"Q3{_suffix}",
+            description="TPC-H Q3 with two modified selections",
+            make_db=lambda scale: tpch_database(scale),
+            make_query=(lambda n=_nested: _q3_query(n)),
+            make_nip=lambda: Tup(
+                o_orderkey=TPCH_FACTS["q3_orderkey"],
+                o_orderdate=ANY,
+                o_shippriority=ANY,
+                revenue=ANY,
+            ),
+            alternatives=[_g["disc_tax"], _g["dates"]],
+            gold=frozenset({"σ26", "σ27"}),
+            notes=(
+                "σ26 filters HOUSEHOLD instead of BUILDING; σ27 carries a "
+                "typo'd commitdate constant (03-25 for 03-15)."
+            ),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q4 — order priority checking (modified selection + aggregation)
+# ---------------------------------------------------------------------------
+
+
+def _q4_query(nested: bool) -> Query:
+    items = _lineitems_nested() if nested else _lineitems_flat()
+    dist = Selection(items, col("l_shipdate").lt(col("l_receiptdate")), label="σ28")
+    dist = GroupAggregation(
+        dist, ["l_orderkey"], [AggSpec("count", None, "cnt")], label="γd"
+    )
+    filtered = Selection(
+        TableAccess("nestedOrders" if nested else "orders"),
+        col("o_orderdate").between("1993-07-01", "1993-09-30"),
+        label="σ29",
+    )
+    joined = Join(filtered, dist, [("o_orderkey", "l_orderkey")], label="⋈")
+    plan = GroupAggregation(
+        joined,
+        ["o_shippriority"],
+        [AggSpec("count", col("o_orderkey"), "order_count")],
+        label="γ30",
+    )
+    return Query(plan, name="Q4")
+
+
+for _suffix, _nested, _g in (("", True, NESTED), ("F", False, FLAT)):
+    register(
+        Scenario(
+            name=f"Q4{_suffix}",
+            description="TPC-H Q4 with a modified selection and aggregation",
+            make_db=lambda scale: tpch_database(scale),
+            make_query=(lambda n=_nested: _q4_query(n)),
+            make_nip=lambda: Tup(o_shippriority="3-MEDIUM", order_count=lt(11000)),
+            alternatives=[_g["dates"], _g["priorities"]],
+            gold=frozenset({"γ30", "σ28"}),
+            notes=(
+                "γ30 groups on o_shippriority (always '0') instead of "
+                "o_orderpriority; σ28 compares l_shipdate instead of "
+                "l_commitdate with the receipt date."
+            ),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q6 — forecasting revenue change (one modified selection)
+# ---------------------------------------------------------------------------
+
+
+def _q6_query(nested: bool) -> Query:
+    items = _lineitems_nested() if nested else _lineitems_flat()
+    plan = Selection(items, col("l_quantity").lt(24), label="σ34")
+    plan = Selection(plan, col("l_tax").between(0.05, 0.07), label="σ33")
+    plan = Selection(
+        plan, col("l_shipdate").between("1994-01-01", "1994-12-31"), label="σ32"
+    )
+    plan = Projection(
+        plan,
+        [("disc_price", col("l_extendedprice") * col("l_discount"))],
+        label="π31",
+    )
+    plan = GroupAggregation(
+        plan, [], [AggSpec("sum", col("disc_price"), "revenue")], label="γ"
+    )
+    return Query(plan, name="Q6")
+
+
+for _suffix, _nested, _g in (("", True, NESTED), ("F", False, FLAT)):
+    register(
+        Scenario(
+            name=f"Q6{_suffix}",
+            description="TPC-H Q6 with one modified selection",
+            make_db=lambda scale: tpch_database(scale),
+            make_query=(lambda n=_nested: _q6_query(n)),
+            make_nip=lambda: Tup(revenue=lt(1.0)),
+            alternatives=[_g["disc_tax"], _g["dates"]],
+            gold=frozenset({"σ33"}),
+            notes=(
+                "σ33 filters l_tax instead of l_discount; the swap SA links "
+                "π31's discount reference and σ33's tax reference."
+            ),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q10 — returned item reporting (two selections + projection modified)
+# ---------------------------------------------------------------------------
+
+_Q10_KEYS = [
+    "c_custkey",
+    "c_name",
+    "c_acctbal",
+    "c_phone",
+    "n_name",
+    "c_address",
+    "c_comment",
+]
+
+
+def _q10_query(nested: bool) -> Query:
+    if nested:
+        items = _lineitems_nested()
+    else:
+        items = Join(
+            TableAccess("orders"),
+            TableAccess("lineitem"),
+            [("o_orderkey", "l_orderkey")],
+            label="⋈l",
+        )
+    flat_ord = Selection(
+        items, col("o_orderdate").between("1997-10-01", "1997-12-31"), label="σ36"
+    )
+    flat_ord = Selection(flat_ord, col("l_returnflag").eq("A"), label="σ35")
+    joined = Join(
+        TableAccess("customer"), flat_ord, [("c_custkey", "o_custkey")], label="Z38"
+    )
+    joined = Join(
+        joined, TableAccess("nation"), [("c_nationkey", "n_nationkey")], label="⋈n"
+    )
+    plan = Projection(
+        joined,
+        _Q10_KEYS + [("disc_price", col("l_extendedprice") * (lit(1) - col("l_tax")))],
+        label="π37",
+    )
+    plan = GroupAggregation(
+        plan, _Q10_KEYS, [AggSpec("sum", col("disc_price"), "revenue")], label="γ"
+    )
+    return Query(plan, name="Q10")
+
+
+def _q10_nip() -> Tup:
+    fields = {key: ANY for key in _Q10_KEYS}
+    fields["c_custkey"] = TPCH_FACTS["q10_custkey"]
+    fields["revenue"] = gt(0)
+    return Tup(fields)
+
+
+for _suffix, _nested, _g in (("", True, NESTED), ("F", False, FLAT)):
+    register(
+        Scenario(
+            name=f"Q10{_suffix}",
+            description="TPC-H Q10 with two selections and a projection modified",
+            make_db=lambda scale: tpch_database(scale),
+            make_query=(lambda n=_nested: _q10_query(n)),
+            make_nip=_q10_nip,
+            alternatives=[_g["disc_tax"], _g["dates"]],
+            gold=frozenset({"σ35", "σ36", "π37"}),
+            notes=(
+                "σ35 filters returnflag 'A' instead of 'R', σ36 the wrong "
+                "orderdate window, π37 computes the revenue from l_tax."
+            ),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q13 — customer distribution (modified join / flatten)
+# ---------------------------------------------------------------------------
+
+
+def _q13_comment_filter(plan) -> Selection:
+    pred = Not(col("o_comment").contains("special")) & Not(
+        col("o_comment").contains("requests")
+    )
+    return Selection(plan, pred, label="σc")
+
+
+def _q13_aggregations(plan) -> Query:
+    plan = GroupAggregation(
+        plan, ["c_custkey"], [AggSpec("count", col("o_orderkey"), "c_count")], label="γ1"
+    )
+    plan = GroupAggregation(
+        plan, ["c_count"], [AggSpec("count", col("c_custkey"), "custdist")], label="γ2"
+    )
+    return Query(plan, name="Q13")
+
+
+def _q13_query(nested: bool) -> Query:
+    right = TableAccess("nestedOrders" if nested else "orders")
+    joined = Join(
+        TableAccess("customer"), right, [("c_custkey", "o_custkey")], label="Z39"
+    )
+    return _q13_aggregations(_q13_comment_filter(joined))
+
+
+def _q13n_query() -> Query:
+    plan = InnerFlatten(TableAccess("customerNested"), "c_orders", label="F39")
+    return _q13_aggregations(_q13_comment_filter(plan))
+
+
+for _suffix, _nested in (("", True), ("F", False)):
+    register(
+        Scenario(
+            name=f"Q13{_suffix}",
+            description="TPC-H Q13 with a modified join",
+            make_db=lambda scale: tpch_database(scale),
+            make_query=(lambda n=_nested: _q13_query(n)),
+            make_nip=lambda: Tup(c_count=0, custdist=ANY),
+            alternatives=[],
+            gold=frozenset({"Z39"}),
+            notes="The join should be a left outer join (customers without orders).",
+        )
+    )
+
+register(
+    Scenario(
+        name="Q13N",
+        description="TPC-H Q13 on orders nested into customers (inner flatten)",
+        make_db=lambda scale: tpch_database(scale),
+        make_query=_q13n_query,
+        make_nip=lambda: Tup(c_count=0, custdist=ANY),
+        alternatives=[],
+        gold=frozenset({"F39"}),
+        notes="The inner flatten plays the join's role on the deeper nesting.",
+    )
+)

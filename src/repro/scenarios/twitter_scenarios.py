@@ -1,0 +1,166 @@
+"""Twitter scenarios T1–T4 and T_ASD (paper Tables 5, 8, 10)."""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    InnerFlatten,
+    Join,
+    NestedAggregation,
+    Projection,
+    Query,
+    RelationNesting,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+)
+from repro.datasets.twitter import TWITTER_FACTS, twitter_database
+from repro.nested.values import Tup
+from repro.scenarios.base import Scenario, register
+from repro.whynot.placeholders import ANY
+
+
+def _t1_query() -> Query:
+    """Tweets providing media urls about a basketball player."""
+    plan = TupleFlatten(TableAccess("T"), "entities.media", alias="media", label="F10")
+    plan = Projection(plan, ["text", "id", "media"])
+    plan = InnerFlatten(plan, "media", alias="medias", label="F11")
+    plan = Selection(plan, col("text").contains("Michael Jordan"), label="σ12")
+    return Query(plan, name="T1")
+
+
+register(
+    Scenario(
+        name="T1",
+        description="Tweets with media urls about a basketball player",
+        make_db=lambda scale: twitter_database(scale),
+        make_query=_t1_query,
+        make_nip=lambda: Tup(
+            text=ANY, id=TWITTER_FACTS["t1_tweet_id"], media=ANY, medias=ANY
+        ),
+        alternatives=[("T.entities.media", ["T.entities.urls"])],
+        gold=frozenset({"F10", "σ12"}),
+        notes=(
+            "The tweet is about LeBron James (σ12 filters Michael Jordan) and "
+            "its link sits in entities.urls while entities.media is empty."
+        ),
+    )
+)
+
+
+def _t2_query() -> Query:
+    """All users who tweeted about BTS in the US."""
+    plan = TupleFlatten(TableAccess("T"), "place.country", alias="country", label="F13")
+    plan = TupleFlatten(plan, "user.location", alias="uLoc")
+    plan = TupleFlatten(plan, "user.name", alias="uName")
+    plan = TupleFlatten(plan, "user.followers_count", alias="fCnt")
+    plan = Projection(plan, ["text", "country", "uLoc", "uName", "fCnt"])
+    plan = Selection(plan, col("text").contains("BTS"), label="σ14")
+    plan = Selection(plan, col("country").contains("United States"), label="σ15")
+    return Query(plan, name="T2")
+
+
+register(
+    Scenario(
+        name="T2",
+        description="Users who tweeted about BTS in the US",
+        make_db=lambda scale: twitter_database(scale),
+        make_query=_t2_query,
+        make_nip=lambda: Tup(
+            text=ANY, country=ANY, uLoc=ANY, uName=TWITTER_FACTS["t2_fan"], fCnt=ANY
+        ),
+        alternatives=[("T.place.country", ["T.user.location"])],
+        gold=frozenset({"F13"}),
+        notes=(
+            "The fan's tweets carry the country in user.location only; "
+            "place.country is ⊥."
+        ),
+    )
+)
+
+
+def _t3_query() -> Query:
+    """Hashtags and media for users mentioned in other tweets."""
+    users = TupleFlatten(TableAccess("T"), "user.name", alias="uName")
+    users = TupleFlatten(users, "user.followers_count", alias="fCnt")
+    users = Projection(users, [("uid", col("id")), "uName", "fCnt"])
+    users = Selection(users, col("fCnt").ge(0), label="σ")
+    mentions = TupleFlatten(TableAccess("T"), "entities.media", alias="media", label="F16")
+    mentions = InnerFlatten(mentions, "entities.mentioned_user", alias="men")
+    mentions = TupleFlatten(mentions, "men.muser.id", alias="mid")
+    mentions = Projection(mentions, ["mid", "media"])
+    mentions = InnerFlatten(mentions, "media", alias="medias", label="F17")
+    joined = Join(users, mentions, [("uid", "mid")], label="⋈")
+    return Query(Projection(joined, ["uName", "medias"]), name="T3")
+
+
+register(
+    Scenario(
+        name="T3",
+        description="Media for users mentioned in other tweets",
+        make_db=lambda scale: twitter_database(scale),
+        make_query=_t3_query,
+        make_nip=lambda: Tup(uName=TWITTER_FACTS["t3_user"], medias=ANY),
+        alternatives=[("T.entities.media", ["T.entities.urls"])],
+        gold=frozenset({"F16"}),
+        notes=(
+            "The mentioning tweet's entities.media is empty; the clips are in "
+            "entities.urls."
+        ),
+    )
+)
+
+
+def _t4_query() -> Query:
+    """Nested list of countries per hashtag for tweets about UEFA."""
+    plan = TupleFlatten(TableAccess("T"), "place.country", alias="country", label="F18")
+    plan = InnerFlatten(plan, "entities.hashtags", alias="fht")
+    plan = TupleFlatten(plan, "fht.text", alias="htText")
+    plan = Selection(plan, col("text").contains("UEFA"), label="σ19")
+    plan = Projection(plan, ["country", "htText"])
+    plan = RelationNesting(plan, ["country"], "lcountry", label="N")
+    plan = NestedAggregation(plan, "count", "lcountry", "cnt", field="country", label="γ")
+    plan = Selection(plan, col("cnt").gt(0), label="σ20")
+    return Query(plan, name="T4")
+
+
+register(
+    Scenario(
+        name="T4",
+        description="Countries per hashtag for UEFA tweets",
+        make_db=lambda scale: twitter_database(scale),
+        make_query=_t4_query,
+        make_nip=lambda: Tup(htText=TWITTER_FACTS["t4_hashtag"], lcountry=ANY, cnt=ANY),
+        alternatives=[("T.place.country", ["T.user.location"])],
+        gold=frozenset({"F18"}),
+        notes=(
+            "#MUFC tweets have ⊥ place.country (location in user.location), "
+            "so the per-hashtag country count is 0 and σ20 removes the group."
+        ),
+    )
+)
+
+
+def _tasd_query() -> Query:
+    """ASD example: extract a flat relation of retweeted tweets."""
+    plan = TupleFlatten(TableAccess("T"), "quoted_status", alias="qt", label="F21")
+    plan = Selection(plan, col("quote_count").gt(0), label="σ22")
+    plan = Projection(plan, [("rid", col("qt.id")), ("rtext", col("qt.text"))])
+    return Query(plan, name="T_ASD")
+
+
+register(
+    Scenario(
+        name="T_ASD",
+        description="ASD example: flatten, filter, project quoted tweets",
+        make_db=lambda scale: twitter_database(scale),
+        make_query=_tasd_query,
+        make_nip=lambda: Tup(rid=TWITTER_FACTS["asd_famous_id"], rtext=ANY),
+        alternatives=[("T.quoted_status", ["T.retweeted_status"])],
+        gold=frozenset({"F21", "σ22"}),
+        notes=(
+            "The famous tweet was retweeted, not quoted: the flatten must "
+            "target retweeted_status and the filter retweet_count."
+        ),
+    )
+)

@@ -1,0 +1,26 @@
+"""Why-not explanations (the paper's core contribution, Sections 4–5)."""
+
+from repro.whynot.placeholders import ANY, STAR, Cond, eq, ge, gt, le, lt, ne
+from repro.whynot.matching import matches, validate_nip
+from repro.whynot.question import WhyNotQuestion
+from repro.whynot.explain import Explanation, WhyNotResult, explain
+from repro.whynot.refine import refine_side_effects
+
+__all__ = [
+    "ANY",
+    "STAR",
+    "Cond",
+    "eq",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+    "ne",
+    "matches",
+    "validate_nip",
+    "WhyNotQuestion",
+    "Explanation",
+    "WhyNotResult",
+    "explain",
+    "refine_side_effects",
+]

@@ -1,0 +1,479 @@
+"""Step 2: schema alternatives (paper §5.2).
+
+Attribute alternatives are provided as *groups* of interchangeable source
+attributes (e.g. ``{person.address2, person.address1}`` or TPC-H's
+``{l_shipdate, l_commitdate, l_receiptdate}``) — determined by hand, schema
+matching, or schema-free query processing per the paper; they are an input to
+the algorithm.
+
+A schema alternative (SA) assigns to every operator parameter reference whose
+source attribute belongs to a group one member of that group.  Assignments
+are *injective per group* (two references in the same group must not collapse
+onto the same attribute — this reproduces the paper's linked substitutions,
+e.g. Q6's simultaneous ``π31: discount→tax`` / ``σ33: tax→discount`` swap).
+
+Each candidate assignment is materialized bottom-up into a reparameterized
+query.  Candidates are pruned when (i) a referenced attribute is no longer
+reachable under upstream structural choices (Figure 3's dashed subtrees) or
+(ii) the query's output schema changes (fixed by definition).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import Attr, Expr
+from repro.algebra.operators import (
+    GroupAggregation,
+    Join,
+    NestedAggregation,
+    Operator,
+    Projection,
+    Query,
+    RelationFlatten,
+    RelationNesting,
+    Selection,
+    TupleFlatten,
+    TupleNesting,
+)
+from repro.engine.database import Database
+from repro.nested.paths import Path, parse_path
+from repro.nested.types import BagType, TupleType, same_kind
+from repro.nested.values import Tup
+from repro.whynot.backtrace import (
+    BacktraceResult,
+    ColMap,
+    SourceRef,
+    backtrace,
+    op_colmap,
+)
+
+
+Source = tuple[str, Path]
+
+
+def parse_source(spec: "str | Source") -> Source:
+    """Parse ``"table.path.to.attr"`` into ``(table, path)``."""
+    if isinstance(spec, tuple) and len(spec) == 2 and isinstance(spec[1], tuple):
+        return spec
+    parts = parse_path(spec)  # type: ignore[arg-type]
+    if len(parts) < 2:
+        raise ValueError(f"alternative spec {spec!r} must be 'table.attr[...]'")
+    return (parts[0], parts[1:])
+
+
+@dataclass
+class SchemaAlternative:
+    """One SA: a reparameterized query plus its own backtrace."""
+
+    index: int
+    query: Query
+    delta: frozenset[int]
+    assignment: dict[SourceRef, Source]
+    backtrace: BacktraceResult
+
+    @property
+    def is_original(self) -> bool:
+        return not self.delta
+
+    def describe(self) -> str:
+        if self.is_original:
+            return f"S{self.index + 1} (original)"
+        subs = ", ".join(
+            f"{self.query.op(ref.op_id).label}: {'.'.join(ref.origin.path)}→{'.'.join(src[1])}"
+            for ref, src in sorted(self.assignment.items(), key=lambda kv: kv[0].op_id)
+            if ref.origin and ref.origin.path != src[1]
+        )
+        return f"S{self.index + 1} ({subs})"
+
+
+class TooManyAlternatives(RuntimeError):
+    """Raised when SA enumeration exceeds the configured cap."""
+
+
+def enumerate_schema_alternatives(
+    query: Query,
+    db: Database,
+    nip: Any,
+    base: BacktraceResult,
+    groups: Sequence[Iterable["str | Source"]] = (),
+    max_sas: int = 64,
+) -> list[SchemaAlternative]:
+    """Enumerate all valid SAs (S1 = original always first).
+
+    Each group is either a plain iterable of interchangeable attributes
+    (mutual, Table 4's TPC-H sets) or a directed pair
+    ``(from_spec, [to_spec, ...])`` (the paper's ``place.country →
+    user.location`` arrows): only references to *from* are substitutable.
+    """
+    parsed_groups: list[tuple[frozenset[Source], frozenset[Source]]] = []
+    for group in groups:
+        if (
+            isinstance(group, tuple)
+            and len(group) == 2
+            and isinstance(group[0], str)
+            and not isinstance(group[1], str)
+        ):
+            origin = parse_source(group[0])
+            members = frozenset({origin} | {parse_source(s) for s in group[1]})
+            parsed_groups.append((members, frozenset({origin})))
+        else:
+            members = frozenset(parse_source(s) for s in group)
+            parsed_groups.append((members, members))
+    schemas = query.infer_schemas(db)
+
+    # Collect, per group, the references whose source lies in the group.
+    group_refs: list[tuple[frozenset[Source], list[SourceRef]]] = []
+    for members, substitutable in parsed_groups:
+        refs = [ref for ref in base.refs if ref.source() in substitutable]
+        if refs:
+            group_refs.append((members, refs))
+
+    # Per-group injective assignments over *distinct source attributes*
+    # (references to the same source attribute move together, e.g. the two
+    # references of a BETWEEN predicate).  The original assignment is one of
+    # the enumerated choices.
+    per_group_choices: list[list[dict[SourceRef, Source]]] = []
+    for group, refs in group_refs:
+        members = sorted(group)
+        units: dict[Source, list[SourceRef]] = {}
+        for ref in refs:
+            units.setdefault(ref.source(), []).append(ref)
+        unit_sources = sorted(units)
+        choices = []
+        for combo in itertools.permutations(members, len(unit_sources)):
+            assignment: dict[SourceRef, Source] = {}
+            for unit, member in zip(unit_sources, combo):
+                for ref in units[unit]:
+                    assignment[ref] = member
+            choices.append(assignment)
+        if not choices:
+            choices = [{}]
+        per_group_choices.append(choices)
+
+    total = 1
+    for choices in per_group_choices:
+        total *= len(choices)
+    if total > max_sas * 8:
+        raise TooManyAlternatives(
+            f"{total} raw SA candidates exceed the cap ({max_sas * 8}); "
+            "reduce the alternative groups"
+        )
+
+    original_assignment = {
+        ref: ref.source() for _, refs in group_refs for ref in refs
+    }
+
+    alternatives: list[SchemaAlternative] = []
+    seen: set[frozenset] = set()
+
+    original_signature = _schema_signature(schemas[query.root.op_id])
+
+    def add(assignment: dict[SourceRef, Source]) -> None:
+        if len(alternatives) >= max_sas:
+            return
+        candidate = _materialize(query, db, assignment)
+        if candidate is None:
+            return
+        candidate_schema = candidate.infer_schemas(db)[candidate.root.op_id]
+        if _schema_signature(candidate_schema) != original_signature:
+            return
+        delta = query.delta(candidate)
+        key = frozenset(
+            (ref.op_id, ref.role, src) for ref, src in assignment.items()
+        ) if assignment else frozenset()
+        dedupe_key = frozenset([("delta", delta), ("key", key)])
+        if dedupe_key in seen:
+            return
+        seen.add(dedupe_key)
+        bt = backtrace(candidate, db, nip)
+        alternatives.append(
+            SchemaAlternative(len(alternatives), candidate, delta, assignment, bt)
+        )
+
+    # S1 first (identity assignment), then every non-identity combination.
+    add(original_assignment)
+    if not alternatives:
+        raise ValueError("the original query failed schema-alternative materialization")
+    for combo in itertools.product(*per_group_choices) if per_group_choices else []:
+        assignment: dict[SourceRef, Source] = {}
+        for choice in combo:
+            assignment.update(choice)
+        if assignment == original_assignment:
+            continue
+        add(assignment)
+    return alternatives
+
+
+# ---------------------------------------------------------------------------
+# Materialization: assignment → reparameterized query
+# ---------------------------------------------------------------------------
+
+
+def _schema_signature(schema: TupleType) -> tuple:
+    """Top-level output-schema signature: attribute names plus value kinds.
+
+    The output schema is fixed by definition (paper §5.2): an SA that renames
+    or re-types a top-level output attribute is pruned (the ``city1`` example
+    of the paper).  Names *inside* nested relations created by nesting
+    operators may change (the D3 editor/author swap), hence the comparison is
+    top-level only.
+    """
+    kinds = []
+    for name, field_type in schema.fields:
+        if isinstance(field_type, BagType):
+            kind = "bag"
+        elif isinstance(field_type, TupleType):
+            kind = "tuple"
+        else:
+            kind = "value"
+        kinds.append((name, kind))
+    return tuple(kinds)
+
+
+def _op_refs_resolve(op: Operator, child_schemas: list[TupleType]) -> bool:
+    """Check that the rebuilt operator's attribute references all resolve
+    against the (possibly changed) input schema — the reachability pruning of
+    Figure 3."""
+    from repro.algebra.schema import validate_expr
+
+    if isinstance(op, Selection):
+        return validate_expr(op.pred, child_schemas[0])
+    if isinstance(op, Projection):
+        return all(validate_expr(expr, child_schemas[0]) for _, expr in op.cols)
+    if isinstance(op, Join):
+        return all(
+            validate_expr(Attr(l), child_schemas[0]) and validate_expr(Attr(r), child_schemas[1])
+            for l, r in op.on
+        )
+    if isinstance(op, GroupAggregation):
+        if not all(
+            validate_expr(Attr(src), child_schemas[0]) for _, src in op.key_specs
+        ):
+            return False
+        return all(
+            spec.expr is None or validate_expr(spec.expr, child_schemas[0])
+            for spec in op.aggs
+        )
+    if isinstance(op, (TupleNesting, RelationNesting)):
+        return all(child_schemas[0].has_field(a) for a in op.attrs)
+    return True
+
+
+def _materialize(
+    query: Query, db: Database, assignment: dict[SourceRef, Source]
+) -> Optional[Query]:
+    """Rebuild the query with every reference pointing at its assigned source.
+
+    Works bottom-up, recomputing column lineage as it goes so that references
+    are re-resolved under upstream structural substitutions.  Returns ``None``
+    when some reference cannot be located (pruned SA).
+    """
+    by_op: dict[int, dict[str, Source]] = {}
+    for ref, source in assignment.items():
+        by_op.setdefault(ref.op_id, {})[ref.role] = source
+
+    new_ops: dict[int, Operator] = {}
+    colmaps: dict[int, ColMap] = {}
+    schemas: dict[int, TupleType] = {}
+
+    for op in query.ops:
+        children = [new_ops[c.op_id] for c in op.children]
+        child_maps = [colmaps[c.op_id] for c in op.children]
+        child_schemas = [schemas[c.op_id] for c in op.children]
+        roles = by_op.get(op.op_id, {})
+        try:
+            rebuilt = _rebuild_op(op, children, child_maps, child_schemas, roles)
+            if rebuilt is None or not _op_refs_resolve(rebuilt, child_schemas):
+                return None
+            new_ops[op.op_id] = rebuilt
+            colmaps[op.op_id] = op_colmap(rebuilt, child_maps, child_schemas, db)
+            schemas[op.op_id] = rebuilt.output_schema(child_schemas, db)
+        except (KeyError, TypeError, ValueError):
+            return None
+    return Query(new_ops[query.root.op_id], name=query.name)
+
+
+def _origin_matches(colmap: ColMap, path: Path, source: Source) -> bool:
+    origin = colmap.get(path)
+    return origin is not None and origin.source() == source
+
+
+def _locate_value_path(
+    colmap: ColMap, schema: TupleType, source: Source, prefer: Optional[Path] = None
+) -> Optional[Path]:
+    """Find a value path (no bag crossing) whose origin is *source*.
+
+    The operator's existing reference (*prefer*) wins when it already carries
+    the desired source — keeping identity substitutions parameter-stable.
+    """
+    from repro.whynot.reparam import value_paths
+
+    if prefer is not None and _origin_matches(colmap, prefer, source):
+        return prefer
+    for path, _ in value_paths(schema):
+        if _origin_matches(colmap, path, source):
+            return path
+    return None
+
+
+def _locate_bag_path(
+    colmap: ColMap, schema: TupleType, source: Source, prefer: Optional[Path] = None
+) -> Optional[Path]:
+    from repro.whynot.reparam import bag_attr_paths
+
+    if prefer is not None and _origin_matches(colmap, prefer, source):
+        return prefer
+    for path, _ in bag_attr_paths(schema):
+        if _origin_matches(colmap, path, source):
+            return path
+    return None
+
+
+def _locate_tuple_path(
+    colmap: ColMap, schema: TupleType, source: Source, prefer: Optional[Path] = None
+) -> Optional[Path]:
+    return _locate_value_path(colmap, schema, source, prefer)
+
+
+def _substitute_expr(
+    expr: Expr,
+    role_prefix: str,
+    roles: dict[str, Source],
+    colmap: ColMap,
+    schema: TupleType,
+) -> Optional[Expr]:
+    """Rewrite attr references of *expr* according to role assignments."""
+    import itertools as _it
+
+    counter = _it.count()
+    failed: list[bool] = []
+
+    def rebuild(node: Expr) -> Expr:
+        index = next(counter)
+        if isinstance(node, Attr):
+            role = f"{role_prefix}@{index}"
+            if role in roles:
+                located = _locate_value_path(colmap, schema, roles[role], prefer=node.path)
+                if located is None:
+                    failed.append(True)
+                    return node
+                return Attr(located)
+            return node
+        children = node.children()
+        if not children:
+            return node
+        from repro.algebra.expressions import Arith, Cmp
+
+        if isinstance(node, Cmp):
+            return Cmp(node.op, rebuild(node.left), rebuild(node.right))
+        if isinstance(node, Arith):
+            return Arith(node.op, rebuild(node.left), rebuild(node.right))
+        rebuilt = [rebuild(child) for child in children]
+        return type(node)(*rebuilt)
+
+    result = rebuild(expr)
+    if failed:
+        return None
+    return result
+
+
+def _rebuild_op(
+    op: Operator,
+    children: list[Operator],
+    child_maps: list[ColMap],
+    child_schemas: list[TupleType],
+    roles: dict[str, Source],
+) -> Optional[Operator]:
+    if not roles:
+        return op.clone(children)
+    if isinstance(op, Selection):
+        pred = _substitute_expr(op.pred, "pred", roles, child_maps[0], child_schemas[0])
+        if pred is None:
+            return None
+        return op.clone(children).with_params(pred=pred)
+    if isinstance(op, Projection):
+        cols = []
+        for i, (name, expr) in enumerate(op.cols):
+            sub = _substitute_expr(expr, f"col:{i}", roles, child_maps[0], child_schemas[0])
+            if sub is None:
+                return None
+            cols.append((name, sub))
+        return op.clone(children).with_params(cols=tuple(cols))
+    if isinstance(op, Join):
+        on = list(op.on)
+        for i, (left_path, right_path) in enumerate(op.on):
+            if f"on:{i}:left" in roles:
+                located = _locate_value_path(
+                    child_maps[0], child_schemas[0], roles[f"on:{i}:left"], prefer=left_path
+                )
+                if located is None:
+                    return None
+                left_path = located
+            if f"on:{i}:right" in roles:
+                located = _locate_value_path(
+                    child_maps[1], child_schemas[1], roles[f"on:{i}:right"], prefer=right_path
+                )
+                if located is None:
+                    return None
+                right_path = located
+            on[i] = (left_path, right_path)
+        return op.clone(children).with_params(on=tuple(on))
+    if isinstance(op, RelationFlatten):
+        located = _locate_bag_path(child_maps[0], child_schemas[0], roles["flatten"], prefer=op.path)
+        if located is None:
+            return None
+        return op.clone(children).with_params(path=located)
+    if isinstance(op, TupleFlatten):
+        located = _locate_tuple_path(child_maps[0], child_schemas[0], roles["flatten"], prefer=op.path)
+        if located is None:
+            return None
+        return op.clone(children).with_params(path=located)
+    if isinstance(op, (TupleNesting, RelationNesting)):
+        attrs = list(op.attrs)
+        for i in range(len(attrs)):
+            role = f"nest:{i}"
+            if role in roles:
+                located = _locate_value_path(
+                    child_maps[0], child_schemas[0], roles[role], prefer=(attrs[i],)
+                )
+                if located is None or len(located) != 1:
+                    return None
+                attrs[i] = located[0]
+        return op.clone(children).with_params(attrs=tuple(attrs))
+    if isinstance(op, NestedAggregation):
+        located = _locate_bag_path(child_maps[0], child_schemas[0], roles["agg-attr"], prefer=op.attr)
+        if located is None:
+            located = _locate_value_path(child_maps[0], child_schemas[0], roles["agg-attr"], prefer=op.attr)
+        if located is None:
+            return None
+        return op.clone(children).with_params(attr=located)
+    if isinstance(op, GroupAggregation):
+        keys = list(op.key_specs)
+        for i in range(len(keys)):
+            role = f"key:{i}"
+            if role in roles:
+                out, src = keys[i]
+                located = _locate_value_path(
+                    child_maps[0], child_schemas[0], roles[role], prefer=src
+                )
+                if located is None:
+                    return None
+                keys[i] = (out, located)
+        aggs = []
+        for i, spec in enumerate(op.aggs):
+            if spec.expr is not None:
+                sub = _substitute_expr(
+                    spec.expr, f"agg:{i}", roles, child_maps[0], child_schemas[0]
+                )
+                if sub is None:
+                    return None
+                aggs.append(AggSpec(spec.func, sub, spec.out, spec.distinct))
+            else:
+                aggs.append(spec)
+        return op.clone(children).with_params(keys=tuple(keys), aggs=tuple(aggs))
+    # Roles on an operator without substitution support: prune.
+    return None

@@ -1,0 +1,251 @@
+"""Step 4: approximating MSRs (paper Algorithm 4 and §5.4 bounds).
+
+Operators are processed top-down (root first).  Every state carries the
+partial successful reparameterization ``SR_i`` of a schema alternative plus
+the *alive frontier*: the traced rows that can still witness the missing
+answer given the extension/skip decisions taken so far.  At each operator:
+
+* **extend** — some alive, consistent row was *not retained* by the operator
+  as written in Sᵢ's query: changing the operator lets it through, so the
+  operator joins ``SR_i`` (Algorithm 4 line 8); all consistent rows flow on.
+* **skip** — some alive, consistent row *was* retained: the missing answer
+  may be producible without touching this operator (line 13); only retained
+  rows flow on.
+
+Tracking the frontier per state (rather than testing flags globally) keeps a
+single derivation chain honest across operators: a row that skipped σ_a
+cannot later be the witness that extends σ_b if it never survived σ_a.
+
+Side-effect bounds follow §5.4: upper bounds count final tuples touched by
+non-retained flags of the explanation's operators (S1) or tuples deviating
+from fully-retained originals (other SAs); lower bounds are 0 whenever the
+explanation contains a selection or join ("full relaxation" may be avoidable)
+and top-level cardinality differences otherwise.  Explanations are ranked by
+the partial order of Definition 9: (|Δ|, original-SA first, UB, LB).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.operators import Join, Operator, Query, Selection, TableAccess
+from repro.nested.values import Bag
+from repro.whynot.alternatives import SchemaAlternative
+from repro.whynot.question import WhyNotQuestion
+from repro.whynot.tracing import TraceResult, TRow
+
+
+@dataclass
+class Explanation:
+    """One query-based explanation: a set of operators to reparameterize."""
+
+    ops: frozenset[int]
+    labels: tuple[str, ...]
+    sa_index: int
+    sa_description: str
+    lb: float = 0.0
+    ub: float = 0.0
+    rank: int = 0
+
+    def key(self) -> frozenset[int]:
+        return self.ops
+
+    def __repr__(self) -> str:
+        inner = ", ".join(self.labels)
+        return f"{{{inner}}}"
+
+
+class StateBudgetExceeded(RuntimeError):
+    """Raised when the Algorithm-4 state queue grows beyond the cap."""
+
+
+def approximate_msrs(
+    question: WhyNotQuestion,
+    sas: list[SchemaAlternative],
+    trace: TraceResult,
+    max_states: int = 100_000,
+) -> list[Explanation]:
+    """Run Algorithm 4 over the tracing snapshots and rank the results."""
+    query = question.query
+    order = list(reversed(query.ops))  # root first
+    rows_at = {op.op_id: trace.traces[op.op_id].rows for op in query.ops}
+
+    found: dict[tuple[int, frozenset[int]], None] = {}
+    queue: deque = deque()
+    seen: set = set()
+
+    for i, sa in enumerate(sas):
+        final_alive = frozenset(
+            r.rid for r in trace.final_rows() if r.valid(i) and r.consistent[i]
+        )
+        if not final_alive:
+            continue
+        queue.append((0, frozenset(sa.delta), final_alive, i))
+
+    states = 0
+    while queue:
+        pos, sr, frontier, i = queue.popleft()
+        states += 1
+        if states > max_states:
+            raise StateBudgetExceeded(
+                f"Algorithm 4 exceeded {max_states} states; query has too many "
+                "independently relaxable operators"
+            )
+        if pos == len(order):
+            if sr:
+                found.setdefault((i, sr), None)
+            continue
+        op = order[pos]
+        here = [r for r in rows_at[op.op_id] if r.rid in frontier]
+        passthrough = frontier - {r.rid for r in here}
+
+        def push(new_sr: frozenset[int], rows: list[TRow]) -> None:
+            # An empty frontier is fine: it means every alive chain already
+            # grounded at a table access; remaining operators are no-ops for
+            # this state and it proceeds to finalization.
+            new_frontier = passthrough | {
+                p for r in rows for p in r.parents
+            }
+            state = (pos + 1, new_sr, frozenset(new_frontier), i)
+            if state not in seen:
+                seen.add(state)
+                queue.append(state)
+
+        if not here:
+            push(sr, [])
+            continue
+        cons = [r for r in here if r.valid(i) and r.consistent[i]]
+        if not cons:
+            # The missing answer does not flow through this operator on any
+            # alive chain; the subtree below is irrelevant for this state.
+            push(sr, here)
+            continue
+        if op.op_id in sr:
+            # Already reparameterized (SA prefix or earlier extension): all
+            # consistent rows flow.
+            push(sr, cons)
+            continue
+        retained_rows = [r for r in cons if r.retained[i] is not False]
+        filtered_rows = [r for r in cons if r.retained[i] is False]
+        if retained_rows:
+            push(sr, retained_rows)
+        if filtered_rows:
+            push(sr | {op.op_id}, cons)
+
+    bounds = _SideEffectBounds(question, sas, trace)
+    explanations: dict[frozenset[int], Explanation] = {}
+    for (i, sr), _ in found.items():
+        lb, ub = bounds.compute(sr, i)
+        labels = tuple(query.op(op_id).label for op_id in sorted(sr))
+        existing = explanations.get(sr)
+        candidate = Explanation(sr, labels, i, sas[i].describe(), lb, ub)
+        if existing is None or (candidate.sa_index, candidate.ub) < (
+            existing.sa_index,
+            existing.ub,
+        ):
+            explanations[sr] = candidate
+
+    ranked = _prune_and_rank(list(explanations.values()))
+    for rank, explanation in enumerate(ranked, start=1):
+        explanation.rank = rank
+    return ranked
+
+
+def _prune_and_rank(explanations: list[Explanation]) -> list[Explanation]:
+    """Definition 9 pruning with bounds, then deterministic ranking."""
+    kept = []
+    for e in explanations:
+        dominated = any(
+            other.ops < e.ops and other.ub <= e.lb for other in explanations
+        )
+        if not dominated:
+            kept.append(e)
+    kept.sort(key=lambda e: (len(e.ops), e.sa_index != 0, e.ub, e.lb, e.labels))
+    return kept
+
+
+class _SideEffectBounds:
+    """Loose UB/LB on side effects (paper §5.4)."""
+
+    def __init__(
+        self,
+        question: WhyNotQuestion,
+        sas: list[SchemaAlternative],
+        trace: TraceResult,
+    ):
+        self.question = question
+        self.sas = sas
+        self.trace = trace
+        self.query = question.query
+        self.original: Bag = question.result()
+        self.n_orig = len(self.original)
+        self._final = trace.final_rows()
+        self._ancestor_cache: dict[int, set[int]] = {}
+        # Tuples of the original result derived with every flag retained
+        # under S1 ("original tuples with only true valid/retained flags").
+        self._fully_retained_s1 = {
+            r.vals[0]
+            for r in self._final
+            if r.valid(0) and self._fully_retained(r, 0)
+        }
+
+    def _ancestors(self, row: TRow) -> set[int]:
+        cached = self._ancestor_cache.get(row.rid)
+        if cached is None:
+            cached = self.trace.ancestors([row.rid])
+            self._ancestor_cache[row.rid] = cached
+        return cached
+
+    def _fully_retained(self, row: TRow, i: int) -> bool:
+        for rid in self._ancestors(row):
+            ancestor = self.trace.rows_by_rid[rid]
+            if ancestor.retained and ancestor.retained[i] is False:
+                return False
+        return True
+
+    def compute(self, sr: frozenset[int], i: int) -> tuple[float, float]:
+        if i == 0:
+            ub_plus = 0
+            for row in self._final:
+                if not row.valid(0):
+                    continue
+                ancestors = self._ancestors(row)
+                touched = False
+                for rid in ancestors:
+                    ancestor = self.trace.rows_by_rid[rid]
+                    if (
+                        self.trace.op_of_rid[rid] in sr
+                        and ancestor.retained
+                        and ancestor.retained[0] is False
+                    ):
+                        touched = True
+                        break
+                if touched:
+                    ub_plus += 1
+        else:
+            ub_plus = sum(
+                1
+                for row in self._final
+                if row.valid(i) and row.vals[i] not in self._fully_retained_s1
+            )
+        matched = sum(
+            1
+            for row in self._final
+            if row.valid(i) and row.vals[i] in self._fully_retained_s1
+        )
+        ub_minus = max(0, self.n_orig - matched)
+        ub = ub_plus + ub_minus
+
+        has_relaxable = any(
+            isinstance(self.query.op(op_id), (Selection, Join)) for op_id in sr
+        )
+        if has_relaxable:
+            lb = 0.0
+        else:
+            n_vr = sum(
+                1 for row in self._final if row.valid(i) and self._fully_retained(row, i)
+            )
+            lb = float(max(n_vr - self.n_orig, 0) + max(self.n_orig - n_vr, 0))
+        return lb, float(ub)

@@ -1,0 +1,588 @@
+"""Step 1: schema backtracing (paper §5.1).
+
+Given a why-not question, this module computes — data-independently —
+
+* ``nip_at[op]``: the NIP over every operator's *output* that a tuple must
+  match to potentially contribute to the missing answer (the per-operator
+  re-validation patterns used by data tracing);
+* ``table_nips``: the NIPs ``T = {t_R1, ..., t_Rn}`` over the input tables;
+* ``colmaps``: column lineage — for every operator output attribute path, the
+  source table attribute it carries (the mapping M_sbt of the paper); and
+* ``refs``: every attribute reference in an operator parameter resolved to its
+  source attribute (the ``op.A / X`` associations), the raw material for
+  schema alternatives (Step 2).
+
+Aggregate outputs are marked in the column lineage; patterns with their
+constraints relaxed to ``?`` are provided as ``relaxed_at`` (tracing checks
+aggregate-value constraints *softly* because reparameterizations change the
+aggregated subset in ways the tracer does not enumerate — paper §5.5).
+
+Constants constrained on one side of an equi-join key are propagated to the
+other side (sound for equi-joins), which the WN++ baseline also relies on to
+find compatibles across joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.algebra.expressions import Attr, Cmp, Const, Expr
+from repro.algebra.operators import (
+    BagDestroy,
+    CartesianProduct,
+    Deduplication,
+    Difference,
+    GroupAggregation,
+    Join,
+    Map,
+    NestedAggregation,
+    Operator,
+    Projection,
+    Query,
+    RelationFlatten,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+    TupleNesting,
+    Union,
+)
+from repro.engine.database import Database
+from repro.nested.paths import Path, parse_path
+from repro.nested.types import BagType, TupleType
+from repro.nested.values import Bag, Tup
+from repro.whynot.placeholders import ANY, STAR, is_placeholder
+
+
+@dataclass(frozen=True)
+class ColOrigin:
+    """Source of an output column: a table attribute, or a computed value."""
+
+    table: Optional[str]
+    path: Optional[Path]
+    from_agg: bool = False
+
+    def source(self) -> Optional[tuple[str, Path]]:
+        if self.table is None or self.path is None:
+            return None
+        return (self.table, self.path)
+
+
+COMPUTED = ColOrigin(None, None)
+AGG_OUTPUT = ColOrigin(None, None, from_agg=True)
+
+ColMap = dict[Path, ColOrigin]
+
+
+@dataclass(frozen=True)
+class SourceRef:
+    """One attribute reference in an operator parameter, resolved to source.
+
+    ``role`` identifies the parameter slot (stable across SA rebuilds):
+    e.g. ``"pred@3"`` (walk index), ``"col:0@1"``, ``"on:0:left"``,
+    ``"flatten"``, ``"nest:0"``, ``"key:1"``, ``"agg:0@2"``.
+    ``structural`` marks parameters that reshape the data (flatten paths,
+    nesting attributes, group keys).
+    """
+
+    op_id: int
+    role: str
+    input_path: Path
+    origin: Optional[ColOrigin]
+    structural: bool = False
+
+    def source(self) -> Optional[tuple[str, Path]]:
+        return self.origin.source() if self.origin else None
+
+
+@dataclass
+class BacktraceResult:
+    """Output of Step 1 for one (possibly reparameterized) query."""
+
+    nip_at: dict[int, Any]
+    relaxed_at: dict[int, Any]
+    table_nips: dict[int, tuple[str, Any]]
+    colmaps: dict[int, ColMap]
+    refs: list[SourceRef] = field(default_factory=list)
+
+    def table_nip(self, table: str) -> Optional[Any]:
+        for _, (name, pattern) in self.table_nips.items():
+            if name == table:
+                return pattern
+        return None
+
+
+class BacktraceError(ValueError):
+    """Raised for operators schema backtracing cannot handle (e.g. map)."""
+
+
+# ---------------------------------------------------------------------------
+# Column lineage (forward pass)
+# ---------------------------------------------------------------------------
+
+
+def all_schema_paths(schema: TupleType, prefix: Path = ()) -> list[Path]:
+    """Every attribute path, transparently crossing bag boundaries."""
+    out: list[Path] = []
+    for name, field_type in schema.fields:
+        path = prefix + (name,)
+        out.append(path)
+        inner = field_type
+        if isinstance(inner, BagType):
+            inner = inner.element
+        if isinstance(inner, TupleType):
+            out.extend(all_schema_paths(inner, path))
+    return out
+
+
+def _subtree_entries(colmap: ColMap, root: Path) -> list[tuple[Path, ColOrigin]]:
+    """Colmap entries at or under *root* with the prefix stripped."""
+    out = []
+    for path, origin in colmap.items():
+        if path[: len(root)] == root:
+            out.append((path[len(root):], origin))
+    return out
+
+
+def op_colmap(op: Operator, child_maps: list[ColMap], child_schemas: list[TupleType], db: Database) -> ColMap:
+    """Column lineage for one operator's output given its children's."""
+    if isinstance(op, TableAccess):
+        schema = db.schema(op.table)
+        return {path: ColOrigin(op.table, path) for path in all_schema_paths(schema)}
+    if isinstance(op, (Selection, Deduplication)):
+        return dict(child_maps[0])
+    if isinstance(op, Difference):
+        return dict(child_maps[0])
+    if isinstance(op, Union):
+        return dict(child_maps[0])
+    if isinstance(op, Renaming):
+        mapping = {old: new for new, old in op.pairs}
+        return {
+            (mapping.get(path[0], path[0]),) + path[1:]: origin
+            for path, origin in child_maps[0].items()
+        }
+    if isinstance(op, Projection):
+        out: ColMap = {}
+        for name, expr in op.cols:
+            if isinstance(expr, Attr):
+                for suffix, origin in _subtree_entries(child_maps[0], expr.path):
+                    out[(name,) + suffix] = origin
+                if (name,) not in out:
+                    out[(name,)] = COMPUTED
+            else:
+                out[(name,)] = COMPUTED
+        return out
+    if isinstance(op, (Join, CartesianProduct)):
+        merged = dict(child_maps[0])
+        dropped: set[str] = set()
+        if isinstance(op, Join) and op.drop_right_keys:
+            dropped = {path[0] for _, path in op.on if len(path) == 1}
+        for path, origin in child_maps[1].items():
+            if path[0] in dropped:
+                continue
+            merged[path] = origin
+        return merged
+    if isinstance(op, TupleFlatten):
+        out = dict(child_maps[0])
+        if op.alias is not None:
+            out = {p: o for p, o in out.items() if p[0] != op.alias}
+            for suffix, origin in _subtree_entries(child_maps[0], op.path):
+                out[(op.alias,) + suffix] = origin
+            if (op.alias,) not in out:
+                out[(op.alias,)] = COMPUTED
+            return out
+        nested = [(s, o) for s, o in _subtree_entries(child_maps[0], op.path) if s]
+        for suffix, origin in nested:
+            if len(suffix) >= 1:
+                out[suffix] = origin
+        return out
+    if isinstance(op, RelationFlatten):
+        out = dict(child_maps[0])
+        entries = _subtree_entries(child_maps[0], op.path)
+        if op.alias is not None:
+            for suffix, origin in entries:
+                out[(op.alias,) + suffix] = origin
+        else:
+            for suffix, origin in entries:
+                if suffix:
+                    out[suffix] = origin
+        return out
+    if isinstance(op, (TupleNesting, RelationNesting)):
+        out = {}
+        nested = set(op.attrs)
+        for path, origin in child_maps[0].items():
+            if path[0] in nested:
+                out[(op.target,) + path] = origin
+            else:
+                out[path] = origin
+        return out
+    if isinstance(op, NestedAggregation):
+        out = dict(child_maps[0])
+        out[(op.out,)] = AGG_OUTPUT
+        return out
+    if isinstance(op, GroupAggregation):
+        out = {}
+        for key_out, key_src in op.key_specs:
+            for suffix, origin in _subtree_entries(child_maps[0], key_src):
+                out[(key_out,) + suffix] = origin
+        for spec in op.aggs:
+            out[(spec.out,)] = AGG_OUTPUT
+        return out
+    if isinstance(op, BagDestroy):
+        return {
+            suffix: origin
+            for suffix, origin in _subtree_entries(child_maps[0], (op.attr,))
+            if suffix
+        }
+    if isinstance(op, Map):
+        raise BacktraceError("schema backtracing does not support map (paper §5.5)")
+    raise BacktraceError(f"no column lineage rule for {type(op).__name__}")
+
+
+def forward_colmaps(query: Query, db: Database) -> dict[int, ColMap]:
+    schemas = query.infer_schemas(db)
+    colmaps: dict[int, ColMap] = {}
+    for op in query.ops:
+        child_maps = [colmaps[c.op_id] for c in op.children]
+        child_schemas = [schemas[c.op_id] for c in op.children]
+        colmaps[op.op_id] = op_colmap(op, child_maps, child_schemas, db)
+    return colmaps
+
+
+# ---------------------------------------------------------------------------
+# Parameter references
+# ---------------------------------------------------------------------------
+
+
+def _expr_refs(op_id: int, role_prefix: str, expr: Expr, colmap: ColMap) -> list[SourceRef]:
+    refs = []
+    for i, node in enumerate(expr.walk()):
+        if isinstance(node, Attr):
+            refs.append(
+                SourceRef(op_id, f"{role_prefix}@{i}", node.path, colmap.get(node.path))
+            )
+    return refs
+
+
+def collect_refs(query: Query, colmaps: dict[int, ColMap]) -> list[SourceRef]:
+    """All attribute references in operator parameters, resolved to sources."""
+    refs: list[SourceRef] = []
+    for op in query.ops:
+        if not op.children:
+            continue
+        child_map = colmaps[op.children[0].op_id]
+        if isinstance(op, Selection):
+            refs.extend(_expr_refs(op.op_id, "pred", op.pred, child_map))
+        elif isinstance(op, Projection):
+            for i, (_, expr) in enumerate(op.cols):
+                refs.extend(_expr_refs(op.op_id, f"col:{i}", expr, child_map))
+        elif isinstance(op, Join):
+            right_map = colmaps[op.children[1].op_id]
+            for i, (left_path, right_path) in enumerate(op.on):
+                refs.append(
+                    SourceRef(op.op_id, f"on:{i}:left", left_path, child_map.get(left_path))
+                )
+                refs.append(
+                    SourceRef(op.op_id, f"on:{i}:right", right_path, right_map.get(right_path))
+                )
+        elif isinstance(op, (RelationFlatten, TupleFlatten)):
+            refs.append(
+                SourceRef(op.op_id, "flatten", op.path, child_map.get(op.path), structural=True)
+            )
+        elif isinstance(op, (TupleNesting, RelationNesting)):
+            for i, attr in enumerate(op.attrs):
+                refs.append(
+                    SourceRef(op.op_id, f"nest:{i}", (attr,), child_map.get((attr,)), structural=True)
+                )
+        elif isinstance(op, NestedAggregation):
+            refs.append(
+                SourceRef(op.op_id, "agg-attr", op.attr, child_map.get(op.attr), structural=True)
+            )
+        elif isinstance(op, GroupAggregation):
+            for i, (key_out, key_src) in enumerate(op.key_specs):
+                refs.append(
+                    SourceRef(op.op_id, f"key:{i}", key_src, child_map.get(key_src), structural=True)
+                )
+            for i, spec in enumerate(op.aggs):
+                if spec.expr is not None:
+                    refs.extend(_expr_refs(op.op_id, f"agg:{i}", spec.expr, child_map))
+    return refs
+
+
+# ---------------------------------------------------------------------------
+# Pattern utilities
+# ---------------------------------------------------------------------------
+
+
+def any_pattern(schema: TupleType) -> Tup:
+    """The all-``?`` pattern over a row schema."""
+    return Tup((name, ANY) for name, _ in schema.fields)
+
+
+def _merge_constraint(existing: Any, new: Any) -> Any:
+    if existing is ANY or existing == new:
+        return new
+    if new is ANY:
+        return existing
+    # Conflicting constraints: keep the existing one (conservative).
+    return existing
+
+
+def set_constraint(pattern: Tup, schema: TupleType, path: Path, constraint: Any) -> Tup:
+    """Set *constraint* at *path* (through nested tuples) in a full pattern."""
+    name = path[0]
+    if len(path) == 1:
+        current = pattern.get(name, ANY)
+        return pattern.replace(**{name: _merge_constraint(current, constraint)})
+    field_type = schema.field(name)
+    if not isinstance(field_type, TupleType):
+        # Constraint under a bag or primitive: cannot place precisely at the
+        # value level; require presence only.
+        return pattern
+    sub = pattern.get(name, ANY)
+    if not isinstance(sub, Tup):
+        sub = any_pattern(field_type)
+    return pattern.replace(**{name: set_constraint(sub, field_type, path[1:], constraint)})
+
+
+def get_constraint(pattern: Any, path: Path) -> Any:
+    current = pattern
+    for step in path:
+        if not isinstance(current, Tup) or step not in current:
+            return ANY
+        current = current[step]
+    return current
+
+
+def is_trivial(pattern: Any) -> bool:
+    """True when the pattern constrains nothing (all ``?``/``*``)."""
+    if pattern is ANY or pattern is STAR:
+        return True
+    if isinstance(pattern, Tup):
+        return all(is_trivial(v) for _, v in pattern.items())
+    if isinstance(pattern, Bag):
+        return all(is_trivial(e) for e in pattern.distinct())
+    return False
+
+
+def relax_aggregates(pattern: Any, colmap: ColMap) -> Any:
+    """Replace constraints on aggregate-output attributes with ``?``."""
+    if not isinstance(pattern, Tup):
+        return pattern
+    changes = {}
+    for name, value in pattern.items():
+        origin = colmap.get((name,))
+        if origin is not None and origin.from_agg and not (value is ANY):
+            changes[name] = ANY
+    return pattern.replace(**changes) if changes else pattern
+
+
+# ---------------------------------------------------------------------------
+# Backward NIP pass
+# ---------------------------------------------------------------------------
+
+
+def _normalize_pattern(pattern: Any, schema: TupleType) -> Tup:
+    """Ensure a row pattern is a full tuple pattern over *schema*."""
+    if isinstance(pattern, Tup):
+        base = any_pattern(schema)
+        merged = {}
+        for name, _ in schema.fields:
+            merged[name] = pattern.get(name, ANY) if name in pattern else ANY
+        return Tup(merged.items())
+    return any_pattern(schema)
+
+
+def _push_down(
+    op: Operator,
+    pattern: Tup,
+    child_schemas: list[TupleType],
+    db: Database,
+) -> list[Tup]:
+    """Derive child output patterns from this operator's output pattern."""
+    if isinstance(op, TableAccess):
+        return []
+    if isinstance(op, (Selection, Deduplication, Difference)):
+        child = _normalize_pattern(pattern, child_schemas[0])
+        if isinstance(op, Difference):
+            return [child, any_pattern(child_schemas[1])]
+        return [child]
+    if isinstance(op, Union):
+        child = _normalize_pattern(pattern, child_schemas[0])
+        return [child, _normalize_pattern(pattern, child_schemas[1])]
+    if isinstance(op, Renaming):
+        reverse = {new: old for new, old in op.pairs}
+        renamed = Tup((reverse.get(name, name), value) for name, value in pattern.items())
+        return [_normalize_pattern(renamed, child_schemas[0])]
+    if isinstance(op, Projection):
+        child = any_pattern(child_schemas[0])
+        for name, expr in op.cols:
+            constraint = pattern.get(name, ANY)
+            if constraint is ANY or is_placeholder(constraint) and not isinstance(expr, Attr):
+                continue
+            if isinstance(expr, Attr):
+                child = set_constraint(child, child_schemas[0], expr.path, constraint)
+            # computed columns: constraint cannot be inverted — presence only
+        return [child]
+    if isinstance(op, (Join, CartesianProduct)):
+        left_schema, right_schema = child_schemas
+        left = any_pattern(left_schema)
+        right = any_pattern(right_schema)
+        left_names = set(left_schema.names)
+        for name, value in pattern.items():
+            if name in left_names:
+                left = set_constraint(left, left_schema, (name,), value)
+            elif right_schema.has_field(name):
+                right = set_constraint(right, right_schema, (name,), value)
+        if isinstance(op, Join):
+            # Propagate constants across equi-join keys (sound for equality).
+            for left_path, right_path in op.on:
+                left_c = get_constraint(left, left_path)
+                right_c = get_constraint(right, right_path) if right_schema else ANY
+                try:
+                    if left_c is not ANY and not is_placeholder(left_c):
+                        right = set_constraint(right, right_schema, right_path, left_c)
+                    if right_c is not ANY and not is_placeholder(right_c):
+                        left = set_constraint(left, left_schema, left_path, right_c)
+                except KeyError:
+                    pass
+        return [left, right]
+    if isinstance(op, TupleFlatten):
+        child_schema = child_schemas[0]
+        child = any_pattern(child_schema)
+        if op.alias is not None:
+            constraint = pattern.get(op.alias, ANY)
+            if constraint is not ANY:
+                child = set_constraint(child, child_schema, op.path, constraint)
+            for name, value in pattern.items():
+                if name != op.alias and child_schema.has_field(name):
+                    child = set_constraint(child, child_schema, (name,), value)
+            return [child]
+        for name, value in pattern.items():
+            if child_schema.has_field(name):
+                child = set_constraint(child, child_schema, (name,), value)
+            else:
+                child = set_constraint(child, child_schema, op.path + (name,), value)
+        return [child]
+    if isinstance(op, RelationFlatten):
+        child_schema = child_schemas[0]
+        child = any_pattern(child_schema)
+        element_constraints: list[tuple[str, Any]] = []
+        if op.alias is not None:
+            constraint = pattern.get(op.alias, ANY)
+            element: Any = constraint
+            for name, value in pattern.items():
+                if name != op.alias and child_schema.has_field(name):
+                    child = set_constraint(child, child_schema, (name,), value)
+            # A trivial element pattern imposes no bag constraint: the missing
+            # answer may arise from outer-flatten padding of an empty bag.
+            if not is_trivial(element):
+                bag_pattern = Bag([element, STAR])
+                child = set_constraint(child, child_schema, op.path, bag_pattern)
+            return [child]
+        from repro.nested.paths import resolve_type
+
+        bag_type = resolve_type(child_schema, op.path)
+        element_schema = bag_type.element if isinstance(bag_type, BagType) else None
+        element_names = element_schema.names if isinstance(element_schema, TupleType) else ()
+        for name, value in pattern.items():
+            if name in element_names:
+                element_constraints.append((name, value))
+            elif child_schema.has_field(name):
+                child = set_constraint(child, child_schema, (name,), value)
+        if isinstance(element_schema, TupleType) and any(
+            not is_trivial(v) for _, v in element_constraints
+        ):
+            element_pattern = any_pattern(element_schema)
+            for name, value in element_constraints:
+                element_pattern = set_constraint(element_pattern, element_schema, (name,), value)
+            child = set_constraint(child, child_schema, op.path, Bag([element_pattern, STAR]))
+        return [child]
+    if isinstance(op, TupleNesting):
+        child_schema = child_schemas[0]
+        child = any_pattern(child_schema)
+        for name, value in pattern.items():
+            if name == op.target:
+                if isinstance(value, Tup):
+                    for attr in op.attrs:
+                        if attr in value:
+                            child = set_constraint(child, child_schema, (attr,), value[attr])
+            elif child_schema.has_field(name):
+                child = set_constraint(child, child_schema, (name,), value)
+        return [child]
+    if isinstance(op, RelationNesting):
+        child_schema = child_schemas[0]
+        child = any_pattern(child_schema)
+        for name, value in pattern.items():
+            if name == op.target:
+                if isinstance(value, Bag):
+                    elements = [
+                        e for e in value.distinct() if e is not STAR and e is not ANY
+                    ]
+                    if len(elements) == 1 and isinstance(elements[0], Tup):
+                        for attr in op.attrs:
+                            if attr in elements[0]:
+                                child = set_constraint(
+                                    child, child_schema, (attr,), elements[0][attr]
+                                )
+            elif child_schema.has_field(name):
+                child = set_constraint(child, child_schema, (name,), value)
+        return [child]
+    if isinstance(op, NestedAggregation):
+        child_schema = child_schemas[0]
+        child = any_pattern(child_schema)
+        for name, value in pattern.items():
+            if name != op.out and child_schema.has_field(name):
+                child = set_constraint(child, child_schema, (name,), value)
+        return [child]
+    if isinstance(op, GroupAggregation):
+        child_schema = child_schemas[0]
+        child = any_pattern(child_schema)
+        for key_out, key_src in op.key_specs:
+            constraint = pattern.get(key_out, ANY)
+            if constraint is not ANY:
+                child = set_constraint(child, child_schema, key_src, constraint)
+        return [child]
+    if isinstance(op, BagDestroy):
+        return [any_pattern(child_schemas[0])]
+    if isinstance(op, Map):
+        raise BacktraceError("schema backtracing does not support map (paper §5.5)")
+    raise BacktraceError(f"no backtracing rule for {type(op).__name__}")
+
+
+def backtrace(query: Query, db: Database, nip: Any) -> BacktraceResult:
+    """Run Step 1 (schema backtracing) for *query* and why-not tuple *nip*."""
+    schemas = query.infer_schemas(db)
+    colmaps = forward_colmaps(query, db)
+    refs = collect_refs(query, colmaps)
+
+    nip_at: dict[int, Any] = {}
+    root = query.root
+    root_pattern = any_pattern(schemas[root.op_id])
+    if isinstance(nip, Tup):
+        for name, value in nip.items():
+            if name in root_pattern:
+                root_pattern = root_pattern.replace(**{name: value})
+    nip_at[root.op_id] = root_pattern
+
+    for op in reversed(query.ops):
+        pattern = nip_at[op.op_id]
+        child_schemas = [schemas[c.op_id] for c in op.children]
+        child_patterns = _push_down(op, pattern, child_schemas, db)
+        for child, child_pattern in zip(op.children, child_patterns):
+            if child.op_id in nip_at:
+                # A shared subtree (should not occur: trees only); merge.
+                continue
+            nip_at[child.op_id] = child_pattern
+
+    table_nips = {
+        op.op_id: (op.table, nip_at[op.op_id])
+        for op in query.ops
+        if isinstance(op, TableAccess)
+    }
+    relaxed_at = {
+        op_id: relax_aggregates(pattern, colmaps[op_id]) for op_id, pattern in nip_at.items()
+    }
+    return BacktraceResult(nip_at, relaxed_at, table_nips, colmaps, refs)

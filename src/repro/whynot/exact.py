@@ -1,0 +1,139 @@
+"""Exact successful-reparameterization and MSR enumeration (Defs. 8–10).
+
+This module brute-forces the PTIME-restricted problem of Theorem 1: map is
+excluded, aggregates are the standard SQL ones, and only the distinguishable
+parameter assignments enumerated by :mod:`repro.whynot.reparam` are tried.
+It is exponential in the number of simultaneously changed operators (bounded
+by ``max_ops``) and therefore only practical on small databases — it serves
+as the gold standard against which the heuristic algorithm (Section 5) is
+validated on the running example and the crime scenarios.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.algebra.operators import Map, Operator, Query, TableAccess
+from repro.engine.database import Database
+from repro.nested.distance import get_distance
+from repro.nested.values import Bag
+from repro.whynot.question import WhyNotQuestion
+from repro.whynot.reparam import active_domain, operator_candidates
+
+
+@dataclass
+class ExactSR:
+    """One successful reparameterization found by the brute-force search."""
+
+    delta: frozenset[int]
+    changes: dict[int, dict[str, Any]]
+    side_effect: float
+    result: Bag = field(repr=False)
+
+
+@dataclass
+class ExactResult:
+    """Outcome of the exhaustive search."""
+
+    explanations: list[tuple[frozenset[int], float]]
+    srs: list[ExactSR]
+    candidates_tried: int
+
+    def explanation_sets(self) -> list[frozenset[int]]:
+        return [delta for delta, _ in self.explanations]
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the brute-force search would exceed ``max_candidates``."""
+
+
+def enumerate_explanations(
+    question: WhyNotQuestion,
+    max_ops: int = 2,
+    distance: str = "bag",
+    max_per_slot: int = 25,
+    max_candidates: int = 500_000,
+    ops: Optional[list[int]] = None,
+) -> ExactResult:
+    """Exhaustively compute ``E(Φ)`` up to *max_ops* simultaneous operators.
+
+    ``distance`` selects the side-effect metric ``d`` ("bag" or "tree").
+    ``ops`` optionally restricts the searched operators (by id).
+    """
+    query = question.query
+    db = question.db
+    original = question.result()
+    dist = get_distance(distance)
+    adom = active_domain(db, _tables_of(query))
+    schemas = query.infer_schemas(db)
+
+    per_op: dict[int, list[dict[str, Any]]] = {}
+    searched = ops if ops is not None else [op.op_id for op in query.ops]
+    for op in query.ops:
+        if op.op_id not in searched or isinstance(op, (TableAccess, Map)):
+            continue
+        input_schemas = [schemas[c.op_id] for c in op.children]
+        candidates = operator_candidates(op, input_schemas, adom, max_per_slot=max_per_slot)
+        if candidates:
+            per_op[op.op_id] = candidates
+
+    srs: list[ExactSR] = []
+    tried = 0
+    op_ids = sorted(per_op)
+    for size in range(1, max_ops + 1):
+        for subset in itertools.combinations(op_ids, size):
+            pools = [per_op[op_id] for op_id in subset]
+            combos = 1
+            for pool in pools:
+                combos *= len(pool)
+            if tried + combos > max_candidates:
+                raise SearchBudgetExceeded(
+                    f"search would try more than {max_candidates} candidates; "
+                    "reduce max_ops/max_per_slot or restrict ops"
+                )
+            for combo in itertools.product(*pools):
+                tried += 1
+                changes = {op_id: params for op_id, params in zip(subset, combo)}
+                try:
+                    candidate = query.reparameterize(changes)
+                    result = candidate.evaluate(db)
+                except (KeyError, TypeError, ValueError):
+                    # Invalid reparameterization (schema broken, e.g. a key
+                    # substitution creating duplicate column names): not an SR.
+                    continue
+                if not question.is_answered_by(result):
+                    continue
+                delta = query.delta(candidate)
+                if delta != frozenset(subset):
+                    # Some "change" was a no-op; the smaller subset covers it.
+                    continue
+                srs.append(ExactSR(delta, changes, dist(original, result), result))
+
+    explanations = _minimal_explanations(srs)
+    return ExactResult(explanations, srs, tried)
+
+
+def _tables_of(query: Query) -> list[str]:
+    return [op.table for op in query.ops if isinstance(op, TableAccess)]
+
+
+def _minimal_explanations(srs: list[ExactSR]) -> list[tuple[frozenset[int], float]]:
+    """MSR filtering per the partial order of Definition 9.
+
+    For each Δ keep the best achievable side effect; then drop Δ′ whenever
+    some strict subset Δ″ achieves a side effect ≤ Δ′'s (Δ″ ⪯ Δ′)."""
+    best: dict[frozenset[int], float] = {}
+    for sr in srs:
+        if sr.delta not in best or sr.side_effect < best[sr.delta]:
+            best[sr.delta] = sr.side_effect
+    explanations = []
+    for delta, side_effect in best.items():
+        dominated = any(
+            other < delta and best[other] <= side_effect for other in best
+        )
+        if not dominated:
+            explanations.append((delta, side_effect))
+    explanations.sort(key=lambda pair: (len(pair[0]), pair[1], sorted(pair[0])))
+    return explanations

@@ -1,0 +1,113 @@
+"""Top-level why-not explanation API (Algorithm 1).
+
+``explain`` runs the four steps of the paper's heuristic algorithm:
+
+1. schema backtracing (:mod:`repro.whynot.backtrace`),
+2. schema alternatives (:mod:`repro.whynot.alternatives`),
+3. data tracing (:mod:`repro.whynot.tracing`),
+4. approximate MSR computation (:mod:`repro.whynot.approximate`),
+
+and returns a :class:`WhyNotResult` with the ranked explanations.
+
+Modes:
+
+* ``explain(q, alternatives=groups)`` — the full algorithm **RP**;
+* ``explain(q)`` or ``use_schema_alternatives=False`` — **RPnoSA**
+  (only the original schema S1 is traced);
+* ``revalidate=False`` — ablation: compatibility is inherited blindly along
+  lineage (the behaviour of prior lineage-based approaches, kept for the
+  comparison experiments).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.whynot.alternatives import SchemaAlternative, enumerate_schema_alternatives
+from repro.whynot.approximate import Explanation, approximate_msrs
+from repro.whynot.backtrace import BacktraceResult, backtrace
+from repro.whynot.question import WhyNotQuestion
+from repro.whynot.tracing import TraceResult, trace
+
+
+@dataclass
+class WhyNotResult:
+    """Outcome of the heuristic algorithm for one why-not question."""
+
+    question: WhyNotQuestion
+    explanations: list[Explanation]
+    sas: list[SchemaAlternative]
+    backtrace: BacktraceResult
+    trace: Optional[TraceResult] = field(repr=False, default=None)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_sas(self) -> int:
+        return len(self.sas)
+
+    def explanation_sets(self) -> list[frozenset[int]]:
+        return [e.ops for e in self.explanations]
+
+    def explanation_labels(self) -> list[tuple[str, ...]]:
+        return [e.labels for e in self.explanations]
+
+    def rows_traced(self) -> int:
+        return self.trace.total_rows() if self.trace is not None else 0
+
+    def describe(self) -> str:
+        lines = [
+            f"Why-not question: {self.question.name or '(unnamed)'}",
+            f"  missing answer: {self.question.nip!r}",
+            f"  schema alternatives: {len(self.sas)}",
+            f"  explanations ({len(self.explanations)}):",
+        ]
+        for e in self.explanations:
+            lines.append(
+                f"    {e.rank}. {{{', '.join(e.labels)}}}  "
+                f"[side effects {e.lb:.0f}..{e.ub:.0f}, via {e.sa_description}]"
+            )
+        if not self.explanations:
+            lines.append("    (none found)")
+        return "\n".join(lines)
+
+
+def explain(
+    question: WhyNotQuestion,
+    alternatives: Sequence[Iterable] = (),
+    use_schema_alternatives: bool = True,
+    revalidate: bool = True,
+    max_sas: int = 64,
+    validate: bool = True,
+) -> WhyNotResult:
+    """Compute query-based explanations for *question* (Algorithm 1).
+
+    ``alternatives`` is a sequence of groups of interchangeable source
+    attributes, e.g. ``[["person.address2", "person.address1"]]`` — see
+    paper §5.2 (attribute alternatives are an input to the algorithm).
+    """
+    timings: dict[str, float] = {}
+    if validate:
+        question.validate()
+
+    started = time.perf_counter()
+    base = backtrace(question.query, question.db, question.nip)
+    timings["backtrace"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    groups = alternatives if use_schema_alternatives else ()
+    sas = enumerate_schema_alternatives(
+        question.query, question.db, question.nip, base, groups=groups, max_sas=max_sas
+    )
+    timings["alternatives"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    traced = trace(question.query, question.db, sas, revalidate=revalidate)
+    timings["tracing"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    explanations = approximate_msrs(question, sas, traced)
+    timings["approximate"] = time.perf_counter() - started
+
+    return WhyNotResult(question, explanations, sas, base, traced, timings)

@@ -1,0 +1,168 @@
+"""Placeholders for nested instances with placeholders (NIPs, Def. 3).
+
+* ``ANY`` — the instance placeholder ``?`` standing in for any value.
+* ``STAR`` — the multiplicity placeholder ``*`` standing in for zero or more
+  tuples of a nested relation (at most one per bag).
+* :class:`Cond` — a predicate placeholder such as ``gt(0.45)``; the paper's
+  why-not questions in the evaluation constrain aggregate values this way
+  (e.g. ``⟨avgDisc: > 0.45, ?⟩`` in Q1).  Tree-pattern implementations support
+  such value predicates natively, so we model them explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.nested.values import is_null
+
+
+class _Any:
+    """Singleton ``?``: matches any value of the expected type."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+    def __hash__(self) -> int:
+        return hash("placeholder-?")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Any)
+
+
+class _Star:
+    """Singleton ``*``: zero or more tuples inside a bag pattern."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+    def __hash__(self) -> int:
+        return hash("placeholder-*")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Star)
+
+
+ANY = _Any()
+STAR = _Star()
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda v, c: v == c,
+    "!=": lambda v, c: v != c,
+    "<": lambda v, c: v < c,
+    "<=": lambda v, c: v <= c,
+    ">": lambda v, c: v > c,
+    ">=": lambda v, c: v >= c,
+}
+
+
+class Predicate:
+    """Base for predicate placeholders: matches values passing ``test``."""
+
+    def test(self, value: Any) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Cond(Predicate):
+    """A predicate placeholder: matches values satisfying ``value op bound``."""
+
+    __slots__ = ("op", "bound")
+
+    def __init__(self, op: str, bound: Any):
+        if op not in _OPS:
+            raise ValueError(f"unknown predicate op {op!r}")
+        self.op = op
+        self.bound = bound
+
+    def test(self, value: Any) -> bool:
+        if is_null(value):
+            return False
+        try:
+            return _OPS[self.op](value, self.bound)
+        except TypeError:
+            return False
+
+    def __repr__(self) -> str:
+        return f"{self.op}{self.bound!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Cond) and (self.op, self.bound) == (other.op, other.bound)
+
+    def __hash__(self) -> int:
+        return hash(("cond", self.op, self.bound))
+
+
+class HasValue(Predicate):
+    """Descendant-axis placeholder: matches any value *containing* ``needle``.
+
+    The paper expresses why-not questions with XML tree patterns [29], which
+    support descendant edges — "some nested value equals X" without fixing
+    the exact path.  Needed e.g. by scenario D3, where the schema alternative
+    renames the inner attribute (author → editor) the question refers to.
+    """
+
+    __slots__ = ("needle",)
+
+    def __init__(self, needle: Any):
+        self.needle = needle
+
+    def test(self, value: Any) -> bool:
+        from repro.nested.values import Bag, Tup
+
+        if value == self.needle:
+            return True
+        if isinstance(value, Tup):
+            return any(self.test(v) for _, v in value.items())
+        if isinstance(value, Bag):
+            return any(self.test(v) for v in value.distinct())
+        return False
+
+    def __repr__(self) -> str:
+        return f"…{self.needle!r}…"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HasValue) and self.needle == other.needle
+
+    def __hash__(self) -> int:
+        return hash(("hasvalue", self.needle))
+
+
+def eq(bound: Any) -> Cond:
+    return Cond("=", bound)
+
+
+def ne(bound: Any) -> Cond:
+    return Cond("!=", bound)
+
+
+def lt(bound: Any) -> Cond:
+    return Cond("<", bound)
+
+
+def le(bound: Any) -> Cond:
+    return Cond("<=", bound)
+
+
+def gt(bound: Any) -> Cond:
+    return Cond(">", bound)
+
+
+def ge(bound: Any) -> Cond:
+    return Cond(">=", bound)
+
+
+def is_placeholder(value: Any) -> bool:
+    return isinstance(value, (_Any, _Star, Predicate))

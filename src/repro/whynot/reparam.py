@@ -1,0 +1,424 @@
+"""Admissible parameter changes per operator (paper Table 2) and
+reparameterizations (Definitions 6–7).
+
+A *reparameterization* keeps the query structure and changes only operator
+parameters.  This module enumerates, per operator, the finitely many
+*distinguishable* parameter assignments over a database (the PTIME argument
+of Theorem 1: constants only matter up to the active domain):
+
+* selection — swap attribute references (same type), change comparison
+  operators, replace constants with active-domain values / boundary values;
+* projection — substitute referenced attributes (same type);
+* renaming — permutations of the output names;
+* join — change the join type, substitute key attributes;
+* flatten — substitute the flattened attribute (same kind), toggle
+  inner ↔ outer;
+* nesting — change the nested/grouped-on attributes;
+* aggregation — change the aggregate function or the aggregated attribute.
+
+``map`` is deliberately not enumerable (its parameter space is all functions;
+Theorem 1 shows this makes the problem NP-hard) — the exact module skips it,
+as does the heuristic algorithm (paper §5.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.algebra.aggregates import AGGREGATE_FUNCTIONS, AggSpec
+from repro.algebra.expressions import Arith, Attr, Cmp, Const, Expr, COMPARISON_OPS
+from repro.algebra.operators import (
+    GroupAggregation,
+    Join,
+    JOIN_TYPES,
+    NestedAggregation,
+    Operator,
+    Projection,
+    Query,
+    RelationFlatten,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TupleFlatten,
+    TupleNesting,
+)
+from repro.engine.database import Database
+from repro.nested.paths import Path
+from repro.nested.types import BagType, NestedType, TupleType, same_kind
+from repro.nested.values import Bag, Tup, is_null
+
+
+# ---------------------------------------------------------------------------
+# Schema helpers
+# ---------------------------------------------------------------------------
+
+
+def value_paths(schema: TupleType, prefix: Path = ()) -> list[tuple[Path, NestedType]]:
+    """All attribute paths reachable without crossing a bag, with types."""
+    out: list[tuple[Path, NestedType]] = []
+    for name, field_type in schema.fields:
+        path = prefix + (name,)
+        out.append((path, field_type))
+        if isinstance(field_type, TupleType):
+            out.extend(value_paths(field_type, path))
+    return out
+
+
+def bag_attr_paths(schema: TupleType, prefix: Path = ()) -> list[tuple[Path, BagType]]:
+    """All bag-typed attribute paths (not crossing other bags)."""
+    out: list[tuple[Path, BagType]] = []
+    for name, field_type in schema.fields:
+        path = prefix + (name,)
+        if isinstance(field_type, BagType):
+            out.append((path, field_type))
+        elif isinstance(field_type, TupleType):
+            out.extend(bag_attr_paths(field_type, path))
+    return out
+
+
+def compatible_paths(
+    schema: TupleType, original: Path, original_type: NestedType
+) -> list[Path]:
+    """Alternative attribute paths of the same kind as *original* (Table 2)."""
+    return [
+        path
+        for path, path_type in value_paths(schema)
+        if path != original and same_kind(path_type, original_type)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Active domain
+# ---------------------------------------------------------------------------
+
+
+def active_domain(db: Database, tables: Optional[Iterable[str]] = None) -> dict[type, list]:
+    """Primitive constants of the database grouped by Python type, sorted.
+
+    Numeric domains are extended with one value below the minimum and one
+    above the maximum so that "fully relaxing" or "fully tightening" a
+    comparison is representable (the prefix argument in Theorem 1's PTIME
+    proof)."""
+    buckets: dict[type, set] = {}
+
+    def visit(value: Any) -> None:
+        if is_null(value):
+            return
+        if isinstance(value, Tup):
+            for _, field in value.items():
+                visit(field)
+        elif isinstance(value, Bag):
+            for element in value.distinct():
+                visit(element)
+        else:
+            buckets.setdefault(type(value), set()).add(value)
+
+    for table in tables if tables is not None else db.tables():
+        for row in db.relation(table).distinct():
+            visit(row)
+    out: dict[type, list] = {}
+    for bucket_type, values in buckets.items():
+        ordered = sorted(values)
+        if bucket_type in (int, float) and ordered:
+            ordered = [ordered[0] - 1] + ordered + [ordered[-1] + 1]
+        out[bucket_type] = ordered
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Expression variants
+# ---------------------------------------------------------------------------
+
+
+class _SlotCollector:
+    """Collects mutable slots of a condition in deterministic walk order."""
+
+    def __init__(self, expr: Expr):
+        self.attr_slots: list[tuple[int, Attr]] = []
+        self.cmp_slots: list[tuple[int, Cmp]] = []
+        self.const_slots: list[tuple[int, Const]] = []
+        for i, node in enumerate(expr.walk()):
+            if isinstance(node, Attr):
+                self.attr_slots.append((i, node))
+            elif isinstance(node, Cmp):
+                self.cmp_slots.append((i, node))
+            elif isinstance(node, Const):
+                self.const_slots.append((i, node))
+
+
+def _rebuild_with(expr: Expr, replacements: dict[int, Any]) -> Expr:
+    """Rebuild *expr* replacing nodes at given walk positions.
+
+    Replacement values: a ``Path`` for Attr slots, an op string for Cmp slots,
+    a raw value for Const slots.
+    """
+    counter = itertools.count()
+
+    def rebuild(node: Expr) -> Expr:
+        index = next(counter)
+        replacement = replacements.get(index)
+        if isinstance(node, Attr):
+            result = Attr(replacement) if replacement is not None else node
+        elif isinstance(node, Const):
+            result = Const(replacement) if replacement is not None else node
+        elif isinstance(node, Cmp):
+            op = replacement if replacement is not None else node.op
+            result = Cmp(op, rebuild(node.left), rebuild(node.right))
+            return result
+        elif isinstance(node, Arith):
+            return Arith(node.op, rebuild(node.left), rebuild(node.right))
+        else:
+            children = node.children()
+            if not children:
+                return node
+            rebuilt = [rebuild(child) for child in children]
+            result = type(node)(*rebuilt)
+            return result
+        # Leaf handled: still need to consume its (absent) children — Attr and
+        # Const have none, so nothing to do.
+        return result
+
+    return rebuild(expr)
+
+
+def condition_variants(
+    pred: Expr,
+    schema: TupleType,
+    adom: dict[type, list],
+    max_per_slot: int = 25,
+    change_attrs: bool = True,
+    change_ops: bool = True,
+    change_consts: bool = True,
+) -> Iterator[Expr]:
+    """All structure-preserving variants of condition *pred* (excluding the
+    original), following Table 2's admissible changes for selections."""
+    slots = _SlotCollector(pred)
+    options: list[tuple[int, list]] = []
+    if change_attrs:
+        for index, node in slots.attr_slots:
+            try:
+                from repro.algebra.schema import expr_type
+
+                node_type = expr_type(node, schema)
+            except KeyError:
+                continue
+            candidates = compatible_paths(schema, node.path, node_type)[:max_per_slot]
+            options.append((index, [None] + candidates))
+    if change_ops:
+        for index, node in slots.cmp_slots:
+            others = [op for op in COMPARISON_OPS if op != node.op]
+            options.append((index, [None] + others))
+    if change_consts:
+        for index, node in slots.const_slots:
+            pool = adom.get(type(node.value), [])
+            candidates = [v for v in pool if v != node.value][:max_per_slot]
+            options.append((index, [None] + candidates))
+    if not options:
+        return
+    indices = [index for index, _ in options]
+    for combo in itertools.product(*(choices for _, choices in options)):
+        if all(choice is None for choice in combo):
+            continue
+        replacements = {
+            index: choice for index, choice in zip(indices, combo) if choice is not None
+        }
+        yield _rebuild_with(pred, replacements)
+
+
+# ---------------------------------------------------------------------------
+# Per-operator parameter candidates
+# ---------------------------------------------------------------------------
+
+
+def operator_candidates(
+    op: Operator,
+    input_schemas: list[TupleType],
+    adom: dict[type, list],
+    max_per_slot: int = 25,
+    max_total: int = 5000,
+) -> list[dict[str, Any]]:
+    """Distinguishable parameter assignments for *op* (original excluded).
+
+    Returns a list of keyword-argument dicts suitable for
+    ``op.with_params(**params)``.  Operators without admissible changes
+    (table access, union, difference, deduplication, cross product, map,
+    bag-destroy — see Table 2's parameter-free list plus the map exclusion)
+    yield an empty list.
+    """
+    out: list[dict[str, Any]] = []
+    if isinstance(op, Selection):
+        for variant in condition_variants(op.pred, input_schemas[0], adom, max_per_slot):
+            out.append({"pred": variant})
+            if len(out) >= max_total:
+                break
+    elif isinstance(op, Projection):
+        out.extend(_projection_candidates(op, input_schemas[0], max_per_slot, max_total))
+    elif isinstance(op, Renaming):
+        names = [new for new, _ in op.pairs]
+        olds = [old for _, old in op.pairs]
+        for permutation in itertools.permutations(names):
+            if list(permutation) == names:
+                continue
+            out.append({"pairs": tuple(zip(permutation, olds))})
+            if len(out) >= max_total:
+                break
+    elif isinstance(op, Join):
+        out.extend(_join_candidates(op, input_schemas, max_per_slot, max_total))
+    elif isinstance(op, RelationFlatten):
+        bag_type = _type_at(input_schemas[0], op.path)
+        alternates = [
+            path
+            for path, path_type in bag_attr_paths(input_schemas[0])
+            if path != op.path and same_kind(path_type, bag_type)
+        ]
+        for outer in (False, True):
+            for path in [op.path] + alternates[:max_per_slot]:
+                if outer == op.outer and path == op.path:
+                    continue
+                out.append({"path": path, "outer": outer})
+    elif isinstance(op, TupleFlatten):
+        original_type = _type_at(input_schemas[0], op.path)
+        for path in compatible_paths(input_schemas[0], op.path, original_type)[:max_per_slot]:
+            out.append({"path": path})
+    elif isinstance(op, (TupleNesting, RelationNesting)):
+        top_level = [p for p, _ in value_paths(input_schemas[0]) if len(p) == 1]
+        names = [p[0] for p in top_level]
+        for size in range(1, min(len(names), len(op.attrs) + 1) + 1):
+            for combo in itertools.combinations(names, size):
+                if combo == op.attrs:
+                    continue
+                out.append({"attrs": combo})
+                if len(out) >= max_total:
+                    return out
+    elif isinstance(op, NestedAggregation):
+        bag_type = _type_at(input_schemas[0], op.attr)
+        alternates = [
+            path
+            for path, path_type in bag_attr_paths(input_schemas[0])
+            if path != op.attr and same_kind(path_type, bag_type)
+        ]
+        for func in AGGREGATE_FUNCTIONS:
+            for attr in [op.attr] + alternates[:max_per_slot]:
+                if func == op.func and attr == op.attr:
+                    continue
+                out.append({"func": func, "attr": attr})
+    elif isinstance(op, GroupAggregation):
+        out.extend(_group_agg_candidates(op, input_schemas[0], max_per_slot, max_total))
+    return out[:max_total]
+
+
+def _type_at(schema: TupleType, path: Path) -> NestedType:
+    from repro.algebra.schema import expr_type
+
+    return expr_type(Attr(path), schema)
+
+
+def _projection_candidates(
+    op: Projection, schema: TupleType, max_per_slot: int, max_total: int
+) -> Iterator[dict[str, Any]]:
+    per_col_options: list[list[Expr]] = []
+    for _, expr in op.cols:
+        variants: list[Expr] = [expr]
+        slots = _SlotCollector(expr)
+        for index, node in slots.attr_slots:
+            try:
+                node_type = _type_at(schema, node.path)
+            except KeyError:
+                continue
+            for path in compatible_paths(schema, node.path, node_type)[:max_per_slot]:
+                variants.append(_rebuild_with(expr, {index: path}))
+        per_col_options.append(variants)
+    count = 0
+    for combo in itertools.product(*per_col_options):
+        if all(chosen is original for chosen, (_, original) in zip(combo, op.cols)):
+            continue
+        yield {"cols": tuple((name, chosen) for (name, _), chosen in zip(op.cols, combo))}
+        count += 1
+        if count >= max_total:
+            return
+
+
+def _join_candidates(
+    op: Join, input_schemas: list[TupleType], max_per_slot: int, max_total: int
+) -> Iterator[dict[str, Any]]:
+    left_schema, right_schema = input_schemas
+    pair_options: list[list[tuple[Path, Path]]] = []
+    for left_path, right_path in op.on:
+        variants = [(left_path, right_path)]
+        left_type = _type_at(left_schema, left_path)
+        for candidate in compatible_paths(left_schema, left_path, left_type)[:max_per_slot]:
+            variants.append((candidate, right_path))
+        right_type = _type_at(right_schema, right_path)
+        for candidate in compatible_paths(right_schema, right_path, right_type)[:max_per_slot]:
+            variants.append((left_path, candidate))
+        pair_options.append(variants)
+    count = 0
+    for how in JOIN_TYPES:
+        for combo in itertools.product(*pair_options):
+            if how == op.how and tuple(combo) == op.on:
+                continue
+            yield {"how": how, "on": tuple(combo)}
+            count += 1
+            if count >= max_total:
+                return
+
+
+def _group_agg_candidates(
+    op: GroupAggregation, schema: TupleType, max_per_slot: int, max_total: int
+) -> Iterator[dict[str, Any]]:
+    per_spec_options: list[list[AggSpec]] = []
+    for spec in op.aggs:
+        variants = [spec]
+        for func in AGGREGATE_FUNCTIONS:
+            if func != spec.func and spec.expr is not None:
+                variants.append(AggSpec(func, spec.expr, spec.out, spec.distinct))
+        if spec.expr is not None:
+            slots = _SlotCollector(spec.expr)
+            for index, node in slots.attr_slots:
+                try:
+                    node_type = _type_at(schema, node.path)
+                except KeyError:
+                    continue
+                for path in compatible_paths(schema, node.path, node_type)[:max_per_slot]:
+                    variants.append(
+                        AggSpec(
+                            spec.func,
+                            _rebuild_with(spec.expr, {index: path}),
+                            spec.out,
+                            spec.distinct,
+                        )
+                    )
+        per_spec_options.append(variants)
+    count = 0
+    for combo in itertools.product(*per_spec_options):
+        if all(chosen is original for chosen, original in zip(combo, op.aggs)):
+            continue
+        yield {"aggs": tuple(combo)}
+        count += 1
+        if count >= max_total:
+            return
+
+
+# ---------------------------------------------------------------------------
+# Reparameterizations
+# ---------------------------------------------------------------------------
+
+
+class Reparameterization:
+    """A mapping op_id → new parameters, applicable to a query (Def. 7)."""
+
+    def __init__(self, changes: dict[int, dict[str, Any]]):
+        self.changes = changes
+
+    def apply(self, query: Query) -> Query:
+        return query.reparameterize(self.changes)
+
+    @property
+    def delta(self) -> frozenset[int]:
+        """Δ(Q, Q′): the ids of changed operators."""
+        return frozenset(self.changes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"op{op_id}" for op_id in sorted(self.changes))
+        return f"Reparameterization({inner})"

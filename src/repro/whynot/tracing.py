@@ -1,0 +1,567 @@
+"""Step 3: data tracing (paper §5.3).
+
+Operators are instrumented to evaluate *relaxed* semantics jointly under all
+schema alternatives: selections pass everything, flattens run as outer
+flattens, joins as full outer joins — while annotations record, per schema
+alternative Sᵢ:
+
+* ``valid``      — does the tuple exist under Sᵢ (``vals[i] is not None``)?
+* ``consistent`` — does it (still) match the backtraced NIP at this operator
+  (the paper's *re-validation* of compatibles)?
+* ``retained``   — would the operator, as written in Sᵢ's query, produce it
+  (``None`` when the operator never filters: projection, nesting, ...)?
+
+Instead of the paper's ever-widening annotation columns on Spark, each traced
+row carries one tuple per SA plus the flags created *at* the producing
+operator; per-operator snapshots with parent pointers give Algorithm 4 the
+same information (see DESIGN.md §5).
+
+Aggregate-value constraints in NIPs are checked softly: if no row at an
+operator is strictly consistent under some SA, consistency is re-evaluated
+against the pattern with aggregate constraints relaxed to ``?`` (the tracer
+does not enumerate input subsets for aggregates — paper §5.5 caveat (iii)).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.algebra.operators import (
+    BagDestroy,
+    CartesianProduct,
+    Deduplication,
+    Difference,
+    EvalContext,
+    GroupAggregation,
+    Join,
+    Map,
+    NestedAggregation,
+    Operator,
+    Projection,
+    Query,
+    RelationFlatten,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+    TupleNesting,
+    Union,
+)
+from repro.engine.database import Database
+from repro.nested.types import TupleType
+from repro.nested.values import NULL, Bag, Tup, is_null
+from repro.whynot.alternatives import SchemaAlternative
+from repro.whynot.matching import matches
+
+
+class UnsupportedOperator(ValueError):
+    """Raised when the tracer meets an operator it cannot instrument (map)."""
+
+
+@dataclass
+class TRow:
+    """One traced row: a tuple per schema alternative plus annotations."""
+
+    rid: int
+    parents: tuple[int, ...]
+    vals: tuple[Optional[Tup], ...]
+    consistent: tuple[bool, ...] = ()
+    retained: tuple[Optional[bool], ...] = ()
+
+    def valid(self, i: int) -> bool:
+        return self.vals[i] is not None
+
+
+@dataclass
+class OpTrace:
+    """Snapshot of one operator's annotated (relaxed) output."""
+
+    op_id: int
+    rows: list[TRow]
+
+
+@dataclass
+class TraceResult:
+    """All per-operator snapshots plus lookup indexes."""
+
+    traces: dict[int, OpTrace]
+    root_id: int
+    n_sas: int
+    rows_by_rid: dict[int, TRow] = field(default_factory=dict)
+    op_of_rid: dict[int, int] = field(default_factory=dict)
+
+    def final_rows(self) -> list[TRow]:
+        return self.traces[self.root_id].rows
+
+    def ancestors(self, rids: "set[int] | list[int]") -> set[int]:
+        """Transitive parents of the given rows (including themselves)."""
+        seen: set[int] = set()
+        stack = list(rids)
+        while stack:
+            rid = stack.pop()
+            if rid in seen:
+                continue
+            seen.add(rid)
+            stack.extend(self.rows_by_rid[rid].parents)
+        return seen
+
+    def total_rows(self) -> int:
+        return len(self.rows_by_rid)
+
+
+class Tracer:
+    """Runs the instrumented evaluation for a list of schema alternatives."""
+
+    def __init__(
+        self,
+        query: Query,
+        db: Database,
+        sas: list[SchemaAlternative],
+        revalidate: bool = True,
+    ):
+        self.query = query
+        self.db = db
+        self.sas = sas
+        self.revalidate = revalidate
+        self.n = len(sas)
+        self._rid = itertools.count(1)
+        # Per-SA operator views, schemas and evaluation contexts.
+        self._ops = {
+            op.op_id: [sa.query.op(op.op_id) for sa in sas] for op in query.ops
+        }
+        self._schemas = [sa.query.infer_schemas(db) for sa in sas]
+        self._ctxs = [EvalContext(db, schemas) for schemas in self._schemas]
+
+    # -- public entry --------------------------------------------------------
+
+    def run(self) -> TraceResult:
+        result = TraceResult({}, self.query.root.op_id, self.n)
+        for op in self.query.ops:
+            child_traces = [result.traces[c.op_id] for c in op.children]
+            rows = self._trace_op(op, child_traces)
+            self._annotate_consistency(op, rows, result.rows_by_rid)
+            trace = OpTrace(op.op_id, rows)
+            result.traces[op.op_id] = trace
+            for row in rows:
+                result.rows_by_rid[row.rid] = row
+                result.op_of_rid[row.rid] = op.op_id
+        return result
+
+    # -- helpers -------------------------------------------------------------
+
+    def _next_rid(self) -> int:
+        return next(self._rid)
+
+    def _sa_op(self, op: Operator, i: int) -> Operator:
+        return self._ops[op.op_id][i]
+
+    def _annotate_consistency(
+        self, op: Operator, rows: list[TRow], rows_by_rid: dict[int, TRow]
+    ) -> None:
+        """Fill ``consistent`` flags, with the soft aggregate fallback."""
+        if not self.revalidate and not isinstance(op, TableAccess):
+            # Ablation: inherit compatibility from the parents (lineage-style
+            # blind successor tracking, no re-validation).
+            for row in rows:
+                row.consistent = tuple(
+                    row.valid(i)
+                    and any(rows_by_rid[p].consistent[i] for p in row.parents)
+                    for i in range(self.n)
+                )
+            return
+        strict = [self.sas[i].backtrace.nip_at[op.op_id] for i in range(self.n)]
+        relaxed = [self.sas[i].backtrace.relaxed_at[op.op_id] for i in range(self.n)]
+        flags = [
+            [row.valid(i) and matches(row.vals[i], strict[i]) for row in rows]
+            for i in range(self.n)
+        ]
+        for i in range(self.n):
+            if strict[i] != relaxed[i] and not any(flags[i]):
+                flags[i] = [
+                    row.valid(i) and matches(row.vals[i], relaxed[i]) for row in rows
+                ]
+        for j, row in enumerate(rows):
+            row.consistent = tuple(flags[i][j] for i in range(self.n))
+
+    def _no_flag(self) -> tuple[Optional[bool], ...]:
+        return (None,) * self.n
+
+    # -- per-operator tracing --------------------------------------------------
+
+    def _trace_op(self, op: Operator, child_traces: list[OpTrace]) -> list[TRow]:
+        if isinstance(op, TableAccess):
+            return self._trace_table(op)
+        if isinstance(op, Selection):
+            return self._trace_selection(op, child_traces[0])
+        if isinstance(op, (Projection, Renaming, TupleFlatten, TupleNesting, NestedAggregation)):
+            return self._trace_narrow(op, child_traces[0])
+        if isinstance(op, RelationFlatten):
+            return self._trace_flatten(op, child_traces[0])
+        if isinstance(op, Join):
+            return self._trace_join(op, child_traces)
+        if isinstance(op, (RelationNesting, GroupAggregation)):
+            return self._trace_grouping(op, child_traces[0])
+        if isinstance(op, Union):
+            return self._trace_union(op, child_traces)
+        if isinstance(op, Deduplication):
+            return self._trace_passthrough(child_traces[0])
+        if isinstance(op, Difference):
+            return self._trace_difference(op, child_traces)
+        if isinstance(op, CartesianProduct):
+            return self._trace_product(op, child_traces)
+        if isinstance(op, Map):
+            raise UnsupportedOperator("data tracing does not support map (paper §5.5)")
+        if isinstance(op, BagDestroy):
+            raise UnsupportedOperator("data tracing does not support bag-destroy")
+        raise UnsupportedOperator(f"no tracing rule for {type(op).__name__}")
+
+    def _trace_table(self, op: TableAccess) -> list[TRow]:
+        rows = []
+        for tup in self.db.relation(op.table):
+            rows.append(
+                TRow(
+                    rid=self._next_rid(),
+                    parents=(),
+                    vals=(tup,) * self.n,
+                    retained=(True,) * self.n,
+                )
+            )
+        return rows
+
+    def _trace_selection(self, op: Selection, child: OpTrace) -> list[TRow]:
+        rows = []
+        for parent in child.rows:
+            retained = []
+            for i in range(self.n):
+                pred = self._sa_op(op, i).pred
+                retained.append(
+                    bool(pred.eval(parent.vals[i])) if parent.valid(i) else False
+                )
+            rows.append(
+                TRow(
+                    rid=self._next_rid(),
+                    parents=(parent.rid,),
+                    vals=parent.vals,
+                    retained=tuple(retained),
+                )
+            )
+        return rows
+
+    def _trace_narrow(self, op: Operator, child: OpTrace) -> list[TRow]:
+        """Non-filtering unary operators: transform each SA's tuple."""
+        rows = []
+        for parent in child.rows:
+            vals = []
+            for i in range(self.n):
+                if not parent.valid(i):
+                    vals.append(None)
+                    continue
+                sa_op = self._sa_op(op, i)
+                out = sa_op.eval_rows([[parent.vals[i]]], self._ctxs[i])
+                vals.append(out[0] if out else None)
+            rows.append(
+                TRow(
+                    rid=self._next_rid(),
+                    parents=(parent.rid,),
+                    vals=tuple(vals),
+                    retained=self._no_flag(),
+                )
+            )
+        return rows
+
+    def _trace_flatten(self, op: RelationFlatten, child: OpTrace) -> list[TRow]:
+        """Algorithm 3: run as outer flatten per SA, merge by parent row."""
+        rows = []
+        for parent in child.rows:
+            expansions: list[list[tuple[Optional[Tup], Optional[bool]]]] = []
+            for i in range(self.n):
+                if not parent.valid(i):
+                    expansions.append([])
+                    continue
+                sa_op: RelationFlatten = self._sa_op(op, i)  # type: ignore[assignment]
+                expanded, padded = sa_op.expand(parent.vals[i], self._ctxs[i])
+                if padded:
+                    expansions.append([(expanded[0], sa_op.outer)])
+                else:
+                    expansions.append([(t, True) for t in expanded])
+            width = max((len(e) for e in expansions), default=0)
+            for k in range(width):
+                vals = []
+                retained = []
+                for i in range(self.n):
+                    if k < len(expansions[i]):
+                        tup, flag = expansions[i][k]
+                        vals.append(tup)
+                        retained.append(flag)
+                    else:
+                        vals.append(None)
+                        retained.append(False)
+                rows.append(
+                    TRow(
+                        rid=self._next_rid(),
+                        parents=(parent.rid,),
+                        vals=tuple(vals),
+                        retained=tuple(retained),
+                    )
+                )
+        return rows
+
+    def _trace_join(self, op: Join, child_traces: list[OpTrace]) -> list[TRow]:
+        """Relaxed join: full-outer semantics per SA, merged across SAs."""
+        left_rows, right_rows = child_traces[0].rows, child_traces[1].rows
+        match_sets: list[dict[tuple[int, int], Tup]] = []
+        left_matched: list[set[int]] = []
+        right_matched: list[set[int]] = []
+        for i in range(self.n):
+            sa_op: Join = self._sa_op(op, i)  # type: ignore[assignment]
+            left_paths = [l for l, _ in sa_op.on]
+            right_paths = [r for _, r in sa_op.on]
+            index: dict[tuple, list[int]] = {}
+            for jdx, r in enumerate(right_rows):
+                if not r.valid(i):
+                    continue
+                key = sa_op._key(r.vals[i], right_paths)
+                if key is not None:
+                    index.setdefault(key, []).append(jdx)
+            matches_i: dict[tuple[int, int], Tup] = {}
+            lm: set[int] = set()
+            rm: set[int] = set()
+            for ldx, l in enumerate(left_rows):
+                if not l.valid(i):
+                    continue
+                key = sa_op._key(l.vals[i], left_paths)
+                if key is None:
+                    continue
+                for jdx in index.get(key, ()):
+                    combined = sa_op._combine(l.vals[i], right_rows[jdx].vals[i])
+                    if sa_op.extra is not None and not sa_op.extra.eval(combined):
+                        continue
+                    matches_i[(ldx, jdx)] = combined
+                    lm.add(ldx)
+                    rm.add(jdx)
+            match_sets.append(matches_i)
+            left_matched.append(lm)
+            right_matched.append(rm)
+
+        rows: list[TRow] = []
+        all_pairs: dict[tuple[int, int], None] = {}
+        for matches_i in match_sets:
+            for pair in matches_i:
+                all_pairs.setdefault(pair, None)
+        for ldx, jdx in all_pairs:
+            vals = []
+            retained = []
+            for i in range(self.n):
+                combined = match_sets[i].get((ldx, jdx))
+                vals.append(combined)
+                retained.append(combined is not None)
+            rows.append(
+                TRow(
+                    rid=self._next_rid(),
+                    parents=(left_rows[ldx].rid, right_rows[jdx].rid),
+                    vals=tuple(vals),
+                    retained=tuple(retained),
+                )
+            )
+        # Left rows without partner: padded (tracks tuples that an outer join
+        # variant would keep — needed to reparameterize the join type).
+        for ldx, l in enumerate(left_rows):
+            unmatched = [
+                i
+                for i in range(self.n)
+                if l.valid(i) and ldx not in left_matched[i]
+            ]
+            if not unmatched:
+                continue
+            vals = []
+            retained = []
+            for i in range(self.n):
+                sa_op = self._sa_op(op, i)
+                if i in unmatched:
+                    pad = sa_op._pad(self._schemas[i][op.children[1].op_id], sa_op._right_drop())
+                    vals.append(l.vals[i].concat(pad))
+                    retained.append(sa_op.how in ("left", "full"))
+                else:
+                    vals.append(None)
+                    retained.append(False)
+            rows.append(
+                TRow(
+                    rid=self._next_rid(),
+                    parents=(l.rid,),
+                    vals=tuple(vals),
+                    retained=tuple(retained),
+                )
+            )
+        for jdx, r in enumerate(right_rows):
+            unmatched = [
+                i
+                for i in range(self.n)
+                if r.valid(i) and jdx not in right_matched[i]
+            ]
+            if not unmatched:
+                continue
+            vals = []
+            retained = []
+            for i in range(self.n):
+                sa_op = self._sa_op(op, i)
+                if i in unmatched:
+                    pad = sa_op._pad(self._schemas[i][op.children[0].op_id])
+                    right_val = r.vals[i]
+                    if sa_op._right_drop():
+                        right_val = right_val.drop(sa_op._right_drop())
+                    vals.append(pad.concat(right_val))
+                    retained.append(sa_op.how in ("right", "full"))
+                else:
+                    vals.append(None)
+                    retained.append(False)
+            rows.append(
+                TRow(
+                    rid=self._next_rid(),
+                    parents=(r.rid,),
+                    vals=tuple(vals),
+                    retained=tuple(retained),
+                )
+            )
+        return rows
+
+    def _trace_grouping(
+        self, op: "RelationNesting | GroupAggregation", child: OpTrace
+    ) -> list[TRow]:
+        """Figure 7's four steps: per-SA nest/aggregate valid rows, then merge
+        the per-SA results full-outer-join-style on the group key."""
+        merged: dict[Any, dict[int, tuple[Tup, list[int]]]] = {}
+        order: list[Any] = []
+        for i in range(self.n):
+            sa_op = self._sa_op(op, i)
+            groups: dict[Tup, list[TRow]] = {}
+            for parent in child.rows:
+                if not parent.valid(i):
+                    continue
+                if isinstance(sa_op, RelationNesting):
+                    key = sa_op.group_key(parent.vals[i])
+                else:
+                    key = sa_op.key_tuple(parent.vals[i])
+                groups.setdefault(key, []).append(parent)
+            if isinstance(sa_op, GroupAggregation) and not sa_op.key_specs:
+                members = [p for p in child.rows if p.valid(i)]
+                groups = {Tup(): members}
+            for key, members in groups.items():
+                if isinstance(sa_op, RelationNesting):
+                    nested = Bag(
+                        p.vals[i].project(sa_op.attrs) for p in members
+                    )
+                    out = key.concat(Tup([(sa_op.target, nested)]))
+                else:
+                    out = key.concat(Tup(sa_op.aggregate_group([p.vals[i] for p in members])))
+                slot = merged.get(key)
+                if slot is None:
+                    slot = {}
+                    merged[key] = slot
+                    order.append(key)
+                slot[i] = (out, [p.rid for p in members])
+        rows = []
+        for key in order:
+            slot = merged[key]
+            vals = []
+            parents: dict[int, None] = {}
+            for i in range(self.n):
+                if i in slot:
+                    out, rids = slot[i]
+                    vals.append(out)
+                    for rid in rids:
+                        parents.setdefault(rid, None)
+                else:
+                    vals.append(None)
+            rows.append(
+                TRow(
+                    rid=self._next_rid(),
+                    parents=tuple(parents),
+                    vals=tuple(vals),
+                    retained=self._no_flag(),
+                )
+            )
+        return rows
+
+    def _trace_union(self, op: Union, child_traces: list[OpTrace]) -> list[TRow]:
+        rows = []
+        for trace in child_traces:
+            for parent in trace.rows:
+                rows.append(
+                    TRow(
+                        rid=self._next_rid(),
+                        parents=(parent.rid,),
+                        vals=parent.vals,
+                        retained=self._no_flag(),
+                    )
+                )
+        return rows
+
+    def _trace_passthrough(self, child: OpTrace) -> list[TRow]:
+        return [
+            TRow(
+                rid=self._next_rid(),
+                parents=(parent.rid,),
+                vals=parent.vals,
+                retained=self._no_flag(),
+            )
+            for parent in child.rows
+        ]
+
+    def _trace_difference(self, op: Difference, child_traces: list[OpTrace]) -> list[TRow]:
+        left, right = child_traces
+        right_bags = []
+        for i in range(self.n):
+            right_bags.append(Bag(r.vals[i] for r in right.rows if r.valid(i)))
+        rows = []
+        for parent in left.rows:
+            retained = []
+            for i in range(self.n):
+                if not parent.valid(i):
+                    retained.append(False)
+                else:
+                    retained.append(right_bags[i].mult(parent.vals[i]) == 0)
+            rows.append(
+                TRow(
+                    rid=self._next_rid(),
+                    parents=(parent.rid,),
+                    vals=parent.vals,
+                    retained=tuple(retained),
+                )
+            )
+        return rows
+
+    def _trace_product(self, op: CartesianProduct, child_traces: list[OpTrace]) -> list[TRow]:
+        left, right = child_traces
+        if len(left.rows) * len(right.rows) > 250_000:
+            raise UnsupportedOperator(
+                "cartesian product too large to trace; the paper's algorithm "
+                "avoids cross products (§5.5)"
+            )
+        rows = []
+        for l in left.rows:
+            for r in right.rows:
+                vals = []
+                for i in range(self.n):
+                    if l.valid(i) and r.valid(i):
+                        vals.append(l.vals[i].concat(r.vals[i]))
+                    else:
+                        vals.append(None)
+                rows.append(
+                    TRow(
+                        rid=self._next_rid(),
+                        parents=(l.rid, r.rid),
+                        vals=tuple(vals),
+                        retained=self._no_flag(),
+                    )
+                )
+        return rows
+
+
+def trace(
+    query: Query, db: Database, sas: list[SchemaAlternative], revalidate: bool = True
+) -> TraceResult:
+    """Run the instrumented (relaxed) evaluation for all schema alternatives."""
+    return Tracer(query, db, sas, revalidate=revalidate).run()

@@ -1,0 +1,59 @@
+"""Unit tests for the SQL aggregate functions."""
+
+import pytest
+
+from repro.algebra.aggregates import AGGREGATE_FUNCTIONS, AggSpec, apply_aggregate
+from repro.algebra.expressions import col
+from repro.nested.values import NULL, is_null
+
+
+class TestApplyAggregate:
+    def test_sum(self):
+        assert apply_aggregate("sum", [1, 2, 3]) == 6
+
+    def test_count_skips_nulls(self):
+        assert apply_aggregate("count", [1, NULL, 3]) == 2
+
+    def test_count_empty_is_zero(self):
+        assert apply_aggregate("count", []) == 0
+
+    def test_value_aggregates_on_empty_are_null(self):
+        for func in ("sum", "avg", "min", "max"):
+            assert is_null(apply_aggregate(func, []))
+            assert is_null(apply_aggregate(func, [NULL, NULL]))
+
+    def test_avg(self):
+        assert apply_aggregate("avg", [1, 2, 3]) == 2
+
+    def test_min_max(self):
+        assert apply_aggregate("min", [3, 1, 2]) == 1
+        assert apply_aggregate("max", [3, 1, 2]) == 3
+
+    def test_distinct(self):
+        assert apply_aggregate("count", [1, 1, 2], distinct=True) == 2
+        assert apply_aggregate("sum", [1, 1, 2], distinct=True) == 3
+
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            apply_aggregate("median", [1])
+
+
+class TestAggSpec:
+    def test_count_star(self):
+        spec = AggSpec("count", None, "n")
+        assert spec.label() == "count(*)→n"
+
+    def test_value_aggregate_requires_expr(self):
+        with pytest.raises(ValueError):
+            AggSpec("sum", None, "s")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            AggSpec("median", col("a"), "m")
+
+    def test_distinct_label(self):
+        assert "distinct" in AggSpec("count", col("a"), "n", distinct=True).label()
+
+    def test_all_functions_supported(self):
+        for func in AGGREGATE_FUNCTIONS:
+            AggSpec(func, col("a"), "out")

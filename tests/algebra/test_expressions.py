@@ -1,0 +1,140 @@
+"""Unit tests for the expression/condition language."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    Contains,
+    IsNull,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.nested.values import NULL, Bag, Tup, is_null
+
+
+ROW = Tup(a=5, b="hello world", c=NULL, nested=Tup(x=3), tags=Bag(["x", "y"]))
+
+
+class TestAttr:
+    def test_eval(self):
+        assert Attr("a").eval(ROW) == 5
+
+    def test_eval_path(self):
+        assert Attr("nested.x").eval(ROW) == 3
+
+    def test_map_attrs(self):
+        rewritten = Attr("a").map_attrs(lambda p: ("b",))
+        assert rewritten == Attr("b")
+
+    def test_repr(self):
+        assert repr(Attr("nested.x")) == "nested.x"
+
+
+class TestCmp:
+    def test_all_operators(self):
+        assert col("a").eq(5).eval(ROW)
+        assert col("a").ne(4).eval(ROW)
+        assert col("a").lt(6).eval(ROW)
+        assert col("a").le(5).eval(ROW)
+        assert col("a").gt(4).eval(ROW)
+        assert col("a").ge(5).eval(ROW)
+
+    def test_null_comparisons_are_false(self):
+        assert not col("c").eq(NULL).eval(ROW)
+        assert not col("c").ne(5).eval(ROW)
+        assert not col("c").lt(5).eval(ROW)
+
+    def test_type_mismatch_is_false(self):
+        assert not col("a").lt("zzz").eval(ROW)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Cmp("<>", col("a"), lit(1))
+
+    def test_with_op(self):
+        c = col("a").ge(5)
+        assert c.with_op("<").eval(ROW) is False
+
+    def test_attr_paths_lists_references(self):
+        pred = And(col("a").ge(1), col("nested.x").lt(col("a")))
+        assert pred.attr_paths() == [("a",), ("nested", "x"), ("a",)]
+
+
+class TestBoolean:
+    def test_and_or_not(self):
+        assert And(col("a").ge(1), col("a").le(9)).eval(ROW)
+        assert Or(col("a").eq(0), col("a").eq(5)).eval(ROW)
+        assert Not(col("a").eq(0)).eval(ROW)
+
+    def test_and_flattens(self):
+        inner = And(col("a").eq(5), col("a").ge(0))
+        outer = And(inner, col("a").le(9))
+        assert len(outer.terms) == 3
+
+    def test_operator_overloads(self):
+        pred = (col("a").ge(1)) & (col("a").le(9)) | ~col("a").eq(5)
+        assert isinstance(pred, Or)
+        assert pred.eval(ROW)
+
+    def test_between_sugar(self):
+        assert col("a").between(1, 9).eval(ROW)
+        assert not col("a").between(6, 9).eval(ROW)
+
+
+class TestArith:
+    def test_basic(self):
+        assert (col("a") + 1).eval(ROW) == 6
+        assert (col("a") * 2).eval(ROW) == 10
+        assert (col("a") - 3).eval(ROW) == 2
+        assert (col("a") / 2).eval(ROW) == 2.5
+
+    def test_reflected(self):
+        assert (1 - col("a") * 0).eval(ROW) == 1
+
+    def test_null_absorbing(self):
+        assert is_null((col("c") + 1).eval(ROW))
+
+    def test_composition(self):
+        # TPC-H disc_price pattern: extendedprice * (1 - discount)
+        expr = col("a") * (lit(1) - col("nested.x"))
+        assert expr.eval(ROW) == 5 * (1 - 3)
+
+
+class TestContains:
+    def test_substring(self):
+        assert col("b").contains("world").eval(ROW)
+        assert not col("b").contains("mars").eval(ROW)
+
+    def test_bag_membership(self):
+        assert col("tags").contains("x").eval(ROW)
+        assert not col("tags").contains("z").eval(ROW)
+
+    def test_null_haystack(self):
+        assert not col("c").contains("x").eval(ROW)
+
+    def test_not_contains(self):
+        assert Not(col("b").contains("mars")).eval(ROW)
+
+
+class TestIsNull:
+    def test_is_null(self):
+        assert IsNull(col("c")).eval(ROW)
+        assert not IsNull(col("a")).eval(ROW)
+
+
+class TestStructuralEquality:
+    def test_equal_expressions(self):
+        assert col("a").ge(5) == col("a").ge(5)
+        assert col("a").ge(5) != col("a").ge(6)
+        assert hash(col("a").ge(5)) == hash(col("a").ge(5))
+
+    def test_map_attrs_rebuilds_deeply(self):
+        pred = And(col("x").eq(1), Or(col("y").lt(2), Not(col("x").gt(0))))
+        rewritten = pred.map_attrs(lambda p: ("z",) if p == ("x",) else p)
+        assert rewritten.attr_paths() == [("z",), ("y",), ("z",)]

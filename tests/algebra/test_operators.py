@@ -1,0 +1,325 @@
+"""Unit tests for NRAB operator semantics (paper Table 1)."""
+
+import pytest
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import col, lit
+from repro.algebra.operators import (
+    BagDestroy,
+    CartesianProduct,
+    Deduplication,
+    Difference,
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    Map,
+    NestedAggregation,
+    OuterFlatten,
+    Projection,
+    Query,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+    TupleNesting,
+    Union,
+)
+from repro.engine.database import Database
+from repro.nested.values import NULL, Bag, Tup, is_null
+
+
+def run(plan, db):
+    return Query(plan).evaluate(db)
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": [
+                Tup(a=1, b="x", nested=Bag([Tup(k=1), Tup(k=2)])),
+                Tup(a=1, b="x", nested=Bag([Tup(k=1), Tup(k=2)])),
+                Tup(a=2, b="y", nested=Bag()),
+            ],
+            "S": [Tup(c=1, d="l"), Tup(c=3, d="m")],
+        }
+    )
+
+
+class TestTableAccess:
+    def test_reads_with_multiplicity(self, db):
+        result = run(TableAccess("R"), db)
+        assert len(result) == 3
+        assert result.mult(Tup(a=1, b="x", nested=Bag([Tup(k=1), Tup(k=2)]))) == 2
+
+
+class TestProjection:
+    def test_projects_and_merges_duplicates(self, db):
+        result = run(Projection(TableAccess("R"), ["b"]), db)
+        assert result.mult(Tup(b="x")) == 2
+        assert result.mult(Tup(b="y")) == 1
+
+    def test_computed_column(self, db):
+        result = run(Projection(TableAccess("R"), [("twice", col("a") * 2)]), db)
+        assert result.mult(Tup(twice=2)) == 2
+
+    def test_dotted_path_shorthand(self):
+        db = Database({"T": [Tup(u=Tup(name="sue"))]})
+        result = run(Projection(TableAccess("T"), ["u.name"]), db)
+        assert result == Bag([Tup(name="sue")])
+
+    def test_duplicate_output_names_rejected(self, db):
+        with pytest.raises(ValueError):
+            Projection(TableAccess("R"), ["a", ("a", col("b"))])
+
+
+class TestRenaming:
+    def test_partial_rename(self, db):
+        result = run(Renaming(TableAccess("S"), [("key", "c")]), db)
+        assert Tup(key=1, d="l") in result
+
+
+class TestSelection:
+    def test_filters(self, db):
+        result = run(Selection(TableAccess("R"), col("a").eq(1)), db)
+        assert len(result) == 2
+
+    def test_null_semantics(self):
+        db = Database({"T": [Tup(a=NULL), Tup(a=1)]})
+        result = run(Selection(TableAccess("T"), col("a").ge(0)), db)
+        assert result == Bag([Tup(a=1)])
+
+
+class TestJoin:
+    def test_inner_multiplicities(self):
+        db = Database(
+            {"L": [Tup(k=1)] * 2, "R2": [Tup(j=1, v="a")] * 3 + [Tup(j=2, v="b")]}
+        )
+        result = run(Join(TableAccess("L"), TableAccess("R2"), [("k", "j")]), db)
+        assert result.mult(Tup(k=1, j=1, v="a")) == 6  # 2 × 3 (Table 1: k·l)
+
+    def test_left_outer_pads_nulls(self, db):
+        result = run(
+            Join(TableAccess("S"), TableAccess("R"), [("c", "a")], how="left"), db
+        )
+        padded = [t for t in result if is_null(t["a"])]
+        assert len(padded) == 1 and padded[0]["c"] == 3
+
+    def test_right_outer(self, db):
+        result = run(
+            Join(TableAccess("S"), TableAccess("R"), [("c", "a")], how="right"), db
+        )
+        padded = [t for t in result if is_null(t["c"])]
+        assert {t["a"] for t in padded} == {2}
+
+    def test_full_outer(self, db):
+        result = run(
+            Join(TableAccess("S"), TableAccess("R"), [("c", "a")], how="full"), db
+        )
+        assert any(is_null(t["a"]) for t in result)
+        assert any(is_null(t["c"]) for t in result)
+
+    def test_null_keys_never_match(self):
+        db = Database({"L": [Tup(k=NULL)], "R2": [Tup(j=NULL, v=1)]})
+        result = run(Join(TableAccess("L"), TableAccess("R2"), [("k", "j")]), db)
+        assert result.is_empty()
+
+    def test_residual_predicate(self, db):
+        result = run(
+            Join(
+                TableAccess("S"),
+                TableAccess("R"),
+                [("c", "a")],
+                extra=col("d").eq("l"),
+            ),
+            db,
+        )
+        assert all(t["d"] == "l" for t in result)
+
+    def test_drop_right_keys(self):
+        db = Database({"L": [Tup(k=1, x="a")], "R2": [Tup(k=1, y="b")]})
+        result = run(
+            Join(TableAccess("L"), TableAccess("R2"), [("k", "k")], drop_right_keys=True),
+            db,
+        )
+        assert result == Bag([Tup(k=1, x="a", y="b")])
+
+    def test_bad_join_type_rejected(self, db):
+        with pytest.raises(ValueError):
+            Join(TableAccess("S"), TableAccess("R"), [("c", "a")], how="semi")
+
+
+class TestFlatten:
+    def test_inner_flatten_concat_fields(self, db):
+        result = run(InnerFlatten(TableAccess("R"), "nested"), db)
+        # Each of the two duplicate rows expands into its 2 nested tuples;
+        # the empty-bag row is dropped (inner semantics).
+        assert len(result) == 4
+        assert result.mult(Tup(a=1, b="x", nested=Bag([Tup(k=1), Tup(k=2)]), k=1)) == 2
+
+    def test_inner_flatten_drops_empty(self, db):
+        result = run(InnerFlatten(TableAccess("R"), "nested"), db)
+        assert not any(t["a"] == 2 for t in result)
+
+    def test_outer_flatten_pads(self, db):
+        result = run(OuterFlatten(TableAccess("R"), "nested"), db)
+        padded = [t for t in result if t["a"] == 2]
+        assert len(padded) == 1 and is_null(padded[0]["k"])
+
+    def test_flatten_null_bag_like_empty(self):
+        db = Database(
+            {"T": [Tup(a=1, nested=NULL), Tup(a=2, nested=Bag([Tup(k=9)]))]}
+        )
+        inner = run(InnerFlatten(TableAccess("T"), "nested"), db)
+        assert len(inner) == 1
+        outer = run(OuterFlatten(TableAccess("T"), "nested"), db)
+        assert len(outer) == 2
+
+    def test_flatten_with_alias(self, db):
+        result = run(InnerFlatten(TableAccess("R"), "nested", alias="item"), db)
+        assert any(t["item"] == Tup(k=1) for t in result)
+
+    def test_flatten_primitive_bag_requires_alias(self):
+        db = Database({"T": [Tup(a=1, tags=Bag(["x"]))]})
+        with pytest.raises(TypeError):
+            run(InnerFlatten(TableAccess("T"), "tags"), db)
+        result = run(InnerFlatten(TableAccess("T"), "tags", alias="tag"), db)
+        assert result == Bag([Tup(a=1, tags=Bag(["x"]), tag="x")])
+
+
+class TestTupleFlatten:
+    def test_concat_fields(self):
+        db = Database({"T": [Tup(a=1, info=Tup(x=2, y=3))]})
+        result = run(TupleFlatten(TableAccess("T"), "info"), db)
+        assert result == Bag([Tup(a=1, info=Tup(x=2, y=3), x=2, y=3)])
+
+    def test_alias_extracts_field(self):
+        db = Database({"T": [Tup(a=1, info=Tup(x=2))]})
+        result = run(TupleFlatten(TableAccess("T"), "info.x", alias="x_val"), db)
+        assert result == Bag([Tup(a=1, info=Tup(x=2), x_val=2)])
+
+    def test_alias_replaces_existing_column(self):
+        # Spark's withColumn semantics, used by the DBLP scenarios.
+        db = Database({"T": [Tup(title=Tup(text="t", bibtex=NULL))]})
+        result = run(TupleFlatten(TableAccess("T"), "title.text", alias="title"), db)
+        assert result == Bag([Tup(title="t")])
+
+    def test_null_struct_pads(self):
+        db = Database(
+            {"T": [Tup(a=1, info=Tup(x=2)), Tup(a=2, info=NULL)]}
+        )
+        result = run(TupleFlatten(TableAccess("T"), "info"), db)
+        padded = [t for t in result if t["a"] == 2]
+        assert is_null(padded[0]["x"])
+
+
+class TestNesting:
+    def test_tuple_nesting(self, db):
+        result = run(TupleNesting(TableAccess("S"), ["c"], "packed"), db)
+        assert Tup(d="l", packed=Tup(c=1)) in result
+
+    def test_relation_nesting_groups(self):
+        db = Database(
+            {"T": [Tup(name="a", city="x"), Tup(name="b", city="x"), Tup(name="a", city="y")]}
+        )
+        result = run(RelationNesting(TableAccess("T"), ["name"], "names"), db)
+        assert result.mult(Tup(city="x", names=Bag([Tup(name="a"), Tup(name="b")]))) == 1
+        assert result.mult(Tup(city="y", names=Bag([Tup(name="a")]))) == 1
+
+    def test_relation_nesting_multiplicity_one(self):
+        db = Database({"T": [Tup(name="a", city="x")] * 3})
+        result = run(RelationNesting(TableAccess("T"), ["name"], "names"), db)
+        assert len(result) == 1
+        (row,) = result
+        assert row["names"].mult(Tup(name="a")) == 3
+
+
+class TestAggregation:
+    def test_nested_count(self, db):
+        result = run(NestedAggregation(TableAccess("R"), "count", "nested", "cnt"), db)
+        assert any(t["cnt"] == 2 for t in result)
+        assert any(t["cnt"] == 0 for t in result)
+
+    def test_nested_sum_unwraps_unary_tuples(self):
+        db = Database({"T": [Tup(vals=Bag([Tup(v=1), Tup(v=2)]))]})
+        result = run(NestedAggregation(TableAccess("T"), "sum", "vals", "total"), db)
+        (row,) = result
+        assert row["total"] == 3
+
+    def test_nested_agg_field(self):
+        db = Database({"T": [Tup(vals=Bag([Tup(v=1, w=5), Tup(v=2, w=7)]))]})
+        result = run(
+            NestedAggregation(TableAccess("T"), "max", "vals", "m", field="w"), db
+        )
+        (row,) = result
+        assert row["m"] == 7
+
+    def test_group_by(self, db):
+        result = run(
+            GroupAggregation(
+                TableAccess("R"), ["b"], [AggSpec("count", None, "n"), AggSpec("sum", col("a"), "s")]
+            ),
+            db,
+        )
+        assert result.mult(Tup(b="x", n=2, s=2)) == 1
+        assert result.mult(Tup(b="y", n=1, s=2)) == 1
+
+    def test_global_aggregate_on_empty_input(self):
+        db = Database({"T": []}, schemas={"T": __import__("repro.nested.types", fromlist=["TupleType"]).TupleType([("a", __import__("repro.nested.types", fromlist=["INT"]).INT)])})
+        result = run(
+            GroupAggregation(TableAccess("T"), [], [AggSpec("count", None, "n"), AggSpec("sum", col("a"), "s")]),
+            db,
+        )
+        (row,) = result
+        assert row["n"] == 0 and is_null(row["s"])
+
+    def test_count_distinct(self):
+        db = Database({"T": [Tup(a=1), Tup(a=1), Tup(a=2)]})
+        result = run(
+            GroupAggregation(
+                TableAccess("T"), [], [AggSpec("count", col("a"), "n", distinct=True)]
+            ),
+            db,
+        )
+        (row,) = result
+        assert row["n"] == 2
+
+
+class TestSetOperators:
+    def test_union_adds(self, db):
+        result = run(Union(TableAccess("S"), TableAccess("S")), db)
+        assert result.mult(Tup(c=1, d="l")) == 2
+
+    def test_difference(self):
+        db = Database({"A": [Tup(x=1)] * 3 + [Tup(x=2)], "B": [Tup(x=1)]})
+        result = run(Difference(TableAccess("A"), TableAccess("B")), db)
+        assert result.mult(Tup(x=1)) == 2
+        assert result.mult(Tup(x=2)) == 1
+
+    def test_deduplication(self, db):
+        result = run(Deduplication(TableAccess("R")), db)
+        assert len(result) == 2
+
+    def test_cartesian_product(self, db):
+        renamed = Renaming(TableAccess("S"), [("c2", "c"), ("d2", "d")])
+        result = run(CartesianProduct(TableAccess("S"), renamed), db)
+        assert len(result) == 4
+
+    def test_cartesian_product_name_clash_rejected(self, db):
+        with pytest.raises(ValueError):
+            run(CartesianProduct(TableAccess("S"), TableAccess("S")), db)
+
+
+class TestMapAndBagDestroy:
+    def test_map(self, db):
+        result = run(
+            Map(TableAccess("S"), lambda t: Tup(c=t["c"] * 10, d=t["d"])), db
+        )
+        assert Tup(c=10, d="l") in result
+
+    def test_bag_destroy(self):
+        db = Database({"T": [Tup(inner=Bag([Tup(v=1), Tup(v=2)])), Tup(inner=Bag([Tup(v=1)]))]})
+        result = run(BagDestroy(TableAccess("T"), "inner"), db)
+        assert result.mult(Tup(v=1)) == 2
+        assert result.mult(Tup(v=2)) == 1

@@ -1,0 +1,80 @@
+"""Unit tests for Query: operator identity, reparameterization, Δ (Def. 7/9)."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    InnerFlatten,
+    Projection,
+    Query,
+    RelationNesting,
+    Selection,
+    TableAccess,
+)
+from repro.datasets.people import person_database, person_query
+from repro.nested.values import Bag, Tup
+
+
+class TestIdentity:
+    def test_ids_assigned_topologically(self, running_query):
+        labels = [op.label for op in running_query.ops]
+        assert labels == ["R1", "F", "σ", "π", "N"]
+        assert [op.op_id for op in running_query.ops] == [1, 2, 3, 4, 5]
+
+    def test_op_lookup(self, running_query):
+        assert running_query.op(3).label == "σ"
+        assert running_query.op_by_label("π").op_id == 4
+        with pytest.raises(KeyError):
+            running_query.op_by_label("nope")
+
+    def test_default_labels_use_symbol_and_id(self):
+        q = Query(Selection(TableAccess("person"), col("name").eq("Sue")))
+        assert q.op(2).label == "σ2"
+
+
+class TestReparameterize:
+    def test_preserves_ids_and_structure(self, running_query):
+        new = running_query.reparameterize({3: {"pred": col("year").ge(2018)}})
+        assert [op.op_id for op in new.ops] == [op.op_id for op in running_query.ops]
+        assert type(new.op(3)) is type(running_query.op(3))
+
+    def test_changes_semantics(self, person_db, running_query):
+        relaxed = running_query.reparameterize({3: {"pred": col("year").ge(2018)}})
+        result = relaxed.evaluate(person_db)
+        assert any(t["city"] == "NY" for t in result)
+
+    def test_delta(self, running_query):
+        new = running_query.reparameterize(
+            {3: {"pred": col("year").ge(2018)}, 2: {"path": ("address1",)}}
+        )
+        assert running_query.delta(new) == frozenset({2, 3})
+
+    def test_delta_of_identity_is_empty(self, running_query):
+        clone = running_query.reparameterize({})
+        assert running_query.delta(clone) == frozenset()
+
+    def test_unknown_param_rejected(self, running_query):
+        with pytest.raises(ValueError):
+            running_query.op(3).with_params(bogus=1)
+
+    def test_original_query_untouched(self, person_db, running_query):
+        before = running_query.evaluate(person_db)
+        running_query.reparameterize({3: {"pred": col("year").ge(0)}})
+        assert running_query.evaluate(person_db) == before
+
+
+class TestEvaluation:
+    def test_running_example_result(self, person_db, running_query):
+        # Figure 1b: a single tuple ⟨city: LA, nList: {{⟨name: Sue⟩}}⟩.
+        result = running_query.evaluate(person_db)
+        assert result == Bag([Tup(city="LA", nList=Bag([Tup(name="Sue")]))])
+
+    def test_describe_mentions_all_ops(self, running_query):
+        text = running_query.describe()
+        for label in ["F", "σ", "π", "N"]:
+            assert label in text
+
+    def test_schemas_inferred_per_op(self, person_db, running_query):
+        schemas = running_query.infer_schemas(person_db)
+        assert schemas[4].names == ("name", "city")
+        assert schemas[5].names == ("city", "nList")

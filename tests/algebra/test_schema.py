@@ -1,0 +1,125 @@
+"""Unit tests for schema inference (the ``type(·)`` column of Table 1)."""
+
+import pytest
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import col, lit
+from repro.algebra.operators import (
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    OuterFlatten,
+    Projection,
+    Query,
+    RelationNesting,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+    TupleNesting,
+)
+from repro.algebra.schema import expr_type, validate_expr
+from repro.engine.database import Database
+from repro.nested.types import BOOL, FLOAT, INT, STR, BagType, TupleType
+from repro.nested.values import Bag, Tup
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "person": [
+                Tup(
+                    name="Sue",
+                    age=33,
+                    address2=Bag([Tup(city="NY", year=2018)]),
+                    place=Tup(country="US"),
+                )
+            ]
+        }
+    )
+
+
+def schema_of(plan, db):
+    q = Query(plan)
+    return q.infer_schemas(db)[q.root.op_id]
+
+
+class TestExprType:
+    def test_attr(self, db):
+        schema = db.schema("person")
+        assert expr_type(col("name"), schema) == STR
+        assert expr_type(col("place.country"), schema) == STR
+
+    def test_const(self, db):
+        assert expr_type(lit(1), db.schema("person")) == INT
+
+    def test_comparison_is_bool(self, db):
+        assert expr_type(col("age").ge(1), db.schema("person")) == BOOL
+
+    def test_arith(self, db):
+        schema = db.schema("person")
+        assert expr_type(col("age") + 1, schema) == INT
+        assert expr_type(col("age") / 2, schema) == FLOAT
+
+    def test_validate_expr(self, db):
+        schema = db.schema("person")
+        assert validate_expr(col("age").ge(1), schema)
+        assert not validate_expr(col("bogus").ge(1), schema)
+
+
+class TestOperatorSchemas:
+    def test_selection_preserves(self, db):
+        schema = schema_of(Selection(TableAccess("person"), col("age").ge(0)), db)
+        assert schema == db.schema("person")
+
+    def test_projection(self, db):
+        schema = schema_of(Projection(TableAccess("person"), ["name", ("a2", col("age") * 2)]), db)
+        assert schema.names == ("name", "a2")
+
+    def test_inner_flatten_concat(self, db):
+        schema = schema_of(InnerFlatten(TableAccess("person"), "address2"), db)
+        assert schema.names[-2:] == ("city", "year")
+
+    def test_outer_flatten_same_schema_as_inner(self, db):
+        inner = schema_of(InnerFlatten(TableAccess("person"), "address2"), db)
+        outer = schema_of(OuterFlatten(TableAccess("person"), "address2"), db)
+        assert inner == outer
+
+    def test_flatten_alias(self, db):
+        schema = schema_of(InnerFlatten(TableAccess("person"), "address2", alias="addr"), db)
+        assert schema.field("addr") == TupleType([("city", STR), ("year", INT)])
+
+    def test_tuple_flatten_alias_replaces(self, db):
+        schema = schema_of(
+            TupleFlatten(TableAccess("person"), "place.country", alias="place"), db
+        )
+        assert schema.field("place") == STR
+
+    def test_relation_nesting(self, db):
+        flat = InnerFlatten(TableAccess("person"), "address2")
+        proj = Projection(flat, ["name", "city"])
+        schema = schema_of(RelationNesting(proj, ["name"], "nList"), db)
+        assert schema == TupleType(
+            [("city", STR), ("nList", BagType(TupleType([("name", STR)])))]
+        )
+
+    def test_tuple_nesting(self, db):
+        proj = Projection(TableAccess("person"), ["name", "age"])
+        schema = schema_of(TupleNesting(proj, ["age"], "packed"), db)
+        assert schema.field("packed") == TupleType([("age", INT)])
+
+    def test_join_concat(self, db):
+        join = Join(
+            Projection(TableAccess("person"), ["name"]),
+            Projection(TableAccess("person"), [("nm", col("name")), "age"]),
+            [("name", "nm")],
+        )
+        assert schema_of(join, db).names == ("name", "nm", "age")
+
+    def test_group_aggregation(self, db):
+        agg = GroupAggregation(
+            TableAccess("person"), ["name"], [AggSpec("count", None, "n")]
+        )
+        schema = schema_of(agg, db)
+        assert schema.names == ("name", "n")
+        assert schema.field("n") == INT

@@ -1,0 +1,168 @@
+"""Tests for the WN++ and Conseil baselines on controlled inputs."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    InnerFlatten,
+    Join,
+    Projection,
+    Query,
+    Selection,
+    TableAccess,
+)
+from repro.baselines import conseil_explain, wnpp_explain
+from repro.baselines.common import build_s1_trace
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.whynot.placeholders import ANY, STAR
+from repro.whynot.question import WhyNotQuestion
+
+
+class TestRunningExample:
+    def test_wnpp_finds_sigma(self, running_question):
+        """Example 2: WN++ identifies the selection as picky."""
+        assert [e.labels for e in wnpp_explain(running_question)] == [("σ",)]
+
+    def test_conseil_finds_sigma(self, running_question):
+        assert [e.labels for e in conseil_explain(running_question)] == [("σ",)]
+
+    def test_shared_s1_trace(self, running_question):
+        s1 = build_s1_trace(running_question)
+        assert wnpp_explain(running_question, s1) == wnpp_explain(running_question)
+
+
+class TestFrontierSemantics:
+    def make_pipeline(self, rows, nip, pred1, pred2):
+        db = Database({"T": rows})
+        plan = Selection(
+            Selection(TableAccess("T"), pred1, label="σ_inner"),
+            pred2,
+            label="σ_outer",
+        )
+        return WhyNotQuestion(Query(plan), db, nip)
+
+    def test_death_at_inner_selection(self):
+        phi = self.make_pipeline(
+            [Tup(a=1, b=1)], Tup(a=1, b=ANY), col("a").ge(5), col("b").ge(0)
+        )
+        assert [e.labels for e in wnpp_explain(phi)] == [("σ_inner",)]
+
+    def test_furthest_death_wins(self):
+        # One compatible dies at the inner selection, another survives it and
+        # dies at the outer one → the frontier is the outer selection.
+        phi = self.make_pipeline(
+            [Tup(a=1, b=9), Tup(a=9, b=1)],
+            Tup(a=ANY, b=ANY),
+            col("a").ge(5),
+            col("b").ge(5),
+        )
+        assert [e.labels for e in wnpp_explain(phi)] == [("σ_outer",)]
+
+    def test_survivor_has_no_death(self):
+        phi = self.make_pipeline(
+            [Tup(a=9, b=9), Tup(a=0, b=0)],
+            Tup(a=9, b=9),
+            col("a").ge(5),
+            col("b").ge(5),
+        )
+        # The compatible (9, 9) reaches the output... but then the question
+        # would be ill-posed; use a different NIP: (0, 0) dies at σ_inner.
+        phi = self.make_pipeline(
+            [Tup(a=9, b=9), Tup(a=0, b=0)],
+            Tup(a=0, b=0),
+            col("a").ge(5),
+            col("b").ge(5),
+        )
+        assert [e.labels for e in wnpp_explain(phi)] == [("σ_inner",)]
+
+
+class TestJoinDeath:
+    def test_compatible_dies_at_join(self):
+        db = Database(
+            {
+                "L": [Tup(k=1, name="target"), Tup(k=2, name="other")],
+                "R": [Tup(j=2, v="x")],
+            }
+        )
+        plan = Join(TableAccess("L"), TableAccess("R"), [("k", "j")], label="⋈")
+        phi = WhyNotQuestion(Query(plan), db, Tup(k=ANY, name="target", j=ANY, v=ANY))
+        assert [e.labels for e in wnpp_explain(phi)] == [("⋈",)]
+
+    def test_missing_data_blames_consuming_join(self):
+        """C3 behaviour: no tuple matches one constrained side's NIP while the
+        other side still has compatibles."""
+        db = Database(
+            {
+                "L": [Tup(k=1, name="present")],
+                "R": [Tup(j=1, v="x")],
+            }
+        )
+        plan = Join(TableAccess("L"), TableAccess("R"), [("k", "j")], label="⋈")
+        phi = WhyNotQuestion(
+            Query(plan), db, Tup(k=ANY, name="absent", j=ANY, v="x")
+        )
+        assert [e.labels for e in wnpp_explain(phi)] == [("⋈",)]
+
+    def test_no_compatibles_anywhere_stays_silent(self):
+        """Q4 behaviour: with no compatibles at all, Why-Not returns nothing."""
+        db = Database(
+            {
+                "L": [Tup(k=1, name="present")],
+                "R": [Tup(j=1, v="x")],
+            }
+        )
+        plan = Join(TableAccess("L"), TableAccess("R"), [("k", "j")], label="⋈")
+        phi = WhyNotQuestion(
+            Query(plan), db, Tup(k=ANY, name="absent", j=ANY, v="missing-too")
+        )
+        assert wnpp_explain(phi) == []
+
+
+class TestAggregationBoundary:
+    def test_wnpp_stops_at_grouping(self):
+        """A compatible absorbed by an aggregation yields no explanation
+        (the D2 scenario shape)."""
+        from repro.algebra.operators import RelationNesting
+
+        db = Database({"T": [Tup(name="a", city="x")]})
+        plan = RelationNesting(TableAccess("T"), ["name"], "names")
+        phi = WhyNotQuestion(
+            Query(plan), db, Tup(city="y", names=Bag([ANY, STAR]))
+        )
+        assert wnpp_explain(phi) == []
+
+
+class TestConseil:
+    def test_combined_explanation(self):
+        """C1 shape: selection + partnerless join blocked on the same path."""
+        db = Database(
+            {
+                "P": [Tup(name="Roger", hair="brown")],
+                "S": [Tup(h="blue", witness="w1")],
+            }
+        )
+        plan = Join(
+            Selection(TableAccess("P"), col("hair").eq("blue"), label="σ1"),
+            TableAccess("S"),
+            [("hair", "h")],
+            label="⋈2",
+        )
+        phi = WhyNotQuestion(
+            Query(plan), db, Tup(name="Roger", hair=ANY, h=ANY, witness=ANY)
+        )
+        result = conseil_explain(phi)
+        assert [set(e.labels) for e in result] == [{"σ1", "⋈2"}]
+
+    def test_minimal_sets_only(self):
+        db = Database({"T": [Tup(a=1, b=9), Tup(a=1, b=1)]})
+        plan = Selection(
+            Selection(TableAccess("T"), col("a").ge(5), label="σa"),
+            col("b").ge(5),
+            label="σb",
+        )
+        phi = WhyNotQuestion(Query(plan), db, Tup(a=1, b=ANY))
+        result = conseil_explain(phi)
+        # Derivation via (1, 9) is blocked by σa only; the {σa, σb} derivation
+        # via (1, 1) is not subset-minimal.
+        assert [set(e.labels) for e in result] == [{"σa"}]

@@ -1,0 +1,29 @@
+"""Shared fixtures: the paper's running example and small helper databases."""
+
+import pytest
+
+from repro.datasets.people import person_database, person_query
+from repro.nested.values import Bag, Tup
+from repro.whynot.placeholders import ANY, STAR
+from repro.whynot.question import WhyNotQuestion
+
+
+@pytest.fixture
+def person_db():
+    return person_database()
+
+
+@pytest.fixture
+def running_query():
+    return person_query()
+
+
+@pytest.fixture
+def running_nip():
+    """The example why-not tuple t_ex = ⟨city: NY, nList: {{?, *}}⟩ (Ex. 5)."""
+    return Tup(city="NY", nList=Bag([ANY, STAR]))
+
+
+@pytest.fixture
+def running_question(running_query, person_db, running_nip):
+    return WhyNotQuestion(running_query, person_db, running_nip, name="running-example")

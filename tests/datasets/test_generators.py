@@ -1,0 +1,162 @@
+"""Validity tests for the dataset generators (planted facts + determinism)."""
+
+import pytest
+
+from repro.datasets.crime import CRIME_FACTS, crime_database
+from repro.datasets.dblp import DBLP_FACTS, dblp_database
+from repro.datasets.people import person_database, person_query
+from repro.datasets.tpch import TPCH_FACTS, tpch_database
+from repro.datasets.twitter import TWITTER_FACTS, twitter_database
+from repro.nested.values import Bag, Tup, is_null
+
+
+class TestPeople:
+    def test_figure1a_rows_present(self):
+        db = person_database()
+        names = {t["name"] for t in db.relation("person")}
+        assert {"Peter", "Sue"} <= names
+
+    def test_scale_adds_noise(self):
+        assert person_database(scale=10).size("person") == 12
+
+    def test_deterministic(self):
+        assert person_database(scale=5) .relation("person") == person_database(
+            scale=5
+        ).relation("person")
+
+    def test_noise_never_reaches_result(self):
+        db = person_database(scale=50)
+        result = person_query().evaluate(db)
+        assert result == person_query().evaluate(person_database(scale=0))
+
+
+class TestDblp:
+    def test_tables_present(self):
+        db = dblp_database(scale=10)
+        assert set(db.tables()) == {"I", "A", "P", "U"}
+
+    def test_d1_plants(self):
+        db = dblp_database(scale=10)
+        proc = next(
+            t for t in db.relation("P") if t["_key"] == DBLP_FACTS["d1_proc_key"]
+        )
+        assert proc["booktitle"] == "SIGMOD"
+        assert "SIGMOD" in proc["title"]
+        paper = next(
+            t
+            for t in db.relation("I")
+            if t["title"]["_VALUE"] == DBLP_FACTS["d1_paper_title"]
+        )
+        assert DBLP_FACTS["d1_proc_key"] in paper["crossref"]
+
+    def test_d2_bibtex_mostly_null(self):
+        db = dblp_database(scale=100)
+        articles = list(db.relation("A"))
+        nulls = sum(1 for t in articles if is_null(t["title"]["_bibtex"]))
+        assert nulls / len(articles) > 0.9
+
+    def test_d5_homepage_in_note(self):
+        db = dblp_database(scale=10)
+        row = next(
+            t
+            for t in db.relation("U")
+            if Tup(_VALUE=DBLP_FACTS["d5_author"]) in t["author"]
+        )
+        assert row["url"].is_empty()
+        assert not row["note"].is_empty()
+
+
+class TestTwitter:
+    def test_planted_tweets(self):
+        db = twitter_database(scale=10)
+        by_id = {t["id"]: t for t in db.relation("T")}
+        t1 = by_id[TWITTER_FACTS["t1_tweet_id"]]
+        assert t1["entities"]["media"].is_empty()
+        assert not t1["entities"]["urls"].is_empty()
+        assert "LeBron" in t1["text"]
+
+    def test_asd_retweets(self):
+        db = twitter_database(scale=10)
+        retweets = [
+            t
+            for t in db.relation("T")
+            if t["retweeted_status"]["id"] == TWITTER_FACTS["asd_famous_id"]
+        ]
+        assert len(retweets) == 2
+        counts = sorted(t["quote_count"] for t in retweets)
+        assert counts[0] == 0 and counts[1] > 0
+
+    def test_schema_has_alternative_statuses(self):
+        db = twitter_database(scale=5)
+        schema = db.schema("T")
+        for attr in ("retweeted_status", "quoted_status", "pinned_status"):
+            assert schema.has_field(attr)
+
+
+class TestTpch:
+    def test_all_shapes(self):
+        db = tpch_database(scale=20)
+        assert set(db.tables()) == {
+            "customer",
+            "nation",
+            "nestedOrders",
+            "orders",
+            "lineitem",
+            "customerNested",
+        }
+
+    def test_flat_matches_nested(self):
+        db = tpch_database(scale=20)
+        nested_items = sum(
+            len(o["o_lineitems"]) for o in db.relation("nestedOrders")
+        )
+        assert nested_items == db.size("lineitem")
+        assert db.size("orders") == db.size("nestedOrders")
+
+    def test_q10_customer_only_returns(self):
+        db = tpch_database(scale=40)
+        items = [
+            item
+            for o in db.relation("nestedOrders")
+            if o["o_custkey"] == TPCH_FACTS["q10_custkey"]
+            for item in o["o_lineitems"]
+        ]
+        assert items and all(i["l_returnflag"] == "R" for i in items)
+
+    def test_orderless_customer(self):
+        db = tpch_database(scale=20)
+        custkeys_with_orders = {o["o_custkey"] for o in db.relation("nestedOrders")}
+        assert 61999 not in custkeys_with_orders
+        nested = next(
+            c for c in db.relation("customerNested") if c["c_custkey"] == 61999
+        )
+        assert nested["c_orders"].is_empty()
+
+    def test_q1_tax_story(self):
+        """On-time taxes avg > 0.05; overall avg < 0.05 (the Q1 plant)."""
+        db = tpch_database(scale=60)
+        items = list(db.relation("lineitem"))
+        on_time = [i["l_tax"] for i in items if i["l_shipdate"] <= "1998-09-02"]
+        all_tax = [i["l_tax"] for i in items]
+        assert sum(on_time) / len(on_time) > 0.05
+        assert sum(all_tax) / len(all_tax) < 0.05
+
+
+class TestCrime:
+    def test_planted_facts(self):
+        db = crime_database(scale=10)
+        roger = next(t for t in db.relation("P") if t["name"] == "Roger")
+        assert roger["hair"] != "blue"
+        witnesses = {t["w_name"] for t in db.relation("W")}
+        assert "Kayla" not in witnesses  # C1: unregistered witness
+        assert CRIME_FACTS["c3_witness"] in witnesses
+
+    def test_c3_description_in_clothes(self):
+        db = crime_database(scale=10)
+        sighting = next(
+            t
+            for t in db.relation("S")
+            if t["witness"] == CRIME_FACTS["c3_witness"]
+        )
+        assert sighting["clothes"] == "snow"
+        assert sighting["hair"] != "snow"

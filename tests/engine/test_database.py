@@ -1,0 +1,47 @@
+"""Tests for the database catalog and row conversion."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.nested.types import INT, STR, BagType, TupleType
+from repro.nested.values import Bag, Tup
+
+
+class TestConstruction:
+    def test_from_dicts(self):
+        db = Database({"T": [{"a": 1, "tags": ["x", "y"], "info": {"b": 2}}]})
+        (row,) = db.relation("T")
+        assert row == Tup(a=1, tags=Bag(["x", "y"]), info=Tup(b=2))
+
+    def test_from_tuples(self):
+        db = Database({"T": [Tup(a=1)]})
+        assert db.size("T") == 1
+
+    def test_schema_inferred(self):
+        db = Database({"T": [Tup(a=1, tags=Bag([Tup(t="x")]))]})
+        assert db.schema("T") == TupleType(
+            [("a", INT), ("tags", BagType(TupleType([("t", STR)])))]
+        )
+
+    def test_schema_unifies_nulls(self):
+        from repro.nested.values import NULL
+
+        db = Database({"T": [Tup(a=NULL), Tup(a=3)]})
+        assert db.schema("T").field("a") == INT
+
+    def test_empty_relation_needs_schema(self):
+        with pytest.raises(ValueError):
+            Database({"T": []})
+        schema = TupleType([("a", INT)])
+        db = Database({"T": []}, schemas={"T": schema})
+        assert db.schema("T") == schema
+
+    def test_missing_relation(self):
+        db = Database({"T": [Tup(a=1)]})
+        with pytest.raises(KeyError):
+            db.relation("U")
+
+    def test_contains_and_tables(self):
+        db = Database({"T": [Tup(a=1)], "U": [Tup(b=2)]})
+        assert "T" in db and "V" not in db
+        assert set(db.tables()) == {"T", "U"}

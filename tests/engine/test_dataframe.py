@@ -1,0 +1,88 @@
+"""Tests for the Spark-like DataFrame façade."""
+
+import pytest
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import col, lit
+from repro.engine.dataframe import Session
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+
+
+@pytest.fixture
+def session(person_db):
+    return Session(person_db)
+
+
+class TestBuilding:
+    def test_running_example_via_dataframe(self, session):
+        result = (
+            session.table("person")
+            .explode("address2")
+            .filter(col("year").ge(lit(2019)))
+            .select("name", "city")
+            .nest(["name"], "nList")
+            .collect()
+        )
+        assert result == Bag([Tup(city="LA", nList=Bag([Tup(name="Sue")]))])
+
+    def test_labels_propagate(self, session):
+        df = session.table("person").explode("address2", label="F")
+        assert df.query().op_by_label("F") is df.plan
+
+    def test_with_column(self, session):
+        df = session.table("person").explode("address2").with_column("place", "city")
+        assert all("place" in t for t in df.collect())
+
+    def test_explode_outer(self):
+        db = Database({"T": [Tup(a=1, xs=Bag()), Tup(a=2, xs=Bag([Tup(v=1)]))]})
+        result = Session(db).table("T").explode_outer("xs").collect()
+        assert len(result) == 2
+
+    def test_join(self):
+        db = Database({"L": [Tup(k=1, x="a")], "R": [Tup(j=1, y="b")]})
+        s = Session(db)
+        result = s.table("L").join(s.table("R"), on=[("k", "j")]).collect()
+        assert result == Bag([Tup(k=1, x="a", j=1, y="b")])
+
+    def test_group_by_agg(self, session):
+        result = (
+            session.table("person")
+            .explode("address1")
+            .group_by("name")
+            .agg(AggSpec("count", None, "n"))
+            .collect()
+        )
+        assert Tup(name="Peter", n=3) in result
+
+    def test_agg_nested(self, session):
+        result = (
+            session.table("person").agg_nested("count", "address1", "n").collect()
+        )
+        assert {t["n"] for t in result} == {2, 3}
+
+    def test_distinct_union_subtract(self, session):
+        df = session.table("person").select("name")
+        assert df.union(df).count() == 4
+        assert df.union(df).distinct().count() == 2
+        assert df.subtract(df).count() == 0
+
+    def test_rename(self, session):
+        result = session.table("person").select("name").rename([("who", "name")]).collect()
+        assert Tup(who="Sue") in result
+
+    def test_count_and_show(self, session, capsys):
+        df = session.table("person")
+        assert df.count() == 2
+        df.show()
+        assert "Peter" in capsys.readouterr().out
+
+    def test_unknown_table(self, session):
+        with pytest.raises(KeyError):
+            session.table("nope")
+
+    def test_immutability_of_dataframes(self, session):
+        base = session.table("person")
+        filtered = base.filter(col("name").eq("Sue"))
+        assert base.count() == 2
+        assert filtered.count() == 1

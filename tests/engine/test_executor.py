@@ -1,0 +1,113 @@
+"""Tests for the partitioned executor: equivalence with plain evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    Deduplication,
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    Projection,
+    Query,
+    RelationNesting,
+    Selection,
+    TableAccess,
+    Union,
+)
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.nested.values import Bag, Tup
+
+
+def make_db(rows_r, rows_s):
+    return Database(
+        {
+            "R": [Tup(k=k, v=v) for k, v in rows_r],
+            "S": [Tup(j=j, w=w) for j, w in rows_s],
+        }
+    )
+
+
+PLANS = {
+    "select": lambda: Selection(TableAccess("R"), col("v").ge(2)),
+    "project": lambda: Projection(TableAccess("R"), ["v"]),
+    "join": lambda: Join(TableAccess("R"), TableAccess("S"), [("k", "j")]),
+    "left-join": lambda: Join(TableAccess("R"), TableAccess("S"), [("k", "j")], how="left"),
+    "full-join": lambda: Join(TableAccess("R"), TableAccess("S"), [("k", "j")], how="full"),
+    "group": lambda: GroupAggregation(
+        TableAccess("R"), ["k"], [AggSpec("count", None, "n"), AggSpec("sum", col("v"), "s")]
+    ),
+    "global-agg": lambda: GroupAggregation(TableAccess("R"), [], [AggSpec("sum", col("v"), "s")]),
+    "nest": lambda: RelationNesting(TableAccess("R"), ["v"], "vs"),
+    "dedup": lambda: Deduplication(Projection(TableAccess("R"), ["k"])),
+    "union": lambda: Union(TableAccess("R"), TableAccess("R")),
+}
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("partitions", [1, 3, 7])
+def test_partitioned_equals_plain(plan_name, partitions):
+    db = make_db(
+        rows_r=[(1, 1), (1, 2), (2, 3), (3, 4), (3, 4)],
+        rows_s=[(1, "a"), (2, "b"), (2, "b"), (9, "z")],
+    )
+    query = Query(PLANS[plan_name]())
+    plain = query.evaluate(db)
+    executor = Executor(num_partitions=partitions)
+    assert executor.execute(query, db) == plain
+
+
+def test_metrics_collected():
+    db = make_db([(1, 1), (2, 2)], [(1, "a")])
+    query = Query(Join(TableAccess("R"), TableAccess("S"), [("k", "j")]))
+    executor = Executor(num_partitions=2)
+    executor.execute(query, db)
+    metrics = executor.last_metrics
+    assert metrics is not None
+    assert metrics.total_shuffled_rows() > 0
+    join_metrics = metrics.operators[query.root.op_id]
+    assert join_metrics.rows_in == 3
+    assert "t=" in metrics.report()
+
+
+def test_running_example_partitioned(person_db, running_query):
+    for partitions in (1, 2, 5):
+        result = Executor(num_partitions=partitions).execute(running_query, person_db)
+        assert result == running_query.evaluate(person_db)
+
+
+def test_invalid_partition_count():
+    with pytest.raises(ValueError):
+        Executor(num_partitions=0)
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 3)), min_size=0, max_size=15
+)
+
+
+@given(rows_r=rows_strategy, rows_s=rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_property_join_equivalence(rows_r, rows_s):
+    if not rows_r or not rows_s:
+        return  # schema inference needs at least one row per side
+    db = make_db(rows_r, [(j, str(w)) for j, w in rows_s])
+    query = Query(Join(TableAccess("R"), TableAccess("S"), [("k", "j")], how="full"))
+    plain = query.evaluate(db)
+    assert Executor(num_partitions=3).execute(query, db) == plain
+
+
+@given(rows_r=rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_property_grouping_equivalence(rows_r):
+    if not rows_r:
+        return
+    db = make_db(rows_r, [(0, "x")])
+    query = Query(
+        GroupAggregation(TableAccess("R"), ["k"], [AggSpec("sum", col("v"), "s")])
+    )
+    assert Executor(num_partitions=4).execute(query, db) == query.evaluate(db)

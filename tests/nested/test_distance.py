@@ -1,0 +1,100 @@
+"""Unit tests for the side-effect distance metrics (Def. 9's ``d``)."""
+
+import pytest
+
+from repro.nested.distance import (
+    bag_distance,
+    get_distance,
+    relation_tree_distance,
+    tree_edit_distance,
+    value_tree_distance,
+)
+from repro.nested.tree import Tree
+from repro.nested.values import Bag, Tup
+
+
+class TestBagDistance:
+    def test_identity(self):
+        b = Bag([Tup(a=1)])
+        assert bag_distance(b, b) == 0
+
+    def test_symmetric_difference(self):
+        left = Bag([Tup(a=1), Tup(a=2)])
+        right = Bag([Tup(a=2), Tup(a=3)])
+        assert bag_distance(left, right) == 2
+
+    def test_multiplicity_counts(self):
+        assert bag_distance(Bag([Tup(a=1)] * 3), Bag([Tup(a=1)])) == 2
+
+    def test_symmetry(self):
+        left = Bag([Tup(a=1)])
+        right = Bag([Tup(a=2), Tup(a=3)])
+        assert bag_distance(left, right) == bag_distance(right, left)
+
+
+class TestTreeEditDistance:
+    def test_identical(self):
+        tree = Tree("a", [Tree("b")])
+        assert tree_edit_distance(tree, tree) == 0
+
+    def test_relabel(self):
+        assert tree_edit_distance(Tree("a"), Tree("b")) == 1
+
+    def test_insert_subtree(self):
+        left = Tree("a")
+        right = Tree("a", [Tree("b", [Tree("c")])])
+        assert tree_edit_distance(left, right) == 2
+
+    def test_unordered_children_free(self):
+        left = Tree("a", [Tree("x"), Tree("y")])
+        right = Tree("a", [Tree("y"), Tree("x")])
+        assert tree_edit_distance(left, right) == 0
+
+    def test_triangle_inequality_examples(self):
+        a = Tree("r", [Tree("x")])
+        b = Tree("r", [Tree("y")])
+        c = Tree("r", [Tree("x"), Tree("y")])
+        ab = tree_edit_distance(a, b)
+        bc = tree_edit_distance(b, c)
+        ac = tree_edit_distance(a, c)
+        assert ac <= ab + bc
+
+
+class TestRelationTreeDistance:
+    def test_example9_ordering(self):
+        """Example 9/10: T2 (extra SF tuple + changed LA) is farther from T1
+        than T3 (only an extra name under LA)."""
+        t1 = Bag([Tup(city="LA", nList=Bag([Tup(name="Sue")]))])
+        t2 = Bag(
+            [
+                Tup(city="NY", nList=Bag([Tup(name="Sue")])),
+                Tup(city="LA", nList=Bag([Tup(name="Sue")])),
+                Tup(city="SF", nList=Bag([Tup(name="Peter")])),
+            ]
+        )
+        t3 = Bag(
+            [
+                Tup(city="NY", nList=Bag([Tup(name="Sue")])),
+                Tup(city="LA", nList=Bag([Tup(name="Sue"), Tup(name="Peter")])),
+            ]
+        )
+        d12 = relation_tree_distance(t1, t2)
+        d13 = relation_tree_distance(t1, t3)
+        assert d13 < d12
+
+    def test_value_tree_distance(self):
+        assert value_tree_distance(Tup(a=1), Tup(a=1)) == 0
+        assert value_tree_distance(Tup(a=1), Tup(a=2)) == 1
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_distance("bag") is bag_distance
+
+    def test_callable_passthrough(self):
+        fn = lambda a, b: 0  # noqa: E731
+        assert get_distance(fn) is fn
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_distance("hamming")

@@ -1,0 +1,77 @@
+"""Unit tests for attribute paths."""
+
+import pytest
+
+from repro.nested.paths import (
+    common_prefix,
+    parse_path,
+    path_exists,
+    path_str,
+    replace_prefix,
+    resolve_type,
+    starts_with,
+)
+from repro.nested.types import INT, STR, BagType, TupleType
+
+
+SCHEMA = TupleType(
+    [
+        ("name", STR),
+        ("address2", BagType(TupleType([("city", STR), ("year", INT)]))),
+        ("place", TupleType([("country", STR)])),
+    ]
+)
+
+
+class TestParse:
+    def test_string(self):
+        assert parse_path("a.b.c") == ("a", "b", "c")
+
+    def test_tuple_passthrough(self):
+        assert parse_path(("a", "b")) == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_path("")
+
+    def test_path_str(self):
+        assert path_str(("a", "b")) == "a.b"
+
+
+class TestPrefixOps:
+    def test_starts_with(self):
+        assert starts_with("a.b.c", "a.b")
+        assert not starts_with("a.b", "a.b.c")
+
+    def test_replace_prefix(self):
+        assert replace_prefix("address2.city", "address2", "address1") == (
+            "address1",
+            "city",
+        )
+
+    def test_replace_prefix_no_match(self):
+        assert replace_prefix("name", "address2", "address1") == ("name",)
+
+    def test_common_prefix(self):
+        assert common_prefix(["a.b.c", "a.b.d"]) == ("a", "b")
+        assert common_prefix(["a", "b"]) == ()
+        assert common_prefix([]) is None
+
+
+class TestResolveType:
+    def test_top_level(self):
+        assert resolve_type(SCHEMA, "name") == STR
+
+    def test_crosses_bag(self):
+        assert resolve_type(SCHEMA, "address2.year") == INT
+
+    def test_through_tuple(self):
+        assert resolve_type(SCHEMA, "place.country") == STR
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            resolve_type(SCHEMA, "address2.zip")
+
+    def test_path_exists(self):
+        assert path_exists(SCHEMA, "address2.city")
+        assert not path_exists(SCHEMA, "bogus")

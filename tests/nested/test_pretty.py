@@ -1,0 +1,44 @@
+"""Tests for the ASCII rendering helpers."""
+
+from repro.nested.pretty import print_relation, render_relation, render_value
+from repro.nested.values import NULL, Bag, Tup
+
+
+class TestRenderValue:
+    def test_primitive(self):
+        assert render_value(5) == "5"
+
+    def test_null(self):
+        assert render_value(NULL) == "⊥"
+
+    def test_tuple(self):
+        assert render_value(Tup(a=1, b="x")) == "⟨a: 1, b: x⟩"
+
+    def test_bag_with_multiplicity(self):
+        assert render_value(Bag(["x", "x"])) == "{x^2}"
+
+    def test_truncation(self):
+        text = render_value("y" * 100, max_width=10)
+        assert len(text) == 10 and text.endswith("…")
+
+
+class TestRenderRelation:
+    def test_empty(self):
+        assert render_relation(Bag()) == "(empty relation)"
+
+    def test_table_layout(self):
+        rel = Bag([Tup(a=1, b="xx"), Tup(a=22, b="y")])
+        text = render_relation(rel)
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert len(lines) == 4  # header, separator, two rows
+
+    def test_row_cap(self):
+        rel = Bag([Tup(a=i) for i in range(30)])
+        text = render_relation(rel, max_rows=5)
+        assert "more rows" in text
+
+    def test_print_relation_title(self, capsys):
+        print_relation(Bag([Tup(a=1)]), title="demo")
+        out = capsys.readouterr().out
+        assert "demo" in out and "a" in out

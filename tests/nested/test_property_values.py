@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for the bag algebra and tuple laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nested.distance import bag_distance
+from repro.nested.values import Bag, Tup
+
+primitives = st.one_of(st.integers(-5, 5), st.sampled_from(["a", "b", "c"]))
+tuples = st.builds(
+    lambda a, b: Tup(a=a, b=b), primitives, primitives
+)
+bags = st.lists(tuples, max_size=12).map(Bag)
+
+
+@given(bags, bags)
+def test_union_commutative(x, y):
+    assert x.union(y) == y.union(x)
+
+
+@given(bags, bags, bags)
+def test_union_associative(x, y, z):
+    assert x.union(y).union(z) == x.union(y.union(z))
+
+
+@given(bags)
+def test_union_identity(x):
+    assert x.union(Bag()) == x
+
+
+@given(bags, bags)
+def test_difference_union_inverse_on_disjoint_part(x, y):
+    # (x ∪ y) − y == x  (bag law)
+    assert x.union(y).difference(y) == x
+
+
+@given(bags)
+def test_dedup_idempotent(x):
+    assert x.dedup().dedup() == x.dedup()
+
+
+@given(bags)
+def test_dedup_multiplicities_are_one(x):
+    assert all(count == 1 for _, count in x.dedup().items())
+
+
+@given(bags, bags)
+def test_len_of_union(x, y):
+    assert len(x.union(y)) == len(x) + len(y)
+
+
+@given(bags, bags)
+def test_bag_distance_symmetry(x, y):
+    assert bag_distance(x, y) == bag_distance(y, x)
+
+
+@given(bags)
+def test_bag_distance_identity(x):
+    assert bag_distance(x, x) == 0
+
+
+@given(bags, bags, bags)
+@settings(max_examples=50)
+def test_bag_distance_triangle(x, y, z):
+    assert bag_distance(x, z) <= bag_distance(x, y) + bag_distance(y, z)
+
+
+@given(tuples)
+def test_tuple_project_drop_partition(t):
+    kept = t.project(["a"])
+    dropped = t.drop(["a"])
+    assert kept.concat(dropped).attrs == ("a", "b")
+
+
+@given(tuples, primitives)
+def test_with_attr_then_get(t, v):
+    assert t.with_attr("c", v)["c"] == v
+    assert t.with_attr("a", v)["a"] == v
+
+
+@given(st.lists(tuples, max_size=10))
+def test_bag_iteration_preserves_multiplicity(rows):
+    bag = Bag(rows)
+    assert sorted(map(repr, bag)) == sorted(map(repr, rows))

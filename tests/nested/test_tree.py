@@ -1,0 +1,48 @@
+"""Unit tests for the tree representation (paper Figure 2)."""
+
+from repro.nested.tree import Tree, relation_tree, to_tree
+from repro.nested.values import NULL, Bag, Tup
+
+
+class TestTree:
+    def test_size(self):
+        tree = Tree("a", [Tree("b"), Tree("c", [Tree("d")])])
+        assert tree.size() == 4
+
+    def test_unordered_equality(self):
+        left = Tree("a", [Tree("b"), Tree("c")])
+        right = Tree("a", [Tree("c"), Tree("b")])
+        assert left == right
+
+    def test_multiset_children(self):
+        left = Tree("a", [Tree("b"), Tree("b")])
+        right = Tree("a", [Tree("b")])
+        assert left != right
+
+
+class TestToTree:
+    def test_primitive_leaf(self):
+        assert to_tree(5).label == "5"
+
+    def test_null(self):
+        assert to_tree(NULL).label == "⊥"
+
+    def test_tuple_children_are_labelled(self):
+        tree = to_tree(Tup(city="LA", year=2019))
+        labels = sorted(child.label for child in tree.children)
+        assert labels == ["city: 'LA'", "year: 2019"]
+
+    def test_bag_repeats_elements(self):
+        tree = to_tree(Bag(["x", "x"]))
+        assert len(tree.children) == 2
+
+    def test_figure2_shape(self):
+        # T1 of Figure 2: {{⟨city: LA, nList: {{⟨name: Sue⟩}}⟩}}
+        result = Bag([Tup(city="LA", nList=Bag([Tup(name="Sue")]))])
+        tree = relation_tree(result)
+        assert tree.label == "{{}}"
+        (tuple_node,) = tree.children
+        assert tuple_node.label == "⟨⟩"
+        labels = {child.label for child in tuple_node.children}
+        assert "city: 'LA'" in labels
+        assert any(label.startswith("nList") for label in labels)

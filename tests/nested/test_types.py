@@ -1,0 +1,126 @@
+"""Unit tests for the nested type system (Definition 1) and inference."""
+
+import pytest
+
+from repro.nested.types import (
+    ANY_TYPE,
+    BOOL,
+    FLOAT,
+    INT,
+    STR,
+    AnyType,
+    BagType,
+    PrimitiveType,
+    TupleType,
+    conforms,
+    same_kind,
+    type_of,
+    unify,
+)
+from repro.nested.values import NULL, Bag, Tup
+
+
+class TestTypeConstruction:
+    def test_primitive_names(self):
+        assert PrimitiveType("int") == INT
+        with pytest.raises(ValueError):
+            PrimitiveType("decimal")
+
+    def test_tuple_type_fields(self):
+        t = TupleType([("a", INT), ("b", STR)])
+        assert t.names == ("a", "b")
+        assert t.field("b") == STR
+        with pytest.raises(KeyError):
+            t.field("c")
+
+    def test_tuple_type_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            TupleType([("a", INT), ("a", STR)])
+
+    def test_tuple_concat(self):
+        t = TupleType([("a", INT)]).concat(TupleType([("b", STR)]))
+        assert t.names == ("a", "b")
+
+    def test_tuple_project_drop(self):
+        t = TupleType([("a", INT), ("b", STR), ("c", BOOL)])
+        assert t.project(["c", "a"]).names == ("c", "a")
+        assert t.drop(["b"]).names == ("a", "c")
+
+    def test_bag_type_equality(self):
+        assert BagType(INT) == BagType(INT)
+        assert BagType(INT) != BagType(STR)
+
+
+class TestTypeOf:
+    def test_primitives(self):
+        assert type_of(1) == INT
+        assert type_of(1.5) == FLOAT
+        assert type_of(True) == BOOL
+        assert type_of("x") == STR
+
+    def test_null_is_any(self):
+        assert isinstance(type_of(NULL), AnyType)
+
+    def test_tuple(self):
+        t = type_of(Tup(a=1, b="x"))
+        assert t == TupleType([("a", INT), ("b", STR)])
+
+    def test_bag(self):
+        t = type_of(Bag([Tup(a=1)]))
+        assert t == BagType(TupleType([("a", INT)]))
+
+    def test_empty_bag_is_bag_of_any(self):
+        assert type_of(Bag()) == BagType(ANY_TYPE)
+
+    def test_bag_with_nulls_unifies(self):
+        t = type_of(Bag([Tup(a=1), Tup(a=NULL)]))
+        assert t == BagType(TupleType([("a", INT)]))
+
+    def test_heterogeneous_bag_rejected(self):
+        with pytest.raises(TypeError):
+            type_of(Bag([1, "x"]))
+
+
+class TestUnify:
+    def test_any_is_bottom(self):
+        assert unify(ANY_TYPE, INT) == INT
+        assert unify(STR, ANY_TYPE) == STR
+
+    def test_numeric_widening(self):
+        assert unify(INT, FLOAT) == FLOAT
+
+    def test_incompatible_primitives(self):
+        with pytest.raises(TypeError):
+            unify(INT, STR)
+
+    def test_tuples_with_different_fields_rejected(self):
+        with pytest.raises(TypeError):
+            unify(TupleType([("a", INT)]), TupleType([("b", INT)]))
+
+
+class TestConforms:
+    def test_null_conforms_to_everything(self):
+        assert conforms(NULL, INT)
+        assert conforms(NULL, TupleType([("a", INT)]))
+
+    def test_tuple_conformance(self):
+        schema = TupleType([("a", INT), ("b", BagType(TupleType([("c", STR)])))])
+        assert conforms(Tup(a=1, b=Bag([Tup(c="x")])), schema)
+        assert not conforms(Tup(a="wrong", b=Bag()), schema)
+        assert not conforms(Tup(a=1), schema)
+
+    def test_bag_conformance(self):
+        assert conforms(Bag([1, 2]), BagType(INT))
+        assert not conforms(Bag(["x"]), BagType(INT))
+
+
+class TestSameKind:
+    def test_same_primitives(self):
+        assert same_kind(INT, INT)
+        assert same_kind(INT, FLOAT)
+        assert not same_kind(INT, STR)
+
+    def test_bag_kinds(self):
+        addresses = BagType(TupleType([("city", STR), ("year", INT)]))
+        assert same_kind(addresses, addresses)
+        assert not same_kind(addresses, BagType(TupleType([("url", STR)])))

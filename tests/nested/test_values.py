@@ -1,0 +1,191 @@
+"""Unit tests for nested values: NULL, Tup, Bag (paper Definitions 1–2)."""
+
+import pytest
+
+from repro.nested.values import NULL, Bag, Tup, is_null
+
+
+class TestNull:
+    def test_singleton(self):
+        from repro.nested.values import _Null
+
+        assert _Null() is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_equality_and_hash(self):
+        assert NULL == NULL
+        assert hash(NULL) == hash(NULL)
+        assert NULL != 0
+
+
+class TestTup:
+    def test_construction_from_kwargs(self):
+        t = Tup(a=1, b="x")
+        assert t.attrs == ("a", "b")
+        assert t["a"] == 1
+        assert t["b"] == "x"
+
+    def test_construction_from_pairs(self):
+        t = Tup([("a", 1), ("b", 2)])
+        assert t.attrs == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Tup([("a", 1), ("a", 2)])
+
+    def test_immutable(self):
+        t = Tup(a=1)
+        with pytest.raises(AttributeError):
+            t.x = 5
+
+    def test_missing_attribute_raises(self):
+        t = Tup(a=1)
+        with pytest.raises(KeyError):
+            t["missing"]
+
+    def test_get_default(self):
+        t = Tup(a=1)
+        assert t.get("missing") is None
+        assert t.get("missing", 7) == 7
+
+    def test_get_path_nested(self):
+        t = Tup(user=Tup(name="Sue", place=Tup(city="NY")))
+        assert t.get_path("user.place.city") == "NY"
+        assert t.get_path(("user", "name")) == "Sue"
+
+    def test_get_path_through_null_is_null(self):
+        t = Tup(user=NULL)
+        assert is_null(t.get_path("user.name"))
+
+    def test_get_path_through_bag_raises(self):
+        t = Tup(addresses=Bag([Tup(city="NY")]))
+        with pytest.raises(TypeError):
+            t.get_path("addresses.city")
+
+    def test_get_path_through_primitive_raises(self):
+        t = Tup(a=1)
+        with pytest.raises(TypeError):
+            t.get_path("a.b")
+
+    def test_project(self):
+        t = Tup(a=1, b=2, c=3)
+        assert t.project(["c", "a"]) == Tup(c=3, a=1)
+
+    def test_drop(self):
+        t = Tup(a=1, b=2, c=3)
+        assert t.drop(["b"]) == Tup(a=1, c=3)
+
+    def test_concat(self):
+        assert Tup(a=1).concat(Tup(b=2)) == Tup(a=1, b=2)
+
+    def test_concat_name_clash_rejected(self):
+        with pytest.raises(ValueError):
+            Tup(a=1).concat(Tup(a=2))
+
+    def test_replace(self):
+        t = Tup(a=1, b=2)
+        assert t.replace(b=9) == Tup(a=1, b=9)
+
+    def test_with_attr_appends(self):
+        assert Tup(a=1).with_attr("b", 2) == Tup(a=1, b=2)
+
+    def test_with_attr_replaces_in_place(self):
+        t = Tup(a=1, b=2).with_attr("a", 9)
+        assert t == Tup(a=9, b=2)
+        assert t.attrs == ("a", "b")
+
+    def test_rename(self):
+        assert Tup(a=1, b=2).rename({"a": "x"}) == Tup(x=1, b=2)
+
+    def test_equality_is_order_sensitive(self):
+        assert Tup(a=1, b=2) != Tup(b=2, a=1)
+
+    def test_hash_consistency(self):
+        assert hash(Tup(a=1, b=2)) == hash(Tup(a=1, b=2))
+        assert len({Tup(a=1), Tup(a=1)}) == 1
+
+    def test_nested_tuples_hashable(self):
+        t = Tup(inner=Tup(x=Bag([1, 2])))
+        assert isinstance(hash(t), int)
+
+    def test_repr(self):
+        assert repr(Tup(a=1)) == "⟨a: 1⟩"
+
+
+class TestBag:
+    def test_multiplicity(self):
+        b = Bag([1, 2, 2, 3])
+        assert b.mult(2) == 2
+        assert b.mult(1) == 1
+        assert b.mult(99) == 0
+        assert len(b) == 4
+
+    def test_iteration_with_repetition(self):
+        b = Bag(["a", "a", "b"])
+        assert sorted(b) == ["a", "a", "b"]
+
+    def test_items(self):
+        b = Bag([1, 1, 2])
+        assert dict(b.items()) == {1: 2, 2: 1}
+
+    def test_from_counts(self):
+        b = Bag.from_counts([(1, 3), (2, 0)])
+        assert b.mult(1) == 3
+        assert 2 not in b
+
+    def test_from_counts_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bag.from_counts([(1, -1)])
+
+    def test_union_adds_multiplicities(self):
+        u = Bag([1, 2]).union(Bag([2, 3]))
+        assert u.mult(2) == 2
+        assert u.mult(1) == 1 and u.mult(3) == 1
+
+    def test_difference_floors_at_zero(self):
+        d = Bag([1, 1, 2]).difference(Bag([1, 2, 2, 3]))
+        assert d == Bag([1])
+
+    def test_dedup(self):
+        assert Bag([1, 1, 2]).dedup() == Bag([1, 2])
+
+    def test_equality_ignores_order(self):
+        assert Bag([1, 2, 2]) == Bag([2, 1, 2])
+
+    def test_hash_ignores_order(self):
+        assert hash(Bag([1, 2])) == hash(Bag([2, 1]))
+
+    def test_empty(self):
+        assert Bag().is_empty()
+        assert len(Bag()) == 0
+
+    def test_bags_of_tuples(self):
+        b = Bag([Tup(a=1), Tup(a=1), Tup(a=2)])
+        assert b.mult(Tup(a=1)) == 2
+
+    def test_map_merges(self):
+        b = Bag([1, 2, 3]).map(lambda x: x % 2)
+        assert b.mult(1) == 2 and b.mult(0) == 1
+
+    def test_filter(self):
+        assert Bag([1, 2, 3]).filter(lambda x: x > 1) == Bag([2, 3])
+
+    def test_nested_bags(self):
+        outer = Bag([Bag([1]), Bag([1]), Bag([2])])
+        assert outer.mult(Bag([1])) == 2
+
+    def test_immutable(self):
+        b = Bag([1])
+        with pytest.raises(AttributeError):
+            b.x = 1
+
+    def test_repr_shows_multiplicity(self):
+        assert "^2" in repr(Bag([1, 1]))

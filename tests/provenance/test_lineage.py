@@ -1,0 +1,63 @@
+"""Tests for lineage capture (why-provenance of existing answers)."""
+
+import pytest
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    Projection,
+    Query,
+    Selection,
+    TableAccess,
+)
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.provenance import lineage_execute, why_provenance
+
+
+class TestResultEquivalence:
+    def test_running_example(self, person_db, running_query):
+        run = lineage_execute(running_query, person_db)
+        assert run.result() == running_query.evaluate(person_db)
+
+    def test_join_query(self):
+        db = Database({"L": [Tup(k=1, x="a"), Tup(k=2, x="b")], "R": [Tup(j=1, y="c")]})
+        q = Query(Join(TableAccess("L"), TableAccess("R"), [("k", "j")], how="left"))
+        run = lineage_execute(q, db)
+        assert run.result() == q.evaluate(db)
+
+    def test_aggregation_query(self):
+        db = Database({"T": [Tup(g="x", v=1), Tup(g="x", v=2), Tup(g="y", v=3)]})
+        q = Query(GroupAggregation(TableAccess("T"), ["g"], [AggSpec("sum", col("v"), "s")]))
+        run = lineage_execute(q, db)
+        assert run.result() == q.evaluate(db)
+
+
+class TestWhyProvenance:
+    def test_running_example_lineage_is_sue(self, person_db, running_query):
+        out = Tup(city="LA", nList=Bag([Tup(name="Sue")]))
+        lineage = why_provenance(running_query, person_db, out)
+        assert len(lineage["person"]) == 1
+        assert lineage["person"][0]["name"] == "Sue"
+
+    def test_aggregation_lineage_covers_group(self):
+        db = Database({"T": [Tup(g="x", v=1), Tup(g="x", v=2), Tup(g="y", v=3)]})
+        q = Query(GroupAggregation(TableAccess("T"), ["g"], [AggSpec("sum", col("v"), "s")]))
+        lineage = why_provenance(q, db, Tup(g="x", s=3))
+        assert sorted(t["v"] for t in lineage["T"]) == [1, 2]
+
+    def test_join_lineage_covers_both_sides(self):
+        db = Database({"L": [Tup(k=1, x="a")], "R": [Tup(j=1, y="c")]})
+        q = Query(Join(TableAccess("L"), TableAccess("R"), [("k", "j")]))
+        lineage = q and why_provenance(q, db, Tup(k=1, x="a", j=1, y="c"))
+        assert lineage["L"] == [Tup(k=1, x="a")]
+        assert lineage["R"] == [Tup(j=1, y="c")]
+
+    def test_absent_tuple_has_empty_lineage(self, person_db, running_query):
+        lineage = why_provenance(
+            running_query, person_db, Tup(city="NY", nList=Bag([]))
+        )
+        assert lineage["person"] == []

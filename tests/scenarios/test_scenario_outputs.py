@@ -1,0 +1,188 @@
+"""Table 7/8 reproduction tests: explanation sets per scenario and approach.
+
+The expected values are the committed reproduction results; deviations from
+the paper's Table 8 are marked in comments and documented in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.scenarios import get_scenario, run_scenario
+
+SCALE = 40
+
+# Per scenario: (wnpp, rp_nosa, rp) as lists of label sets, plus gold rank.
+EXPECTED = {
+    "D1": (
+        [{"σ2"}],
+        [{"σ2"}],
+        [{"σ2"}, {"π1"}],
+        None,
+    ),
+    "D2": ([], [], [{"F3"}], 1),
+    "D3": ([], [], [{"N4"}], 1),
+    "D4": (
+        [{"σ6"}],
+        [{"σ6"}, {"σ6", "σ7"}],
+        # Paper lists 4 sets; we additionally find {F5, σ6} (a correct SR on
+        # this data — see EXPERIMENTS.md).
+        [{"σ6"}, {"σ6", "σ7"}, {"F5", "σ6"}, {"F5", "σ7"}, {"F5", "σ6", "σ7"}],
+        4,
+    ),
+    "D5": ([{"F9"}], [{"F9"}], [{"F9"}, {"π8"}], 2),
+    "T1": (
+        [{"F11"}],
+        [{"F11", "σ12"}],
+        [{"F11", "σ12"}, {"F10", "σ12"}],
+        2,
+    ),
+    "T2": (
+        [{"σ15"}],
+        [{"σ15"}, {"σ14", "σ15"}],
+        # Paper's 4th set is {F13, σ14, σ15}; ours is {F13, σ14}.
+        [{"σ15"}, {"F13"}, {"σ14", "σ15"}, {"F13", "σ14"}],
+        2,
+    ),
+    "T3": (
+        [{"⋈"}],  # paper reports {F17}; see EXPERIMENTS.md
+        [{"F17"}],
+        [{"F17"}, {"F16"}],
+        2,
+    ),
+    "T4": (
+        [{"σ19"}],
+        # Paper reports a single {σ19, σ20}; {σ20} alone is a correct SR here.
+        [{"σ20"}, {"σ19", "σ20"}],
+        [{"σ20"}, {"F18"}, {"σ19", "σ20"}, {"F18", "σ19"}],
+        2,
+    ),
+    "T_ASD": ([], [], [{"F21"}, {"F21", "σ22"}], 2),
+    "Q1": ([{"σ24"}], [{"σ24"}], [{"σ24"}, {"γ23"}, {"γ23", "σ24"}], 2),
+    "Q3": (
+        [{"σ27"}],
+        [{"σ26", "σ27"}],
+        [{"σ26", "σ27"}, {"γ25", "σ26", "σ27"}],
+        1,
+    ),
+    "Q4": (
+        [],
+        [],
+        [{"γ30"}, {"γ30", "σ28"}, {"γ30", "σ29"}, {"γ30", "σ28", "σ29"}],
+        2,  # paper ranks the gold set third (tie on bounds)
+    ),
+    "Q6": (
+        [{"σ32"}],
+        [
+            {"σ32"},
+            {"σ33"},
+            {"σ34"},
+            {"σ32", "σ33"},
+            {"σ32", "σ34"},
+            {"σ33", "σ34"},
+            {"σ32", "σ33", "σ34"},
+        ],
+        [
+            {"σ32"},
+            {"σ33"},
+            {"σ34"},
+            {"σ32", "σ33"},
+            {"σ32", "σ34"},
+            {"σ33", "σ34"},
+            {"π31", "σ33"},
+            {"σ32", "σ33", "σ34"},
+            {"π31", "σ32", "σ33"},
+            {"π31", "σ33", "σ34"},
+            {"π31", "σ32", "σ33", "σ34"},
+        ],
+        2,
+    ),
+    "Q10": (
+        [{"Z38"}],  # the paper's "misleading" lineage answer, reproduced
+        [{"σ35"}, {"σ35", "σ36"}],
+        [{"σ35"}, {"σ35", "σ36"}, {"π37", "σ35"}, {"π37", "σ35", "σ36"}],
+        4,
+    ),
+    "Q13": ([{"Z39"}], [{"Z39"}], [{"Z39"}], 1),
+    "Q13N": ([{"F39"}], [{"F39"}], [{"F39"}], 1),
+}
+
+# Flat variants find the same explanations as the nested scenarios (paper
+# §6.4); WN++ differs on Q3F only through the plan translation.
+FLAT_EXPECTED = {
+    "Q1F": "Q1",
+    "Q3F": "Q3",
+    "Q4F": "Q4",
+    "Q6F": "Q6",
+    "Q10F": "Q10",
+    "Q13F": "Q13",
+}
+
+CRIME_EXPECTED = {
+    # name: (whynot, conseil, rp)
+    "C1": ([{"σ1"}], [{"σ1", "Z2"}], [{"σ1", "Z2"}]),
+    "C2": ([{"ZP"}], [{"σ4"}], [{"σ4"}, {"σ3", "σ4"}]),
+    "C3": ([{"Z5"}], [{"Z5"}], [{"π6"}]),
+}
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = run_scenario(name, scale=SCALE)
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_scenario_explanations(runs, name):
+    wnpp, nosa, rp, gold_rank = EXPECTED[name]
+    run = runs(name)
+    assert run.wnpp == [frozenset(s) for s in wnpp], f"{name} WN++"
+    assert run.rp_nosa == [frozenset(s) for s in nosa], f"{name} RPnoSA"
+    assert run.rp == [frozenset(s) for s in rp], f"{name} RP"
+    if gold_rank is not None:
+        assert run.gold_position() == gold_rank, f"{name} gold rank"
+
+
+@pytest.mark.parametrize("name", sorted(FLAT_EXPECTED))
+def test_flat_variants_match_nested(runs, name):
+    """Paper §6.4: the explanations on flat data equal the nested ones."""
+    nested = EXPECTED[FLAT_EXPECTED[name]]
+    run = runs(name)
+    assert run.rp_nosa == [frozenset(s) for s in nested[1]], f"{name} RPnoSA"
+    assert run.rp == [frozenset(s) for s in nested[2]], f"{name} RP"
+
+
+@pytest.mark.parametrize("name", sorted(CRIME_EXPECTED))
+def test_crime_comparison(runs, name):
+    whynot, conseil, rp = CRIME_EXPECTED[name]
+    run = runs(name)
+    assert run.wnpp == [frozenset(s) for s in whynot], f"{name} Why-Not"
+    assert run.conseil == [frozenset(s) for s in conseil], f"{name} Conseil"
+    assert run.rp == [frozenset(s) for s in rp], f"{name} RP"
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_questions_are_well_posed(runs, name):
+    """Every scenario's why-not tuple is genuinely missing (Def. 5)."""
+    scenario = get_scenario(name)
+    question = scenario.question(SCALE)
+    question.validate()
+
+
+def test_rp_supersets_rpnosa():
+    """RP's explanation sets always include RPnoSA's (more SAs, same S1)."""
+    for name in EXPECTED:
+        run = run_scenario(name, scale=SCALE, with_baselines=False)
+        assert set(run.rp) >= set(run.rp_nosa), name
+
+
+def test_sa_counts():
+    """Schema-alternative counts per query (Figure 10's '# of SAs' row)."""
+    expected = {"Q1": 6, "Q3": 6, "Q4": 12, "Q6": 6, "Q10": 2, "Q13": 1}
+    for name, n_sas in expected.items():
+        run = run_scenario(name, scale=SCALE, with_baselines=False)
+        assert run.n_sas == n_sas, name

@@ -1,0 +1,151 @@
+"""Tests for schema alternative enumeration (Step 2; Examples 13–15, Fig. 3)."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    InnerFlatten,
+    Projection,
+    Query,
+    RelationFlatten,
+    Selection,
+    TableAccess,
+)
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.whynot.alternatives import (
+    TooManyAlternatives,
+    enumerate_schema_alternatives,
+    parse_source,
+)
+from repro.whynot.backtrace import backtrace
+from repro.whynot.placeholders import ANY, STAR
+
+
+def enumerate_for(query, db, nip, groups, **kwargs):
+    bt = backtrace(query, db, nip)
+    return enumerate_schema_alternatives(query, db, nip, bt, groups=groups, **kwargs)
+
+
+class TestParseSource:
+    def test_string(self):
+        assert parse_source("person.address2.city") == ("person", ("address2", "city"))
+
+    def test_tuple_passthrough(self):
+        assert parse_source(("t", ("a",))) == ("t", ("a",))
+
+    def test_table_only_rejected(self):
+        with pytest.raises(ValueError):
+            parse_source("person")
+
+
+class TestRunningExample:
+    GROUPS = [["person.address2", "person.address1"]]
+
+    def test_two_sas_remain(self, running_query, person_db, running_nip):
+        sas = enumerate_for(running_query, person_db, running_nip, self.GROUPS)
+        assert len(sas) == 2
+        assert sas[0].is_original and not sas[1].is_original
+
+    def test_s2_swaps_flatten(self, running_query, person_db, running_nip):
+        sas = enumerate_for(running_query, person_db, running_nip, self.GROUPS)
+        s2 = sas[1]
+        assert s2.delta == frozenset({running_query.op_by_label("F").op_id})
+        flatten: RelationFlatten = s2.query.op_by_label("F")
+        assert flatten.path == ("address1",)
+
+    def test_s2_backtrace_swaps_table_nip(self, running_query, person_db, running_nip):
+        """Example 15: t2 nests the city constraint under address1."""
+        sas = enumerate_for(running_query, person_db, running_nip, self.GROUPS)
+        nip = sas[1].backtrace.table_nip("person")
+        assert nip["address1"] == Bag([Tup(city="NY", year=ANY), STAR])
+        assert nip["address2"] is ANY
+
+    def test_no_groups_yields_only_s1(self, running_query, person_db, running_nip):
+        sas = enumerate_for(running_query, person_db, running_nip, [])
+        assert len(sas) == 1 and sas[0].is_original
+
+
+class TestPruning:
+    def test_output_schema_change_pruned(self):
+        """Flattening an alternative with differently named element fields
+        changes the output schema and must be pruned (paper's city1 case)."""
+        db = Database(
+            {
+                "T": [
+                    Tup(
+                        name="n",
+                        a1=Bag([Tup(city1="x", year=1)]),
+                        a2=Bag([Tup(city="x", year=1)]),
+                    )
+                ]
+            }
+        )
+        plan = Projection(InnerFlatten(TableAccess("T"), "a2"), ["name", "city"])
+        q = Query(plan)
+        nip = Tup(name=ANY, city="NY")
+        sas = enumerate_for(q, db, nip, [["T.a2", "T.a1"]])
+        assert len(sas) == 1  # only the original remains
+
+    def test_unreachable_reference_pruned(self):
+        """If the selection references a field that only exists under the
+        original flatten, the swapped SA is pruned (Figure 3, dashed)."""
+        db = Database(
+            {
+                "T": [
+                    Tup(
+                        a1=Bag([Tup(city="x")]),
+                        a2=Bag([Tup(city="x", year=1)]),
+                    )
+                ]
+            }
+        )
+        plan = Selection(InnerFlatten(TableAccess("T"), "a2"), col("year").ge(0))
+        q = Query(plan)
+        nip = Tup(a1=ANY, a2=ANY, city="NY", year=ANY)
+        sas = enumerate_for(q, db, nip, [["T.a2", "T.a1"]])
+        assert len(sas) == 1
+
+    def test_cap_enforced(self, running_query, person_db, running_nip):
+        groups = [[f"person.address{i}" for i in (1, 2)]] * 8
+        with pytest.raises(TooManyAlternatives):
+            enumerate_for(
+                running_query, person_db, running_nip, groups, max_sas=2
+            )
+
+
+class TestInjectiveLinking:
+    def test_swap_is_linked(self):
+        """Two references in the same group swap together (the Q6 pattern)."""
+        db = Database({"T": [Tup(a=1, b=2, c=3)]})
+        plan = Selection(
+            Selection(TableAccess("T"), col("a").ge(0), label="σa"),
+            col("b").ge(0),
+            label="σb",
+        )
+        q = Query(plan)
+        nip = Tup(a=ANY, b=ANY, c=ANY)
+        sas = enumerate_for(q, db, nip, [["T.a", "T.b"]])
+        # identity + full swap: the (a→b, b→b) style collapses are excluded.
+        assert len(sas) == 2
+        swapped = sas[1]
+        assert swapped.query.op_by_label("σa").pred.attr_paths() == [("b",)]
+        assert swapped.query.op_by_label("σb").pred.attr_paths() == [("a",)]
+
+    def test_same_attr_refs_move_together(self):
+        """A BETWEEN predicate references the attribute twice; both move."""
+        db = Database({"T": [Tup(a=1, b=2)]})
+        plan = Selection(TableAccess("T"), col("a").between(0, 9))
+        q = Query(plan)
+        nip = Tup(a=ANY, b=ANY)
+        sas = enumerate_for(q, db, nip, [["T.a", "T.b"]])
+        assert len(sas) == 2
+        assert sas[1].query.op(2).pred.attr_paths() == [("b",), ("b",)]
+
+    def test_three_member_group_one_ref(self):
+        db = Database({"T": [Tup(a=1, b=2, c=3)]})
+        plan = Selection(TableAccess("T"), col("a").ge(0))
+        q = Query(plan)
+        nip = Tup(a=ANY, b=ANY, c=ANY)
+        sas = enumerate_for(q, db, nip, [["T.a", "T.b", "T.c"]])
+        assert len(sas) == 3

@@ -1,0 +1,109 @@
+"""Tests for Algorithm 4 internals: alive chains, bounds, ranking, pruning."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import Projection, Query, Selection, TableAccess
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.whynot.alternatives import enumerate_schema_alternatives
+from repro.whynot.approximate import Explanation, approximate_msrs
+from repro.whynot.backtrace import backtrace
+from repro.whynot.explain import explain
+from repro.whynot.placeholders import ANY
+from repro.whynot.question import WhyNotQuestion
+from repro.whynot.tracing import trace
+
+
+def run_pipeline(question, groups=()):
+    bt = backtrace(question.query, question.db, question.nip)
+    sas = enumerate_schema_alternatives(
+        question.query, question.db, question.nip, bt, groups=groups
+    )
+    traced = trace(question.query, question.db, sas)
+    return approximate_msrs(question, sas, traced)
+
+
+class TestChains:
+    def test_two_selections_one_witness_each(self):
+        """Distinct witnesses per selection: all three subsets emerge."""
+        db = Database(
+            {
+                "T": [
+                    Tup(k="target", a=0, b=9),
+                    Tup(k="target", a=9, b=0),
+                    Tup(k="target", a=0, b=0),
+                    Tup(k="target", a=9, b=9),
+                ]
+            }
+        )
+        plan = Selection(
+            Selection(TableAccess("T"), col("a").ge(5), label="σa"),
+            col("b").ge(5),
+            label="σb",
+        )
+        phi = WhyNotQuestion(Query(plan), db, Tup(k="target", a=0, b=ANY))
+        sets = [set(e.labels) for e in run_pipeline(phi)]
+        # a must change (every a=0 row fails σa); b may or may not.
+        assert {"σa"} in sets and {"σa", "σb"} in sets
+
+    def test_chain_precision(self):
+        """A row passing σa and a different row passing σb do not combine
+        into a spurious skip (the alive-chain requirement)."""
+        db = Database(
+            {
+                "T": [
+                    Tup(k="t", a=9, b=0),  # passes σa only
+                    Tup(k="t", a=0, b=9),  # passes σb only
+                ]
+            }
+        )
+        plan = Selection(
+            Selection(TableAccess("T"), col("a").ge(5), label="σa"),
+            col("b").ge(5),
+            label="σb",
+        )
+        phi = WhyNotQuestion(Query(plan), db, Tup(k="t", a=ANY, b=ANY))
+        sets = [set(e.labels) for e in run_pipeline(phi)]
+        # No single row passes both, so the empty SR never survives; both
+        # single-op extensions exist (each witnessed by the other row).
+        assert {"σa"} in sets and {"σb"} in sets
+
+
+class TestBoundsAndRanking:
+    def test_rank_by_size_first(self, running_question):
+        result = explain(
+            running_question,
+            alternatives=[["person.address2", "person.address1"]],
+        )
+        sizes = [len(e.ops) for e in result.explanations]
+        assert sizes == sorted(sizes)
+
+    def test_original_sa_before_alternative_on_ties(self, running_question):
+        result = explain(
+            running_question,
+            alternatives=[["person.address2", "person.address1"]],
+        )
+        sa_indexes = [e.sa_index for e in result.explanations]
+        assert sa_indexes[0] == 0
+
+    def test_bounds_nonnegative_and_ordered(self, running_question):
+        result = explain(
+            running_question,
+            alternatives=[["person.address2", "person.address1"]],
+        )
+        for e in result.explanations:
+            assert 0 <= e.lb <= e.ub
+
+    def test_explanation_repr(self):
+        e = Explanation(frozenset({1}), ("σ",), 0, "S1")
+        assert repr(e) == "{σ}"
+
+
+class TestNoExplanations:
+    def test_unreachable_answer(self):
+        """A missing answer whose constant exists nowhere yields nothing."""
+        db = Database({"T": [Tup(a=1)]})
+        plan = Projection(Selection(TableAccess("T"), col("a").ge(0)), ["a"])
+        phi = WhyNotQuestion(Query(plan), db, Tup(a=99))
+        assert run_pipeline(phi) == []

@@ -1,0 +1,143 @@
+"""Tests for schema backtracing (Step 1; paper Examples 11–12)."""
+
+import pytest
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    Map,
+    NestedAggregation,
+    Projection,
+    Query,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+)
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.whynot.backtrace import BacktraceError, backtrace, is_trivial
+from repro.whynot.placeholders import ANY, STAR, gt
+
+
+class TestRunningExample:
+    def test_table_nip_matches_example11(self, running_query, person_db, running_nip):
+        bt = backtrace(running_query, person_db, running_nip)
+        expected = Tup(
+            name=ANY,
+            address1=ANY,
+            address2=Bag([Tup(city="NY", year=ANY), STAR]),
+        )
+        assert bt.table_nip("person") == expected
+
+    def test_flatten_output_pattern(self, running_query, person_db, running_nip):
+        bt = backtrace(running_query, person_db, running_nip)
+        flatten = running_query.op_by_label("F")
+        assert bt.nip_at[flatten.op_id] == Tup(
+            name=ANY, address1=ANY, address2=ANY, city="NY", year=ANY
+        )
+
+    def test_refs_resolve_to_sources_example12(
+        self, running_query, person_db, running_nip
+    ):
+        bt = backtrace(running_query, person_db, running_nip)
+        by_role = {(r.op_id, r.role): r for r in bt.refs}
+        sigma = running_query.op_by_label("σ").op_id
+        year_ref = next(r for (op, _), r in by_role.items() if op == sigma)
+        assert year_ref.source() == ("person", ("address2", "year"))
+        pi = running_query.op_by_label("π").op_id
+        city_ref = by_role[(pi, "col:1@0")]
+        assert city_ref.source() == ("person", ("address2", "city"))
+
+    def test_flatten_ref_is_structural(self, running_query, person_db, running_nip):
+        bt = backtrace(running_query, person_db, running_nip)
+        flatten_refs = [r for r in bt.refs if r.role == "flatten"]
+        assert len(flatten_refs) == 1 and flatten_refs[0].structural
+
+
+class TestOperatorRules:
+    def test_projection_inverts_renaming_column(self):
+        db = Database({"T": [Tup(a=1, b=2)]})
+        q = Query(Projection(TableAccess("T"), [("x", col("a"))]))
+        bt = backtrace(q, db, Tup(x=1))
+        assert bt.table_nip("T") == Tup(a=1, b=ANY)
+
+    def test_computed_column_constraint_dropped(self):
+        db = Database({"T": [Tup(a=1, b=2)]})
+        q = Query(Projection(TableAccess("T"), [("x", col("a") * 2)]))
+        bt = backtrace(q, db, Tup(x=2))
+        assert is_trivial(bt.table_nip("T"))
+
+    def test_renaming(self):
+        db = Database({"T": [Tup(a=1)]})
+        q = Query(Renaming(TableAccess("T"), [("renamed", "a")]))
+        bt = backtrace(q, db, Tup(renamed=1))
+        assert bt.table_nip("T") == Tup(a=1)
+
+    def test_join_splits_and_propagates_key_constants(self):
+        db = Database(
+            {"L": [Tup(k=1, x="a")], "R": [Tup(j=1, y="b")]}
+        )
+        q = Query(Join(TableAccess("L"), TableAccess("R"), [("k", "j")]))
+        bt = backtrace(q, db, Tup(k=7, x=ANY, j=ANY, y="b"))
+        assert bt.table_nip("L") == Tup(k=7, x=ANY)
+        # The constant 7 on the left key propagates to the right key.
+        assert bt.table_nip("R") == Tup(j=7, y="b")
+
+    def test_tuple_flatten_alias(self):
+        db = Database({"T": [Tup(info=Tup(x=5), other=1)]})
+        q = Query(TupleFlatten(TableAccess("T"), "info.x", alias="val"))
+        bt = backtrace(q, db, Tup(info=ANY, other=1, val=5))
+        assert bt.table_nip("T") == Tup(info=Tup(x=5), other=1)
+
+    def test_relation_nesting_single_element_pattern(self):
+        db = Database({"T": [Tup(name="a", city="x")]})
+        q = Query(RelationNesting(TableAccess("T"), ["name"], "names"))
+        bt = backtrace(q, db, Tup(city="x", names=Bag([Tup(name="a"), STAR])))
+        assert bt.table_nip("T") == Tup(name="a", city="x")
+
+    def test_group_aggregation_relaxes_agg_constraint(self):
+        db = Database({"T": [Tup(g="x", v=1)]})
+        q = Query(
+            GroupAggregation(TableAccess("T"), ["g"], [AggSpec("sum", col("v"), "s")])
+        )
+        bt = backtrace(q, db, Tup(g="x", s=gt(100)))
+        assert bt.table_nip("T") == Tup(g="x", v=ANY)
+        root = q.root.op_id
+        assert bt.nip_at[root]["s"] == gt(100)
+        assert bt.relaxed_at[root]["s"] is ANY
+
+    def test_nested_aggregation_constraint_dropped(self):
+        db = Database({"T": [Tup(name="a", items=Bag([Tup(v=1)]))]})
+        q = Query(NestedAggregation(TableAccess("T"), "count", "items", "cnt"))
+        bt = backtrace(q, db, Tup(name="a", items=ANY, cnt=gt(5)))
+        assert bt.table_nip("T") == Tup(name="a", items=ANY)
+
+    def test_map_unsupported(self):
+        db = Database({"T": [Tup(a=1)]})
+        q = Query(Map(TableAccess("T"), lambda t: t))
+        with pytest.raises(BacktraceError):
+            backtrace(q, db, Tup(a=1))
+
+
+class TestColumnLineage:
+    def test_flatten_lineage(self, running_query, person_db, running_nip):
+        bt = backtrace(running_query, person_db, running_nip)
+        flatten = running_query.op_by_label("F").op_id
+        assert bt.colmaps[flatten][("city",)].source() == (
+            "person",
+            ("address2", "city"),
+        )
+
+    def test_agg_output_marked(self):
+        db = Database({"T": [Tup(g="x", v=1)]})
+        q = Query(
+            GroupAggregation(TableAccess("T"), ["g"], [AggSpec("sum", col("v"), "s")])
+        )
+        bt = backtrace(q, db, Tup(g=ANY, s=ANY))
+        assert bt.colmaps[q.root.op_id][("s",)].from_agg
+        assert not bt.colmaps[q.root.op_id][("g",)].from_agg

@@ -1,0 +1,96 @@
+"""Tests for exact SR/MSR enumeration (Definitions 8–10, Examples 9–10)."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import Projection, Query, Selection, TableAccess
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.whynot.exact import SearchBudgetExceeded, enumerate_explanations
+from repro.whynot.placeholders import ANY
+from repro.whynot.question import WhyNotQuestion
+
+
+class TestRunningExample:
+    def test_example10_with_tree_distance(self, running_question):
+        """With tree edit distance both {σ} and {F, σ} are MSRs (Ex. 10)."""
+        result = enumerate_explanations(running_question, max_ops=2, distance="tree")
+        q = running_question.query
+        label_sets = {
+            frozenset(q.op(i).label for i in delta) for delta, _ in result.explanations
+        }
+        assert label_sets == {frozenset({"σ"}), frozenset({"F", "σ"})}
+
+    def test_sigma_alone_is_sr(self, running_question):
+        result = enumerate_explanations(running_question, max_ops=1, distance="bag")
+        q = running_question.query
+        assert {q.op(i).label for delta, _ in result.explanations for i in delta} == {"σ"}
+
+    def test_bag_distance_prunes_dominated(self, running_question):
+        """Under the top-level bag metric, {σ} (d=2) dominates {F, σ} (d=3)."""
+        result = enumerate_explanations(running_question, max_ops=2, distance="bag")
+        assert len(result.explanations) == 1
+        (delta, d) = result.explanations[0]
+        assert d == 2
+
+    def test_srs_really_succeed(self, running_question):
+        result = enumerate_explanations(running_question, max_ops=2, distance="bag")
+        for sr in result.srs:
+            assert running_question.is_answered_by(sr.result)
+
+    def test_restricted_ops(self, running_question):
+        result = enumerate_explanations(
+            running_question, max_ops=2, distance="bag", ops=[4, 5]
+        )
+        assert result.explanations == []
+
+
+class TestSimpleCases:
+    def make_question(self):
+        db = Database({"T": [Tup(a=1, b=10), Tup(a=2, b=20), Tup(a=3, b=30)]})
+        plan = Projection(Selection(TableAccess("T"), col("a").ge(3), label="σ"), ["b"])
+        return WhyNotQuestion(Query(plan), db, Tup(b=20))
+
+    def test_selection_constant_repair(self):
+        phi = self.make_question()
+        result = enumerate_explanations(phi, max_ops=1)
+        assert [phi.query.op(i).label for delta, _ in result.explanations for i in delta] == ["σ"]
+
+    def test_minimal_side_effect_chosen(self):
+        phi = self.make_question()
+        result = enumerate_explanations(phi, max_ops=1)
+        (_, d) = result.explanations[0]
+        # σ: a ≥ 2 keeps (30) and adds (20): one added tuple → d = 1.
+        assert d == 1
+
+    def test_budget_guard(self):
+        phi = self.make_question()
+        with pytest.raises(SearchBudgetExceeded):
+            enumerate_explanations(phi, max_ops=2, max_candidates=1)
+
+    def test_unanswerable_question_has_no_explanations(self):
+        db = Database({"T": [Tup(a=1)]})
+        plan = Selection(TableAccess("T"), col("a").ge(0))
+        phi = WhyNotQuestion(Query(plan), db, Tup(a=99))
+        result = enumerate_explanations(phi, max_ops=1)
+        assert result.explanations == []
+
+
+class TestMinimality:
+    def test_subset_domination(self):
+        """An explanation must not be a superset of another with ≤ side
+        effects; construct a case where {σ1} suffices so {σ1, σ2} is pruned."""
+        db = Database({"T": [Tup(a=1, b=1), Tup(a=5, b=5)]})
+        plan = Selection(
+            Selection(TableAccess("T"), col("a").ge(5), label="σ1"),
+            col("b").ge(0),
+            label="σ2",
+        )
+        phi = WhyNotQuestion(Query(plan), db, Tup(a=1, b=1))
+        result = enumerate_explanations(phi, max_ops=2)
+        q = phi.query
+        label_sets = {
+            frozenset(q.op(i).label for i in delta) for delta, _ in result.explanations
+        }
+        assert frozenset({"σ1"}) in label_sets
+        assert frozenset({"σ1", "σ2"}) not in label_sets

@@ -1,0 +1,53 @@
+"""Exact vs. heuristic agreement on small instances (paper §5.5).
+
+The heuristic guarantees every returned explanation is a correct SR; on small
+databases the exact enumerator (Definitions 8–10) provides the ground truth
+to check this — and to check that the heuristic's ranking respects the exact
+minimality where the metrics coincide.
+"""
+
+import pytest
+
+from repro.scenarios import get_scenario
+from repro.whynot.exact import enumerate_explanations
+from repro.whynot.explain import explain
+
+
+def exact_sr_deltas(question, max_ops=2):
+    result = enumerate_explanations(question, max_ops=max_ops, distance="bag")
+    return {sr.delta for sr in result.srs}
+
+
+class TestCrimeScenarios:
+    @pytest.mark.parametrize("name", ["C1", "C2"])
+    def test_every_heuristic_explanation_is_an_sr(self, name):
+        scenario = get_scenario(name)
+        question = scenario.question(scale=4)
+        heuristic = explain(
+            question, alternatives=scenario.alternatives, validate=False
+        )
+        srs = exact_sr_deltas(question)
+        for e in heuristic.explanations:
+            assert e.ops in srs, f"{name}: {e.labels} is not a correct SR"
+
+    def test_c2_exact_contains_gold(self):
+        scenario = get_scenario("C2")
+        question = scenario.question(scale=4)
+        exact = enumerate_explanations(question, max_ops=1, distance="bag")
+        labels = {
+            frozenset(question.query.op(i).label for i in delta)
+            for delta, _ in exact.explanations
+        }
+        assert frozenset({"σ4"}) in labels
+
+
+class TestRunningExample:
+    def test_heuristic_is_sound_and_complete_here(self, running_question):
+        heuristic = explain(
+            running_question,
+            alternatives=[["person.address2", "person.address1"]],
+        )
+        exact = enumerate_explanations(running_question, max_ops=2, distance="tree")
+        assert {e.ops for e in heuristic.explanations} == set(
+            exact.explanation_sets()
+        )

@@ -1,0 +1,140 @@
+"""Unit tests for NIP matching (paper Definitions 3–4, Examples 5–7)."""
+
+import pytest
+
+from repro.nested.values import NULL, Bag, Tup
+from repro.whynot.matching import InvalidNIP, any_match, matches, matching_tuples, validate_nip
+from repro.whynot.placeholders import ANY, STAR, ge, gt, lt
+
+
+class TestScalars:
+    def test_any_matches_everything(self):
+        assert matches(5, ANY)
+        assert matches(NULL, ANY)
+        assert matches(Bag([1]), ANY)
+        assert matches(Tup(a=1), ANY)
+
+    def test_equality(self):
+        assert matches(5, 5)
+        assert not matches(5, 6)
+        assert matches("NY", "NY")
+
+    def test_null_matches_null_pattern(self):
+        assert matches(NULL, NULL)
+        assert not matches(5, NULL)
+
+    def test_cond_placeholders(self):
+        assert matches(5, gt(4))
+        assert not matches(5, gt(5))
+        assert matches(5, ge(5))
+        assert matches(4, lt(5))
+        assert not matches(NULL, gt(0))
+
+
+class TestTuples:
+    def test_attribute_wise(self):
+        assert matches(Tup(a=1, b=2), Tup(a=1, b=ANY))
+        assert not matches(Tup(a=1, b=2), Tup(a=2, b=ANY))
+
+    def test_attribute_sets_must_agree(self):
+        assert not matches(Tup(a=1), Tup(a=1, b=ANY))
+        assert not matches(Tup(a=1, b=2), Tup(a=1))
+
+    def test_nested(self):
+        instance = Tup(a=Tup(x=1, y=2))
+        assert matches(instance, Tup(a=Tup(x=1, y=ANY)))
+        assert not matches(instance, Tup(a=Tup(x=9, y=ANY)))
+
+    def test_non_tuple_instance(self):
+        assert not matches(5, Tup(a=1))
+
+
+class TestBags:
+    def test_example6_multiplicities(self):
+        """Example 6: {{?, *}} matches, {{?, ?}} does not."""
+        t = Bag([Tup(name="Sue"), Tup(name="Sue"), Tup(name="Peter")])
+        assert matches(t, Bag([ANY, STAR]))
+        assert not matches(t, Bag([ANY, ANY]))
+
+    def test_example7_nested_match(self):
+        """Example 7: Sue's tuple matches the backtraced NIP."""
+        sue = Tup(
+            name="Sue",
+            address1=Bag([Tup(city="LA", year=2019), Tup(city="NY", year=2018)]),
+            address2=Bag([Tup(city="LA", year=2019), Tup(city="NY", year=2018)]),
+        )
+        nip = Tup(
+            name="Sue",
+            address1=ANY,
+            address2=Bag([Tup(city=ANY, year=2019), STAR]),
+        )
+        assert matches(sue, nip)
+
+    def test_exact_bag_equality(self):
+        assert matches(Bag([1, 1, 2]), Bag([1, 1, 2]))
+        assert not matches(Bag([1, 2]), Bag([1, 1, 2]))
+
+    def test_star_absorbs_leftovers(self):
+        assert matches(Bag([1, 2, 3]), Bag([1, STAR]))
+        assert matches(Bag([1]), Bag([1, STAR]))
+        assert matches(Bag([]), Bag([STAR]))
+
+    def test_without_star_multiplicities_exact(self):
+        assert not matches(Bag([1, 2]), Bag([1]))
+        assert not matches(Bag([1]), Bag([1, 2]))
+
+    def test_non_star_demand_must_be_met(self):
+        assert not matches(Bag([2]), Bag([1, STAR]))
+        assert not matches(Bag([]), Bag([ANY, STAR]))
+
+    def test_assignment_needs_flow(self):
+        # Two ?-patterns need two elements, even though each element matches
+        # both patterns.
+        assert matches(Bag(["a", "b"]), Bag([ANY, ANY]))
+        assert not matches(Bag(["a"]), Bag([ANY, ANY]))
+
+    def test_flow_with_competition(self):
+        # One pattern matches only 'a'; the ? must then take 'b'.
+        assert matches(Bag(["a", "b"]), Bag(["a", ANY]))
+        # Both patterns demand 'a', but only one 'a' exists.
+        assert not matches(Bag(["a", "b"]), Bag(["a", "a"]))
+
+    def test_duplicate_demands_with_flow(self):
+        assert matches(Bag(["a", "a", "b"]), Bag(["a", "a", ANY]))
+        assert matches(Bag(["a", "a"]), Bag(["a", STAR]))
+
+    def test_bag_of_tuples_with_conditions(self):
+        bag = Bag([Tup(city="NY", year=2018), Tup(city="LA", year=2019)])
+        assert matches(bag, Bag([Tup(city="NY", year=ANY), STAR]))
+        assert not matches(bag, Bag([Tup(city="SF", year=ANY), STAR]))
+
+    def test_non_bag_instance(self):
+        assert not matches(5, Bag([ANY]))
+
+
+class TestValidation:
+    def test_two_stars_rejected(self):
+        with pytest.raises(InvalidNIP):
+            validate_nip(Bag([STAR, STAR]))
+
+    def test_star_outside_bag_rejected(self):
+        with pytest.raises(InvalidNIP):
+            validate_nip(Tup(a=STAR))
+        with pytest.raises(InvalidNIP):
+            validate_nip(STAR)
+
+    def test_valid_patterns_pass(self):
+        validate_nip(Tup(city="NY", nList=Bag([ANY, STAR])))
+        validate_nip(ANY)
+        validate_nip(Bag([Tup(a=1), STAR]))
+
+
+class TestHelpers:
+    def test_any_match(self):
+        bag = Bag([Tup(a=1), Tup(a=2)])
+        assert any_match(bag, Tup(a=2))
+        assert not any_match(bag, Tup(a=3))
+
+    def test_matching_tuples(self):
+        bag = Bag([Tup(a=1), Tup(a=2), Tup(a=2)])
+        assert matching_tuples(bag, Tup(a=ANY)) == [Tup(a=1), Tup(a=2)]

@@ -1,0 +1,76 @@
+"""Property-based tests (hypothesis) for NIP matching (Definition 4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nested.values import Bag, Tup
+from repro.whynot.matching import matches
+from repro.whynot.placeholders import ANY, STAR
+
+
+values = st.one_of(st.integers(0, 4), st.sampled_from(["x", "y"]))
+tuples = st.builds(lambda a, b: Tup(a=a, b=b), values, values)
+bags = st.lists(tuples, max_size=6).map(Bag)
+
+
+@given(tuples)
+def test_any_matches_everything(t):
+    assert matches(t, ANY)
+
+
+@given(tuples)
+def test_instance_matches_itself(t):
+    assert matches(t, t)
+
+
+@given(bags)
+def test_bag_matches_itself(b):
+    assert matches(b, b)
+
+
+@given(bags)
+def test_star_matches_any_bag(b):
+    assert matches(b, Bag([STAR]))
+
+
+@given(bags)
+def test_exists_pattern_iff_nonempty(b):
+    assert matches(b, Bag([ANY, STAR])) == (len(b) > 0)
+
+
+@given(bags, tuples)
+def test_element_pattern_iff_member(b, t):
+    assert matches(b, Bag([t, STAR])) == (t in b)
+
+
+@given(bags)
+def test_bag_with_one_element_removed_still_matches_with_star(b):
+    if len(b) == 0:
+        return
+    element = next(iter(b))
+    pattern = Bag([element, STAR])
+    assert matches(b, pattern)
+
+
+@given(bags, bags)
+@settings(max_examples=60)
+def test_union_matches_concatenated_patterns_with_star(b1, b2):
+    # Every element of b1 used as a demand is satisfiable in b1 ∪ b2.
+    union = b1.union(b2)
+    pattern = Bag(list(b1) + [STAR])
+    assert matches(union, pattern)
+
+
+@given(tuples, tuples)
+def test_tuple_pattern_attribute_wise(t1, t2):
+    pattern = Tup(a=t1["a"], b=ANY)
+    expected = t2["a"] == t1["a"]
+    assert matches(t2, pattern) == expected
+
+
+@given(bags)
+def test_multiplicity_exactness_without_star(b):
+    # The exact multiset is the only thing matching a star-free self-pattern.
+    assert matches(b, Bag(list(b)))
+    extended = b.union(Bag([Tup(a=99, b=99)]))
+    assert not matches(extended, Bag(list(b)))

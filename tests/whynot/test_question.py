@@ -1,0 +1,42 @@
+"""Unit tests for why-not questions (Definition 5)."""
+
+import pytest
+
+from repro.nested.values import Bag, Tup
+from repro.whynot.matching import InvalidNIP
+from repro.whynot.placeholders import ANY, STAR
+from repro.whynot.question import IllPosedQuestion, WhyNotQuestion
+
+
+class TestValidation:
+    def test_valid_question(self, running_question):
+        running_question.validate()  # must not raise
+
+    def test_ill_posed_question_rejected(self, running_query, person_db):
+        phi = WhyNotQuestion(
+            running_query, person_db, Tup(city="LA", nList=Bag([ANY, STAR]))
+        )
+        with pytest.raises(IllPosedQuestion):
+            phi.validate()
+
+    def test_malformed_nip_rejected(self, running_query, person_db):
+        phi = WhyNotQuestion(
+            running_query, person_db, Tup(city="NY", nList=Bag([STAR, STAR]))
+        )
+        with pytest.raises(InvalidNIP):
+            phi.validate()
+
+
+class TestResult:
+    def test_result_cached(self, running_question):
+        first = running_question.result()
+        assert running_question.result() is first
+
+    def test_is_answered_by(self, running_question):
+        answered = Bag([Tup(city="NY", nList=Bag([Tup(name="Sue")]))])
+        assert running_question.is_answered_by(answered)
+        assert not running_question.is_answered_by(running_question.result())
+
+    def test_describe(self, running_question):
+        text = running_question.describe()
+        assert "NY" in text and "running-example" in text

@@ -1,0 +1,51 @@
+"""Tests for the tighter-bounds extension (paper §7 future work)."""
+
+import pytest
+
+from repro.whynot.exact import enumerate_explanations
+from repro.whynot.explain import explain
+from repro.whynot.refine import refine_side_effects
+
+
+GROUPS = [["person.address2", "person.address1"]]
+
+
+class TestRefinement:
+    def test_observed_bounds_match_exact_minimum(self, running_question):
+        """The witness search finds the same minimal bag-side-effects as the
+        exhaustive enumeration (d=2 for {σ}: SF and NY rows added)."""
+        result = refine_side_effects(
+            explain(running_question, alternatives=GROUPS), distance="bag"
+        )
+        by_labels = {e.labels: e for e in result.explanations}
+        exact = enumerate_explanations(running_question, max_ops=2, distance="bag")
+        exact_min = {
+            frozenset(running_question.query.op(i).label for i in delta): d
+            for delta, d in ((sr.delta, sr.side_effect) for sr in exact.srs)
+        }
+        sigma = by_labels[("σ",)]
+        assert sigma.ub == min(
+            d for delta, d in exact_min.items() if delta == frozenset({"σ"})
+        )
+
+    def test_bounds_never_widen(self, running_question):
+        before = explain(running_question, alternatives=GROUPS)
+        ubs_before = {e.labels: e.ub for e in before.explanations}
+        after = refine_side_effects(before)
+        for e in after.explanations:
+            assert e.ub <= ubs_before[e.labels]
+            assert e.lb <= e.ub
+
+    def test_ranking_remains_size_first(self, running_question):
+        result = refine_side_effects(explain(running_question, alternatives=GROUPS))
+        sizes = [len(e.ops) for e in result.explanations]
+        assert sizes == sorted(sizes)
+
+    def test_tree_distance_mode(self, running_question):
+        """Under the tree metric, the refined {F, σ} bound undercuts {σ}'s —
+        Example 10's reason to keep both MSRs."""
+        result = refine_side_effects(
+            explain(running_question, alternatives=GROUPS), distance="tree"
+        )
+        by_labels = {e.labels: e for e in result.explanations}
+        assert by_labels[("F", "σ")].ub < by_labels[("σ",)].ub

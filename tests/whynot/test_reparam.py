@@ -1,0 +1,162 @@
+"""Unit tests for admissible parameter changes (Table 2)."""
+
+import pytest
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import And, col, lit
+from repro.algebra.operators import (
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    Projection,
+    Query,
+    RelationFlatten,
+    Renaming,
+    Selection,
+    TableAccess,
+)
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.whynot.reparam import (
+    active_domain,
+    bag_attr_paths,
+    compatible_paths,
+    condition_variants,
+    operator_candidates,
+    value_paths,
+)
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "T": [
+                Tup(a=1, b=2, name="x", tags=Bag([Tup(t="p")]), more=Bag([Tup(t="q")])),
+                Tup(a=3, b=4, name="y", tags=Bag([Tup(t="r")]), more=Bag()),
+            ]
+        }
+    )
+
+
+class TestSchemaHelpers:
+    def test_value_paths(self, db):
+        paths = [p for p, _ in value_paths(db.schema("T"))]
+        assert ("a",) in paths and ("name",) in paths
+        assert ("tags", "t") not in paths  # bags are not crossed
+
+    def test_bag_attr_paths(self, db):
+        paths = [p for p, _ in bag_attr_paths(db.schema("T"))]
+        assert set(paths) == {("tags",), ("more",)}
+
+    def test_compatible_paths_same_type_only(self, db):
+        schema = db.schema("T")
+        from repro.nested.types import INT
+
+        assert set(compatible_paths(schema, ("a",), INT)) == {("b",)}
+
+
+class TestActiveDomain:
+    def test_collects_by_type(self, db):
+        adom = active_domain(db)
+        assert 1 in adom[int] and 4 in adom[int]
+        assert "x" in adom[str] and "p" in adom[str]
+
+    def test_numeric_boundaries_added(self, db):
+        adom = active_domain(db)
+        assert min(adom[int]) == 0 and max(adom[int]) == 5
+
+
+class TestConditionVariants:
+    def test_constant_changes(self, db):
+        variants = list(
+            condition_variants(
+                col("a").ge(1), db.schema("T"), active_domain(db), change_ops=False,
+                change_attrs=False,
+            )
+        )
+        constants = {v.right.value for v in variants}
+        assert 3 in constants and 1 not in constants
+
+    def test_operator_changes(self, db):
+        variants = list(
+            condition_variants(
+                col("a").ge(1), db.schema("T"), active_domain(db),
+                change_attrs=False, change_consts=False,
+            )
+        )
+        assert {v.op for v in variants} == {"=", "!=", "<", "<=", ">"}
+
+    def test_attribute_swaps(self, db):
+        variants = list(
+            condition_variants(
+                col("a").ge(1), db.schema("T"), active_domain(db),
+                change_ops=False, change_consts=False,
+            )
+        )
+        assert any(v.left.path == ("b",) for v in variants)
+
+    def test_structure_preserved(self, db):
+        pred = And(col("a").ge(1), col("name").eq("x"))
+        for variant in condition_variants(pred, db.schema("T"), active_domain(db)):
+            assert isinstance(variant, And)
+            assert len(variant.terms) == 2
+
+    def test_original_excluded(self, db):
+        pred = col("a").ge(1)
+        assert pred not in list(
+            condition_variants(pred, db.schema("T"), active_domain(db))
+        )
+
+
+class TestOperatorCandidates:
+    def run_candidates(self, op, db):
+        query = Query(op)
+        schemas = query.infer_schemas(db)
+        input_schemas = [schemas[c.op_id] for c in op.children]
+        return operator_candidates(op, input_schemas, active_domain(db))
+
+    def test_selection(self, db):
+        op = Selection(TableAccess("T"), col("a").ge(1))
+        candidates = self.run_candidates(op, db)
+        assert candidates
+        assert all(set(c) == {"pred"} for c in candidates)
+
+    def test_flatten_includes_outer_toggle_and_attr_swap(self, db):
+        op = InnerFlatten(TableAccess("T"), "tags")
+        candidates = self.run_candidates(op, db)
+        assert {"path": ("tags",), "outer": True} in candidates
+        assert {"path": ("more",), "outer": False} in candidates
+
+    def test_projection_substitutions(self, db):
+        op = Projection(TableAccess("T"), ["a"])
+        candidates = self.run_candidates(op, db)
+        new_paths = {c["cols"][0][1].path for c in candidates}
+        assert ("b",) in new_paths
+
+    def test_join_type_changes(self, db):
+        op = Join(
+            Projection(TableAccess("T"), ["a"]),
+            Projection(TableAccess("T"), [("a2", col("b"))]),
+            [("a", "a2")],
+        )
+        candidates = self.run_candidates(op, db)
+        hows = {c["how"] for c in candidates}
+        # "inner" only appears when combined with an attribute change; with no
+        # compatible alternative attributes here, the pure how-changes remain.
+        assert hows == {"left", "right", "full"}
+
+    def test_group_agg_function_changes(self, db):
+        op = GroupAggregation(TableAccess("T"), ["name"], [AggSpec("sum", col("a"), "s")])
+        candidates = self.run_candidates(op, db)
+        funcs = {c["aggs"][0].func for c in candidates}
+        assert {"count", "avg", "min", "max"} <= funcs
+
+    def test_renaming_permutations(self, db):
+        op = Renaming(TableAccess("T"), [("x", "a"), ("y", "b")])
+        candidates = self.run_candidates(op, db)
+        assert {"pairs": (("y", "a"), ("x", "b"))} in candidates
+
+    def test_table_access_has_none(self, db):
+        op = TableAccess("T")
+        assert self.run_candidates(op, db) == []

@@ -1,0 +1,160 @@
+"""Tests for data tracing (Step 3; paper Figures 4–7)."""
+
+import pytest
+
+from repro.algebra.operators import Map, Query, TableAccess
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.whynot.alternatives import enumerate_schema_alternatives
+from repro.whynot.backtrace import backtrace
+from repro.whynot.placeholders import ANY, STAR
+from repro.whynot.tracing import UnsupportedOperator, trace
+
+
+@pytest.fixture
+def traced(running_query, person_db, running_nip):
+    bt = backtrace(running_query, person_db, running_nip)
+    sas = enumerate_schema_alternatives(
+        running_query,
+        person_db,
+        running_nip,
+        bt,
+        groups=[["person.address2", "person.address1"]],
+    )
+    return sas, trace(running_query, person_db, sas)
+
+
+def rows_of(traced, query, label):
+    sas, result = traced
+    return result.traces[query.op_by_label(label).op_id].rows
+
+
+class TestTableAccess:
+    def test_figure4_consistency(self, traced, running_query):
+        """Figure 4: Peter is consistent only under S2, Sue under both."""
+        rows = rows_of(traced, running_query, "R1")
+        by_name = {r.vals[0]["name"]: r for r in rows}
+        assert by_name["Peter"].consistent == (False, True)
+        assert by_name["Sue"].consistent == (True, True)
+
+    def test_all_rows_valid_and_retained(self, traced, running_query):
+        for r in rows_of(traced, running_query, "R1"):
+            assert r.vals[0] is not None and r.vals[1] is not None
+            assert r.retained == (True, True)
+
+
+class TestFlatten:
+    def test_figure5_shape(self, traced, running_query):
+        """Figure 5: five merged rows (3 from Peter's zip-merge, 2 from Sue)."""
+        rows = rows_of(traced, running_query, "F")
+        assert len(rows) == 5
+
+    def test_figure5_annotations(self, traced, running_query):
+        rows = rows_of(traced, running_query, "F")
+        # Peter's third row exists only under S2 (address1 has 3 addresses,
+        # address2 only 2) — valid S1 = False.
+        peter_rows = [r for r in rows if r.vals[1] and r.vals[1]["name"] == "Peter"]
+        assert sum(1 for r in peter_rows if r.vals[0] is None) == 1
+        # The only S1-consistent flatten row is Sue's NY 2018 row.
+        s1_consistent = [r for r in rows if r.consistent[0]]
+        assert len(s1_consistent) == 1
+        assert s1_consistent[0].vals[0]["city"] == "NY"
+
+    def test_inner_padding_not_retained(self):
+        db = Database(
+            {"T": [Tup(name="a", xs=Bag()), Tup(name="b", xs=Bag([Tup(v=1)]))]}
+        )
+        from repro.algebra.operators import InnerFlatten
+
+        q = Query(InnerFlatten(TableAccess("T"), "xs"))
+        nip = Tup(name="a", xs=ANY, v=ANY)
+        bt = backtrace(q, db, nip)
+        sas = enumerate_schema_alternatives(q, db, nip, bt)
+        result = trace(q, db, sas)
+        padded = [
+            r
+            for r in result.traces[q.root.op_id].rows
+            if r.vals[0] and r.vals[0]["name"] == "a"
+        ]
+        assert len(padded) == 1
+        assert padded[0].retained[0] is False  # would be kept by outer flatten
+
+
+class TestSelection:
+    def test_figure6_retained_flags(self, traced, running_query):
+        rows = rows_of(traced, running_query, "σ")
+        # Under S1 exactly one row passes year ≥ 2019 (Sue's LA 2019).
+        retained_s1 = [r for r in rows if r.retained[0]]
+        assert len(retained_s1) == 1
+        assert retained_s1[0].vals[0]["city"] == "LA"
+        # Sue's NY 2018 row is consistent but not retained — the σ witness.
+        witness = [r for r in rows if r.consistent[0] and not r.retained[0]]
+        assert len(witness) == 1 and witness[0].vals[0]["year"] == 2018
+
+
+class TestNesting:
+    def test_figure7_final_rows(self, traced, running_query):
+        sas, result = traced
+        rows = result.final_rows()
+        by_city = {}
+        for r in rows:
+            for i in (0, 1):
+                if r.vals[i] is not None:
+                    by_city.setdefault(r.vals[i]["city"], {})[i] = r
+        # NY exists under both SAs and is consistent under both (Fig. 7 id 8).
+        ny = by_city["NY"]
+        assert 0 in ny and 1 in ny
+        assert ny[0].consistent[0] and ny[1].consistent[1]
+        # SF exists only under S1, LV only under S2 (Fig. 7 ids 10–11).
+        assert 0 in by_city["SF"] and 1 not in by_city.get("SF", {0: None})
+        lv = by_city["LV"]
+        assert lv[1].vals[0] is None
+
+    def test_nested_value_under_s1(self, traced, running_query):
+        sas, result = traced
+        ny_rows = [
+            r
+            for r in result.final_rows()
+            if r.vals[0] is not None and r.vals[0]["city"] == "NY"
+        ]
+        assert ny_rows[0].vals[0]["nList"] == Bag([Tup(name="Sue")])
+
+
+class TestLineage:
+    def test_ancestors_reach_table(self, traced, running_query):
+        sas, result = traced
+        ny = next(
+            r
+            for r in result.final_rows()
+            if r.vals[0] is not None and r.vals[0]["city"] == "NY"
+        )
+        ancestors = result.ancestors([ny.rid])
+        table_rows = result.traces[running_query.op_by_label("R1").op_id].rows
+        sue = next(r for r in table_rows if r.vals[0]["name"] == "Sue")
+        assert sue.rid in ancestors
+
+
+class TestRevalidationAblation:
+    def test_without_revalidation_all_successors_stay_compatible(
+        self, running_query, person_db, running_nip
+    ):
+        bt = backtrace(running_query, person_db, running_nip)
+        sas = enumerate_schema_alternatives(
+            running_query, person_db, running_nip, bt
+        )
+        result = trace(running_query, person_db, sas, revalidate=False)
+        flatten_rows = result.traces[running_query.op_by_label("F").op_id].rows
+        sue_rows = [
+            r for r in flatten_rows if r.vals[0] and r.vals[0]["name"] == "Sue"
+        ]
+        # Both of Sue's successors stay flagged compatible (the paper's
+        # false-positive critique of lineage-based approaches).
+        assert all(r.consistent[0] for r in sue_rows)
+
+
+class TestUnsupported:
+    def test_map_rejected(self):
+        db = Database({"T": [Tup(a=1)]})
+        q = Query(Map(TableAccess("T"), lambda t: t))
+        with pytest.raises(Exception):
+            bt = backtrace(q, db, Tup(a=1))

@@ -1,0 +1,100 @@
+"""Tracing coverage for union / difference / dedup / product and guards."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    CartesianProduct,
+    Deduplication,
+    Difference,
+    Projection,
+    Query,
+    Renaming,
+    Selection,
+    TableAccess,
+    Union,
+)
+from repro.engine.database import Database
+from repro.nested.values import Tup
+from repro.whynot.alternatives import enumerate_schema_alternatives
+from repro.whynot.backtrace import backtrace
+from repro.whynot.explain import explain
+from repro.whynot.placeholders import ANY
+from repro.whynot.question import WhyNotQuestion
+from repro.whynot.tracing import trace
+
+
+def run_explain(plan, db, nip):
+    phi = WhyNotQuestion(Query(plan), db, nip)
+    return explain(phi, validate=False)
+
+
+class TestUnion:
+    def test_explanation_through_union(self):
+        db = Database(
+            {"A": [Tup(v=1)], "B": [Tup(v=2)]}
+        )
+        plan = Selection(
+            Union(TableAccess("A"), TableAccess("B")), col("v").ge(5), label="σ"
+        )
+        result = run_explain(plan, db, Tup(v=2))
+        assert [e.labels for e in result.explanations] == [("σ",)]
+
+
+class TestDifference:
+    def test_difference_retained_flags(self):
+        db = Database({"A": [Tup(v=1), Tup(v=2)], "B": [Tup(v=2)]})
+        plan = Difference(TableAccess("A"), TableAccess("B"))
+        q = Query(plan)
+        phi = WhyNotQuestion(q, db, Tup(v=9))
+        bt = backtrace(q, db, phi.nip)
+        sas = enumerate_schema_alternatives(q, db, phi.nip, bt)
+        traced = trace(q, db, sas)
+        rows = traced.traces[q.root.op_id].rows
+        flags = {r.vals[0]["v"]: r.retained[0] for r in rows}
+        assert flags == {1: True, 2: False}
+
+
+class TestDeduplication:
+    def test_passthrough(self):
+        db = Database({"A": [Tup(v=1), Tup(v=1)]})
+        plan = Selection(Deduplication(TableAccess("A")), col("v").ge(5), label="σ")
+        result = run_explain(plan, db, Tup(v=1))
+        assert [e.labels for e in result.explanations] == [("σ",)]
+
+
+class TestProduct:
+    def test_small_product_traced(self):
+        db = Database({"A": [Tup(v=1)], "B": [Tup(w=2)]})
+        plan = Selection(
+            CartesianProduct(TableAccess("A"), TableAccess("B")),
+            col("v").ge(5),
+            label="σ",
+        )
+        result = run_explain(plan, db, Tup(v=ANY, w=2))
+        assert [e.labels for e in result.explanations] == [("σ",)]
+
+
+class TestRenamingTrace:
+    def test_explanation_below_renaming(self):
+        db = Database({"A": [Tup(v=1)]})
+        plan = Renaming(
+            Selection(TableAccess("A"), col("v").ge(5), label="σ"), [("value", "v")]
+        )
+        result = run_explain(plan, db, Tup(value=1))
+        assert [e.labels for e in result.explanations] == [("σ",)]
+
+
+class TestGuards:
+    def test_too_many_alternatives_raises(self, running_question):
+        from repro.whynot.alternatives import TooManyAlternatives
+
+        groups = [["person.address2", "person.address1"]] * 12
+        with pytest.raises(TooManyAlternatives):
+            explain(running_question, alternatives=groups, max_sas=2)
+
+    def test_projection_only_query_has_no_explanations_when_impossible(self):
+        db = Database({"A": [Tup(v=1, w=2)]})
+        plan = Projection(TableAccess("A"), ["v"])
+        result = run_explain(plan, db, Tup(v=42))
+        assert result.explanations == []
