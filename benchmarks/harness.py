@@ -4,12 +4,23 @@ The paper's 100–500 GB inputs become five row-count steps; the "Spark" line
 of Figures 8–10 becomes the plain engine execution of the unmodified query.
 Every benchmark writes the series it measures to ``benchmarks/results/`` so
 the figures/tables can be regenerated and compared against EXPERIMENTS.md.
+
+Machine-readable benchmark tracking
+-----------------------------------
+
+Figure benchmarks additionally emit ``BENCH_<figure>.json``: the measured
+series plus — when a ``baseline_<figure>.json`` exists (captured with
+``benchmarks/capture_baseline.py`` *before* an optimisation) — the matching
+baseline timings and derived speedups.  This keeps the perf trajectory of
+the evaluation core observable across PRs; see ROADMAP.md §Performance.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
+from typing import Any, Optional
 
 from repro.baselines.common import build_s1_trace
 from repro.baselines.wnpp import wnpp_explain
@@ -25,6 +36,92 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def write_json(name: str, payload: Any) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(figure: str) -> Optional[dict]:
+    """The pre-optimisation baseline for *figure*, if one was captured."""
+    path = RESULTS_DIR / f"baseline_{figure}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def emit_fig10_bench(series: "list[dict]") -> dict:
+    """Write ``BENCH_fig10.json``: per-scenario timings + baseline speedups.
+
+    *series* rows: ``{"scenario", "scale", "query_s", "rpnosa_s", "rp_s",
+    "n_sas"}``.
+    """
+    baseline = load_baseline("fig10")
+    payload: dict[str, Any] = {"figure": "fig10", "series": series}
+    if baseline is not None:
+        base_by_name = {row["scenario"]: row for row in baseline["series"]}
+        speedups = {}
+        base_total = 0.0
+        new_total = 0.0
+        for row in series:
+            base_row = base_by_name.get(row["scenario"])
+            if base_row is None:
+                continue
+            row["baseline_rp_s"] = base_row["rp_s"]
+            row["baseline_query_s"] = base_row["query_s"]
+            row["rp_speedup"] = base_row["rp_s"] / row["rp_s"] if row["rp_s"] else None
+            speedups[row["scenario"]] = row["rp_speedup"]
+            base_total += base_row["rp_s"]
+            new_total += row["rp_s"]
+        payload["baseline_tag"] = baseline.get("tag", "baseline")
+        payload["rp_speedups"] = speedups
+        payload["rp_speedup_aggregate"] = base_total / new_total if new_total else None
+    write_json("BENCH_fig10", payload)
+    return payload
+
+
+def emit_fig11_bench(series: "list[dict]") -> dict:
+    """Write ``BENCH_fig11.json``: SA-scaling timings + growth factors.
+
+    *series* rows: ``{"scenario", "scale", "n_sas", "rp_s"}``.  Per ladder,
+    ``growth_factor`` is rp(max #SAs)/rp(1 SA); sublinear means it stays
+    below the #SAs ratio (the paper's Fig. 11 claim, now achievable because
+    tracing shares work across SAs).
+    """
+    baseline = load_baseline("fig11")
+    ladders: dict[str, list[dict]] = {}
+    for row in series:
+        ladders.setdefault(row["scenario"], []).append(row)
+    growth = {}
+    for name, rows in ladders.items():
+        rows.sort(key=lambda r: r["n_sas"])
+        first, last = rows[0], rows[-1]
+        factor = last["rp_s"] / first["rp_s"] if first["rp_s"] else None
+        growth[name] = {
+            "n_sas_max": last["n_sas"],
+            "growth_factor": factor,
+            "sublinear": factor is not None and factor < last["n_sas"],
+        }
+    payload: dict[str, Any] = {"figure": "fig11", "series": series, "growth": growth}
+    if baseline is not None:
+        base_by_key = {
+            (row["scenario"], row["n_sas"]): row for row in baseline["series"]
+        }
+        base_total = 0.0
+        new_total = 0.0
+        for row in series:
+            base_row = base_by_key.get((row["scenario"], row["n_sas"]))
+            if base_row is None:
+                continue
+            row["baseline_rp_s"] = base_row["rp_s"]
+            row["rp_speedup"] = base_row["rp_s"] / row["rp_s"] if row["rp_s"] else None
+            base_total += base_row["rp_s"]
+            new_total += row["rp_s"]
+        payload["baseline_tag"] = baseline.get("tag", "baseline")
+        payload["rp_speedup_aggregate"] = base_total / new_total if new_total else None
+    write_json("BENCH_fig11", payload)
+    return payload
 
 
 def time_query(scenario_name: str, scale: int) -> float:

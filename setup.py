@@ -12,5 +12,10 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.10",
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.__main__:main",
+        ]
+    },
 )

@@ -3,15 +3,27 @@
 The paper restricts the heuristic algorithm to the standard SQL aggregation
 functions, which keeps explanation computation in PTIME.  ⊥ values are
 skipped, ``count`` counts non-null inputs, and ``count(*)`` counts rows.
+
+Float sums use ``math.fsum`` (exact, correctly-rounded), so aggregate results
+are independent of input order — a requirement for the partitioned executor,
+whose shuffles feed groups in partition order rather than plan order.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from repro.algebra.expressions import Expr
 from repro.nested.values import NULL, is_null
+
+
+def _exact_sum(values: list) -> Any:
+    """Order-independent sum: exact fsum for floats, plain sum otherwise."""
+    if any(isinstance(v, float) for v in values):
+        return math.fsum(values)
+    return sum(values)
 
 
 AGGREGATE_FUNCTIONS = ("sum", "count", "avg", "min", "max")
@@ -36,9 +48,9 @@ def apply_aggregate(func: str, values: Iterable[Any], distinct: bool = False) ->
     if not kept:
         return NULL
     if func == "sum":
-        return sum(kept)
+        return _exact_sum(kept)
     if func == "avg":
-        return sum(kept) / len(kept)
+        return _exact_sum(kept) / len(kept)
     if func == "min":
         return min(kept)
     if func == "max":

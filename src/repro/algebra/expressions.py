@@ -8,14 +8,29 @@ TPC-H scenarios also use substring containment (``"BTS" ∈ text``).
 Null semantics follow SQL's pragmatic reading: any comparison involving ⊥
 evaluates to False (so selections filter null-valued tuples), while grouping
 and deduplication elsewhere use plain value equality.
+
+Compilation
+-----------
+
+:meth:`Expr.compile` lowers an expression tree into a plain Python closure
+(row → value) built once and reused for every row: attribute references
+become interned path getters (:func:`repro.nested.paths.compile_path`),
+comparisons bind their operator function directly, and connectives close over
+their children's compiled forms — no tree walking, no ``isinstance`` dispatch
+per row.  The compiled closure is cached on the expression instance;
+expressions are immutable after construction, so the cache never goes stale.
+``Expr.eval`` remains the reference (interpreted) semantics; ``compile`` must
+always agree with it.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
-from repro.nested.paths import Path, parse_path, path_str
-from repro.nested.values import Bag, Tup, is_null
+from repro.nested.paths import Path, compile_path, parse_path, path_str
+from repro.nested.values import NULL, Bag, Tup, is_null
+
+CompiledExpr = Callable[[Tup], Any]
 
 
 COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
@@ -41,6 +56,21 @@ class Expr:
     """Base class for expressions evaluated against a single tuple."""
 
     def eval(self, tup: Tup) -> Any:
+        raise NotImplementedError
+
+    def compile(self) -> CompiledExpr:
+        """The compiled row→value closure, cached on this expression.
+
+        Safe because expressions are immutable after construction; the
+        closure agrees with :meth:`eval` on every input.
+        """
+        fn = getattr(self, "_compiled", None)
+        if fn is None:
+            fn = self._compile()
+            self._compiled = fn
+        return fn
+
+    def _compile(self) -> CompiledExpr:
         raise NotImplementedError
 
     def attr_paths(self) -> list[Path]:
@@ -133,6 +163,9 @@ class Attr(Expr):
     def eval(self, tup: Tup) -> Any:
         return tup.get_path(self.path)
 
+    def _compile(self) -> CompiledExpr:
+        return compile_path(self.path)
+
     def map_attrs(self, fn: Callable[[Path], Path]) -> "Attr":
         return Attr(fn(self.path))
 
@@ -156,6 +189,10 @@ class Const(Expr):
 
     def eval(self, tup: Tup) -> Any:
         return self.value
+
+    def _compile(self) -> CompiledExpr:
+        value = self.value
+        return lambda t: value
 
     def map_attrs(self, fn: Callable[[Path], Path]) -> "Const":
         return self
@@ -191,6 +228,23 @@ class Cmp(Expr):
             return _CMP_FUNCS[self.op](lhs, rhs)
         except TypeError:
             return False
+
+    def _compile(self) -> CompiledExpr:
+        left = self.left.compile()
+        right = self.right.compile()
+        cmp_fn = _CMP_FUNCS[self.op]
+
+        def run(t: Tup) -> bool:
+            lhs = left(t)
+            rhs = right(t)
+            if is_null(lhs) or is_null(rhs):
+                return False
+            try:
+                return cmp_fn(lhs, rhs)
+            except TypeError:
+                return False
+
+        return run
 
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
@@ -232,10 +286,22 @@ class Arith(Expr):
         lhs = self.left.eval(tup)
         rhs = self.right.eval(tup)
         if is_null(lhs) or is_null(rhs):
-            from repro.nested.values import NULL
-
             return NULL
         return _ARITH_FUNCS[self.op](lhs, rhs)
+
+    def _compile(self) -> CompiledExpr:
+        left = self.left.compile()
+        right = self.right.compile()
+        arith_fn = _ARITH_FUNCS[self.op]
+
+        def run(t: Tup) -> Any:
+            lhs = left(t)
+            rhs = right(t)
+            if is_null(lhs) or is_null(rhs):
+                return NULL
+            return arith_fn(lhs, rhs)
+
+        return run
 
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
@@ -275,6 +341,17 @@ class And(Expr):
     def eval(self, tup: Tup) -> bool:
         return all(term.eval(tup) for term in self.terms)
 
+    def _compile(self) -> CompiledExpr:
+        fns = tuple(term.compile() for term in self.terms)
+
+        def run(t: Tup) -> bool:
+            for fn in fns:
+                if not fn(t):
+                    return False
+            return True
+
+        return run
+
     def children(self) -> tuple[Expr, ...]:
         return self.terms
 
@@ -308,6 +385,17 @@ class Or(Expr):
     def eval(self, tup: Tup) -> bool:
         return any(term.eval(tup) for term in self.terms)
 
+    def _compile(self) -> CompiledExpr:
+        fns = tuple(term.compile() for term in self.terms)
+
+        def run(t: Tup) -> bool:
+            for fn in fns:
+                if fn(t):
+                    return True
+            return False
+
+        return run
+
     def children(self) -> tuple[Expr, ...]:
         return self.terms
 
@@ -334,6 +422,10 @@ class Not(Expr):
 
     def eval(self, tup: Tup) -> bool:
         return not self.term.eval(tup)
+
+    def _compile(self) -> CompiledExpr:
+        fn = self.term.compile()
+        return lambda t: not fn(t)
 
     def children(self) -> tuple[Expr, ...]:
         return (self.term,)
@@ -375,6 +467,23 @@ class Contains(Expr):
             return needle in haystack
         return False
 
+    def _compile(self) -> CompiledExpr:
+        hay_fn = self.haystack.compile()
+        needle_fn = self.needle.compile()
+
+        def run(t: Tup) -> bool:
+            haystack = hay_fn(t)
+            needle = needle_fn(t)
+            if is_null(haystack) or is_null(needle):
+                return False
+            if isinstance(haystack, str):
+                return str(needle) in haystack
+            if isinstance(haystack, Bag):
+                return needle in haystack
+            return False
+
+        return run
+
     def children(self) -> tuple[Expr, ...]:
         return (self.haystack, self.needle)
 
@@ -405,6 +514,10 @@ class IsNull(Expr):
 
     def eval(self, tup: Tup) -> bool:
         return is_null(self.term.eval(tup))
+
+    def _compile(self) -> CompiledExpr:
+        fn = self.term.compile()
+        return lambda t: is_null(fn(t))
 
     def children(self) -> tuple[Expr, ...]:
         return (self.term,)

@@ -20,6 +20,20 @@ evaluates against a :class:`~repro.engine.database.Database`.
 Evaluation works on Python lists of :class:`~repro.nested.values.Tup` (lists
 carry multiplicities naturally); the final result is wrapped into a
 :class:`~repro.nested.values.Bag`.
+
+Compiled evaluation
+-------------------
+
+Operators compile their hot-path machinery once and reuse it for every row:
+expressions lower to closures (:meth:`Expr.compile`), dotted paths to interned
+getters (:func:`compile_path`), and output shapes to interned
+:class:`~repro.nested.values.Layout` objects.  Compiled state is cached
+lazily on the operator instance (``_compiled_*`` attributes); it never goes
+stale because reparameterization always builds fresh operator instances
+(:meth:`Operator.with_params` / :meth:`Query.reparameterize`).  Key-based
+operators (``Join``, ``GroupAggregation``, ``RelationNesting``) additionally
+expose ``eval_keyed`` so the partitioned executor can reuse the shuffle keys
+instead of recomputing them per partition.
 """
 
 from __future__ import annotations
@@ -28,9 +42,9 @@ from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.algebra.aggregates import AggSpec, apply_aggregate
 from repro.algebra.expressions import Attr, Expr
-from repro.nested.paths import Path, parse_path, path_str
+from repro.nested.paths import Path, compile_path, parse_path, path_str
 from repro.nested.types import AnyType, BagType, TupleType
-from repro.nested.values import NULL, Bag, Tup, is_null
+from repro.nested.values import NULL, Bag, Layout, Tup, is_null
 
 
 class EvalContext:
@@ -98,6 +112,31 @@ class Operator:
 
     def __repr__(self) -> str:
         return self.describe()
+
+
+def _compile_key(paths: "tuple[Path, ...]") -> "Callable[[Tup], Optional[tuple]]":
+    """Compile join/group key paths into one row→key closure.
+
+    Returns None for keys containing ⊥ (they never match, per Table 1).
+    """
+    getters = tuple(compile_path(p) for p in paths)
+    if len(getters) == 1:
+        getter = getters[0]
+
+        def key_one(t: Tup) -> Optional[tuple]:
+            v = getter(t)
+            return None if is_null(v) else (v,)
+
+        return key_one
+
+    def key_many(t: Tup) -> Optional[tuple]:
+        key = tuple(g(t) for g in getters)
+        for v in key:
+            if is_null(v):
+                return None
+        return key
+
+    return key_many
 
 
 def _strict_resolve(schema: TupleType, path: Path) -> Any:
@@ -173,7 +212,16 @@ class Projection(Operator):
         return Projection(children[0], params["cols"], label=self._label)
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
-        return [Tup((name, expr.eval(t)) for name, expr in self.cols) for t in child_rows[0]]
+        plan = getattr(self, "_compiled_cols", None)
+        if plan is None:
+            plan = (
+                Layout.of(name for name, _ in self.cols),
+                tuple(expr.compile() for _, expr in self.cols),
+            )
+            self._compiled_cols = plan
+        layout, fns = plan
+        from_layout = Tup.from_layout
+        return [from_layout(layout, tuple(fn(t) for fn in fns)) for t in child_rows[0]]
 
     def output_schema(self, child_schemas, db) -> TupleType:
         from repro.algebra.schema import expr_type
@@ -211,8 +259,9 @@ class Renaming(Operator):
         return {old: new for new, old in self.pairs}
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
-        mapping = self._mapping()
-        return [t.rename(mapping) for t in child_rows[0]]
+        pairs = tuple(self._mapping().items())
+        from_layout = Tup.from_layout
+        return [from_layout(t.layout.rename(pairs), t.values()) for t in child_rows[0]]
 
     def output_schema(self, child_schemas, db) -> TupleType:
         mapping = self._mapping()
@@ -242,7 +291,8 @@ class Selection(Operator):
         return Selection(children[0], params["pred"], label=self._label)
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
-        return [t for t in child_rows[0] if self.pred.eval(t)]
+        pred = self.pred.compile()
+        return [t for t in child_rows[0] if pred(t)]
 
     def output_schema(self, child_schemas, db) -> TupleType:
         return child_schemas[0]
@@ -310,14 +360,30 @@ class Join(Operator):
             return None
         return key
 
+    def key_fns(self) -> "tuple[Callable[[Tup], Optional[tuple]], Callable[[Tup], Optional[tuple]]]":
+        """Compiled (left, right) key functions; ⊥-containing keys map to None."""
+        fns = getattr(self, "_compiled_keys", None)
+        if fns is None:
+            fns = (
+                _compile_key(tuple(l for l, _ in self.on)),
+                _compile_key(tuple(r for _, r in self.on)),
+            )
+            self._compiled_keys = fns
+        return fns
+
     def _pad(self, schema: TupleType, drop: Iterable[str] = ()) -> Tup:
         dropped = set(drop)
         return Tup((name, NULL) for name, _ in schema.fields if name not in dropped)
 
-    def _right_drop(self) -> set[str]:
-        if not self.drop_right_keys:
-            return set()
-        return {path[0] for _, path in self.on if len(path) == 1}
+    def _right_drop(self) -> "frozenset[str]":
+        drop = getattr(self, "_compiled_drop", None)
+        if drop is None:
+            if self.drop_right_keys:
+                drop = frozenset(path[0] for _, path in self.on if len(path) == 1)
+            else:
+                drop = frozenset()
+            self._compiled_drop = drop
+        return drop
 
     def _combine(self, left_t: Tup, right_t: Tup) -> Tup:
         drop = self._right_drop()
@@ -326,35 +392,52 @@ class Join(Operator):
         return left_t.concat(right_t)
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
-        left_rows, right_rows = child_rows
-        left_paths = [l for l, _ in self.on]
-        right_paths = [r for _, r in self.on]
+        left_key, right_key = self.key_fns()
+        left_pairs = [(left_key(t), t) for t in child_rows[0]]
+        right_pairs = [(right_key(t), t) for t in child_rows[1]]
+        return self.eval_keyed(left_pairs, right_pairs, ctx)
+
+    def eval_keyed(
+        self,
+        left_pairs: "list[tuple[Optional[tuple], Tup]]",
+        right_pairs: "list[tuple[Optional[tuple], Tup]]",
+        ctx,
+    ) -> list[Tup]:
+        """Hash join over rows with precomputed keys (None = ⊥, never matches).
+
+        Used directly by the executor so shuffle keys are not recomputed
+        inside each partition.
+        """
         index: dict[tuple, list[int]] = {}
-        for j, r in enumerate(right_rows):
-            key = self._key(r, right_paths)
+        for j, (key, _) in enumerate(right_pairs):
             if key is not None:
                 index.setdefault(key, []).append(j)
-        left_schema = ctx.schema_of(self.children[0])
-        right_schema = ctx.schema_of(self.children[1])
+        extra = self.extra.compile() if self.extra is not None else None
+        combine = self._combine
         out: list[Tup] = []
         matched_right: set[int] = set()
-        for l in left_rows:
-            key = self._key(l, left_paths)
+        right_pad = (
+            self._pad(ctx.schema_of(self.children[1]))
+            if self.how in ("left", "full")
+            else None
+        )
+        empty: tuple[int, ...] = ()
+        for key, l in left_pairs:
             any_match = False
-            for j in index.get(key, ()) if key is not None else ():
-                combined = self._combine(l, right_rows[j])
-                if self.extra is not None and not self.extra.eval(combined):
+            for j in index.get(key, empty) if key is not None else empty:
+                combined = combine(l, right_pairs[j][1])
+                if extra is not None and not extra(combined):
                     continue
                 out.append(combined)
                 matched_right.add(j)
                 any_match = True
-            if not any_match and self.how in ("left", "full"):
-                out.append(self._combine(l, self._pad(right_schema)))
+            if not any_match and right_pad is not None:
+                out.append(combine(l, right_pad))
         if self.how in ("right", "full"):
-            left_pad = self._pad(left_schema)
-            for j, r in enumerate(right_rows):
+            left_pad = self._pad(ctx.schema_of(self.children[0]))
+            for j, (_, r) in enumerate(right_pairs):
                 if j not in matched_right:
-                    out.append(self._combine(left_pad, r))
+                    out.append(combine(left_pad, r))
         return out
 
     def output_schema(self, child_schemas, db) -> TupleType:
@@ -397,18 +480,21 @@ class TupleFlatten(Operator):
         return TupleFlatten(children[0], params["path"], params["alias"], label=self._label)
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        get_value = compile_path(self.path)
         out = []
         if self.alias is not None:
+            alias = self.alias
             for t in child_rows[0]:
-                out.append(t.with_attr(self.alias, t.get_path(self.path)))
+                out.append(t.with_attr(alias, get_value(t)))
             return out
         schema = ctx.schema_of(self.children[0])
         nested = _strict_resolve(schema, self.path)
         field_names = nested.names if isinstance(nested, TupleType) else ()
+        null_pad = Tup((n, NULL) for n in field_names)
         for t in child_rows[0]:
-            value = t.get_path(self.path)
+            value = get_value(t)
             if is_null(value):
-                out.append(t.concat(Tup((n, NULL) for n in field_names)))
+                out.append(t.concat(null_pad))
             elif isinstance(value, Tup):
                 out.append(t.concat(value))
             else:
@@ -481,16 +567,30 @@ class RelationFlatten(Operator):
         return ()
 
     def _pad(self, ctx: EvalContext) -> Tup:
+        pads = getattr(self, "_compiled_pads", None)
+        if pads is None:
+            pads = self._compiled_pads = {}
         if self.alias is not None:
-            return Tup([(self.alias, NULL)])
-        return Tup((name, NULL) for name in self._element_fields(ctx))
+            names: tuple[str, ...] = (self.alias,)
+        else:
+            names = self._element_fields(ctx)
+        pad = pads.get(names)
+        if pad is None:
+            pad = pads[names] = Tup.from_layout(Layout.of(names), (NULL,) * len(names))
+        return pad
+
+    def _alias_layout(self) -> Layout:
+        layout = getattr(self, "_compiled_alias_layout", None)
+        if layout is None:
+            layout = self._compiled_alias_layout = Layout.of((self.alias,))
+        return layout
 
     def expand(self, t: Tup, ctx: EvalContext) -> tuple[list[Tup], bool]:
         """All flattened successors of *t* plus whether padding was used.
 
         Shared with the tracing module, which always runs the outer variant.
         """
-        value = t.get_path(self.path)
+        value = compile_path(self.path)(t)
         if is_null(value) or (isinstance(value, Bag) and value.is_empty()):
             return [t.concat(self._pad(ctx))], True
         if not isinstance(value, Bag):
@@ -498,10 +598,14 @@ class RelationFlatten(Operator):
                 f"relation flatten of non-bag value {value!r} at {path_str(self.path)}"
             )
         out = []
+        if self.alias is not None:
+            alias_layout = self._alias_layout()
+            from_layout = Tup.from_layout
+            for element in value:
+                out.append(t.concat(from_layout(alias_layout, (element,))))
+            return out, False
         for element in value:
-            if self.alias is not None:
-                out.append(t.concat(Tup([(self.alias, element)])))
-            elif isinstance(element, Tup):
+            if isinstance(element, Tup):
                 out.append(t.concat(element))
             else:
                 raise TypeError(
@@ -511,12 +615,35 @@ class RelationFlatten(Operator):
         return out, False
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        get_value = compile_path(self.path)
+        outer = self.outer
+        alias_layout = self._alias_layout() if self.alias is not None else None
+        from_layout = Tup.from_layout
+        pad = None
         out: list[Tup] = []
         for t in child_rows[0]:
-            expanded, padded = self.expand(t, ctx)
-            if padded and not self.outer:
+            value = get_value(t)
+            if is_null(value) or (isinstance(value, Bag) and value.is_empty()):
+                if outer:
+                    if pad is None:
+                        pad = self._pad(ctx)
+                    out.append(t.concat(pad))
                 continue
-            out.extend(expanded)
+            if not isinstance(value, Bag):
+                raise TypeError(
+                    f"relation flatten of non-bag value {value!r} at {path_str(self.path)}"
+                )
+            if alias_layout is not None:
+                for element in value:
+                    out.append(t.concat(from_layout(alias_layout, (element,))))
+            else:
+                for element in value:
+                    if not isinstance(element, Tup):
+                        raise TypeError(
+                            "relation flatten without alias requires tuple elements; "
+                            f"got {element!r}"
+                        )
+                    out.append(t.concat(element))
         return out
 
     def output_schema(self, child_schemas, db) -> TupleType:
@@ -573,8 +700,11 @@ class TupleNesting(Operator):
         return TupleNesting(children[0], params["attrs"], params["target"], label=self._label)
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        attrs = self.attrs
+        target_layout = Layout.of((self.target,))
+        from_layout = Tup.from_layout
         return [
-            t.drop(self.attrs).concat(Tup([(self.target, t.project(self.attrs))]))
+            t.drop(attrs).concat(from_layout(target_layout, (t.project(attrs),)))
             for t in child_rows[0]
         ]
 
@@ -615,12 +745,28 @@ class RelationNesting(Operator):
     def group_key(self, t: Tup) -> Tup:
         return t.drop(self.attrs)
 
+    def key_fn(self) -> Callable[[Tup], Tup]:
+        """The (already layout-cached) shuffle/group key function."""
+        return self.group_key
+
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
+        attrs = self.attrs
+        return self.eval_keyed([(t.drop(attrs), t) for t in child_rows[0]], ctx)
+
+    def eval_keyed(self, pairs: "list[tuple[Tup, Tup]]", ctx) -> list[Tup]:
+        """Group rows by precomputed keys and nest the projections on A."""
+        attrs = self.attrs
         groups: dict[Tup, list[Tup]] = {}
-        for t in child_rows[0]:
-            groups.setdefault(self.group_key(t), []).append(t.project(self.attrs))
+        for key, t in pairs:
+            members = groups.get(key)
+            if members is None:
+                groups[key] = [t.project(attrs)]
+            else:
+                members.append(t.project(attrs))
+        target_layout = Layout.of((self.target,))
+        from_layout = Tup.from_layout
         return [
-            key.concat(Tup([(self.target, Bag(members))]))
+            key.concat(from_layout(target_layout, (Bag(members),)))
             for key, members in groups.items()
         ]
 
@@ -672,7 +818,7 @@ class NestedAggregation(Operator):
         )
 
     def aggregate_value(self, t: Tup) -> Any:
-        bag = t.get_path(self.attr)
+        bag = compile_path(self.attr)(t)
         if is_null(bag):
             elements: list[Any] = []
         elif isinstance(bag, Bag):
@@ -743,9 +889,23 @@ class GroupAggregation(Operator):
         """Output names of the grouping attributes."""
         return tuple(out for out, _ in self.key_specs)
 
+    def key_fn(self) -> Callable[[Tup], Tup]:
+        """Compiled group-key function (interned key layout, path getters)."""
+        fn = getattr(self, "_compiled_key", None)
+        if fn is None:
+            layout = Layout.of(out for out, _ in self.key_specs)
+            getters = tuple(compile_path(src) for _, src in self.key_specs)
+            from_layout = Tup.from_layout
+
+            def fn(t: Tup) -> Tup:
+                return from_layout(layout, tuple(g(t) for g in getters))
+
+            self._compiled_key = fn
+        return fn
+
     def key_tuple(self, t: Tup) -> Tup:
         """The group key of one row (output names, source values)."""
-        return Tup((out, t.get_path(src)) for out, src in self.key_specs)
+        return self.key_fn()(t)
 
     def params(self) -> dict[str, Any]:
         return {"keys": self.key_specs, "aggs": self.aggs}
@@ -753,27 +913,63 @@ class GroupAggregation(Operator):
     def _rebuild(self, children, params):
         return GroupAggregation(children[0], params["keys"], params["aggs"], label=self._label)
 
+    def _agg_plan(self) -> "tuple[tuple[str, str, bool, Optional[Callable]], ...]":
+        plan = getattr(self, "_compiled_aggs", None)
+        if plan is None:
+            plan = tuple(
+                (
+                    spec.out,
+                    spec.func,
+                    spec.distinct,
+                    None if spec.expr is None else spec.expr.compile(),
+                )
+                for spec in self.aggs
+            )
+            self._compiled_aggs = plan
+        return plan
+
     def aggregate_group(self, rows: list[Tup]) -> list[tuple[str, Any]]:
         out = []
-        for spec in self.aggs:
-            if spec.expr is None:
-                out.append((spec.out, len(rows)))
+        for name, func, distinct, fn in self._agg_plan():
+            if fn is None:
+                out.append((name, len(rows)))
             else:
-                values = [spec.expr.eval(t) for t in rows]
-                out.append((spec.out, apply_aggregate(spec.func, values, spec.distinct)))
+                out.append((name, apply_aggregate(func, [fn(t) for t in rows], distinct)))
         return out
+
+    def aggregate_tuple(self, rows: list[Tup]) -> Tup:
+        """Like :meth:`aggregate_group` but returns an interned-layout row."""
+        layout = getattr(self, "_compiled_agg_layout", None)
+        if layout is None:
+            layout = self._compiled_agg_layout = Layout.of(
+                spec.out for spec in self.aggs
+            )
+        values = []
+        for _, func, distinct, fn in self._agg_plan():
+            if fn is None:
+                values.append(len(rows))
+            else:
+                values.append(apply_aggregate(func, [fn(t) for t in rows], distinct))
+        return Tup.from_layout(layout, tuple(values))
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
         rows = child_rows[0]
         if not self.key_specs:
-            return [Tup(self.aggregate_group(rows))]
+            return [self.aggregate_tuple(rows)]
+        key_fn = self.key_fn()
+        return self.eval_keyed([(key_fn(t), t) for t in rows], ctx)
+
+    def eval_keyed(self, pairs: "list[tuple[Tup, Tup]]", ctx) -> list[Tup]:
+        """Group rows by precomputed keys and aggregate each group."""
         groups: dict[Tup, list[Tup]] = {}
-        for t in rows:
-            groups.setdefault(self.key_tuple(t), []).append(t)
-        return [
-            key.concat(Tup(self.aggregate_group(members)))
-            for key, members in groups.items()
-        ]
+        for key, t in pairs:
+            members = groups.get(key)
+            if members is None:
+                groups[key] = [t]
+            else:
+                members.append(t)
+        aggregate = self.aggregate_tuple
+        return [key.concat(aggregate(members)) for key, members in groups.items()]
 
     def output_schema(self, child_schemas, db) -> TupleType:
         from repro.algebra.schema import expr_type
@@ -996,11 +1192,23 @@ class Query:
         raise KeyError(f"no operator labelled {label!r}")
 
     def infer_schemas(self, db) -> dict[int, TupleType]:
-        """Row schema (TupleType) of every operator's output."""
+        """Row schema (TupleType) of every operator's output.
+
+        Cached for the most recent database (single entry, so a long-lived
+        query doesn't pin every database it was ever evaluated against):
+        schema inference is pure in the query parameters (immutable once
+        built) and the database's table schemas, whose staleness the
+        database's ``version`` counter tracks.
+        """
+        version = getattr(db, "version", None)
+        entry = getattr(self, "_schema_cache", None)
+        if entry is not None and entry[0] is db and entry[1] == version:
+            return entry[2]
         schemas: dict[int, TupleType] = {}
         for op in self.ops:
             child_schemas = [schemas[c.op_id] for c in op.children]
             schemas[op.op_id] = op.output_schema(child_schemas, db)
+        self._schema_cache = (db, version, schemas)
         return schemas
 
     def evaluate(self, db) -> Bag:

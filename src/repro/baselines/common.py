@@ -54,7 +54,7 @@ def _strictly_alive(traced: TraceResult) -> set[int]:
     alive: set[int] = set()
     # rows_by_rid is insertion-ordered: parents precede children.
     for rid, row in traced.rows_by_rid.items():
-        if row.retained and row.retained[0] is False:
+        if row.retained_at(0) is False:
             continue
         if all(p in alive for p in row.parents):
             alive.add(rid)

@@ -37,12 +37,12 @@ def conseil_explain(
 
     blocked_sets: set[frozenset[int]] = set()
     for row in trace.final_rows():
-        if not row.consistent[0]:
+        if not row.consistent_at(0):
             continue
         blockers: set[int] = set()
         for rid in trace.ancestors([row.rid]):
             ancestor = trace.rows_by_rid[rid]
-            if ancestor.retained and ancestor.retained[0] is False:
+            if ancestor.retained_at(0) is False:
                 blockers.add(trace.op_of_rid[rid])
         if blockers:
             blocked_sets.add(frozenset(blockers))
@@ -54,7 +54,7 @@ def conseil_explain(
         for op_id, (table, pattern) in s1.backtrace.table_nips.items():
             if op_id in constrained_tables(s1.backtrace):
                 rows = s1.trace.traces[op_id].rows
-                if not any(r.consistent[0] for r in rows):
+                if not any(r.consistent_at(0) for r in rows):
                     join = nearest_ancestor_join(query, op_id)
                     if join is not None:
                         explanations.append(

@@ -91,7 +91,7 @@ def _find_compatibles(s1: S1Trace) -> tuple[set[int], list[int]]:
     if constrained:
         for op_id in constrained:
             rows = s1.trace.traces[op_id].rows
-            found = [r.rid for r in rows if r.consistent[0]]
+            found = [r.rid for r in rows if r.consistent_at(0)]
             if found:
                 compatibles.update(found)
             else:
@@ -130,12 +130,12 @@ def _wnpp_alive(s1: S1Trace) -> set[int]:
                 constrained_flattens.add(op.op_id)
     alive: set[int] = set()
     for rid, row in trace.rows_by_rid.items():
-        if row.retained and row.retained[0] is False:
+        if row.retained_at(0) is False:
             continue
         if any(p not in alive for p in row.parents):
             continue
         op_id = trace.op_of_rid[rid]
-        if op_id in constrained_flattens and not row.consistent[0]:
+        if op_id in constrained_flattens and not row.consistent_at(0):
             continue
         alive.add(rid)
     return alive

@@ -24,6 +24,8 @@ class Database:
     ):
         self._relations: dict[str, Bag] = {}
         self._schemas: dict[str, TupleType] = {}
+        #: bumped on every ``add``; lets schema-inference caches detect staleness.
+        self.version: int = 0
         if relations:
             for name, rows in relations.items():
                 self.add(name, rows, schema=(schemas or {}).get(name))
@@ -48,6 +50,7 @@ class Database:
         """Register relation *name* with the given rows."""
         bag = rows if isinstance(rows, Bag) else Bag(self._to_tup(r) for r in rows)
         self._relations[name] = bag
+        self.version += 1
         if schema is not None:
             self._schemas[name] = schema
         else:

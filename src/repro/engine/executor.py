@@ -7,15 +7,22 @@ operators (joins, grouping, deduplication) shuffle rows by key first, exactly
 like Spark's stages.  Per-operator metrics (rows in/out, shuffled rows, wall
 time) feed the runtime benchmarks of Figures 8–11.
 
-Correctness does not depend on partitioning: for every plan the executor's
-result equals ``Query.evaluate`` (tested property-style in
+Shuffles use :func:`repro.engine.hashing.stable_hash`, so partition
+assignment (and every metric derived from it) is identical across processes
+regardless of ``PYTHONHASHSEED``.  Keys are computed once by the operator's
+compiled key function during the shuffle and handed to the per-partition
+``eval_keyed`` evaluation — never recomputed inside the partition.
+
+Correctness does not depend on partitioning: for every plan and every
+partition count the executor's result equals ``Query.evaluate`` (tested
+property-style and over all registered scenario queries in
 ``tests/engine/test_executor.py``).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.algebra.operators import (
     BagDestroy,
@@ -40,10 +47,12 @@ from repro.algebra.operators import (
     Union,
 )
 from repro.engine.database import Database
+from repro.engine.hashing import stable_hash
 from repro.engine.metrics import ExecutionMetrics, OperatorMetrics
-from repro.nested.values import Bag, Tup, is_null
+from repro.nested.values import Bag, Tup
 
 Partitions = list[list[Tup]]
+KeyedPartitions = list[list[tuple[Any, Tup]]]
 
 _NARROW_OPS = (
     Projection,
@@ -98,13 +107,36 @@ class Executor:
     def _shuffle_by_key(
         self, parts: Partitions, key_fn, metrics: OperatorMetrics
     ) -> Partitions:
+        """Repartition rows by ``stable_hash(key_fn(row))`` (rows only)."""
         out: Partitions = [[] for _ in range(self.num_partitions)]
         for part in parts:
             for row in part:
-                key = key_fn(row)
-                target = hash(key) % self.num_partitions
+                target = stable_hash(key_fn(row)) % self.num_partitions
                 out[target].append(row)
                 metrics.shuffled_rows += 1
+        return out
+
+    def _shuffle_keyed(
+        self,
+        parts: Partitions,
+        key_fn: Callable[[Tup], Any],
+        metrics: OperatorMetrics,
+    ) -> KeyedPartitions:
+        """Repartition rows by key, keeping the computed key with each row.
+
+        ``None`` keys (⊥-valued join keys) go to partition 0 so outer joins
+        can still emit their padded rows exactly once.
+        """
+        out: KeyedPartitions = [[] for _ in range(self.num_partitions)]
+        shuffled = 0
+        nparts = self.num_partitions
+        for part in parts:
+            for row in part:
+                key = key_fn(row)
+                target = 0 if key is None else stable_hash(key) % nparts
+                out[target].append((key, row))
+                shuffled += 1
+        metrics.shuffled_rows += shuffled
         return out
 
     def _gather(self, parts: Partitions, metrics: OperatorMetrics) -> list[Tup]:
@@ -155,24 +187,11 @@ class Executor:
         ctx: EvalContext,
         metrics: OperatorMetrics,
     ) -> Partitions:
-        left_paths = [l for l, _ in op.on]
-        right_paths = [r for _, r in op.on]
-
-        def key_of(paths):
-            def fn(t: Tup):
-                key = tuple(t.get_path(p) for p in paths)
-                # ⊥ keys never match; send them to partition 0 so outer joins
-                # can still emit padded rows.
-                if any(is_null(v) for v in key):
-                    return ("⊥-key",)
-                return key
-
-            return fn
-
-        left = self._shuffle_by_key(child_parts[0], key_of(left_paths), metrics)
-        right = self._shuffle_by_key(child_parts[1], key_of(right_paths), metrics)
+        left_key, right_key = op.key_fns()
+        left = self._shuffle_keyed(child_parts[0], left_key, metrics)
+        right = self._shuffle_keyed(child_parts[1], right_key, metrics)
         return [
-            op.eval_rows([left[i], right[i]], ctx) for i in range(self.num_partitions)
+            op.eval_keyed(left[i], right[i], ctx) for i in range(self.num_partitions)
         ]
 
     def _run_grouping(
@@ -182,14 +201,10 @@ class Executor:
         ctx: EvalContext,
         metrics: OperatorMetrics,
     ) -> Partitions:
-        if isinstance(op, GroupAggregation):
-            if not op.key_specs:
-                gathered = self._gather(child_parts[0], metrics)
-                return [op.eval_rows([gathered], ctx)] + [
-                    [] for _ in range(self.num_partitions - 1)
-                ]
-            key_fn = op.key_tuple
-        else:
-            key_fn = op.group_key
-        shuffled = self._shuffle_by_key(child_parts[0], key_fn, metrics)
-        return [op.eval_rows([part], ctx) for part in shuffled]
+        if isinstance(op, GroupAggregation) and not op.key_specs:
+            gathered = self._gather(child_parts[0], metrics)
+            return [op.eval_rows([gathered], ctx)] + [
+                [] for _ in range(self.num_partitions - 1)
+            ]
+        shuffled = self._shuffle_keyed(child_parts[0], op.key_fn(), metrics)
+        return [op.eval_keyed(part, ctx) for part in shuffled]

@@ -1,0 +1,60 @@
+"""Process-stable hashing for shuffle partitioning.
+
+Python salts ``hash()`` for ``str``/``bytes`` per process (PYTHONHASHSEED),
+so partition assignment — and with it the ``shuffled_rows`` metrics and any
+partition-order-dependent observation — would differ between runs.
+:func:`stable_hash` is a drop-in replacement for partitioning purposes:
+
+* deterministic across processes and hash seeds,
+* equality-compatible on the values the engine uses as keys
+  (``x == y`` ⇒ ``stable_hash(x) == stable_hash(y)``, including the numeric
+  tower: ``2 == 2.0`` hash alike because CPython's numeric hashing is
+  unsalted),
+* defined over the nested value model (``Tup``, ``Bag``, ``NULL``, tuples,
+  frozensets and primitives).
+
+It is *not* a cryptographic hash and is not used for equality decisions —
+only to pick shuffle targets, where collisions merely co-locate rows.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from repro.nested.values import Bag, Tup, is_null
+
+_NULL_HASH = 0x9E3779B9
+_LAYOUT_HASHES: dict[int, int] = {}
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic, seed-independent hash of a nested value."""
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8", "surrogatepass"))
+    if isinstance(value, (bool, int, float)):
+        # CPython's numeric hash is unsalted and equality-compatible
+        # across int/float/bool.
+        return hash(value)
+    if is_null(value):
+        return _NULL_HASH
+    if isinstance(value, Tup):
+        layout = value.layout
+        names_hash = _LAYOUT_HASHES.get(id(layout))
+        if names_hash is None:
+            names_hash = hash(tuple(stable_hash(n) for n in layout.names))
+            _LAYOUT_HASHES[id(layout)] = names_hash
+        return hash((names_hash,) + tuple(stable_hash(v) for v in value.values()))
+    if isinstance(value, Bag):
+        return hash(
+            ("bag", frozenset((stable_hash(e), c) for e, c in value.items()))
+        )
+    if isinstance(value, tuple):
+        return hash(tuple(stable_hash(v) for v in value))
+    if isinstance(value, (frozenset, set)):
+        return hash(("set", frozenset(stable_hash(v) for v in value)))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    # Unknown primitive: fall back to the built-in hash (unsalted for most
+    # numeric-like types; extend this function if a salted type shows up).
+    return hash(value)

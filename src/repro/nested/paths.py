@@ -5,16 +5,29 @@ alternatives (paper §5.1–5.2).  A path like ``address2.city`` names the
 ``city`` field of the tuples nested in the bag attribute ``address2``.
 Navigation through a bag is only meaningful at the schema level (a value-level
 ``get_path`` must stop at bags; flattening is what crosses them at runtime).
+
+Compiled paths
+--------------
+
+:func:`compile_path` turns a path into a plain Python closure evaluated once
+per row with no string splitting and no per-step ``isinstance`` dispatch for
+the common single-step case.  Compiled getters are interned per path tuple, so
+operators can fetch them freely in their hot loops; semantics are identical to
+:meth:`repro.nested.values.Tup.get_path` (navigating *through* ⊥ yields ⊥,
+missing attributes raise ``KeyError``, bags/primitives raise ``TypeError``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.nested.types import AnyType, BagType, NestedType, TupleType
+from repro.nested.values import NULL, Bag, Tup, is_null
 
 
 Path = tuple[str, ...]
+
+PathGetter = Callable[[Tup], Any]
 
 
 def parse_path(path: "str | Path") -> Path:
@@ -30,6 +43,63 @@ def parse_path(path: "str | Path") -> Path:
 
 def path_str(path: "str | Path") -> str:
     return ".".join(parse_path(path))
+
+
+_COMPILED_PATHS: dict[Path, PathGetter] = {}
+
+
+def compile_path(path: "str | Path") -> PathGetter:
+    """Compile a path into an interned row→value closure.
+
+    The single-step form resolves through the tuple's shared layout index in
+    one dict lookup; multi-step paths walk pre-parsed steps.  Equivalent to
+    ``Tup.get_path`` for tuple-rooted navigation.
+    """
+    steps = parse_path(path)
+    getter = _COMPILED_PATHS.get(steps)
+    if getter is None:
+        getter = _compile_steps(steps)
+        _COMPILED_PATHS[steps] = getter
+    return getter
+
+
+def _compile_steps(steps: Path) -> PathGetter:
+    if len(steps) == 1:
+        name = steps[0]
+
+        def get_one(t: Tup, _name: str = name) -> Any:
+            try:
+                return t._values[t._index[_name]]
+            except KeyError:
+                raise KeyError(
+                    f"path step {_name!r} not in tuple attrs {t.attrs}"
+                ) from None
+
+        return get_one
+
+    def get_chain(t: Tup, _steps: Path = steps) -> Any:
+        current: Any = t
+        for step in _steps:
+            if is_null(current):
+                return NULL
+            if isinstance(current, Tup):
+                i = current._index.get(step)
+                if i is None:
+                    raise KeyError(
+                        f"path step {step!r} not in tuple attrs {current.attrs}"
+                    )
+                current = current._values[i]
+            elif isinstance(current, Bag):
+                raise TypeError(
+                    f"cannot navigate path step {step!r} through a bag; flatten first"
+                )
+            else:
+                raise TypeError(
+                    f"cannot navigate path step {step!r} through primitive {current!r}"
+                )
+        return current
+
+    return get_chain
 
 
 def head(path: "str | Path") -> str:

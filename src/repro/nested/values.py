@@ -5,6 +5,24 @@ The paper (Def. 2) models instances as primitives, tuples
 explicit null ``⊥`` valid for every type.  ``Tup`` and ``Bag`` here are
 immutable and hashable so that bags of tuples (and bags nested inside tuples)
 can be counted, grouped, and compared with multiplicity-aware semantics.
+
+Layout interning
+----------------
+
+Tuple shapes repeat millions of times during evaluation (every row of an
+operator's output shares one attribute list), so the per-tuple metadata is
+interned: a :class:`Layout` holds the attribute-name tuple and the shared
+name→position index, keyed globally by the name tuple.  ``Tup`` instances
+only carry a reference to their layout plus the value tuple, and
+:meth:`Tup.from_layout` constructs a row without re-validating names or
+rebuilding an index dict.  Derived shapes (``concat``, ``project``, ``drop``,
+``rename``, ``with_attr``) are cached *on the layout*, so structural tuple
+operations inside joins, flattens and projections cost one dict lookup plus
+one value-tuple build per row.
+
+Contract: a ``Layout`` is immutable and interned — two ``Tup`` values with
+equal attribute tuples always share the same ``Layout`` object, so layouts
+may be compared and keyed by identity.
 """
 
 from __future__ import annotations
@@ -46,6 +64,98 @@ def is_null(value: Any) -> bool:
     return value is None or isinstance(value, _Null)
 
 
+class Layout:
+    """An interned tuple shape: attribute names plus the name→position index.
+
+    Layouts are created through :meth:`Layout.of` only, which validates the
+    name tuple (no duplicates) once and returns the shared instance for it.
+    Structural derivations — concatenation, projection, dropping, renaming,
+    appending — are memoised in ``_derived`` so per-row tuple restructuring
+    never rebuilds name tuples or index dicts.
+    """
+
+    __slots__ = ("names", "index", "_derived")
+
+    _interned: "dict[tuple[str, ...], Layout]" = {}
+
+    def __init__(self, names: tuple[str, ...], index: dict):
+        # Internal: use Layout.of().
+        self.names = names
+        self.index = index
+        self._derived: dict = {}
+
+    @classmethod
+    def of(cls, names: Iterable[str]) -> "Layout":
+        names = tuple(names)
+        layout = cls._interned.get(names)
+        if layout is None:
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate attribute names in tuple: {names}")
+            layout = cls(names, {name: i for i, name in enumerate(names)})
+            cls._interned[names] = layout
+        return layout
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __repr__(self) -> str:
+        return f"Layout{self.names!r}"
+
+    # -- derived-shape caches (keyed by identity of interned inputs) ---------
+
+    def concat(self, other: "Layout") -> "Layout":
+        key = ("concat", other)
+        combined = self._derived.get(key)
+        if combined is None:
+            combined = Layout.of(self.names + other.names)
+            self._derived[key] = combined
+        return combined
+
+    def project(self, names: tuple[str, ...]) -> "tuple[Layout, tuple[int, ...]]":
+        key = ("project", names)
+        plan = self._derived.get(key)
+        if plan is None:
+            index = self.index
+            try:
+                positions = tuple(index[name] for name in names)
+            except KeyError as exc:
+                raise KeyError(
+                    f"tuple has no attribute {exc.args[0]!r}; attrs={self.names}"
+                ) from None
+            plan = (Layout.of(names), positions)
+            self._derived[key] = plan
+        return plan
+
+    def drop(self, names: tuple[str, ...]) -> "tuple[Layout, tuple[int, ...]]":
+        key = ("drop", names)
+        plan = self._derived.get(key)
+        if plan is None:
+            dropped = set(names)
+            kept = tuple(name for name in self.names if name not in dropped)
+            positions = tuple(self.index[name] for name in kept)
+            plan = (Layout.of(kept), positions)
+            self._derived[key] = plan
+        return plan
+
+    def rename(self, pairs: tuple[tuple[str, str], ...]) -> "Layout":
+        """Renamed layout; *pairs* maps old name → new name (partial)."""
+        key = ("rename", pairs)
+        renamed = self._derived.get(key)
+        if renamed is None:
+            mapping = dict(pairs)
+            renamed = Layout.of(mapping.get(name, name) for name in self.names)
+            self._derived[key] = renamed
+        return renamed
+
+    def with_name(self, name: str) -> "Layout":
+        key = ("with", name)
+        appended = self._derived.get(key)
+        if appended is None:
+            appended = Layout.of(self.names + (name,))
+            self._derived[key] = appended
+        return appended
+
+
 class Tup:
     """An immutable named tuple ``⟨A1: v1, ..., An: vn⟩``.
 
@@ -55,7 +165,7 @@ class Tup:
     tuples always list attributes in the same order.
     """
 
-    __slots__ = ("_names", "_values", "_index", "_hash")
+    __slots__ = ("_layout", "_names", "_values", "_index", "_hash")
 
     def __init__(
         self, items: Mapping[str, Any] | Iterable[tuple[str, Any]] = (), /, **kwargs: Any
@@ -65,16 +175,35 @@ class Tup:
         else:
             pairs = list(items)
         pairs.extend(kwargs.items())
-        names = tuple(name for name, _ in pairs)
-        if len(set(names)) != len(names):
-            raise ValueError(f"duplicate attribute names in tuple: {names}")
-        object.__setattr__(self, "_names", names)
+        layout = Layout.of(name for name, _ in pairs)
+        object.__setattr__(self, "_layout", layout)
+        object.__setattr__(self, "_names", layout.names)
         object.__setattr__(self, "_values", tuple(value for _, value in pairs))
-        object.__setattr__(self, "_index", {name: i for i, name in enumerate(names)})
+        object.__setattr__(self, "_index", layout.index)
         object.__setattr__(self, "_hash", None)
+
+    @classmethod
+    def from_layout(cls, layout: Layout, values: tuple) -> "Tup":
+        """Fast constructor: trusted *values* matching an interned *layout*.
+
+        Skips name validation and index building; ``len(values)`` must equal
+        ``len(layout.names)`` (callers derive both from the same layout).
+        """
+        t = object.__new__(cls)
+        object.__setattr__(t, "_layout", layout)
+        object.__setattr__(t, "_names", layout.names)
+        object.__setattr__(t, "_values", values)
+        object.__setattr__(t, "_index", layout.index)
+        object.__setattr__(t, "_hash", None)
+        return t
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Tup is immutable")
+
+    @property
+    def layout(self) -> Layout:
+        """The interned :class:`Layout` of this tuple."""
+        return self._layout
 
     @property
     def attrs(self) -> tuple[str, ...]:
@@ -125,31 +254,49 @@ class Tup:
 
     def project(self, names: Iterable[str]) -> "Tup":
         """Projection ``t.L`` on a list of attribute names."""
-        return Tup((name, self[name]) for name in names)
+        layout, positions = self._layout.project(tuple(names))
+        values = self._values
+        return Tup.from_layout(layout, tuple(values[i] for i in positions))
 
     def drop(self, names: Iterable[str]) -> "Tup":
-        dropped = set(names)
-        return Tup((name, value) for name, value in self.items() if name not in dropped)
+        layout, positions = self._layout.drop(tuple(names))
+        values = self._values
+        return Tup.from_layout(layout, tuple(values[i] for i in positions))
 
     def concat(self, other: "Tup") -> "Tup":
         """Tuple concatenation (the paper's ``◦``); names must not clash."""
-        return Tup(list(self.items()) + list(other.items()))
+        return Tup.from_layout(
+            self._layout.concat(other._layout), self._values + other._values
+        )
 
     def replace(self, **changes: Any) -> "Tup":
-        return Tup((name, changes.get(name, value)) for name, value in self.items())
+        """A copy with the given attributes changed; unknown names raise."""
+        index = self._index
+        values = list(self._values)
+        for name, value in changes.items():
+            i = index.get(name)
+            if i is None:
+                raise KeyError(
+                    f"cannot replace unknown attribute {name!r}; attrs={self._names}"
+                )
+            values[i] = value
+        return Tup.from_layout(self._layout, tuple(values))
 
     def with_attr(self, name: str, value: Any) -> "Tup":
         """Return a copy with attribute *name* appended (or replaced in place)."""
-        if name in self:
-            return self.replace(**{name: value})
-        return Tup(list(self.items()) + [(name, value)])
+        i = self._index.get(name)
+        if i is not None:
+            values = list(self._values)
+            values[i] = value
+            return Tup.from_layout(self._layout, tuple(values))
+        return Tup.from_layout(self._layout.with_name(name), self._values + (value,))
 
     def rename(self, mapping: Mapping[str, str]) -> "Tup":
         """Rename attributes; *mapping* maps old names to new names."""
-        return Tup((mapping.get(name, name), value) for name, value in self.items())
+        return Tup.from_layout(self._layout.rename(tuple(mapping.items())), self._values)
 
     def reorder(self, names: Iterable[str]) -> "Tup":
-        return Tup((name, self[name]) for name in names)
+        return self.project(names)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Tup):

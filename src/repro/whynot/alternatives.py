@@ -189,15 +189,28 @@ def enumerate_schema_alternatives(
         if dedupe_key in seen:
             return
         seen.add(dedupe_key)
-        bt = backtrace(candidate, db, nip)
+        if not delta:
+            # Structurally identical to the original: its backtrace is *base*
+            # by determinism — skip the redundant recomputation.
+            bt = base
+        else:
+            bt = backtrace(candidate, db, nip)
         alternatives.append(
             SchemaAlternative(len(alternatives), candidate, delta, assignment, bt)
         )
 
-    # S1 first (identity assignment), then every non-identity combination.
-    add(original_assignment)
-    if not alternatives:
-        raise ValueError("the original query failed schema-alternative materialization")
+    # S1 first (identity assignment, reusing the original query and its
+    # backtrace — the identity materialization cannot change either), then
+    # every non-identity combination.
+    identity_key = (
+        frozenset((ref.op_id, ref.role, src) for ref, src in original_assignment.items())
+        if original_assignment
+        else frozenset()
+    )
+    seen.add(frozenset([("delta", frozenset()), ("key", identity_key)]))
+    alternatives.append(
+        SchemaAlternative(0, query, frozenset(), original_assignment, base)
+    )
     for combo in itertools.product(*per_group_choices) if per_group_choices else []:
         assignment: dict[SourceRef, Source] = {}
         for choice in combo:

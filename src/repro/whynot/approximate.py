@@ -78,7 +78,7 @@ def approximate_msrs(
 
     for i, sa in enumerate(sas):
         final_alive = frozenset(
-            r.rid for r in trace.final_rows() if r.valid(i) and r.consistent[i]
+            r.rid for r in trace.final_rows() if r.consistent_at(i)
         )
         if not final_alive:
             continue
@@ -116,7 +116,7 @@ def approximate_msrs(
         if not here:
             push(sr, [])
             continue
-        cons = [r for r in here if r.valid(i) and r.consistent[i]]
+        cons = [r for r in here if r.consistent_at(i)]
         if not cons:
             # The missing answer does not flow through this operator on any
             # alive chain; the subtree below is irrelevant for this state.
@@ -127,8 +127,8 @@ def approximate_msrs(
             # consistent rows flow.
             push(sr, cons)
             continue
-        retained_rows = [r for r in cons if r.retained[i] is not False]
-        filtered_rows = [r for r in cons if r.retained[i] is False]
+        retained_rows = [r for r in cons if r.retained_at(i) is not False]
+        filtered_rows = [r for r in cons if r.retained_at(i) is False]
         if retained_rows:
             push(sr, retained_rows)
         if filtered_rows:
@@ -183,6 +183,17 @@ class _SideEffectBounds:
         self.n_orig = len(self.original)
         self._final = trace.final_rows()
         self._ancestor_cache: dict[int, set[int]] = {}
+        # Per-row bitmask of SAs under which the row's entire ancestry carries
+        # no retained=False flag, computed in one forward pass (rows_by_rid is
+        # insertion-ordered: parents precede children).
+        full = (1 << trace.n_sas) - 1
+        fr_masks: dict[int, int] = {}
+        for rid, row in trace.rows_by_rid.items():
+            mask = row.retained_true | (full ^ row.retained_known)
+            for p in row.parents:
+                mask &= fr_masks[p]
+            fr_masks[rid] = mask
+        self._fr_masks = fr_masks
         # Tuples of the original result derived with every flag retained
         # under S1 ("original tuples with only true valid/retained flags").
         self._fully_retained_s1 = {
@@ -199,11 +210,7 @@ class _SideEffectBounds:
         return cached
 
     def _fully_retained(self, row: TRow, i: int) -> bool:
-        for rid in self._ancestors(row):
-            ancestor = self.trace.rows_by_rid[rid]
-            if ancestor.retained and ancestor.retained[i] is False:
-                return False
-        return True
+        return (self._fr_masks[row.rid] >> i) & 1 == 1
 
     def compute(self, sr: frozenset[int], i: int) -> tuple[float, float]:
         if i == 0:
@@ -217,8 +224,7 @@ class _SideEffectBounds:
                     ancestor = self.trace.rows_by_rid[rid]
                     if (
                         self.trace.op_of_rid[rid] in sr
-                        and ancestor.retained
-                        and ancestor.retained[0] is False
+                        and ancestor.retained_at(0) is False
                     ):
                         touched = True
                         break

@@ -333,6 +333,10 @@ def _merge_constraint(existing: Any, new: Any) -> Any:
 def set_constraint(pattern: Tup, schema: TupleType, path: Path, constraint: Any) -> Tup:
     """Set *constraint* at *path* (through nested tuples) in a full pattern."""
     name = path[0]
+    if name not in pattern:
+        # Conservative: an attribute absent from the (normalized) pattern
+        # cannot carry a constraint.  Tup.replace raises on unknown names.
+        return pattern
     if len(path) == 1:
         current = pattern.get(name, ANY)
         return pattern.replace(**{name: _merge_constraint(current, constraint)})

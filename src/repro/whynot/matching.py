@@ -13,15 +13,27 @@ An instance I matches a NIP I′ (written I ≃ I′) when:
 
 Condition 4 is a transportation feasibility problem solved with an exact
 integer max-flow (Edmonds–Karp; bags in why-not questions are small).
+
+Compiled patterns
+-----------------
+
+NIPs are fixed per operator while the tracer tests thousands of rows against
+them, so :func:`compile_pattern` lowers a pattern once into a value→bool
+closure: ``?`` fields are skipped entirely, tuple-attribute compatibility is
+checked per interned layout instead of per row, and bag patterns precompute
+their item lists.  ``matches`` delegates to the compiled form's semantics and
+stays the reference implementation; both must always agree.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any
+from typing import Any, Callable
 
 from repro.nested.values import Bag, Tup
 from repro.whynot.placeholders import ANY, STAR, Predicate, _Any, _Star
+
+Matcher = Callable[[Any], bool]
 
 
 class InvalidNIP(ValueError):
@@ -68,6 +80,137 @@ def matches(instance: Any, pattern: Any) -> bool:
             return False
         return _bag_matches(instance, pattern)
     return instance == pattern
+
+
+_COMPILED_PATTERNS: dict[int, tuple[Any, Matcher]] = {}
+_COMPILED_PATTERNS_CAP = 4096
+
+
+def compile_pattern(pattern: Any) -> Matcher:
+    """Compile *pattern* into a value→bool closure (interned per pattern).
+
+    Semantics are exactly those of :func:`matches`.  The cache is keyed by
+    object identity (patterns are immutable values held by backtrace results,
+    which stay alive for the duration of a trace) and bounded: once it
+    exceeds the cap it is cleared, so long-lived processes answering many
+    why-not questions don't accumulate dead patterns — recompiling is cheap.
+    """
+    cached = _COMPILED_PATTERNS.get(id(pattern))
+    if cached is not None and cached[0] is pattern:
+        return cached[1]
+    matcher = _compile_pattern(pattern)
+    if len(_COMPILED_PATTERNS) >= _COMPILED_PATTERNS_CAP:
+        _COMPILED_PATTERNS.clear()
+    # Keep a reference to the pattern so the id() key cannot be reused while
+    # the cache entry exists.
+    _COMPILED_PATTERNS[id(pattern)] = (pattern, matcher)
+    return matcher
+
+
+def _compile_pattern(pattern: Any) -> Matcher:
+    if isinstance(pattern, _Any):
+        return lambda v: True
+    if isinstance(pattern, Predicate):
+        return pattern.test
+    if isinstance(pattern, Tup):
+        return _compile_tuple_pattern(pattern)
+    if isinstance(pattern, Bag):
+        return _compile_bag_pattern(pattern)
+
+    def match_const(v: Any, _p: Any = pattern) -> bool:
+        return v == _p
+
+    return match_const
+
+
+def _compile_tuple_pattern(pattern: Tup) -> Matcher:
+    expected = frozenset(pattern.attrs)
+    constrained = tuple(
+        (name, _compile_pattern(value))
+        for name, value in pattern.items()
+        if not isinstance(value, _Any)
+    )
+    # Attribute-set compatibility is a property of the instance *layout*;
+    # layouts are interned, so remember the verdict per layout identity.
+    layout_ok: dict[int, bool] = {}
+
+    def match_tuple(v: Any) -> bool:
+        if not isinstance(v, Tup):
+            return False
+        layout = v._layout
+        ok = layout_ok.get(id(layout))
+        if ok is None:
+            ok = layout_ok[id(layout)] = frozenset(layout.names) == expected
+        if not ok:
+            return False
+        index = v._index
+        values = v._values
+        for name, sub in constrained:
+            i = index.get(name)
+            if i is None or not sub(values[i]):
+                return False
+        return True
+
+    return match_tuple
+
+
+def _compile_bag_pattern(pattern: Bag) -> Matcher:
+    star_count = pattern.mult(STAR)
+    if star_count > 1:
+        raise InvalidNIP("a bag pattern may contain at most one *")
+    pattern_items = tuple(
+        (_compile_pattern(p), n) for p, n in pattern.items() if not isinstance(p, _Star)
+    )
+    total_demand = sum(n for _, n in pattern_items)
+
+    if not pattern_items:
+
+        def match_empty(v: Any) -> bool:
+            if not isinstance(v, Bag):
+                return False
+            return star_count > 0 or len(v) == 0
+
+        return match_empty
+
+    if len(pattern_items) == 1:
+        element_matcher, demand = pattern_items[0]
+
+        def match_single(v: Any) -> bool:
+            if not isinstance(v, Bag):
+                return False
+            total_supply = len(v)
+            if total_supply < demand:
+                return False
+            if star_count == 0 and total_supply != demand:
+                return False
+            available = sum(m for e, m in v.items() if element_matcher(e))
+            if star_count:
+                return available >= demand
+            return available == demand == total_supply
+
+        return match_single
+
+    demands = [n for _, n in pattern_items]
+
+    def match_flow(v: Any) -> bool:
+        if not isinstance(v, Bag):
+            return False
+        total_supply = len(v)
+        if total_supply < total_demand:
+            return False
+        if star_count == 0 and total_supply != total_demand:
+            return False
+        instance_items = list(v.items())
+        edges = {
+            (j, k)
+            for j, (value, _) in enumerate(instance_items)
+            for k, (matcher, _) in enumerate(pattern_items)
+            if matcher(value)
+        }
+        supplies = [m for _, m in instance_items]
+        return _max_flow_feasible(supplies, demands, edges)
+
+    return match_flow
 
 
 def _bag_matches(instance: Bag, pattern: Bag) -> bool:

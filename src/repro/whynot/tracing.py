@@ -16,6 +16,24 @@ row carries one tuple per SA plus the flags created *at* the producing
 operator; per-operator snapshots with parent pointers give Algorithm 4 the
 same information (see DESIGN.md §5).
 
+Work sharing across schema alternatives
+---------------------------------------
+
+Most SAs differ from the original schema in a handful of operators, so the
+relaxed evaluation is *shared*: at every operator the SA indices are
+partitioned into groups whose members are indistinguishable — identical
+operator parameters/schemas *and* identical input tuples (tracked as *column
+groups*: an invariant of each operator snapshot stating that ``vals[i] is
+vals[j]`` for every row when i and j share a group).  Each group is evaluated
+once through its representative SA and the result objects are shared by all
+members, so tracing cost scales with the number of *distinct outcomes*, not
+with the number of SAs (the Fig. 11 axis).
+
+Per-SA ``valid``/``consistent``/``retained`` flags are bitmask integers
+(``valid_mask``/``consistent_mask``/``retained_true``+``retained_known``);
+:class:`TRow` exposes tuple-style ``consistent``/``retained`` views for
+compatibility and ``*_at(i)`` accessors for hot paths.
+
 Aggregate-value constraints in NIPs are checked softly: if no row at an
 operator is strictly consistent under some SA, consistency is re-evaluated
 against the pattern with aggregate constraints relaxed to ``?`` (the tracer
@@ -51,28 +69,137 @@ from repro.algebra.operators import (
     Union,
 )
 from repro.engine.database import Database
-from repro.nested.types import TupleType
-from repro.nested.values import NULL, Bag, Tup, is_null
+from repro.nested.values import Bag, Tup
 from repro.whynot.alternatives import SchemaAlternative
-from repro.whynot.matching import matches
+from repro.whynot.matching import compile_pattern
 
 
 class UnsupportedOperator(ValueError):
     """Raised when the tracer meets an operator it cannot instrument (map)."""
 
 
-@dataclass
 class TRow:
-    """One traced row: a tuple per schema alternative plus annotations."""
+    """One traced row: a tuple per schema alternative plus bitmask flags.
 
-    rid: int
-    parents: tuple[int, ...]
-    vals: tuple[Optional[Tup], ...]
-    consistent: tuple[bool, ...] = ()
-    retained: tuple[Optional[bool], ...] = ()
+    ``vals[i]`` is the tuple under SA i (None when the row does not exist
+    there); the masks store one bit per SA.  ``retained`` is tri-state: the
+    bit in ``retained_known`` says whether the producing operator filters at
+    all, ``retained_true`` whether it kept the row.
+    """
+
+    __slots__ = (
+        "rid",
+        "parents",
+        "vals",
+        "valid_mask",
+        "consistent_mask",
+        "retained_true",
+        "retained_known",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        parents: tuple[int, ...],
+        vals: tuple[Optional[Tup], ...],
+        valid_mask: int,
+        consistent_mask: int = 0,
+        retained_true: int = 0,
+        retained_known: int = 0,
+    ):
+        self.rid = rid
+        self.parents = parents
+        self.vals = vals
+        self.valid_mask = valid_mask
+        self.consistent_mask = consistent_mask
+        self.retained_true = retained_true
+        self.retained_known = retained_known
 
     def valid(self, i: int) -> bool:
-        return self.vals[i] is not None
+        return (self.valid_mask >> i) & 1 == 1
+
+    def consistent_at(self, i: int) -> bool:
+        return (self.consistent_mask >> i) & 1 == 1
+
+    def retained_at(self, i: int) -> Optional[bool]:
+        if (self.retained_known >> i) & 1 == 0:
+            return None
+        return (self.retained_true >> i) & 1 == 1
+
+    @property
+    def consistent(self) -> tuple[bool, ...]:
+        """Tuple view of the consistency bitmask (one bool per SA)."""
+        mask = self.consistent_mask
+        return tuple(bool((mask >> i) & 1) for i in range(len(self.vals)))
+
+    @property
+    def retained(self) -> tuple[Optional[bool], ...]:
+        """Tuple view of the tri-state retained flags (one entry per SA)."""
+        return tuple(self.retained_at(i) for i in range(len(self.vals)))
+
+    def __repr__(self) -> str:
+        return (
+            f"TRow(rid={self.rid}, parents={self.parents}, vals={self.vals!r}, "
+            f"consistent={self.consistent}, retained={self.retained})"
+        )
+
+
+class SAGroups:
+    """A partition of SA indices into indistinguishable groups.
+
+    ``gids[i]`` is the group of SA i, ``reps[g]`` a representative SA of
+    group g, ``masks[g]`` the bitmask of its members.  Attached to an
+    operator snapshot it asserts the *column sharing* invariant: for every
+    row, ``vals[i] is vals[j]`` whenever ``gids[i] == gids[j]``.
+    """
+
+    __slots__ = ("gids", "reps", "masks")
+
+    def __init__(self, gids: tuple[int, ...], reps: list[int], masks: list[int]):
+        self.gids = gids
+        self.reps = reps
+        self.masks = masks
+
+    @classmethod
+    def single(cls, n: int) -> "SAGroups":
+        return cls((0,) * n, [0], [(1 << n) - 1])
+
+    def __len__(self) -> int:
+        return len(self.reps)
+
+
+def _group_equal(n: int, items: list) -> tuple[int, ...]:
+    """Group indices 0..n-1 by (possibly unhashable) equality of *items*."""
+    gids: list[int] = []
+    reps: list[int] = []
+    for i in range(n):
+        for g, rep in enumerate(reps):
+            if items[i] == items[rep]:
+                gids.append(g)
+                break
+        else:
+            gids.append(len(reps))
+            reps.append(i)
+    return tuple(gids)
+
+
+def _meet(n: int, *assignments: tuple[int, ...]) -> SAGroups:
+    """The common refinement (meet) of several group assignments."""
+    key_to_gid: dict[tuple[int, ...], int] = {}
+    gids: list[int] = []
+    reps: list[int] = []
+    masks: list[int] = []
+    for i in range(n):
+        key = tuple(a[i] for a in assignments)
+        gid = key_to_gid.get(key)
+        if gid is None:
+            gid = len(reps)
+            key_to_gid[key] = gid
+            reps.append(i)
+            masks.append(0)
+        gids.append(gid)
+        masks[gid] |= 1 << i
+    return SAGroups(tuple(gids), reps, masks)
 
 
 @dataclass
@@ -81,6 +208,7 @@ class OpTrace:
 
     op_id: int
     rows: list[TRow]
+    groups: SAGroups = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -127,6 +255,7 @@ class Tracer:
         self.sas = sas
         self.revalidate = revalidate
         self.n = len(sas)
+        self._full_mask = (1 << self.n) - 1
         self._rid = itertools.count(1)
         # Per-SA operator views, schemas and evaluation contexts.
         self._ops = {
@@ -134,6 +263,7 @@ class Tracer:
         }
         self._schemas = [sa.query.infer_schemas(db) for sa in sas]
         self._ctxs = [EvalContext(db, schemas) for schemas in self._schemas]
+        self._op_group_cache: dict[int, tuple[int, ...]] = {}
 
     # -- public entry --------------------------------------------------------
 
@@ -141,10 +271,9 @@ class Tracer:
         result = TraceResult({}, self.query.root.op_id, self.n)
         for op in self.query.ops:
             child_traces = [result.traces[c.op_id] for c in op.children]
-            rows = self._trace_op(op, child_traces)
-            self._annotate_consistency(op, rows, result.rows_by_rid)
-            trace = OpTrace(op.op_id, rows)
-            result.traces[op.op_id] = trace
+            rows, groups = self._trace_op(op, child_traces)
+            self._annotate_consistency(op, rows, groups, result.rows_by_rid)
+            result.traces[op.op_id] = OpTrace(op.op_id, rows, groups)
             for row in rows:
                 result.rows_by_rid[row.rid] = row
                 result.op_of_rid[row.rid] = op.op_id
@@ -158,40 +287,83 @@ class Tracer:
     def _sa_op(self, op: Operator, i: int) -> Operator:
         return self._ops[op.op_id][i]
 
+    def _op_param_groups(self, op: Operator) -> tuple[int, ...]:
+        """Group SAs by the op's parameters and surrounding schemas."""
+        cached = self._op_group_cache.get(op.op_id)
+        if cached is None:
+            items = []
+            for i in range(self.n):
+                schemas = self._schemas[i]
+                items.append(
+                    (
+                        self._ops[op.op_id][i].params(),
+                        tuple(schemas[c.op_id] for c in op.children),
+                        schemas[op.op_id],
+                    )
+                )
+            cached = _group_equal(self.n, items)
+            self._op_group_cache[op.op_id] = cached
+        return cached
+
+    def _meet_for(self, op: Operator, *child_groups: SAGroups) -> SAGroups:
+        """SAs indistinguishable at *op*: same params/schemas, same inputs."""
+        return _meet(
+            self.n, self._op_param_groups(op), *(g.gids for g in child_groups)
+        )
+
     def _annotate_consistency(
-        self, op: Operator, rows: list[TRow], rows_by_rid: dict[int, TRow]
+        self, op: Operator, rows: list[TRow], groups: SAGroups, rows_by_rid: dict[int, TRow]
     ) -> None:
-        """Fill ``consistent`` flags, with the soft aggregate fallback."""
+        """Fill ``consistent`` masks, with the soft aggregate fallback."""
         if not self.revalidate and not isinstance(op, TableAccess):
             # Ablation: inherit compatibility from the parents (lineage-style
             # blind successor tracking, no re-validation).
             for row in rows:
-                row.consistent = tuple(
-                    row.valid(i)
-                    and any(rows_by_rid[p].consistent[i] for p in row.parents)
-                    for i in range(self.n)
-                )
+                inherited = 0
+                for p in row.parents:
+                    inherited |= rows_by_rid[p].consistent_mask
+                row.consistent_mask = row.valid_mask & inherited
             return
-        strict = [self.sas[i].backtrace.nip_at[op.op_id] for i in range(self.n)]
-        relaxed = [self.sas[i].backtrace.relaxed_at[op.op_id] for i in range(self.n)]
-        flags = [
-            [row.valid(i) and matches(row.vals[i], strict[i]) for row in rows]
-            for i in range(self.n)
-        ]
-        for i in range(self.n):
-            if strict[i] != relaxed[i] and not any(flags[i]):
-                flags[i] = [
-                    row.valid(i) and matches(row.vals[i], relaxed[i]) for row in rows
-                ]
-        for j, row in enumerate(rows):
-            row.consistent = tuple(flags[i][j] for i in range(self.n))
-
-    def _no_flag(self) -> tuple[Optional[bool], ...]:
-        return (None,) * self.n
+        n = self.n
+        strict = [self.sas[i].backtrace.nip_at[op.op_id] for i in range(n)]
+        relaxed = [self.sas[i].backtrace.relaxed_at[op.op_id] for i in range(n)]
+        # Refine the column groups by pattern equality: within a subgroup the
+        # match flags are identical, so evaluate them once.
+        sub_keys: list[tuple[int, Any, Any]] = []
+        sub_masks: list[int] = []
+        sub_reps: list[int] = []
+        for i in range(n):
+            key = (groups.gids[i], strict[i], relaxed[i])
+            for g, existing in enumerate(sub_keys):
+                if existing == key:
+                    sub_masks[g] |= 1 << i
+                    break
+            else:
+                sub_keys.append(key)
+                sub_masks.append(1 << i)
+                sub_reps.append(i)
+        for (_, s_pat, r_pat), gmask, rep in zip(sub_keys, sub_masks, sub_reps):
+            bit = 1 << rep
+            strict_match = compile_pattern(s_pat)
+            # Within a subgroup validity is uniform (column sharing), so the
+            # whole gmask can be committed as soon as the representative
+            # column is valid and matches.
+            matched_any = False
+            for row in rows:
+                if row.valid_mask & bit and strict_match(row.vals[rep]):
+                    row.consistent_mask |= gmask
+                    matched_any = True
+            if not matched_any and s_pat != r_pat:
+                relaxed_match = compile_pattern(r_pat)
+                for row in rows:
+                    if row.valid_mask & bit and relaxed_match(row.vals[rep]):
+                        row.consistent_mask |= gmask
 
     # -- per-operator tracing --------------------------------------------------
 
-    def _trace_op(self, op: Operator, child_traces: list[OpTrace]) -> list[TRow]:
+    def _trace_op(
+        self, op: Operator, child_traces: list[OpTrace]
+    ) -> tuple[list[TRow], SAGroups]:
         if isinstance(op, TableAccess):
             return self._trace_table(op)
         if isinstance(op, Selection):
@@ -218,274 +390,437 @@ class Tracer:
             raise UnsupportedOperator("data tracing does not support bag-destroy")
         raise UnsupportedOperator(f"no tracing rule for {type(op).__name__}")
 
-    def _trace_table(self, op: TableAccess) -> list[TRow]:
-        rows = []
-        for tup in self.db.relation(op.table):
-            rows.append(
-                TRow(
-                    rid=self._next_rid(),
-                    parents=(),
-                    vals=(tup,) * self.n,
-                    retained=(True,) * self.n,
-                )
+    def _trace_table(self, op: TableAccess) -> tuple[list[TRow], SAGroups]:
+        full = self._full_mask
+        n = self.n
+        rows = [
+            TRow(
+                rid=self._next_rid(),
+                parents=(),
+                vals=(tup,) * n,
+                valid_mask=full,
+                retained_true=full,
+                retained_known=full,
             )
-        return rows
+            for tup in self.db.relation(op.table)
+        ]
+        return rows, SAGroups.single(n)
 
-    def _trace_selection(self, op: Selection, child: OpTrace) -> list[TRow]:
+    def _trace_selection(self, op: Selection, child: OpTrace) -> tuple[list[TRow], SAGroups]:
+        mg = self._meet_for(op, child.groups)
+        preds = [self._sa_op(op, rep).pred.compile() for rep in mg.reps]
+        reps = mg.reps
+        masks = mg.masks
+        full = self._full_mask
         rows = []
         for parent in child.rows:
-            retained = []
-            for i in range(self.n):
-                pred = self._sa_op(op, i).pred
-                retained.append(
-                    bool(pred.eval(parent.vals[i])) if parent.valid(i) else False
-                )
+            pvals = parent.vals
+            retained_true = 0
+            for g, rep in enumerate(reps):
+                v = pvals[rep]
+                if v is not None and preds[g](v):
+                    retained_true |= masks[g]
             rows.append(
                 TRow(
                     rid=self._next_rid(),
                     parents=(parent.rid,),
-                    vals=parent.vals,
-                    retained=tuple(retained),
+                    vals=pvals,
+                    valid_mask=parent.valid_mask,
+                    retained_true=retained_true & parent.valid_mask,
+                    retained_known=full,
                 )
             )
-        return rows
+        # Selections pass tuples through unchanged: column sharing persists.
+        return rows, child.groups
 
-    def _trace_narrow(self, op: Operator, child: OpTrace) -> list[TRow]:
-        """Non-filtering unary operators: transform each SA's tuple."""
+    def _trace_narrow(self, op: Operator, child: OpTrace) -> tuple[list[TRow], SAGroups]:
+        """Non-filtering unary operators: transform each group's tuple once."""
+        groups = self._meet_for(op, child.groups)
+        reps = groups.reps
+        gids = groups.gids
+        n = self.n
+        sa_ops = [self._sa_op(op, rep) for rep in reps]
+        ctxs = [self._ctxs[rep] for rep in reps]
+        full = self._full_mask
         rows = []
+        if len(reps) == 1:
+            # All SAs share the computation: one eval, one shared tuple.
+            sa_op, ctx, rep = sa_ops[0], ctxs[0], reps[0]
+            for parent in child.rows:
+                v = parent.vals[rep]
+                out = None
+                if v is not None:
+                    produced = sa_op.eval_rows([[v]], ctx)
+                    out = produced[0] if produced else None
+                rows.append(
+                    TRow(
+                        rid=self._next_rid(),
+                        parents=(parent.rid,),
+                        vals=(out,) * n,
+                        valid_mask=full if out is not None else 0,
+                    )
+                )
+            return rows, groups
         for parent in child.rows:
+            pvals = parent.vals
+            outs: list[Optional[Tup]] = []
+            for g in range(len(reps)):
+                v = pvals[reps[g]]
+                if v is None:
+                    outs.append(None)
+                else:
+                    produced = sa_ops[g].eval_rows([[v]], ctxs[g])
+                    outs.append(produced[0] if produced else None)
             vals = []
-            for i in range(self.n):
-                if not parent.valid(i):
-                    vals.append(None)
-                    continue
-                sa_op = self._sa_op(op, i)
-                out = sa_op.eval_rows([[parent.vals[i]]], self._ctxs[i])
-                vals.append(out[0] if out else None)
+            valid_mask = 0
+            for i in range(n):
+                out = outs[gids[i]]
+                vals.append(out)
+                if out is not None:
+                    valid_mask |= 1 << i
             rows.append(
                 TRow(
                     rid=self._next_rid(),
                     parents=(parent.rid,),
                     vals=tuple(vals),
-                    retained=self._no_flag(),
+                    valid_mask=valid_mask,
                 )
             )
-        return rows
+        return rows, groups
 
-    def _trace_flatten(self, op: RelationFlatten, child: OpTrace) -> list[TRow]:
-        """Algorithm 3: run as outer flatten per SA, merge by parent row."""
+    def _trace_flatten(self, op: RelationFlatten, child: OpTrace) -> tuple[list[TRow], SAGroups]:
+        """Algorithm 3: run as outer flatten per SA group, merge by parent."""
+        groups = self._meet_for(op, child.groups)
+        reps = groups.reps
+        gids = groups.gids
+        n = self.n
+        sa_ops: list[RelationFlatten] = [self._sa_op(op, rep) for rep in reps]  # type: ignore[misc]
+        ctxs = [self._ctxs[rep] for rep in reps]
+        full = self._full_mask
         rows = []
+        if len(reps) == 1:
+            sa_op, ctx, rep = sa_ops[0], ctxs[0], reps[0]
+            outer = sa_op.outer
+            for parent in child.rows:
+                v = parent.vals[rep]
+                if v is None:
+                    continue
+                expanded, padded = sa_op.expand(v, ctx)
+                if padded:
+                    rows.append(
+                        TRow(
+                            rid=self._next_rid(),
+                            parents=(parent.rid,),
+                            vals=(expanded[0],) * n,
+                            valid_mask=full,
+                            retained_true=full if outer else 0,
+                            retained_known=full,
+                        )
+                    )
+                    continue
+                for t in expanded:
+                    rows.append(
+                        TRow(
+                            rid=self._next_rid(),
+                            parents=(parent.rid,),
+                            vals=(t,) * n,
+                            valid_mask=full,
+                            retained_true=full,
+                            retained_known=full,
+                        )
+                    )
+            return rows, groups
         for parent in child.rows:
-            expansions: list[list[tuple[Optional[Tup], Optional[bool]]]] = []
-            for i in range(self.n):
-                if not parent.valid(i):
+            pvals = parent.vals
+            expansions: list[list[tuple[Optional[Tup], bool]]] = []
+            for g in range(len(reps)):
+                v = pvals[reps[g]]
+                if v is None:
                     expansions.append([])
                     continue
-                sa_op: RelationFlatten = self._sa_op(op, i)  # type: ignore[assignment]
-                expanded, padded = sa_op.expand(parent.vals[i], self._ctxs[i])
+                expanded, padded = sa_ops[g].expand(v, ctxs[g])
                 if padded:
-                    expansions.append([(expanded[0], sa_op.outer)])
+                    expansions.append([(expanded[0], sa_ops[g].outer)])
                 else:
                     expansions.append([(t, True) for t in expanded])
             width = max((len(e) for e in expansions), default=0)
             for k in range(width):
                 vals = []
-                retained = []
-                for i in range(self.n):
-                    if k < len(expansions[i]):
-                        tup, flag = expansions[i][k]
+                valid_mask = 0
+                retained_true = 0
+                for i in range(n):
+                    expansion = expansions[gids[i]]
+                    if k < len(expansion):
+                        tup, flag = expansion[k]
                         vals.append(tup)
-                        retained.append(flag)
+                        bit = 1 << i
+                        valid_mask |= bit
+                        if flag:
+                            retained_true |= bit
                     else:
                         vals.append(None)
-                        retained.append(False)
                 rows.append(
                     TRow(
                         rid=self._next_rid(),
                         parents=(parent.rid,),
                         vals=tuple(vals),
-                        retained=tuple(retained),
+                        valid_mask=valid_mask,
+                        retained_true=retained_true,
+                        retained_known=full,
                     )
                 )
-        return rows
+        return rows, groups
 
-    def _trace_join(self, op: Join, child_traces: list[OpTrace]) -> list[TRow]:
-        """Relaxed join: full-outer semantics per SA, merged across SAs."""
-        left_rows, right_rows = child_traces[0].rows, child_traces[1].rows
+    def _trace_join(self, op: Join, child_traces: list[OpTrace]) -> tuple[list[TRow], SAGroups]:
+        """Relaxed join: full-outer semantics per SA group, merged across."""
+        left_trace, right_trace = child_traces
+        left_rows, right_rows = left_trace.rows, right_trace.rows
+        groups = self._meet_for(op, left_trace.groups, right_trace.groups)
+        reps = groups.reps
+        gids = groups.gids
+        n = self.n
+        full = self._full_mask
+        n_groups = len(reps)
+
         match_sets: list[dict[tuple[int, int], Tup]] = []
         left_matched: list[set[int]] = []
         right_matched: list[set[int]] = []
-        for i in range(self.n):
-            sa_op: Join = self._sa_op(op, i)  # type: ignore[assignment]
-            left_paths = [l for l, _ in sa_op.on]
-            right_paths = [r for _, r in sa_op.on]
+        sa_ops: list[Join] = []
+        pads_left: list[Tup] = []
+        pads_right: list[Tup] = []
+        for g in range(n_groups):
+            rep = reps[g]
+            sa_op: Join = self._sa_op(op, rep)  # type: ignore[assignment]
+            sa_ops.append(sa_op)
+            left_key, right_key = sa_op.key_fns()
+            extra = sa_op.extra.compile() if sa_op.extra is not None else None
+            combine = sa_op._combine
             index: dict[tuple, list[int]] = {}
             for jdx, r in enumerate(right_rows):
-                if not r.valid(i):
+                v = r.vals[rep]
+                if v is None:
                     continue
-                key = sa_op._key(r.vals[i], right_paths)
+                key = right_key(v)
                 if key is not None:
                     index.setdefault(key, []).append(jdx)
-            matches_i: dict[tuple[int, int], Tup] = {}
+            matches_g: dict[tuple[int, int], Tup] = {}
             lm: set[int] = set()
             rm: set[int] = set()
+            empty: tuple[int, ...] = ()
             for ldx, l in enumerate(left_rows):
-                if not l.valid(i):
+                v = l.vals[rep]
+                if v is None:
                     continue
-                key = sa_op._key(l.vals[i], left_paths)
+                key = left_key(v)
                 if key is None:
                     continue
-                for jdx in index.get(key, ()):
-                    combined = sa_op._combine(l.vals[i], right_rows[jdx].vals[i])
-                    if sa_op.extra is not None and not sa_op.extra.eval(combined):
+                for jdx in index.get(key, empty):
+                    combined = combine(v, right_rows[jdx].vals[rep])
+                    if extra is not None and not extra(combined):
                         continue
-                    matches_i[(ldx, jdx)] = combined
+                    matches_g[(ldx, jdx)] = combined
                     lm.add(ldx)
                     rm.add(jdx)
-            match_sets.append(matches_i)
+            match_sets.append(matches_g)
             left_matched.append(lm)
             right_matched.append(rm)
+            schemas = self._schemas[rep]
+            pads_right.append(
+                sa_op._pad(schemas[op.children[1].op_id], sa_op._right_drop())
+            )
+            pads_left.append(sa_op._pad(schemas[op.children[0].op_id]))
 
         rows: list[TRow] = []
         all_pairs: dict[tuple[int, int], None] = {}
-        for matches_i in match_sets:
-            for pair in matches_i:
+        for matches_g in match_sets:
+            for pair in matches_g:
                 all_pairs.setdefault(pair, None)
-        for ldx, jdx in all_pairs:
-            vals = []
-            retained = []
-            for i in range(self.n):
-                combined = match_sets[i].get((ldx, jdx))
-                vals.append(combined)
-                retained.append(combined is not None)
+        single = n_groups == 1
+        for pair in all_pairs:
+            ldx, jdx = pair
+            if single:
+                combined = match_sets[0][pair]
+                vals_t: tuple[Optional[Tup], ...] = (combined,) * n
+                valid_mask = full
+            else:
+                vals = []
+                valid_mask = 0
+                for i in range(n):
+                    combined = match_sets[gids[i]].get(pair)
+                    vals.append(combined)
+                    if combined is not None:
+                        valid_mask |= 1 << i
+                vals_t = tuple(vals)
             rows.append(
                 TRow(
                     rid=self._next_rid(),
                     parents=(left_rows[ldx].rid, right_rows[jdx].rid),
-                    vals=tuple(vals),
-                    retained=tuple(retained),
+                    vals=vals_t,
+                    valid_mask=valid_mask,
+                    retained_true=valid_mask,
+                    retained_known=full,
                 )
             )
         # Left rows without partner: padded (tracks tuples that an outer join
         # variant would keep — needed to reparameterize the join type).
         for ldx, l in enumerate(left_rows):
-            unmatched = [
-                i
-                for i in range(self.n)
-                if l.valid(i) and ldx not in left_matched[i]
+            unmatched_groups = [
+                g
+                for g in range(n_groups)
+                if l.vals[reps[g]] is not None and ldx not in left_matched[g]
             ]
-            if not unmatched:
+            if not unmatched_groups:
                 continue
-            vals = []
-            retained = []
-            for i in range(self.n):
-                sa_op = self._sa_op(op, i)
-                if i in unmatched:
-                    pad = sa_op._pad(self._schemas[i][op.children[1].op_id], sa_op._right_drop())
-                    vals.append(l.vals[i].concat(pad))
-                    retained.append(sa_op.how in ("left", "full"))
-                else:
-                    vals.append(None)
-                    retained.append(False)
+            if single:
+                out = l.vals[reps[0]].concat(pads_right[0])
+                vals_t = (out,) * n
+                valid_mask = full
+                retained_true = full if sa_ops[0].how in ("left", "full") else 0
+            else:
+                padded: dict[int, Tup] = {
+                    g: l.vals[reps[g]].concat(pads_right[g]) for g in unmatched_groups
+                }
+                vals = []
+                valid_mask = 0
+                retained_true = 0
+                for i in range(n):
+                    out = padded.get(gids[i])
+                    vals.append(out)
+                    if out is not None:
+                        valid_mask |= 1 << i
+                        if sa_ops[gids[i]].how in ("left", "full"):
+                            retained_true |= 1 << i
+                vals_t = tuple(vals)
             rows.append(
                 TRow(
                     rid=self._next_rid(),
                     parents=(l.rid,),
-                    vals=tuple(vals),
-                    retained=tuple(retained),
+                    vals=vals_t,
+                    valid_mask=valid_mask,
+                    retained_true=retained_true,
+                    retained_known=full,
                 )
             )
         for jdx, r in enumerate(right_rows):
-            unmatched = [
-                i
-                for i in range(self.n)
-                if r.valid(i) and jdx not in right_matched[i]
+            unmatched_groups = [
+                g
+                for g in range(n_groups)
+                if r.vals[reps[g]] is not None and jdx not in right_matched[g]
             ]
-            if not unmatched:
+            if not unmatched_groups:
                 continue
-            vals = []
-            retained = []
-            for i in range(self.n):
-                sa_op = self._sa_op(op, i)
-                if i in unmatched:
-                    pad = sa_op._pad(self._schemas[i][op.children[0].op_id])
-                    right_val = r.vals[i]
-                    if sa_op._right_drop():
-                        right_val = right_val.drop(sa_op._right_drop())
-                    vals.append(pad.concat(right_val))
-                    retained.append(sa_op.how in ("right", "full"))
-                else:
-                    vals.append(None)
-                    retained.append(False)
+            padded = {}
+            for g in unmatched_groups:
+                right_val = r.vals[reps[g]]
+                drop = sa_ops[g]._right_drop()
+                if drop:
+                    right_val = right_val.drop(drop)
+                padded[g] = pads_left[g].concat(right_val)
+            if single:
+                vals_t = (padded[0],) * n
+                valid_mask = full
+                retained_true = full if sa_ops[0].how in ("right", "full") else 0
+            else:
+                vals = []
+                valid_mask = 0
+                retained_true = 0
+                for i in range(n):
+                    out = padded.get(gids[i])
+                    vals.append(out)
+                    if out is not None:
+                        valid_mask |= 1 << i
+                        if sa_ops[gids[i]].how in ("right", "full"):
+                            retained_true |= 1 << i
+                vals_t = tuple(vals)
             rows.append(
                 TRow(
                     rid=self._next_rid(),
                     parents=(r.rid,),
-                    vals=tuple(vals),
-                    retained=tuple(retained),
+                    vals=vals_t,
+                    valid_mask=valid_mask,
+                    retained_true=retained_true,
+                    retained_known=full,
                 )
             )
-        return rows
+        return rows, groups
 
     def _trace_grouping(
         self, op: "RelationNesting | GroupAggregation", child: OpTrace
-    ) -> list[TRow]:
-        """Figure 7's four steps: per-SA nest/aggregate valid rows, then merge
-        the per-SA results full-outer-join-style on the group key."""
-        merged: dict[Any, dict[int, tuple[Tup, list[int]]]] = {}
-        order: list[Any] = []
-        for i in range(self.n):
-            sa_op = self._sa_op(op, i)
-            groups: dict[Tup, list[TRow]] = {}
-            for parent in child.rows:
-                if not parent.valid(i):
-                    continue
-                if isinstance(sa_op, RelationNesting):
-                    key = sa_op.group_key(parent.vals[i])
+    ) -> tuple[list[TRow], SAGroups]:
+        """Figure 7's four steps: per-SA-group nest/aggregate valid rows, then
+        merge the per-group results full-outer-join-style on the group key."""
+        groups = self._meet_for(op, child.groups)
+        reps = groups.reps
+        gids = groups.gids
+        n = self.n
+        merged: dict[Tup, dict[int, tuple[Tup, list[int]]]] = {}
+        order: list[Tup] = []
+        from repro.nested.values import Layout
+
+        for g, rep in enumerate(reps):
+            sa_op = self._sa_op(op, rep)
+            buckets: dict[Tup, list[TRow]] = {}
+            nesting = isinstance(sa_op, RelationNesting)
+            if not nesting and not sa_op.key_specs:
+                buckets = {Tup(): [p for p in child.rows if p.vals[rep] is not None]}
+            else:
+                key_fn = sa_op.group_key if nesting else sa_op.key_fn()
+                for parent in child.rows:
+                    v = parent.vals[rep]
+                    if v is None:
+                        continue
+                    buckets.setdefault(key_fn(v), []).append(parent)
+            target_layout = Layout.of((sa_op.target,)) if nesting else None
+            for key, members in buckets.items():
+                if nesting:
+                    nested = Bag(p.vals[rep].project(sa_op.attrs) for p in members)
+                    out = key.concat(Tup.from_layout(target_layout, (nested,)))
                 else:
-                    key = sa_op.key_tuple(parent.vals[i])
-                groups.setdefault(key, []).append(parent)
-            if isinstance(sa_op, GroupAggregation) and not sa_op.key_specs:
-                members = [p for p in child.rows if p.valid(i)]
-                groups = {Tup(): members}
-            for key, members in groups.items():
-                if isinstance(sa_op, RelationNesting):
-                    nested = Bag(
-                        p.vals[i].project(sa_op.attrs) for p in members
+                    out = key.concat(
+                        sa_op.aggregate_tuple([p.vals[rep] for p in members])
                     )
-                    out = key.concat(Tup([(sa_op.target, nested)]))
-                else:
-                    out = key.concat(Tup(sa_op.aggregate_group([p.vals[i] for p in members])))
                 slot = merged.get(key)
                 if slot is None:
                     slot = {}
                     merged[key] = slot
                     order.append(key)
-                slot[i] = (out, [p.rid for p in members])
+                slot[g] = (out, [p.rid for p in members])
         rows = []
+        full = self._full_mask
+        single = len(reps) == 1
         for key in order:
             slot = merged[key]
-            vals = []
-            parents: dict[int, None] = {}
-            for i in range(self.n):
-                if i in slot:
-                    out, rids = slot[i]
-                    vals.append(out)
+            if single:
+                out, rids = slot[0]
+                vals_t: tuple[Optional[Tup], ...] = (out,) * n
+                valid_mask = full
+                parents = dict.fromkeys(rids)
+            else:
+                vals = []
+                valid_mask = 0
+                parents = {}
+                for i in range(n):
+                    entry = slot.get(gids[i])
+                    if entry is None:
+                        vals.append(None)
+                    else:
+                        vals.append(entry[0])
+                        valid_mask |= 1 << i
+                for entry, rids in slot.values():
                     for rid in rids:
                         parents.setdefault(rid, None)
-                else:
-                    vals.append(None)
+                vals_t = tuple(vals)
             rows.append(
                 TRow(
                     rid=self._next_rid(),
                     parents=tuple(parents),
-                    vals=tuple(vals),
-                    retained=self._no_flag(),
+                    vals=vals_t,
+                    valid_mask=valid_mask,
                 )
             )
-        return rows
+        return rows, groups
 
-    def _trace_union(self, op: Union, child_traces: list[OpTrace]) -> list[TRow]:
+    def _trace_union(self, op: Union, child_traces: list[OpTrace]) -> tuple[list[TRow], SAGroups]:
         rows = []
         for trace in child_traces:
             for parent in trace.rows:
@@ -494,70 +829,90 @@ class Tracer:
                         rid=self._next_rid(),
                         parents=(parent.rid,),
                         vals=parent.vals,
-                        retained=self._no_flag(),
+                        valid_mask=parent.valid_mask,
                     )
                 )
-        return rows
+        groups = _meet(self.n, *(t.groups.gids for t in child_traces))
+        return rows, groups
 
-    def _trace_passthrough(self, child: OpTrace) -> list[TRow]:
-        return [
+    def _trace_passthrough(self, child: OpTrace) -> tuple[list[TRow], SAGroups]:
+        rows = [
             TRow(
                 rid=self._next_rid(),
                 parents=(parent.rid,),
                 vals=parent.vals,
-                retained=self._no_flag(),
+                valid_mask=parent.valid_mask,
             )
             for parent in child.rows
         ]
+        return rows, child.groups
 
-    def _trace_difference(self, op: Difference, child_traces: list[OpTrace]) -> list[TRow]:
+    def _trace_difference(
+        self, op: Difference, child_traces: list[OpTrace]
+    ) -> tuple[list[TRow], SAGroups]:
         left, right = child_traces
-        right_bags = []
-        for i in range(self.n):
-            right_bags.append(Bag(r.vals[i] for r in right.rows if r.valid(i)))
+        mg = _meet(self.n, left.groups.gids, right.groups.gids)
+        right_bags = [
+            Bag(r.vals[rep] for r in right.rows if r.vals[rep] is not None)
+            for rep in mg.reps
+        ]
+        full = self._full_mask
         rows = []
         for parent in left.rows:
-            retained = []
-            for i in range(self.n):
-                if not parent.valid(i):
-                    retained.append(False)
-                else:
-                    retained.append(right_bags[i].mult(parent.vals[i]) == 0)
+            retained_true = 0
+            for g, rep in enumerate(mg.reps):
+                v = parent.vals[rep]
+                if v is not None and right_bags[g].mult(v) == 0:
+                    retained_true |= mg.masks[g]
             rows.append(
                 TRow(
                     rid=self._next_rid(),
                     parents=(parent.rid,),
                     vals=parent.vals,
-                    retained=tuple(retained),
+                    valid_mask=parent.valid_mask,
+                    retained_true=retained_true & parent.valid_mask,
+                    retained_known=full,
                 )
             )
-        return rows
+        return rows, left.groups
 
-    def _trace_product(self, op: CartesianProduct, child_traces: list[OpTrace]) -> list[TRow]:
+    def _trace_product(
+        self, op: CartesianProduct, child_traces: list[OpTrace]
+    ) -> tuple[list[TRow], SAGroups]:
         left, right = child_traces
         if len(left.rows) * len(right.rows) > 250_000:
             raise UnsupportedOperator(
                 "cartesian product too large to trace; the paper's algorithm "
                 "avoids cross products (§5.5)"
             )
+        groups = _meet(self.n, left.groups.gids, right.groups.gids)
+        reps = groups.reps
+        gids = groups.gids
+        n = self.n
         rows = []
         for l in left.rows:
             for r in right.rows:
+                outs: list[Optional[Tup]] = []
+                for rep in reps:
+                    lv = l.vals[rep]
+                    rv = r.vals[rep]
+                    outs.append(lv.concat(rv) if lv is not None and rv is not None else None)
                 vals = []
-                for i in range(self.n):
-                    if l.valid(i) and r.valid(i):
-                        vals.append(l.vals[i].concat(r.vals[i]))
-                    else:
-                        vals.append(None)
+                valid_mask = 0
+                for i in range(n):
+                    out = outs[gids[i]]
+                    vals.append(out)
+                    if out is not None:
+                        valid_mask |= 1 << i
                 rows.append(
                     TRow(
                         rid=self._next_rid(),
                         parents=(l.rid, r.rid),
                         vals=tuple(vals),
-                        retained=self._no_flag(),
+                        valid_mask=valid_mask,
                     )
                 )
-        return rows
+        return rows, groups
 
 
 def trace(

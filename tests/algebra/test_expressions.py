@@ -138,3 +138,47 @@ class TestStructuralEquality:
         pred = And(col("x").eq(1), Or(col("y").lt(2), Not(col("x").gt(0))))
         rewritten = pred.map_attrs(lambda p: ("z",) if p == ("x",) else p)
         assert rewritten.attr_paths() == [("z",), ("y",), ("z",)]
+
+
+class TestCompile:
+    """Expr.compile must agree with the interpreted eval on every input."""
+
+    SAMPLE_EXPRS = [
+        col("a"),
+        lit(42),
+        col("a").ge(5),
+        col("a").eq(10) & col("b").contains("hello"),
+        col("a").lt(3) | col("a").gt(9),
+        Not(col("b").contains("mars")),
+        col("a") + 2,
+        (col("a") * 2 - 1) / 3,
+        col("c").is_null(),
+        col("a").between(5, 15),
+        col("b").contains(lit("world")),
+        col("tags").contains("x"),
+    ]
+
+    def test_compiled_agrees_with_eval(self):
+        rows = [
+            ROW,
+            Tup(a=2, b="mars rover", c=1, tags=Bag(["z"])),
+            Tup(a=NULL, b=NULL, c=NULL, tags=NULL),
+        ]
+        for expr in self.SAMPLE_EXPRS:
+            fn = expr.compile()
+            for row in rows:
+                assert fn(row) == expr.eval(row), f"{expr!r} diverges on {row!r}"
+
+    def test_compiled_is_cached(self):
+        expr = col("a").ge(5)
+        assert expr.compile() is expr.compile()
+
+    def test_nested_path_compiles(self):
+        nested = Tup(outer=Tup(inner=7), other=1)
+        expr = col("outer.inner")
+        assert expr.compile()(nested) == 7 == expr.eval(nested)
+
+    def test_compiled_null_path_navigation(self):
+        nested = Tup(outer=NULL, other=1)
+        expr = col("outer.inner").is_null()
+        assert expr.compile()(nested) is True

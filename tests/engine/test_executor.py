@@ -1,4 +1,12 @@
-"""Tests for the partitioned executor: equivalence with plain evaluation."""
+"""Tests for the partitioned executor: equivalence with plain evaluation,
+including every registered scenario query and PYTHONHASHSEED independence."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
@@ -111,3 +119,79 @@ def test_property_grouping_equivalence(rows_r):
         GroupAggregation(TableAccess("R"), ["k"], [AggSpec("sum", col("v"), "s")])
     )
     assert Executor(num_partitions=4).execute(query, db) == query.evaluate(db)
+
+
+def _scenario_names():
+    from repro.scenarios import SCENARIOS
+
+    return sorted(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", _scenario_names())
+@pytest.mark.parametrize("partitions", [1, 3, 7])
+def test_scenario_query_partitioned_equals_plain(name, partitions):
+    """Executor ≡ Query.evaluate for every registered scenario query,
+    covering the compiled hash-join and keyed-grouping paths end to end."""
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario(name)
+    question = scenario.question(scale=20)
+    plain = question.query.evaluate(question.db)
+    result = Executor(num_partitions=partitions).execute(question.query, question.db)
+    assert result == plain, f"{name} diverges at {partitions} partitions"
+
+
+_HASHSEED_SCRIPT = textwrap.dedent(
+    """
+    import json
+    from repro.algebra.operators import Join, Query, TableAccess
+    from repro.engine.database import Database
+    from repro.engine.executor import Executor
+    from repro.engine.hashing import stable_hash
+    from repro.nested.values import Bag, Tup
+
+    db = Database(
+        {
+            "R": [Tup(k=f"key-{i % 7}", v=i) for i in range(40)],
+            "S": [Tup(j=f"key-{i % 5}", w=str(i)) for i in range(25)],
+        }
+    )
+    query = Query(Join(TableAccess("R"), TableAccess("S"), [("k", "j")], how="full"))
+    executor = Executor(num_partitions=5)
+    result = executor.execute(query, db)
+    metrics = executor.last_metrics
+    print(
+        json.dumps(
+            {
+                "hashes": [stable_hash(f"key-{i}") for i in range(7)],
+                "shuffled": metrics.total_shuffled_rows(),
+                "per_op": {
+                    str(op_id): m.shuffled_rows
+                    for op_id, m in metrics.operators.items()
+                },
+                "result_size": len(result),
+            }
+        )
+    )
+    """
+)
+
+
+def test_partitioning_independent_of_hashseed():
+    """Partition assignment and shuffle metrics must not vary with the
+    process's string-hash salt (regression: salted hash() partitioning)."""
+    src_dir = Path(__file__).resolve().parents[2] / "src"
+    outputs = []
+    for seed in ("0", "1", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=str(src_dir))
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.append(json.loads(proc.stdout))
+    assert outputs[0] == outputs[1] == outputs[2], (
+        "partitioning varies across PYTHONHASHSEED values: " + repr(outputs)
+    )

@@ -1,0 +1,31 @@
+"""Tests for the process-stable shuffle hash."""
+
+from repro.engine.hashing import stable_hash
+from repro.nested.values import NULL, Bag, Tup
+
+
+class TestStableHash:
+    def test_equality_compatible_numeric_tower(self):
+        assert stable_hash(2) == stable_hash(2.0)
+        assert stable_hash(True) == stable_hash(1)
+
+    def test_equal_values_hash_alike(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+        assert stable_hash(Tup(x=1, y="a")) == stable_hash(Tup(x=1, y="a"))
+        assert stable_hash(Bag([1, 1, 2])) == stable_hash(Bag([1, 2, 1]))
+
+    def test_null_and_none_collapse(self):
+        assert stable_hash(None) == stable_hash(NULL)
+
+    def test_known_string_hash_is_fixed(self):
+        # crc32 is specified; this value must never change across processes
+        # or Python versions (it anchors partition assignment).
+        import zlib
+
+        assert stable_hash("key-1") == zlib.crc32(b"key-1")
+
+    def test_nested_values(self):
+        t1 = Tup(k=Tup(inner=Bag(["x", "y"])), v=1.5)
+        t2 = Tup(k=Tup(inner=Bag(["y", "x"])), v=1.5)
+        assert stable_hash(t1) == stable_hash(t2)

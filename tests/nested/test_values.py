@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.nested.values import NULL, Bag, Tup, is_null
+from repro.nested.values import NULL, Bag, Layout, Tup, is_null
 
 
 class TestNull:
@@ -189,3 +189,50 @@ class TestBag:
 
     def test_repr_shows_multiplicity(self):
         assert "^2" in repr(Bag([1, 1]))
+
+
+class TestLayoutInterning:
+    def test_same_attrs_share_layout(self):
+        a = Tup(x=1, y=2)
+        b = Tup(x=9, y=8)
+        assert a.layout is b.layout
+        assert a.layout is Layout.of(("x", "y"))
+
+    def test_different_order_different_layout(self):
+        assert Tup(x=1, y=2).layout is not Tup(y=2, x=1).layout
+
+    def test_from_layout_fast_constructor(self):
+        layout = Layout.of(("x", "y"))
+        t = Tup.from_layout(layout, (1, 2))
+        assert t == Tup(x=1, y=2)
+        assert t["y"] == 2
+        assert t.layout is layout
+
+    def test_derived_ops_intern_layouts(self):
+        a = Tup(x=1, y=2)
+        b = Tup(z=3)
+        assert a.concat(b).layout is Tup(x=0, y=0, z=0).layout
+        assert a.project(["y"]).layout is Tup(y=0).layout
+        assert a.drop(["x"]).layout is Tup(y=0).layout
+        assert a.rename({"x": "w"}).layout is Tup(w=0, y=0).layout
+        assert a.with_attr("n", 5).layout is Tup(x=0, y=0, n=0).layout
+
+    def test_layout_of_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Layout.of(("x", "x"))
+
+    def test_concat_name_clash_still_raises(self):
+        with pytest.raises(ValueError):
+            Tup(x=1).concat(Tup(x=2))
+
+
+class TestReplaceStrict:
+    def test_replace_known_attribute(self):
+        assert Tup(x=1, y=2).replace(y=9) == Tup(x=1, y=9)
+
+    def test_replace_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            Tup(x=1).replace(nope=5)
+
+    def test_with_attr_still_appends_unknown(self):
+        assert Tup(x=1).with_attr("y", 2) == Tup(x=1, y=2)

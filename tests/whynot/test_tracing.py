@@ -158,3 +158,39 @@ class TestUnsupported:
         q = Query(Map(TableAccess("T"), lambda t: t))
         with pytest.raises(Exception):
             bt = backtrace(q, db, Tup(a=1))
+
+
+class TestBitmaskFlags:
+    """The bitmask storage must agree with the tuple-style views."""
+
+    def test_masks_consistent_with_tuple_views(self, traced):
+        _, result = traced
+        n = result.n_sas
+        for row in result.rows_by_rid.values():
+            for i in range(n):
+                assert row.valid(i) == (row.vals[i] is not None)
+                assert row.consistent[i] == row.consistent_at(i)
+                assert row.retained[i] == row.retained_at(i)
+                assert row.consistent_at(i) == bool((row.consistent_mask >> i) & 1)
+
+    def test_consistent_implies_valid(self, traced):
+        _, result = traced
+        for row in result.rows_by_rid.values():
+            assert row.consistent_mask & ~row.valid_mask == 0
+
+    def test_shared_columns_share_objects(self, traced, running_query):
+        """SAs indistinguishable at an operator must share tuple objects
+        (the column-sharing invariant behind SA-shared tracing)."""
+        _, result = traced
+        for op_trace in result.traces.values():
+            groups = op_trace.groups
+            for row in op_trace.rows:
+                for i, gid in enumerate(groups.gids):
+                    rep = groups.reps[gid]
+                    assert row.vals[i] is row.vals[rep]
+
+    def test_table_rows_fully_shared(self, traced, running_query):
+        _, result = traced
+        table_rows = result.traces[running_query.op_by_label("R1").op_id].rows
+        for row in table_rows:
+            assert all(v is row.vals[0] for v in row.vals)
