@@ -7,6 +7,10 @@ Usage::
 
 Writes ``benchmarks/results/baseline_fig10.json`` and
 ``benchmarks/results/baseline_fig11.json``.
+
+Baselines are normally captured with the serial backend (the default), so a
+subsequent ``REPRO_BENCH_BACKEND=process`` benchmark run measures the
+multi-core speedup against them; the backend used is recorded in the file.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import RESULTS_DIR, time_explain, time_query  # noqa: E402
+from harness import RESULTS_DIR, backend_info, time_explain, time_query  # noqa: E402
 
 FIG10_SCENARIOS = ["Q1", "Q3", "Q4", "Q6", "Q10", "Q13"]
 FIG10_SCALE = 60
@@ -99,7 +103,12 @@ def main() -> int:
     args = parser.parse_args()
     RESULTS_DIR.mkdir(exist_ok=True)
     for fig, measure in (("fig10", measure_fig10), ("fig11", measure_fig11)):
-        payload = {"tag": args.tag, "figure": fig, "series": measure(args.rounds)}
+        payload = {
+            "tag": args.tag,
+            "figure": fig,
+            "backend": backend_info(),
+            "series": measure(args.rounds),
+        }
         path = RESULTS_DIR / f"baseline_{fig}.json"
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {path}")

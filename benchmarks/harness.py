@@ -13,17 +13,34 @@ series plus — when a ``baseline_<figure>.json`` exists (captured with
 ``benchmarks/capture_baseline.py`` *before* an optimisation) — the matching
 baseline timings and derived speedups.  This keeps the perf trajectory of
 the evaluation core observable across PRs; see ROADMAP.md §Performance.
+
+Backend knobs
+-------------
+
+``REPRO_BENCH_BACKEND`` / ``REPRO_BENCH_WORKERS`` select the execution
+backend that the timed runs use (default: serial).  The chosen backend is
+recorded in every ``BENCH_*.json`` payload, so a parallel run against a
+serial-captured baseline yields the multi-core speedup directly in
+``rp_speedups`` / ``rp_speedup_aggregate``::
+
+    PYTHONPATH=src python benchmarks/capture_baseline.py          # serial
+    REPRO_BENCH_BACKEND=process REPRO_BENCH_WORKERS=4 \
+        PYTHONPATH=src python -m pytest benchmarks/test_fig10_tpch_runtime.py -q
+
+See ``docs/BENCHMARKS.md`` for how to read the emitted files.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any, Optional
 
 from repro.baselines.common import build_s1_trace
 from repro.baselines.wnpp import wnpp_explain
+from repro.engine.backends import get_backend
 from repro.engine.executor import Executor
 from repro.scenarios import get_scenario
 from repro.whynot.explain import explain
@@ -31,6 +48,20 @@ from repro.whynot.explain import explain
 SCALE_STEPS = [20, 40, 60, 80, 100]
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_backend():
+    """The backend the timed runs use (``REPRO_BENCH_BACKEND``, default serial)."""
+    name = os.environ.get("REPRO_BENCH_BACKEND") or "serial"
+    workers_env = os.environ.get("REPRO_BENCH_WORKERS")
+    workers = int(workers_env) if workers_env else None
+    return get_backend(name, workers)
+
+
+def backend_info() -> dict:
+    """Backend metadata embedded into the BENCH payloads."""
+    backend = bench_backend()
+    return {"name": backend.name, "workers": backend.workers}
 
 
 def write_result(name: str, text: str) -> None:
@@ -58,7 +89,11 @@ def emit_fig10_bench(series: "list[dict]") -> dict:
     "n_sas"}``.
     """
     baseline = load_baseline("fig10")
-    payload: dict[str, Any] = {"figure": "fig10", "series": series}
+    payload: dict[str, Any] = {
+        "figure": "fig10",
+        "backend": backend_info(),
+        "series": series,
+    }
     if baseline is not None:
         base_by_name = {row["scenario"]: row for row in baseline["series"]}
         speedups = {}
@@ -103,7 +138,12 @@ def emit_fig11_bench(series: "list[dict]") -> dict:
             "growth_factor": factor,
             "sublinear": factor is not None and factor < last["n_sas"],
         }
-    payload: dict[str, Any] = {"figure": "fig11", "series": series, "growth": growth}
+    payload: dict[str, Any] = {
+        "figure": "fig11",
+        "backend": backend_info(),
+        "series": series,
+        "growth": growth,
+    }
     if baseline is not None:
         base_by_key = {
             (row["scenario"], row["n_sas"]): row for row in baseline["series"]
@@ -124,18 +164,24 @@ def emit_fig11_bench(series: "list[dict]") -> dict:
     return payload
 
 
-def time_query(scenario_name: str, scale: int) -> float:
+def time_query(scenario_name: str, scale: int, backend=None) -> float:
     """Wall time of the plain (partitioned) execution of the scenario query."""
     scenario = get_scenario(scenario_name)
     question = scenario.question(scale)
-    executor = Executor(num_partitions=4)
+    executor = Executor(
+        num_partitions=4, backend=backend if backend is not None else bench_backend()
+    )
     started = time.perf_counter()
     executor.execute(question.query, question.db)
     return time.perf_counter() - started
 
 
 def time_explain(
-    scenario_name: str, scale: int, with_sas: bool = True, alternatives=None
+    scenario_name: str,
+    scale: int,
+    with_sas: bool = True,
+    alternatives=None,
+    backend=None,
 ) -> tuple[float, int]:
     """Wall time of the full why-not pipeline; returns (seconds, #SAs)."""
     scenario = get_scenario(scenario_name)
@@ -147,6 +193,7 @@ def time_explain(
         alternatives=groups,
         use_schema_alternatives=with_sas,
         validate=False,
+        backend=backend if backend is not None else bench_backend(),
     )
     return time.perf_counter() - started, result.n_sas
 

@@ -7,7 +7,7 @@ relative to their own plain queries).
 
 import pytest
 
-from harness import emit_fig10_bench, time_explain, time_query, write_result
+from harness import bench_backend, emit_fig10_bench, time_explain, time_query, write_result
 
 SCENARIOS = ["Q1", "Q3", "Q4", "Q6", "Q10", "Q13"]
 SCALE = 60
@@ -67,6 +67,11 @@ def test_fig10_series(benchmark):
 
     # Shape assertions: tracing always costs more than running the query,
     # and the full algorithm costs at least as much as the SA-free variant.
+    # These describe the algorithms, so they are checked in the reference
+    # (serial) configuration only — under REPRO_BENCH_BACKEND=process the
+    # per-approach ratios additionally reflect IPC overhead and core count.
+    if bench_backend().name != "serial":
+        pytest.skip("paper-shape ratio assertions are serial-reference-only")
     for name, (query_s, nosa_s, rp_s, n_sas) in rows.items():
         assert nosa_s > query_s, f"{name}: RPnoSA should exceed the plain query"
         assert rp_s >= nosa_s * 0.8, f"{name}: RP should not undercut RPnoSA"

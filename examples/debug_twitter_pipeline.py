@@ -6,7 +6,7 @@ on the *quote* count — but the analyst is looking for a famous tweet that was
 one); the reparameterization-based algorithm finds the flatten (and the
 filter) through a schema alternative.
 
-Run:  python examples/debug_twitter_pipeline.py
+Run:  PYTHONPATH=src python examples/debug_twitter_pipeline.py   (from the repository root)
 """
 
 from repro import Tup, WhyNotQuestion, col, explain, wnpp_explain

@@ -7,7 +7,7 @@ Shows the two supporting APIs around the heuristic algorithm:
   databases as ground truth — including the tree-edit-distance side-effect
   metric that separates the two MSRs of Example 10.
 
-Run:  python examples/lineage_and_exact_msrs.py
+Run:  PYTHONPATH=src python examples/lineage_and_exact_msrs.py   (from the repository root)
 """
 
 from repro import ANY, STAR, Bag, Tup, WhyNotQuestion, enumerate_explanations

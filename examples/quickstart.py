@@ -4,7 +4,7 @@ Builds the person/address database, runs the city query, poses the why-not
 question "why is NY missing?", and prints the explanations — including the
 schema-alternative one ({F, σ}) that lineage-based tools cannot find.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py   (from the repository root)
 """
 
 from repro import ANY, STAR, Bag, Database, Session, Tup, WhyNotQuestion, col, explain, lit

@@ -6,7 +6,7 @@ produce non-zero revenue); the holistic algorithm pinpoints the two
 selections and — via a schema alternative — the projection computing the
 revenue from the wrong column.
 
-Run:  python examples/tpch_report_debugging.py
+Run:  PYTHONPATH=src python examples/tpch_report_debugging.py   (from the repository root)
 """
 
 from repro import explain, wnpp_explain

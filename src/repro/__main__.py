@@ -4,7 +4,12 @@ Usage::
 
     python -m repro list                     # all registered scenarios
     python -m repro run Q10 [--scale 60]     # one scenario, all approaches
+    python -m repro run Q10 --backend process --workers 4   # multi-core
     python -m repro table7 [--scale 40]      # the Table-7 summary
+
+``--backend serial`` (default) evaluates in-process; ``--backend process``
+fans the partitioned execution and SA-group tracing out across worker
+processes (see ``docs/ARCHITECTURE.md``).  Results are identical on both.
 """
 
 from __future__ import annotations
@@ -36,7 +41,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{scenario.name}: {scenario.description}")
     if scenario.notes:
         print(f"  note: {scenario.notes}")
-    run = run_scenario(scenario, scale=args.scale)
+    run = run_scenario(
+        scenario, scale=args.scale, backend=args.backend, workers=args.workers
+    )
     print(f"  WN++    : {_fmt(run.wnpp)}")
     print(f"  Conseil : {_fmt(run.conseil)}")
     print(f"  RPnoSA  : {_fmt(run.rp_nosa)}")
@@ -54,7 +61,9 @@ def _cmd_table7(args: argparse.Namespace) -> int:
     names = [n for n in SCENARIOS if not n.startswith("C")]
     print(f"{'scen.':>6} {'WN++':>6} {'RPnoSA':>7} {'RP':>6}  gold-rank")
     for name in names:
-        run = run_scenario(name, scale=args.scale)
+        run = run_scenario(
+            name, scale=args.scale, backend=args.backend, workers=args.workers
+        )
         wn, nosa, rp = run.counts()
         gold = run.gold_position()
         print(f"{name:>6} {wn:>6} {nosa:>7} {rp:>6}  {f'({gold})' if gold else '-'}")
@@ -69,12 +78,28 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list all registered scenarios")
 
+    def add_backend_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=("serial", "process"),
+            default=None,
+            help="execution backend (default: REPRO_BACKEND or serial)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes for --backend process (default: all cores)",
+        )
+
     run_parser = sub.add_parser("run", help="run one scenario")
     run_parser.add_argument("scenario", help="scenario name, e.g. Q10")
     run_parser.add_argument("--scale", type=int, default=None)
+    add_backend_flags(run_parser)
 
     t7 = sub.add_parser("table7", help="regenerate the Table-7 summary")
     t7.add_argument("--scale", type=int, default=40)
+    add_backend_flags(t7)
 
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -113,6 +113,18 @@ class Operator:
     def __repr__(self) -> str:
         return self.describe()
 
+    def __getstate__(self) -> dict:
+        """Pickle without the lazily compiled closures.
+
+        ``_compiled_*`` caches hold plain Python closures, which do not
+        pickle; the parallel process backend ships operators to workers and
+        lets each worker re-compile on first use (the caches are pure
+        derivations of the immutable parameters).
+        """
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_compiled")
+        }
+
 
 def _compile_key(paths: "tuple[Path, ...]") -> "Callable[[Tup], Optional[tuple]]":
     """Compile join/group key paths into one row→key closure.
@@ -1255,6 +1267,10 @@ class Query:
             child_ids = ",".join(str(c.op_id) for c in op.children)
             lines.append(f"  #{op.op_id} {op.describe()}" + (f" ← [{child_ids}]" if child_ids else ""))
         return "\n".join(lines)
+
+    def __getstate__(self) -> dict:
+        """Pickle without the schema cache (it pins a database reference)."""
+        return {k: v for k, v in self.__dict__.items() if k != "_schema_cache"}
 
     def __repr__(self) -> str:
         return f"Query({self.root.describe()}, ops={len(self.ops)})"

@@ -2,11 +2,23 @@
 
 This is the reproduction's stand-in for Apache Spark (paper §6.1): a pure
 Python, partition-aware evaluator for NRAB plans with per-operator metrics,
-plus a Spark-like DataFrame façade for building plans fluently.
+plus a Spark-like DataFrame façade for building plans fluently.  Execution
+is dispatched through pluggable backends (:mod:`repro.engine.backends`):
+``serial`` runs tasks inline, ``process`` fans them out across CPU cores
+with identical results.
 """
 
+from repro.engine.backends import ExecutionBackend, get_backend
 from repro.engine.database import Database
 from repro.engine.executor import Executor, ExecutionMetrics
 from repro.engine.dataframe import DataFrame, Session
 
-__all__ = ["Database", "Executor", "ExecutionMetrics", "DataFrame", "Session"]
+__all__ = [
+    "Database",
+    "Executor",
+    "ExecutionMetrics",
+    "ExecutionBackend",
+    "get_backend",
+    "DataFrame",
+    "Session",
+]

@@ -1,27 +1,34 @@
 """Partition-aware NRAB plan executor (the Spark stand-in).
 
 The executor evaluates a :class:`~repro.algebra.operators.Query` with
-simulated distributed execution: relations are hash-partitioned, *narrow*
-operators (selection, projection, flatten, ...) run per partition, and *wide*
-operators (joins, grouping, deduplication) shuffle rows by key first, exactly
-like Spark's stages.  Per-operator metrics (rows in/out, shuffled rows, wall
-time) feed the runtime benchmarks of Figures 8–11.
+distributed-style execution: relations are hash-partitioned, *narrow*
+operators (selection, projection, flatten, ...) are fused into per-partition
+task chains, and *wide* operators (joins, grouping, deduplication) shuffle
+rows by key first, exactly like Spark's stages.  Tasks are dispatched through
+a pluggable :mod:`~repro.engine.backends` backend — ``serial`` runs them
+inline, ``process`` fans them out across CPU cores — and per-operator metrics
+(rows in/out, shuffled rows, wall/cpu time) are merged back from whichever
+workers ran them; they feed the runtime benchmarks of Figures 8–11.
 
 Shuffles use :func:`repro.engine.hashing.stable_hash`, so partition
 assignment (and every metric derived from it) is identical across processes
 regardless of ``PYTHONHASHSEED``.  Keys are computed once by the operator's
 compiled key function during the shuffle and handed to the per-partition
-``eval_keyed`` evaluation — never recomputed inside the partition.
+``eval_keyed`` evaluation — never recomputed inside the partition.  Shuffles
+always happen in the driver; only the per-partition evaluation moves to
+workers.
 
-Correctness does not depend on partitioning: for every plan and every
-partition count the executor's result equals ``Query.evaluate`` (tested
-property-style and over all registered scenario queries in
-``tests/engine/test_executor.py``).
+Correctness does not depend on partitioning *or* on the backend: for every
+plan, every partition count and every worker count the executor's result
+equals ``Query.evaluate`` (tested property-style, over all registered
+scenario queries, and cross-backend in ``tests/engine/test_executor.py`` and
+``tests/engine/test_backends.py``).
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.algebra.operators import (
@@ -46,6 +53,7 @@ from repro.algebra.operators import (
     TupleNesting,
     Union,
 )
+from repro.engine.backends import ExecutionBackend, TaskContext, get_backend
 from repro.engine.database import Database
 from repro.engine.hashing import stable_hash
 from repro.engine.metrics import ExecutionMetrics, OperatorMetrics
@@ -67,30 +75,84 @@ _NARROW_OPS = (
 )
 
 
-class Executor:
-    """Evaluates query plans with simulated partitioned execution."""
+@dataclass
+class _Segment:
+    """One unit of the stage plan.
 
-    def __init__(self, num_partitions: int = 4):
+    ``chain`` segments hold a maximal run of narrow operators fused into one
+    per-partition task; every other kind holds a single operator.
+    """
+
+    kind: str  # "source" | "chain" | "wide" | "union" | "driver"
+    ops: list[Operator]
+
+
+def build_segments(query: Query) -> list[_Segment]:
+    """Group the plan's operators into fused execution segments.
+
+    A narrow operator joins its child's chain when the child is itself part
+    of a narrow chain whose output no other operator consumes — the fused
+    chain then runs as a single per-partition task without materializing the
+    intermediate partitions (Spark's stage/pipelining rule).
+    """
+    consumers: dict[int, int] = {op.op_id: 0 for op in query.ops}
+    for op in query.ops:
+        for child in op.children:
+            consumers[child.op_id] += 1
+    consumers[query.root.op_id] += 1  # the final result is a consumer too
+
+    segments: list[_Segment] = []
+    segment_of: dict[int, _Segment] = {}
+    for op in query.ops:
+        if isinstance(op, TableAccess):
+            segment = _Segment("source", [op])
+        elif isinstance(op, _NARROW_OPS):
+            child = op.children[0]
+            tail = segment_of.get(child.op_id)
+            if tail is not None and tail.kind == "chain" and consumers[child.op_id] == 1:
+                tail.ops.append(op)
+                segment_of[op.op_id] = tail
+                continue
+            segment = _Segment("chain", [op])
+        elif isinstance(
+            op, (Join, GroupAggregation, RelationNesting, Deduplication, Difference)
+        ):
+            segment = _Segment("wide", [op])
+        elif isinstance(op, Union):
+            segment = _Segment("union", [op])
+        else:  # CartesianProduct and future operators: gather + driver eval
+            segment = _Segment("driver", [op])
+        segments.append(segment)
+        segment_of[op.op_id] = segment
+    return segments
+
+
+class Executor:
+    """Evaluates query plans with partitioned, backend-pluggable execution."""
+
+    def __init__(
+        self,
+        num_partitions: int = 4,
+        backend: "str | ExecutionBackend | None" = None,
+        workers: Optional[int] = None,
+    ):
         if num_partitions < 1:
             raise ValueError("need at least one partition")
         self.num_partitions = num_partitions
+        self.backend = get_backend(backend, workers)
         self.last_metrics: Optional[ExecutionMetrics] = None
 
     def execute(self, query: Query, db: Database) -> Bag:
         """Run *query* over *db*; metrics are stored in ``last_metrics``."""
         started = time.perf_counter()
         ctx = EvalContext(db, query.infer_schemas(db))
-        metrics = ExecutionMetrics()
+        context = TaskContext(query, db)
+        metrics = ExecutionMetrics(
+            backend=self.backend.name, workers=self.backend.workers
+        )
         cache: dict[int, Partitions] = {}
-        for op in query.ops:
-            child_parts = [cache[c.op_id] for c in op.children]
-            op_metrics = OperatorMetrics(op.op_id, op.label, partitions=self.num_partitions)
-            op_started = time.perf_counter()
-            cache[op.op_id] = self._run_op(op, child_parts, ctx, op_metrics)
-            op_metrics.wall_seconds = time.perf_counter() - op_started
-            op_metrics.rows_in = sum(len(p) for parts in child_parts for p in parts)
-            op_metrics.rows_out = sum(len(p) for p in cache[op.op_id])
-            metrics.operators[op.op_id] = op_metrics
+        for segment in build_segments(query):
+            self._run_segment(segment, cache, ctx, context, metrics)
         metrics.wall_seconds = time.perf_counter() - started
         self.last_metrics = metrics
         rows = [t for part in cache[query.root.op_id] for t in part]
@@ -143,68 +205,131 @@ class Executor:
         metrics.shuffled_rows += sum(len(p) for p in parts)
         return [t for p in parts for t in p]
 
-    # -- operator dispatch ---------------------------------------------------
+    # -- segment execution ---------------------------------------------------
 
-    def _run_op(
+    def _op_metrics(self, metrics: ExecutionMetrics, op: Operator) -> OperatorMetrics:
+        m = metrics.operators.get(op.op_id)
+        if m is None:
+            m = OperatorMetrics(op.op_id, op.label, partitions=self.num_partitions)
+            metrics.operators[op.op_id] = m
+        return m
+
+    def _run_segment(
+        self,
+        segment: _Segment,
+        cache: dict[int, Partitions],
+        ctx: EvalContext,
+        context: TaskContext,
+        metrics: ExecutionMetrics,
+    ) -> None:
+        started = time.perf_counter()
+        if segment.kind == "source":
+            op = segment.ops[0]
+            m = self._op_metrics(metrics, op)
+            rows = op.eval_rows([], ctx)
+            cache[op.op_id] = self._partition_round_robin(rows)
+            m.rows_out = len(rows)
+            m.wall_seconds += time.perf_counter() - started
+            m.cpu_seconds = m.wall_seconds
+            return
+        if segment.kind == "chain":
+            self._run_chain(segment, cache, context, metrics, started)
+            return
+        if segment.kind == "union":
+            op = segment.ops[0]
+            m = self._op_metrics(metrics, op)
+            left, right = (cache[c.op_id] for c in op.children)
+            cache[op.op_id] = [l_part + r_part for l_part, r_part in zip(left, right)]
+            m.rows_in = sum(len(p) for parts in (left, right) for p in parts)
+            m.rows_out = m.rows_in
+            m.wall_seconds += time.perf_counter() - started
+            m.cpu_seconds = m.wall_seconds
+            return
+        if segment.kind == "wide":
+            self._run_wide(segment.ops[0], cache, context, metrics, started)
+            return
+        # "driver": gather everything and evaluate globally (cartesian
+        # product and any future operator without a partitioning rule).
+        op = segment.ops[0]
+        m = self._op_metrics(metrics, op)
+        child_parts = [cache[c.op_id] for c in op.children]
+        m.rows_in = sum(len(p) for parts in child_parts for p in parts)
+        gathered = [self._gather(parts, m) for parts in child_parts]
+        rows = op.eval_rows(gathered, ctx)
+        cache[op.op_id] = self._partition_round_robin(rows)
+        m.rows_out = len(rows)
+        m.wall_seconds += time.perf_counter() - started
+        m.cpu_seconds = m.wall_seconds
+
+    def _run_chain(
+        self,
+        segment: _Segment,
+        cache: dict[int, Partitions],
+        context: TaskContext,
+        metrics: ExecutionMetrics,
+        started: float,
+    ) -> None:
+        ops = segment.ops
+        child_parts = cache[ops[0].children[0].op_id]
+        op_ids = tuple(op.op_id for op in ops)
+        # Register metrics in plan order before merging task stats.
+        per_op = {op.op_id: self._op_metrics(metrics, op) for op in ops}
+        results = self.backend.run(
+            context, [("chain", op_ids, part) for part in child_parts]
+        )
+        cache[op_ids[-1]] = [rows for rows, _ in results]
+        for _, stats in results:
+            for op_id, n_in, n_out, seconds in stats:
+                per_op[op_id].absorb_task(n_in, n_out, seconds)
+        elapsed = time.perf_counter() - started
+        for op in ops:
+            # Driver-observed elapsed time is attributed to the whole fused
+            # stage; per-operator compute lives in ``cpu_seconds``.
+            per_op[op.op_id].wall_seconds += elapsed
+
+    def _run_wide(
         self,
         op: Operator,
-        child_parts: list[Partitions],
-        ctx: EvalContext,
-        metrics: OperatorMetrics,
-    ) -> Partitions:
-        if isinstance(op, TableAccess):
-            return self._partition_round_robin(op.eval_rows([], ctx))
-        if isinstance(op, _NARROW_OPS):
-            return [op.eval_rows([part], ctx) for part in child_parts[0]]
-        if isinstance(op, Union):
-            left, right = child_parts
-            return [left_p + right_p for left_p, right_p in zip(left, right)]
+        cache: dict[int, Partitions],
+        context: TaskContext,
+        metrics: ExecutionMetrics,
+        started: float,
+    ) -> None:
+        m = self._op_metrics(metrics, op)
+        child_parts = [cache[c.op_id] for c in op.children]
+        m.rows_in = sum(len(p) for parts in child_parts for p in parts)
+        nparts = self.num_partitions
+        pad_empty = False
         if isinstance(op, Join):
-            return self._run_join(op, child_parts, ctx, metrics)
-        if isinstance(op, (GroupAggregation, RelationNesting)):
-            return self._run_grouping(op, child_parts, ctx, metrics)
-        if isinstance(op, (Deduplication, Difference)):
+            left_key, right_key = op.key_fns()
+            left = self._shuffle_keyed(child_parts[0], left_key, m)
+            right = self._shuffle_keyed(child_parts[1], right_key, m)
+            tasks = [
+                ("join_keyed", op.op_id, left[i], right[i]) for i in range(nparts)
+            ]
+        elif isinstance(op, GroupAggregation) and not op.key_specs:
+            gathered = self._gather(child_parts[0], m)
+            tasks = [("rows", op.op_id, [gathered])]
+            pad_empty = True
+        elif isinstance(op, (GroupAggregation, RelationNesting)):
+            shuffled = self._shuffle_keyed(child_parts[0], op.key_fn(), m)
+            tasks = [("group_keyed", op.op_id, part) for part in shuffled]
+        else:  # Deduplication, Difference: shuffle whole rows by value
             shuffled = [
-                self._shuffle_by_key(parts, lambda t: t, metrics) for parts in child_parts
+                self._shuffle_by_key(parts, lambda t: t, m) for parts in child_parts
             ]
-            return [
-                op.eval_rows([shuffled_child[i] for shuffled_child in shuffled], ctx)
-                for i in range(self.num_partitions)
+            tasks = [
+                ("rows", op.op_id, [child[i] for child in shuffled])
+                for i in range(nparts)
             ]
-        if isinstance(op, CartesianProduct):
-            left = self._gather(child_parts[0], metrics)
-            right = self._gather(child_parts[1], metrics)
-            rows = op.eval_rows([left, right], ctx)
-            return self._partition_round_robin(rows)
-        # Fallback: gather and evaluate globally (covers future operators).
-        gathered = [self._gather(parts, metrics) for parts in child_parts]
-        return self._partition_round_robin(op.eval_rows(gathered, ctx))
-
-    def _run_join(
-        self,
-        op: Join,
-        child_parts: list[Partitions],
-        ctx: EvalContext,
-        metrics: OperatorMetrics,
-    ) -> Partitions:
-        left_key, right_key = op.key_fns()
-        left = self._shuffle_keyed(child_parts[0], left_key, metrics)
-        right = self._shuffle_keyed(child_parts[1], right_key, metrics)
-        return [
-            op.eval_keyed(left[i], right[i], ctx) for i in range(self.num_partitions)
-        ]
-
-    def _run_grouping(
-        self,
-        op: "GroupAggregation | RelationNesting",
-        child_parts: list[Partitions],
-        ctx: EvalContext,
-        metrics: OperatorMetrics,
-    ) -> Partitions:
-        if isinstance(op, GroupAggregation) and not op.key_specs:
-            gathered = self._gather(child_parts[0], metrics)
-            return [op.eval_rows([gathered], ctx)] + [
-                [] for _ in range(self.num_partitions - 1)
-            ]
-        shuffled = self._shuffle_keyed(child_parts[0], op.key_fn(), metrics)
-        return [op.eval_keyed(part, ctx) for part in shuffled]
+        results = self.backend.run(context, tasks)
+        parts = [rows for rows, _ in results]
+        if pad_empty:
+            parts = parts + [[] for _ in range(nparts - 1)]
+        cache[op.op_id] = parts
+        m.rows_out = sum(len(p) for p in parts)
+        for _, stats in results:
+            for _, _, _, seconds in stats:
+                m.cpu_seconds += seconds
+                m.tasks += 1
+        m.wall_seconds += time.perf_counter() - started

@@ -1,4 +1,22 @@
-"""Per-operator execution metrics (the reproduction's mini Spark UI)."""
+"""Per-operator execution metrics (the reproduction's mini Spark UI).
+
+Metrics are collected by the partitioned executor and merged across whatever
+backend ran the tasks: with the serial backend every counter comes from the
+driver; with the process backend the per-task counters (rows in/out, compute
+seconds) are measured inside the workers, shipped back with each task result
+and merged here.  Row and shuffle counts are backend-invariant — the
+cross-backend regression tests assert they match the serial execution
+exactly; only the timing fields differ.
+
+Timing semantics:
+
+* ``OperatorMetrics.wall_seconds`` — driver-observed elapsed time for the
+  operator's stage (shuffle + dispatch + collect).
+* ``OperatorMetrics.cpu_seconds`` — summed task compute time across all
+  workers (equals elapsed time for the serial backend, can exceed
+  ``wall_seconds`` under real parallelism).
+* ``ExecutionMetrics.wall_seconds`` — end-to-end driver wall time.
+"""
 
 from __future__ import annotations
 
@@ -15,7 +33,16 @@ class OperatorMetrics:
     rows_out: int = 0
     shuffled_rows: int = 0
     partitions: int = 1
+    tasks: int = 0
     wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+    def absorb_task(self, rows_in: int, rows_out: int, seconds: float) -> None:
+        """Merge one worker task's counters into this operator's totals."""
+        self.rows_in += rows_in
+        self.rows_out += rows_out
+        self.cpu_seconds += seconds
+        self.tasks += 1
 
 
 @dataclass
@@ -24,6 +51,8 @@ class ExecutionMetrics:
 
     operators: dict[int, OperatorMetrics] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    backend: str = "serial"
+    workers: int = 1
 
     def total_rows_processed(self) -> int:
         return sum(m.rows_in for m in self.operators.values())
@@ -31,11 +60,19 @@ class ExecutionMetrics:
     def total_shuffled_rows(self) -> int:
         return sum(m.shuffled_rows for m in self.operators.values())
 
+    def total_cpu_seconds(self) -> float:
+        return sum(m.cpu_seconds for m in self.operators.values())
+
     def report(self) -> str:
-        lines = [f"total wall time: {self.wall_seconds:.4f}s"]
+        lines = [
+            f"total wall time: {self.wall_seconds:.4f}s "
+            f"(backend={self.backend}, workers={self.workers}, "
+            f"cpu={self.total_cpu_seconds():.4f}s)"
+        ]
         for m in self.operators.values():
             lines.append(
                 f"  #{m.op_id} {m.label}: in={m.rows_in} out={m.rows_out} "
-                f"shuffle={m.shuffled_rows} parts={m.partitions} t={m.wall_seconds:.4f}s"
+                f"shuffle={m.shuffled_rows} parts={m.partitions} "
+                f"tasks={m.tasks} t={m.wall_seconds:.4f}s"
             )
         return "\n".join(lines)

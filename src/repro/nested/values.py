@@ -101,6 +101,12 @@ class Layout:
     def __repr__(self) -> str:
         return f"Layout{self.names!r}"
 
+    def __reduce__(self):
+        # Layouts are interned per process: unpickling re-interns by name
+        # tuple so identity comparisons keep working across process
+        # boundaries (the parallel execution backends ship rows to workers).
+        return (Layout.of, (self.names,))
+
     # -- derived-shape caches (keyed by identity of interned inputs) ---------
 
     def concat(self, other: "Layout") -> "Layout":
@@ -315,6 +321,16 @@ class Tup:
         inner = ", ".join(f"{name}: {value!r}" for name, value in self.items())
         return f"⟨{inner}⟩"
 
+    @classmethod
+    def _unpickle(cls, names: tuple, values: tuple) -> "Tup":
+        return cls.from_layout(Layout.of(names), values)
+
+    def __reduce__(self):
+        # The default slots protocol would call the blocked ``__setattr__``;
+        # instead rebuild through the interning constructor so the layout is
+        # shared with every same-shaped tuple in the receiving process.
+        return (Tup._unpickle, (self._names, self._values))
+
 
 class Bag:
     """An immutable bag (multiset) ``{{...}}`` of nested values.
@@ -421,6 +437,15 @@ class Bag:
             suffix = f"^{count}" if count > 1 else ""
             parts.append(f"{element!r}{suffix}")
         return "{{" + ", ".join(parts) + "}}"
+
+    @classmethod
+    def _unpickle(cls, pairs: tuple) -> "Bag":
+        return cls.from_counts(pairs)
+
+    def __reduce__(self):
+        # Same reason as ``Tup``: immutable slots need an explicit pickle
+        # path.  Counts round-trip exactly (insertion order included).
+        return (Bag._unpickle, (tuple(self._counts.items()),))
 
 
 EMPTY_BAG = Bag()

@@ -88,10 +88,19 @@ def run_scenario(
     scenario: "Scenario | str",
     scale: Optional[int] = None,
     with_baselines: bool = True,
+    backend=None,
+    workers=None,
 ) -> ScenarioRun:
-    """Run all approaches on *scenario* and collect their explanations."""
+    """Run all approaches on *scenario* and collect their explanations.
+
+    ``backend``/``workers`` select the execution backend for the RP variants
+    (see :mod:`repro.engine.backends`); the explanations do not depend on it.
+    """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    from repro.engine.backends import get_backend
+
+    backend = get_backend(backend, workers)
     question = scenario.question(scale)
     question.validate()
     timings: dict[str, float] = {}
@@ -106,11 +115,15 @@ def run_scenario(
     timings["baselines"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    nosa = explain(question, use_schema_alternatives=False, validate=False)
+    nosa = explain(
+        question, use_schema_alternatives=False, validate=False, backend=backend
+    )
     timings["rp_nosa"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    rp = explain(question, alternatives=scenario.alternatives, validate=False)
+    rp = explain(
+        question, alternatives=scenario.alternatives, validate=False, backend=backend
+    )
     timings["rp"] = time.perf_counter() - started
 
     return ScenarioRun(

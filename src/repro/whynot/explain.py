@@ -80,14 +80,23 @@ def explain(
     revalidate: bool = True,
     max_sas: int = 64,
     validate: bool = True,
+    backend=None,
+    workers=None,
 ) -> WhyNotResult:
     """Compute query-based explanations for *question* (Algorithm 1).
 
     ``alternatives`` is a sequence of groups of interchangeable source
     attributes, e.g. ``[["person.address2", "person.address1"]]`` — see
     paper §5.2 (attribute alternatives are an input to the algorithm).
+
+    ``backend``/``workers`` select the execution backend for the data-tracing
+    step (``"serial"`` or ``"process"``, see :mod:`repro.engine.backends`);
+    explanations are identical on every backend.
     """
+    from repro.engine.backends import get_backend
+
     timings: dict[str, float] = {}
+    backend = get_backend(backend, workers)
     if validate:
         question.validate()
 
@@ -103,7 +112,9 @@ def explain(
     timings["alternatives"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    traced = trace(question.query, question.db, sas, revalidate=revalidate)
+    traced = trace(
+        question.query, question.db, sas, revalidate=revalidate, backend=backend
+    )
     timings["tracing"] = time.perf_counter() - started
 
     started = time.perf_counter()

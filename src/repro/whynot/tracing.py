@@ -34,6 +34,16 @@ Per-SA ``valid``/``consistent``/``retained`` flags are bitmask integers
 :class:`TRow` exposes tuple-style ``consistent``/``retained`` views for
 compatibility and ``*_at(i)`` accessors for hot paths.
 
+Because the SA groups at an operator are *independent* — each group is
+evaluated through its own representative query against its own column of
+input tuples — their evaluation is dispatched through the pluggable
+execution backend (:mod:`repro.engine.backends`): with ``backend="process"``
+the per-group relaxed evaluations of an operator run on separate CPU cores
+and only the bitmask merging happens in the driver.  The serial backend runs
+the identical task functions inline, so backends are result-equivalent by
+construction (asserted over every registered scenario in
+``tests/engine/test_backends.py``).
+
 Aggregate-value constraints in NIPs are checked softly: if no row at an
 operator is strictly consistent under some SA, consistency is re-evaluated
 against the pattern with aggregate constraints relaxed to ``?`` (the tracer
@@ -67,6 +77,12 @@ from repro.algebra.operators import (
     TupleFlatten,
     TupleNesting,
     Union,
+)
+from repro.engine.backends import (
+    ExecutionBackend,
+    TaskContext,
+    get_backend,
+    run_task,
 )
 from repro.engine.database import Database
 from repro.nested.values import Bag, Tup
@@ -249,6 +265,7 @@ class Tracer:
         db: Database,
         sas: list[SchemaAlternative],
         revalidate: bool = True,
+        backend: "str | ExecutionBackend | None" = None,
     ):
         self.query = query
         self.db = db
@@ -264,6 +281,22 @@ class Tracer:
         self._schemas = [sa.query.infer_schemas(db) for sa in sas]
         self._ctxs = [EvalContext(db, schemas) for schemas in self._schemas]
         self._op_group_cache: dict[int, tuple[int, ...]] = {}
+        self.backend = get_backend(backend)
+        self._task_context = TaskContext(
+            query, db, tuple(sa.query for sa in sas)
+        )
+
+    def _run_group_tasks(self, tasks: list[tuple]) -> list:
+        """Evaluate one task per SA group through the execution backend.
+
+        A single group (or a serial backend) runs inline; with the process
+        backend the groups evaluate on separate cores and the caller merges
+        the returned per-group results into bitmask-flagged rows.
+        """
+        if len(tasks) <= 1 or self.backend.workers <= 1:
+            state = self._task_context.local_state()
+            return [run_task(state, task) for task in tasks]
+        return self.backend.run(self._task_context, tasks)
 
     # -- public entry --------------------------------------------------------
 
@@ -461,20 +494,19 @@ class Tracer:
                     )
                 )
             return rows, groups
-        for parent in child.rows:
-            pvals = parent.vals
-            outs: list[Optional[Tup]] = []
-            for g in range(len(reps)):
-                v = pvals[reps[g]]
-                if v is None:
-                    outs.append(None)
-                else:
-                    produced = sa_ops[g].eval_rows([[v]], ctxs[g])
-                    outs.append(produced[0] if produced else None)
+        # Multiple distinguishable groups: each group's relaxed evaluation is
+        # an independent task (parallel under the process backend).
+        group_outs = self._run_group_tasks(
+            [
+                ("trace_narrow", reps[g], op.op_id, [p.vals[reps[g]] for p in child.rows])
+                for g in range(len(reps))
+            ]
+        )
+        for idx, parent in enumerate(child.rows):
             vals = []
             valid_mask = 0
             for i in range(n):
-                out = outs[gids[i]]
+                out = group_outs[gids[i]][idx]
                 vals.append(out)
                 if out is not None:
                     valid_mask |= 1 << i
@@ -530,19 +562,18 @@ class Tracer:
                         )
                     )
             return rows, groups
-        for parent in child.rows:
-            pvals = parent.vals
-            expansions: list[list[tuple[Optional[Tup], bool]]] = []
-            for g in range(len(reps)):
-                v = pvals[reps[g]]
-                if v is None:
-                    expansions.append([])
-                    continue
-                expanded, padded = sa_ops[g].expand(v, ctxs[g])
-                if padded:
-                    expansions.append([(expanded[0], sa_ops[g].outer)])
-                else:
-                    expansions.append([(t, True) for t in expanded])
+        # Per-group outer-flatten expansions are independent tasks; the
+        # driver merges them column-aligned (k-th expansion of each group).
+        group_expansions = self._run_group_tasks(
+            [
+                ("trace_flatten", reps[g], op.op_id, [p.vals[reps[g]] for p in child.rows])
+                for g in range(len(reps))
+            ]
+        )
+        for idx, parent in enumerate(child.rows):
+            expansions: list[list[tuple[Optional[Tup], bool]]] = [
+                group_expansions[g][idx] for g in range(len(reps))
+            ]
             width = max((len(e) for e in expansions), default=0)
             for k in range(width):
                 vals = []
@@ -582,9 +613,24 @@ class Tracer:
         full = self._full_mask
         n_groups = len(reps)
 
-        match_sets: list[dict[tuple[int, int], Tup]] = []
-        left_matched: list[set[int]] = []
-        right_matched: list[set[int]] = []
+        # Each group's full-outer match set is an independent task: workers
+        # return {(left_idx, right_idx): combined} plus the matched index
+        # sets; pads (cheap, schema-derived) stay in the driver.
+        results = self._run_group_tasks(
+            [
+                (
+                    "trace_join",
+                    reps[g],
+                    op.op_id,
+                    [l.vals[reps[g]] for l in left_rows],
+                    [r.vals[reps[g]] for r in right_rows],
+                )
+                for g in range(n_groups)
+            ]
+        )
+        match_sets: list[dict[tuple[int, int], Tup]] = [r[0] for r in results]
+        left_matched: list[set[int]] = [r[1] for r in results]
+        right_matched: list[set[int]] = [r[2] for r in results]
         sa_ops: list[Join] = []
         pads_left: list[Tup] = []
         pads_right: list[Tup] = []
@@ -592,38 +638,6 @@ class Tracer:
             rep = reps[g]
             sa_op: Join = self._sa_op(op, rep)  # type: ignore[assignment]
             sa_ops.append(sa_op)
-            left_key, right_key = sa_op.key_fns()
-            extra = sa_op.extra.compile() if sa_op.extra is not None else None
-            combine = sa_op._combine
-            index: dict[tuple, list[int]] = {}
-            for jdx, r in enumerate(right_rows):
-                v = r.vals[rep]
-                if v is None:
-                    continue
-                key = right_key(v)
-                if key is not None:
-                    index.setdefault(key, []).append(jdx)
-            matches_g: dict[tuple[int, int], Tup] = {}
-            lm: set[int] = set()
-            rm: set[int] = set()
-            empty: tuple[int, ...] = ()
-            for ldx, l in enumerate(left_rows):
-                v = l.vals[rep]
-                if v is None:
-                    continue
-                key = left_key(v)
-                if key is None:
-                    continue
-                for jdx in index.get(key, empty):
-                    combined = combine(v, right_rows[jdx].vals[rep])
-                    if extra is not None and not extra(combined):
-                        continue
-                    matches_g[(ldx, jdx)] = combined
-                    lm.add(ldx)
-                    rm.add(jdx)
-            match_sets.append(matches_g)
-            left_matched.append(lm)
-            right_matched.append(rm)
             schemas = self._schemas[rep]
             pads_right.append(
                 sa_op._pad(schemas[op.children[1].op_id], sa_op._right_drop())
@@ -755,36 +769,24 @@ class Tracer:
         n = self.n
         merged: dict[Tup, dict[int, tuple[Tup, list[int]]]] = {}
         order: list[Tup] = []
-        from repro.nested.values import Layout
 
-        for g, rep in enumerate(reps):
-            sa_op = self._sa_op(op, rep)
-            buckets: dict[Tup, list[TRow]] = {}
-            nesting = isinstance(sa_op, RelationNesting)
-            if not nesting and not sa_op.key_specs:
-                buckets = {Tup(): [p for p in child.rows if p.vals[rep] is not None]}
-            else:
-                key_fn = sa_op.group_key if nesting else sa_op.key_fn()
-                for parent in child.rows:
-                    v = parent.vals[rep]
-                    if v is None:
-                        continue
-                    buckets.setdefault(key_fn(v), []).append(parent)
-            target_layout = Layout.of((sa_op.target,)) if nesting else None
-            for key, members in buckets.items():
-                if nesting:
-                    nested = Bag(p.vals[rep].project(sa_op.attrs) for p in members)
-                    out = key.concat(Tup.from_layout(target_layout, (nested,)))
-                else:
-                    out = key.concat(
-                        sa_op.aggregate_tuple([p.vals[rep] for p in members])
-                    )
+        # Per-group nest/aggregate runs as independent tasks returning
+        # ``(key, out, member_indices)`` buckets; the driver merges them
+        # full-outer-join-style on the group key.
+        results = self._run_group_tasks(
+            [
+                ("trace_group", reps[g], op.op_id, [p.vals[reps[g]] for p in child.rows])
+                for g in range(len(reps))
+            ]
+        )
+        for g in range(len(reps)):
+            for key, out, member_idxs in results[g]:
                 slot = merged.get(key)
                 if slot is None:
                     slot = {}
                     merged[key] = slot
                     order.append(key)
-                slot[g] = (out, [p.rid for p in members])
+                slot[g] = (out, [child.rows[i].rid for i in member_idxs])
         rows = []
         full = self._full_mask
         single = len(reps) == 1
@@ -916,7 +918,15 @@ class Tracer:
 
 
 def trace(
-    query: Query, db: Database, sas: list[SchemaAlternative], revalidate: bool = True
+    query: Query,
+    db: Database,
+    sas: list[SchemaAlternative],
+    revalidate: bool = True,
+    backend: "str | ExecutionBackend | None" = None,
 ) -> TraceResult:
-    """Run the instrumented (relaxed) evaluation for all schema alternatives."""
-    return Tracer(query, db, sas, revalidate=revalidate).run()
+    """Run the instrumented (relaxed) evaluation for all schema alternatives.
+
+    *backend* selects where independent SA groups evaluate (see
+    :mod:`repro.engine.backends`); results are backend-invariant.
+    """
+    return Tracer(query, db, sas, revalidate=revalidate, backend=backend).run()

@@ -1,0 +1,39 @@
+"""Documentation health: required pages exist, intra-repo links resolve,
+and the commands the README documents reference real entry points."""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_links import check_all, doc_files  # noqa: E402
+
+
+def test_required_docs_exist():
+    for name in ("README.md", "docs/ARCHITECTURE.md", "docs/BENCHMARKS.md"):
+        assert (REPO_ROOT / name).exists(), f"missing documentation page {name}"
+
+
+def test_no_broken_intra_repo_links():
+    assert check_all() == []
+
+
+def test_docs_cover_readme_and_docs_dir():
+    names = {str(p.relative_to(REPO_ROOT)) for p in doc_files()}
+    assert "README.md" in names
+    assert "docs/ARCHITECTURE.md" in names and "docs/BENCHMARKS.md" in names
+
+
+def test_readme_documents_backend_flags():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "--backend process --workers 4" in readme
+    assert "REPRO_BACKEND" in readme
+
+
+def test_readme_file_references_exist():
+    """Every `path`-style reference to tracked files/dirs must resolve."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for ref in re.findall(r"`((?:src|docs|examples|benchmarks|tests)/[\w./]*)`", readme):
+        assert (REPO_ROOT / ref).exists(), f"README references missing path {ref}"

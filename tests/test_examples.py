@@ -1,0 +1,48 @@
+"""Smoke test: every script in examples/ runs as documented.
+
+Each example documents ``PYTHONPATH=src python examples/<name>.py`` from the
+repository root; this test executes exactly that from a clean environment so
+the examples cannot drift from the code (or from their own docstrings).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "debug_twitter_pipeline.py",
+        "tpch_report_debugging.py",
+        "lineage_and_exact_msrs.py",
+    } <= names
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, str(example.relative_to(REPO_ROOT))],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{example.name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{example.name} produced no output"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_documents_invocation(example):
+    """Each example's docstring shows the PYTHONPATH=src invocation."""
+    text = example.read_text()
+    assert f"PYTHONPATH=src python examples/{example.name}" in text

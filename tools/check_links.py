@@ -1,0 +1,85 @@
+"""Check intra-repository links in the documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links/images and verifies
+that every relative target exists in the working tree (external ``http(s)``/
+``mailto`` links and pure in-page ``#anchors`` are skipped; a ``file#anchor``
+target is checked for the file part).  Used by ``tests/test_docs.py`` and the
+CI docs job.
+
+Usage::
+
+    python tools/check_links.py        # exit 1 + report on broken links
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    docs = [REPO_ROOT / "README.md"]
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [p for p in docs if p.exists()]
+
+
+def iter_links(path: Path):
+    """Yield (line_number, raw_target) for every markdown link in *path*."""
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return human-readable problems for one markdown file."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: link escapes the "
+                f"repository: {target}"
+            )
+            continue
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: broken link target "
+                f"{target!r}"
+            )
+    return problems
+
+
+def check_all() -> list[str]:
+    problems = []
+    for path in doc_files():
+        problems.extend(check_file(path))
+    return problems
+
+
+def main() -> int:
+    problems = check_all()
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in doc_files())
+    if problems:
+        print(f"broken documentation links ({checked}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"documentation links OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
