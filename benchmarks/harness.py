@@ -27,6 +27,12 @@ serial-captured baseline yields the multi-core speedup directly in
     REPRO_BENCH_BACKEND=process REPRO_BENCH_WORKERS=4 \
         PYTHONPATH=src python -m pytest benchmarks/test_fig10_tpch_runtime.py -q
 
+``REPRO_BENCH_OPTIMIZE=1`` additionally runs the logical plan optimizer
+(:mod:`repro.engine.optimizer`) on the timed answer path; the flag is
+recorded in the payloads, and the Figure-10 series always measures the plain
+query both optimizer-off and optimizer-on (``query_s`` vs ``query_opt_s``)
+so every ``BENCH_fig10.json`` carries the on-vs-off comparison.
+
 See ``docs/BENCHMARKS.md`` for how to read the emitted files.
 """
 
@@ -58,10 +64,20 @@ def bench_backend():
     return get_backend(name, workers)
 
 
+def bench_optimize() -> bool:
+    """Whether timed runs use the plan optimizer (``REPRO_BENCH_OPTIMIZE``)."""
+    return os.environ.get("REPRO_BENCH_OPTIMIZE", "").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
 def backend_info() -> dict:
-    """Backend metadata embedded into the BENCH payloads."""
+    """Backend/optimizer metadata embedded into the BENCH payloads."""
     backend = bench_backend()
-    return {"name": backend.name, "workers": backend.workers}
+    return {"name": backend.name, "workers": backend.workers, "optimize": bench_optimize()}
 
 
 def write_result(name: str, text: str) -> None:
@@ -86,7 +102,9 @@ def emit_fig10_bench(series: "list[dict]") -> dict:
     """Write ``BENCH_fig10.json``: per-scenario timings + baseline speedups.
 
     *series* rows: ``{"scenario", "scale", "query_s", "rpnosa_s", "rp_s",
-    "n_sas"}``.
+    "n_sas"}``, optionally plus ``query_opt_s`` (the plain query with the
+    logical optimizer on) — when present, the payload derives the
+    optimizer-on vs optimizer-off comparison (``optimizer_query_speedups``).
     """
     baseline = load_baseline("fig10")
     payload: dict[str, Any] = {
@@ -94,6 +112,18 @@ def emit_fig10_bench(series: "list[dict]") -> dict:
         "backend": backend_info(),
         "series": series,
     }
+    if any("query_opt_s" in row for row in series):
+        speedups = {
+            row["scenario"]: (row["query_s"] / row["query_opt_s"])
+            for row in series
+            if row.get("query_opt_s")
+        }
+        off_total = sum(row["query_s"] for row in series if row.get("query_opt_s"))
+        on_total = sum(row["query_opt_s"] for row in series if row.get("query_opt_s"))
+        payload["optimizer_query_speedups"] = speedups
+        payload["optimizer_query_speedup_aggregate"] = (
+            off_total / on_total if on_total else None
+        )
     if baseline is not None:
         base_by_name = {row["scenario"]: row for row in baseline["series"]}
         speedups = {}
@@ -164,12 +194,14 @@ def emit_fig11_bench(series: "list[dict]") -> dict:
     return payload
 
 
-def time_query(scenario_name: str, scale: int, backend=None) -> float:
+def time_query(scenario_name: str, scale: int, backend=None, optimize=None) -> float:
     """Wall time of the plain (partitioned) execution of the scenario query."""
     scenario = get_scenario(scenario_name)
     question = scenario.question(scale)
     executor = Executor(
-        num_partitions=4, backend=backend if backend is not None else bench_backend()
+        num_partitions=4,
+        backend=backend if backend is not None else bench_backend(),
+        optimize=optimize if optimize is not None else bench_optimize(),
     )
     started = time.perf_counter()
     executor.execute(question.query, question.db)
@@ -182,6 +214,7 @@ def time_explain(
     with_sas: bool = True,
     alternatives=None,
     backend=None,
+    optimize=None,
 ) -> tuple[float, int]:
     """Wall time of the full why-not pipeline; returns (seconds, #SAs)."""
     scenario = get_scenario(scenario_name)
@@ -194,6 +227,7 @@ def time_explain(
         use_schema_alternatives=with_sas,
         validate=False,
         backend=backend if backend is not None else bench_backend(),
+        optimize=optimize if optimize is not None else bench_optimize(),
     )
     return time.perf_counter() - started, result.n_sas
 

@@ -31,6 +31,7 @@ from repro.algebra.operators import Query
 from repro.engine.database import Database
 from repro.engine.dataframe import DataFrame, Session
 from repro.engine.executor import Executor
+from repro.engine.optimizer import OptimizationReport, optimize_query
 from repro.whynot.placeholders import ANY, STAR, Cond, eq, ge, gt, le, lt, ne
 from repro.whynot.matching import matches
 from repro.whynot.question import WhyNotQuestion
@@ -55,6 +56,8 @@ __all__ = [
     "DataFrame",
     "Session",
     "Executor",
+    "OptimizationReport",
+    "optimize_query",
     "ANY",
     "STAR",
     "Cond",

@@ -5,11 +5,19 @@ Usage::
     python -m repro list                     # all registered scenarios
     python -m repro run Q10 [--scale 60]     # one scenario, all approaches
     python -m repro run Q10 --backend process --workers 4   # multi-core
+    python -m repro run Q10 --optimize       # optimized answer path
+    python -m repro run Q10 --show-plan      # original vs optimized plan
     python -m repro table7 [--scale 40]      # the Table-7 summary
 
 ``--backend serial`` (default) evaluates in-process; ``--backend process``
 fans the partitioned execution and SA-group tracing out across worker
 processes (see ``docs/ARCHITECTURE.md``).  Results are identical on both.
+
+``--optimize`` / ``--no-optimize`` toggle the logical plan optimizer for the
+answer path (default: the ``REPRO_OPTIMIZE`` environment variable; see
+``docs/OPTIMIZER.md``) — explanations are identical either way.
+``--show-plan`` prints the scenario query's original vs. optimized plan with
+per-rule provenance annotations before running it.
 """
 
 from __future__ import annotations
@@ -41,8 +49,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{scenario.name}: {scenario.description}")
     if scenario.notes:
         print(f"  note: {scenario.notes}")
+    if args.show_plan:
+        from repro.engine.optimizer import optimize_query
+
+        question = scenario.question(args.scale)
+        print(optimize_query(question.query, question.db).describe())
+        print()
     run = run_scenario(
-        scenario, scale=args.scale, backend=args.backend, workers=args.workers
+        scenario,
+        scale=args.scale,
+        backend=args.backend,
+        workers=args.workers,
+        optimize=args.optimize,
     )
     print(f"  WN++    : {_fmt(run.wnpp)}")
     print(f"  Conseil : {_fmt(run.conseil)}")
@@ -62,7 +80,11 @@ def _cmd_table7(args: argparse.Namespace) -> int:
     print(f"{'scen.':>6} {'WN++':>6} {'RPnoSA':>7} {'RP':>6}  gold-rank")
     for name in names:
         run = run_scenario(
-            name, scale=args.scale, backend=args.backend, workers=args.workers
+            name,
+            scale=args.scale,
+            backend=args.backend,
+            workers=args.workers,
+            optimize=args.optimize,
         )
         wn, nosa, rp = run.counts()
         gold = run.gold_position()
@@ -91,10 +113,22 @@ def main(argv=None) -> int:
             default=None,
             help="worker processes for --backend process (default: all cores)",
         )
+        p.add_argument(
+            "--optimize",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="run the logical plan optimizer on the answer path "
+            "(default: REPRO_OPTIMIZE)",
+        )
 
     run_parser = sub.add_parser("run", help="run one scenario")
     run_parser.add_argument("scenario", help="scenario name, e.g. Q10")
     run_parser.add_argument("--scale", type=int, default=None)
+    run_parser.add_argument(
+        "--show-plan",
+        action="store_true",
+        help="print the original vs optimized plan with rule annotations",
+    )
     add_backend_flags(run_parser)
 
     t7 = sub.add_parser("table7", help="regenerate the Table-7 summary")

@@ -78,6 +78,7 @@ class AggSpec:
             raise ValueError(f"aggregate {self.func!r} requires an input expression")
 
     def label(self) -> str:
+        """Short display form, e.g. ``sum(l_tax)→revenue``."""
         inner = "*" if self.expr is None else repr(self.expr)
         distinct = "distinct " if self.distinct else ""
         return f"{self.func}({distinct}{inner})→{self.out}"

@@ -56,6 +56,7 @@ class Expr:
     """Base class for expressions evaluated against a single tuple."""
 
     def eval(self, tup: Tup) -> Any:
+        """Evaluate this expression against one tuple (reference semantics)."""
         raise NotImplementedError
 
     def compile(self) -> CompiledExpr:
@@ -96,11 +97,13 @@ class Expr:
         return [node.path for node in self.walk() if isinstance(node, Attr)]
 
     def walk(self) -> Iterator["Expr"]:
+        """Yield this node and every descendant in deterministic pre-order."""
         yield self
         for child in self.children():
             yield from child.walk()
 
     def children(self) -> tuple["Expr", ...]:
+        """The direct child expressions (empty for leaves)."""
         return ()
 
     def map_attrs(self, fn: Callable[[Path], Path]) -> "Expr":
@@ -110,30 +113,39 @@ class Expr:
     # Builder helpers (explicit methods instead of overloading ``==`` so that
     # structural equality keeps working for sets and tests).
     def eq(self, other: "Expr | Any") -> "Cmp":
+        """Comparison builder: ``self = other``."""
         return Cmp("=", self, _wrap(other))
 
     def ne(self, other: "Expr | Any") -> "Cmp":
+        """Comparison builder: ``self != other``."""
         return Cmp("!=", self, _wrap(other))
 
     def lt(self, other: "Expr | Any") -> "Cmp":
+        """Comparison builder: ``self < other``."""
         return Cmp("<", self, _wrap(other))
 
     def le(self, other: "Expr | Any") -> "Cmp":
+        """Comparison builder: ``self <= other``."""
         return Cmp("<=", self, _wrap(other))
 
     def gt(self, other: "Expr | Any") -> "Cmp":
+        """Comparison builder: ``self > other``."""
         return Cmp(">", self, _wrap(other))
 
     def ge(self, other: "Expr | Any") -> "Cmp":
+        """Comparison builder: ``self >= other``."""
         return Cmp(">=", self, _wrap(other))
 
     def between(self, low: Any, high: Any) -> "And":
+        """Range builder: ``low <= self <= high`` (inclusive on both ends)."""
         return And(self.ge(low), self.le(high))
 
     def contains(self, needle: "Expr | Any") -> "Contains":
+        """Containment builder: ``needle in self`` (substring or bag membership)."""
         return Contains(self, _wrap(needle))
 
     def is_null(self) -> "IsNull":
+        """Null-test builder: true when this expression evaluates to ⊥."""
         return IsNull(self)
 
     def __add__(self, other: "Expr | Any") -> "Arith":
@@ -269,6 +281,7 @@ class Cmp(Expr):
         return Cmp(self.op, self.left.map_attrs(fn), self.right.map_attrs(fn))
 
     def with_op(self, op: str) -> "Cmp":
+        """A copy of this comparison with the operator replaced (Table 2)."""
         return Cmp(op, self.left, self.right)
 
     def __eq__(self, other: object) -> bool:

@@ -55,6 +55,7 @@ class EvalContext:
         self.schemas = schemas
 
     def schema_of(self, op: "Operator") -> TupleType:
+        """The inferred output row schema of *op* in the current plan."""
         return self.schemas[op.op_id]
 
 
@@ -77,7 +78,19 @@ class Operator:
 
     @property
     def label(self) -> str:
+        """Display name: the explicit label, or symbol + operator id."""
         return self._label if self._label is not None else f"{self.symbol}{self.op_id}"
+
+    @property
+    def origins(self) -> "tuple[int, ...]":
+        """User-plan operator ids this operator derives from.
+
+        Stamped by the logical optimizer (:mod:`repro.engine.optimizer`) on
+        every rewritten operator; an empty tuple marks an operator the
+        optimizer synthesized (e.g. a pruning projection).  Operators of a
+        plan that never went through the optimizer report themselves.
+        """
+        return getattr(self, "_origins", (self.op_id,) if self.op_id > 0 else ())
 
     def params(self) -> dict[str, Any]:
         """The operator's parameters ``param(Q, op)`` for Δ comparison."""
@@ -101,9 +114,11 @@ class Operator:
         return op
 
     def eval_rows(self, child_rows: list[list[Tup]], ctx: EvalContext) -> list[Tup]:
+        """Evaluate this operator over its children's row lists (bag semantics)."""
         raise NotImplementedError
 
     def output_schema(self, child_schemas: list[TupleType], db) -> TupleType:
+        """Infer the output row schema from the children's schemas (Table 1)."""
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -557,6 +572,7 @@ class RelationFlatten(Operator):
 
     @property
     def symbol_typed(self) -> str:
+        """Display symbol with the inner/outer variant made explicit."""
         return "Fᴼ" if self.outer else "Fᴵ"
 
     def params(self) -> dict[str, Any]:
@@ -755,6 +771,7 @@ class RelationNesting(Operator):
         )
 
     def group_key(self, t: Tup) -> Tup:
+        """The group key of one row: the tuple without the nested attributes."""
         return t.drop(self.attrs)
 
     def key_fn(self) -> Callable[[Tup], Tup]:
@@ -830,6 +847,7 @@ class NestedAggregation(Operator):
         )
 
     def aggregate_value(self, t: Tup) -> Any:
+        """The aggregate over one row's nested relation (shared with tracing)."""
         bag = compile_path(self.attr)(t)
         if is_null(bag):
             elements: list[Any] = []
@@ -941,6 +959,7 @@ class GroupAggregation(Operator):
         return plan
 
     def aggregate_group(self, rows: list[Tup]) -> list[tuple[str, Any]]:
+        """``(name, value)`` aggregate columns for one group's rows."""
         out = []
         for name, func, distinct, fn in self._agg_plan():
             if fn is None:
@@ -1195,9 +1214,11 @@ class Query:
         self.ops.append(op)
 
     def op(self, op_id: int) -> Operator:
+        """The operator with the given (1-based, plan-order) id."""
         return self.ops[op_id - 1]
 
     def op_by_label(self, label: str) -> Operator:
+        """The operator carrying the given display label (KeyError: none)."""
         for op in self.ops:
             if op.label == label:
                 return op
@@ -1262,10 +1283,48 @@ class Query:
         return frozenset(changed)
 
     def describe(self) -> str:
+        """One line per operator (plan order) with child-id references."""
         lines = [f"Query {self.name or '(unnamed)'}"]
         for op in self.ops:
             child_ids = ",".join(str(c.op_id) for c in op.children)
             lines.append(f"  #{op.op_id} {op.describe()}" + (f" ← [{child_ids}]" if child_ids else ""))
+        return "\n".join(lines)
+
+    def explain_plan(self, annotate: bool = False) -> str:
+        """Render the operator tree as an indented plan (root at the top).
+
+        With ``annotate=True``, operators rewritten by the logical optimizer
+        (:mod:`repro.engine.optimizer`) show the rules that touched them and
+        the user-plan operator ids they derive from (``⟵ #i``); synthesized
+        operators are marked ``⟵ new``.  The output is deterministic, so the
+        renderings quoted in ``docs/OPTIMIZER.md`` are verified verbatim by
+        ``tests/test_docs.py``.
+        """
+        lines = [f"Query {self.name or '(unnamed)'}"]
+
+        def annotation(op: Operator) -> str:
+            rules = getattr(op, "_rules", ())
+            if not annotate or (not rules and op.origins == (op.op_id,)):
+                return ""
+            source = (
+                " ".join(f"#{i}" for i in op.origins) if op.origins else "new"
+            )
+            inner = f"⟵ {source}"
+            if rules:
+                inner += f"; {', '.join(rules)}"
+            return f"   [{inner}]"
+
+        def walk(op: Operator, prefix: str, tail: bool, top: bool) -> None:
+            if top:
+                connector, child_prefix = "", ""
+            else:
+                connector = "└─ " if tail else "├─ "
+                child_prefix = prefix + ("   " if tail else "│  ")
+            lines.append(f"{prefix}{connector}#{op.op_id} {op.describe()}{annotation(op)}")
+            for i, child in enumerate(op.children):
+                walk(child, child_prefix, i == len(op.children) - 1, False)
+
+        walk(self.root, "", True, True)
         return "\n".join(lines)
 
     def __getstate__(self) -> dict:

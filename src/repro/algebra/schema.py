@@ -81,6 +81,7 @@ def validate_expr(expr: Expr, schema: TupleType) -> bool:
 
 
 def schema_names(schema: TupleType) -> tuple[str, ...]:
+    """The top-level attribute names of a row schema."""
     return schema.names
 
 

@@ -5,13 +5,17 @@ Python, partition-aware evaluator for NRAB plans with per-operator metrics,
 plus a Spark-like DataFrame façade for building plans fluently.  Execution
 is dispatched through pluggable backends (:mod:`repro.engine.backends`):
 ``serial`` runs tasks inline, ``process`` fans them out across CPU cores
-with identical results.
+with identical results.  Before execution, plans can pass through the
+explanation-preserving logical optimizer (:mod:`repro.engine.optimizer`):
+rule-based rewrites with provenance links back to the user's operators,
+identical results and identical why-not explanations guaranteed.
 """
 
 from repro.engine.backends import ExecutionBackend, get_backend
 from repro.engine.database import Database
 from repro.engine.executor import Executor, ExecutionMetrics
 from repro.engine.dataframe import DataFrame, Session
+from repro.engine.optimizer import OptimizationReport, optimize_query
 
 __all__ = [
     "Database",
@@ -21,4 +25,6 @@ __all__ = [
     "get_backend",
     "DataFrame",
     "Session",
+    "OptimizationReport",
+    "optimize_query",
 ]

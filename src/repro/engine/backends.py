@@ -102,6 +102,7 @@ class TaskContext:
         self._state: Optional[WorkerState] = None
 
     def payload(self) -> bytes:
+        """The pickled ``(query, db, sa_queries)`` blob shipped to workers (cached)."""
         if self._payload is None:
             try:
                 self._payload = pickle.dumps(
@@ -117,6 +118,7 @@ class TaskContext:
         return self._payload
 
     def local_state(self) -> "WorkerState":
+        """The driver-side :class:`WorkerState` for inline (serial) evaluation."""
         if self._state is None:
             self._state = WorkerState(self.query, self.db, self.sa_queries)
         return self._state
@@ -133,17 +135,21 @@ class WorkerState:
         self._sa_ctxs: dict[int, EvalContext] = {}
 
     def ctx(self) -> EvalContext:
+        """Lazily built evaluation context for the main query."""
         if self._ctx is None:
             self._ctx = EvalContext(self.db, self.query.infer_schemas(self.db))
         return self._ctx
 
     def op(self, op_id: int):
+        """The main query's operator with the given id."""
         return self.query.op(op_id)
 
     def sa_op(self, sa: int, op_id: int):
+        """Operator *op_id* as parameterized by schema alternative *sa*."""
         return self.sa_queries[sa].op(op_id)
 
     def sa_ctx(self, sa: int) -> EvalContext:
+        """Lazily built evaluation context for one schema alternative's query."""
         ctx = self._sa_ctxs.get(sa)
         if ctx is None:
             sa_query = self.sa_queries[sa]

@@ -65,18 +65,22 @@ class Database:
             self._schemas[name] = inferred
 
     def relation(self, name: str) -> Bag:
+        """The named relation as a :class:`~repro.nested.values.Bag` of tuples."""
         try:
             return self._relations[name]
         except KeyError:
             raise KeyError(f"no relation named {name!r}; have {sorted(self._relations)}")
 
     def schema(self, name: str) -> TupleType:
+        """The inferred row schema (``TupleType``) of a named relation."""
         return self._schemas[name]
 
     def tables(self) -> list[str]:
+        """All table names in deterministic (insertion) order."""
         return list(self._relations)
 
     def size(self, name: str) -> int:
+        """Number of tuples (with multiplicities) in the named relation."""
         return len(self._relations[name])
 
     def __contains__(self, name: str) -> bool:

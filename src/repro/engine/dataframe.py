@@ -53,11 +53,13 @@ class DataFrame:
     # -- transformations (Spark vocabulary → NRAB operators) ----------------
 
     def filter(self, pred: Expr, label: Optional[str] = None) -> "DataFrame":
+        """Selection σ: keep rows satisfying *pred*."""
         return self._wrap(Selection(self._plan, pred, label=label))
 
     where = filter
 
     def select(self, *cols, label: Optional[str] = None) -> "DataFrame":
+        """Projection π: plain column names or ``(name, expr)`` computed columns."""
         return self._wrap(Projection(self._plan, list(cols), label=label))
 
     def with_column(self, name: str, expr, label: Optional[str] = None) -> "DataFrame":
@@ -92,6 +94,7 @@ class DataFrame:
         drop_right_keys: bool = False,
         label: Optional[str] = None,
     ) -> "DataFrame":
+        """Equi-join with another DataFrame (``how``: inner/left/right/full)."""
         return self._wrap(
             Join(
                 self._plan,
@@ -110,9 +113,11 @@ class DataFrame:
     def nest_tuple(
         self, attrs: Sequence[str], target: str, label: Optional[str] = None
     ) -> "DataFrame":
+        """Tuple nesting ``N^T``: pack *attrs* into a tuple column *target*."""
         return self._wrap(TupleNesting(self._plan, attrs, target, label=label))
 
     def group_by(self, *keys: str) -> "GroupedDataFrame":
+        """Start a group-by aggregation; finish with :meth:`GroupedDataFrame.agg`."""
         return GroupedDataFrame(self, list(keys))
 
     def agg_nested(
@@ -129,33 +134,42 @@ class DataFrame:
         )
 
     def rename(self, pairs: Sequence[tuple[str, str]], label: Optional[str] = None) -> "DataFrame":
+        """Attribute renaming ρ; *mapping* maps old names to new names."""
         return self._wrap(Renaming(self._plan, pairs, label=label))
 
     def union(self, other: "DataFrame", label: Optional[str] = None) -> "DataFrame":
+        """Additive bag union with another DataFrame."""
         return self._wrap(Union(self._plan, other._plan, label=label))
 
     def subtract(self, other: "DataFrame", label: Optional[str] = None) -> "DataFrame":
+        """Bag difference: multiplicities subtract, floored at zero."""
         return self._wrap(Difference(self._plan, other._plan, label=label))
 
     def distinct(self, label: Optional[str] = None) -> "DataFrame":
+        """Duplicate elimination: every multiplicity becomes one."""
         return self._wrap(Deduplication(self._plan, label=label))
 
     # -- actions -------------------------------------------------------------
 
     @property
     def plan(self) -> Operator:
+        """The underlying operator tree (without wrapping it in a Query)."""
         return self._plan
 
     def query(self, name: str = "") -> Query:
+        """Freeze the plan into a named :class:`~repro.algebra.operators.Query`."""
         return Query(self._plan, name=name)
 
     def collect(self) -> Bag:
+        """Evaluate the plan and return the result bag."""
         return self._session.run(self.query())
 
     def count(self) -> int:
+        """Number of result rows (with multiplicities)."""
         return len(self.collect())
 
     def show(self, max_rows: int = 20) -> None:
+        """Print the result relation (pretty-printed, up to *n* rows)."""
         from repro.nested.pretty import print_relation
 
         print_relation(self.collect(), max_rows=max_rows)
@@ -172,6 +186,7 @@ class GroupedDataFrame:
         self._keys = keys
 
     def agg(self, *specs: AggSpec, label: Optional[str] = None) -> DataFrame:
+        """Apply aggregate columns to the grouped rows (``AggSpec`` or pairs)."""
         return self._df._wrap(
             GroupAggregation(self._df._plan, self._keys, list(specs), label=label)
         )
@@ -185,9 +200,11 @@ class Session:
         self.executor = executor or Executor()
 
     def table(self, name: str, label: Optional[str] = None) -> DataFrame:
+        """Start a DataFrame from a named table of the session's database."""
         if name not in self.db:
             raise KeyError(f"no table {name!r} in database")
         return DataFrame(TableAccess(name, label=label), self)
 
     def run(self, query: Query) -> Bag:
+        """Evaluate a finished query through the session's executor."""
         return self.executor.execute(query, self.db)

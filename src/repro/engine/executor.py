@@ -57,6 +57,7 @@ from repro.engine.backends import ExecutionBackend, TaskContext, get_backend
 from repro.engine.database import Database
 from repro.engine.hashing import stable_hash
 from repro.engine.metrics import ExecutionMetrics, OperatorMetrics
+from repro.engine.optimizer import OptimizationReport, optimize_query, resolve_optimize
 from repro.nested.values import Bag, Tup
 
 Partitions = list[list[Tup]]
@@ -128,23 +129,38 @@ def build_segments(query: Query) -> list[_Segment]:
 
 
 class Executor:
-    """Evaluates query plans with partitioned, backend-pluggable execution."""
+    """Evaluates query plans with partitioned, backend-pluggable execution.
+
+    ``optimize`` runs the logical plan optimizer
+    (:mod:`repro.engine.optimizer`) before execution; ``None`` defers to the
+    ``REPRO_OPTIMIZE`` environment variable.  Results are identical either
+    way — the optimizer's equivalence suite enforces it for every scenario —
+    and ``last_report`` keeps the rewrite provenance of the last run.
+    """
 
     def __init__(
         self,
         num_partitions: int = 4,
         backend: "str | ExecutionBackend | None" = None,
         workers: Optional[int] = None,
+        optimize: Optional[bool] = None,
     ):
         if num_partitions < 1:
             raise ValueError("need at least one partition")
         self.num_partitions = num_partitions
         self.backend = get_backend(backend, workers)
+        self.optimize = resolve_optimize(optimize)
         self.last_metrics: Optional[ExecutionMetrics] = None
+        self.last_report: Optional[OptimizationReport] = None
 
     def execute(self, query: Query, db: Database) -> Bag:
         """Run *query* over *db*; metrics are stored in ``last_metrics``."""
         started = time.perf_counter()
+        report: Optional[OptimizationReport] = None
+        if self.optimize:
+            report = optimize_query(query, db)
+            query = report.optimized
+        self.last_report = report
         ctx = EvalContext(db, query.infer_schemas(db))
         context = TaskContext(query, db)
         metrics = ExecutionMetrics(
@@ -154,6 +170,12 @@ class Executor:
         for segment in build_segments(query):
             self._run_segment(segment, cache, ctx, context, metrics)
         metrics.wall_seconds = time.perf_counter() - started
+        if report is not None:
+            metrics.optimizer = report.summary()
+            for op_id, m in metrics.operators.items():
+                origins = report.origin_of.get(op_id, ())
+                if origins != (op_id,):
+                    m.origins = origins
         self.last_metrics = metrics
         rows = [t for part in cache[query.root.op_id] for t in part]
         return Bag(rows)

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 
 @dataclass
 class OperatorMetrics:
-    """Counters collected for one operator during execution."""
+    """Counters collected for one operator during execution.
+
+    ``origins`` names the user-plan operator ids an optimizer-rewritten
+    operator derives from (empty: the executed operator *is* the user
+    operator, or was synthesized by a rewrite rule).
+    """
 
     op_id: int
     label: str
@@ -36,6 +41,7 @@ class OperatorMetrics:
     tasks: int = 0
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    origins: "tuple[int, ...]" = ()
 
     def absorb_task(self, rows_in: int, rows_out: int, seconds: float) -> None:
         """Merge one worker task's counters into this operator's totals."""
@@ -47,32 +53,55 @@ class OperatorMetrics:
 
 @dataclass
 class ExecutionMetrics:
-    """Counters for one plan execution."""
+    """Counters for one plan execution.
+
+    When the logical optimizer ran, ``optimizer`` holds its summary — the
+    per-rule fire counts plus operator counts before/after rewriting (see
+    :meth:`repro.engine.optimizer.OptimizationReport.summary`); ``None`` means
+    the plan executed as written.
+    """
 
     operators: dict[int, OperatorMetrics] = field(default_factory=dict)
     wall_seconds: float = 0.0
     backend: str = "serial"
     workers: int = 1
+    optimizer: "dict | None" = None
 
     def total_rows_processed(self) -> int:
+        """Sum of ``rows_in`` across all operators."""
         return sum(m.rows_in for m in self.operators.values())
 
     def total_shuffled_rows(self) -> int:
+        """Sum of shuffled rows across all operators."""
         return sum(m.shuffled_rows for m in self.operators.values())
 
     def total_cpu_seconds(self) -> float:
+        """Summed per-task compute time across all operators and workers."""
         return sum(m.cpu_seconds for m in self.operators.values())
 
     def report(self) -> str:
+        """Human-readable per-operator execution summary (mini Spark UI)."""
         lines = [
             f"total wall time: {self.wall_seconds:.4f}s "
             f"(backend={self.backend}, workers={self.workers}, "
             f"cpu={self.total_cpu_seconds():.4f}s)"
         ]
+        if self.optimizer is not None:
+            fires = ", ".join(
+                f"{name}×{count}"
+                for name, count in self.optimizer.get("rule_fires", {}).items()
+            )
+            lines.append(
+                f"optimizer: {fires or 'no rewrites'} "
+                f"(ops {self.optimizer.get('ops_before')}→{self.optimizer.get('ops_after')})"
+            )
         for m in self.operators.values():
+            origin = (
+                " ⟵ " + ",".join(f"#{i}" for i in m.origins) if m.origins else ""
+            )
             lines.append(
                 f"  #{m.op_id} {m.label}: in={m.rows_in} out={m.rows_out} "
                 f"shuffle={m.shuffled_rows} parts={m.partitions} "
-                f"tasks={m.tasks} t={m.wall_seconds:.4f}s"
+                f"tasks={m.tasks} t={m.wall_seconds:.4f}s{origin}"
             )
         return "\n".join(lines)

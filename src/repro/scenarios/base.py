@@ -90,18 +90,29 @@ def run_scenario(
     with_baselines: bool = True,
     backend=None,
     workers=None,
+    optimize: Optional[bool] = None,
 ) -> ScenarioRun:
     """Run all approaches on *scenario* and collect their explanations.
 
     ``backend``/``workers`` select the execution backend for the RP variants
     (see :mod:`repro.engine.backends`); the explanations do not depend on it.
+    ``optimize`` enables the answer-path plan optimizer
+    (:mod:`repro.engine.optimizer`); explanations do not depend on that
+    either — the optimizer is explanation-preserving.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     from repro.engine.backends import get_backend
+    from repro.engine.optimizer import optimize_query, resolve_optimize
 
     backend = get_backend(backend, workers)
     question = scenario.question(scale)
+    if resolve_optimize(optimize):
+        # Seed Q(D) through the optimized plan *before* validation caches the
+        # unoptimized evaluation — this is the scenario runner's answer path.
+        question._result_cache = optimize_query(
+            question.query, question.db
+        ).optimized.evaluate(question.db)
     question.validate()
     timings: dict[str, float] = {}
 
@@ -116,13 +127,21 @@ def run_scenario(
 
     started = time.perf_counter()
     nosa = explain(
-        question, use_schema_alternatives=False, validate=False, backend=backend
+        question,
+        use_schema_alternatives=False,
+        validate=False,
+        backend=backend,
+        optimize=optimize,
     )
     timings["rp_nosa"] = time.perf_counter() - started
 
     started = time.perf_counter()
     rp = explain(
-        question, alternatives=scenario.alternatives, validate=False, backend=backend
+        question,
+        alternatives=scenario.alternatives,
+        validate=False,
+        backend=backend,
+        optimize=optimize,
     )
     timings["rp"] = time.perf_counter() - started
 

@@ -77,9 +77,11 @@ class SchemaAlternative:
 
     @property
     def is_original(self) -> bool:
+        """True for S1, the unmodified query."""
         return not self.delta
 
     def describe(self) -> str:
+        """Human-readable label, e.g. ``S3: address1 for address2``."""
         if self.is_original:
             return f"S{self.index + 1} (original)"
         subs = ", ".join(

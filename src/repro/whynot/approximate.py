@@ -50,6 +50,7 @@ class Explanation:
     rank: int = 0
 
     def key(self) -> frozenset[int]:
+        """The operator-id set identifying this explanation (Def. 9)."""
         return self.ops
 
     def __repr__(self) -> str:

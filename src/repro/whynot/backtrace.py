@@ -65,6 +65,7 @@ class ColOrigin:
     from_agg: bool = False
 
     def source(self) -> Optional[tuple[str, Path]]:
+        """``(table, path)`` when the column traces to a source attribute."""
         if self.table is None or self.path is None:
             return None
         return (self.table, self.path)
@@ -94,6 +95,7 @@ class SourceRef:
     structural: bool = False
 
     def source(self) -> Optional[tuple[str, Path]]:
+        """``(table, path)`` of the referenced source attribute, if resolvable."""
         return self.origin.source() if self.origin else None
 
 
@@ -108,6 +110,7 @@ class BacktraceResult:
     refs: list[SourceRef] = field(default_factory=list)
 
     def table_nip(self, table: str) -> Optional[Any]:
+        """The backtraced NIP over a named input table (None: unconstrained)."""
         for _, (name, pattern) in self.table_nips.items():
             if name == table:
                 return pattern
@@ -242,6 +245,7 @@ def op_colmap(op: Operator, child_maps: list[ColMap], child_schemas: list[TupleT
 
 
 def forward_colmaps(query: Query, db: Database) -> dict[int, ColMap]:
+    """Column lineage of every operator's output (forward pass over the plan)."""
     schemas = query.infer_schemas(db)
     colmaps: dict[int, ColMap] = {}
     for op in query.ops:
@@ -352,6 +356,7 @@ def set_constraint(pattern: Tup, schema: TupleType, path: Path, constraint: Any)
 
 
 def get_constraint(pattern: Any, path: Path) -> Any:
+    """The constraint at *path* inside a (possibly nested) pattern."""
     current = pattern
     for step in path:
         if not isinstance(current, Tup) or step not in current:

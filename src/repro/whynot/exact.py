@@ -42,6 +42,7 @@ class ExactResult:
     candidates_tried: int
 
     def explanation_sets(self) -> list[frozenset[int]]:
+        """The minimal successful reparameterizations as operator-id sets."""
         return [delta for delta, _ in self.explanations]
 
 

@@ -42,21 +42,28 @@ class WhyNotResult:
     backtrace: BacktraceResult
     trace: Optional[TraceResult] = field(repr=False, default=None)
     timings: dict[str, float] = field(default_factory=dict)
+    #: Rule-fire summary of the answer-path optimizer run (None: not used).
+    optimizer: Optional[dict] = None
 
     @property
     def n_sas(self) -> int:
+        """Number of schema alternatives that were traced."""
         return len(self.sas)
 
     def explanation_sets(self) -> list[frozenset[int]]:
+        """Ranked explanations as operator-id sets."""
         return [e.ops for e in self.explanations]
 
     def explanation_labels(self) -> list[tuple[str, ...]]:
+        """Ranked explanations as operator-label tuples (Table 8 format)."""
         return [e.labels for e in self.explanations]
 
     def rows_traced(self) -> int:
+        """Total number of rows the data-tracing step materialized."""
         return self.trace.total_rows() if self.trace is not None else 0
 
     def describe(self) -> str:
+        """Multi-line human-readable summary of the ranked explanations."""
         lines = [
             f"Why-not question: {self.question.name or '(unnamed)'}",
             f"  missing answer: {self.question.nip!r}",
@@ -82,6 +89,7 @@ def explain(
     validate: bool = True,
     backend=None,
     workers=None,
+    optimize: Optional[bool] = None,
 ) -> WhyNotResult:
     """Compute query-based explanations for *question* (Algorithm 1).
 
@@ -92,11 +100,32 @@ def explain(
     ``backend``/``workers`` select the execution backend for the data-tracing
     step (``"serial"`` or ``"process"``, see :mod:`repro.engine.backends`);
     explanations are identical on every backend.
+
+    ``optimize`` (default: the ``REPRO_OPTIMIZE`` environment variable) runs
+    the logical plan optimizer on the *answer path* — the ``Q(D)`` evaluation
+    that validation and the side-effect bounds consume.  The explanation path
+    (backtracing, SA enumeration, tracing, Algorithm 4) always runs against
+    the original plan, because explanations are sets of *user* operators
+    (paper Def. 9); the optimizer is explanation-preserving by construction
+    and the equivalence suite asserts identical explanation sets either way.
     """
     from repro.engine.backends import get_backend
+    from repro.engine.optimizer import optimize_query, resolve_optimize
 
     timings: dict[str, float] = {}
     backend = get_backend(backend, workers)
+    optimizer_summary: Optional[dict] = None
+    if resolve_optimize(optimize):
+        started = time.perf_counter()
+        report = optimize_query(question.query, question.db)
+        optimizer_summary = report.summary()
+        if question._result_cache is None:
+            # Seed ``Q(D)`` through the optimized plan before validation (or
+            # the side-effect bounds) computes it; an already-cached result
+            # is reused as-is — both bags are identical by the equivalence
+            # guarantee.
+            question._result_cache = report.optimized.evaluate(question.db)
+        timings["optimize"] = time.perf_counter() - started
     if validate:
         question.validate()
 
@@ -121,4 +150,6 @@ def explain(
     explanations = approximate_msrs(question, sas, traced)
     timings["approximate"] = time.perf_counter() - started
 
-    return WhyNotResult(question, explanations, sas, base, traced, timings)
+    return WhyNotResult(
+        question, explanations, sas, base, traced, timings, optimizer_summary
+    )

@@ -73,6 +73,7 @@ class Predicate:
     """Base for predicate placeholders: matches values passing ``test``."""
 
     def test(self, value: Any) -> bool:  # pragma: no cover - overridden
+        """True when *value* satisfies this placeholder constraint."""
         raise NotImplementedError
 
 
@@ -141,28 +142,35 @@ class HasValue(Predicate):
 
 
 def eq(bound: Any) -> Cond:
+    """Constraint placeholder: equal to *value*."""
     return Cond("=", bound)
 
 
 def ne(bound: Any) -> Cond:
+    """Constraint placeholder: not equal to *value*."""
     return Cond("!=", bound)
 
 
 def lt(bound: Any) -> Cond:
+    """Constraint placeholder: less than *value*."""
     return Cond("<", bound)
 
 
 def le(bound: Any) -> Cond:
+    """Constraint placeholder: at most *value*."""
     return Cond("<=", bound)
 
 
 def gt(bound: Any) -> Cond:
+    """Constraint placeholder: greater than *value*."""
     return Cond(">", bound)
 
 
 def ge(bound: Any) -> Cond:
+    """Constraint placeholder: at least *value*."""
     return Cond(">=", bound)
 
 
 def is_placeholder(value: Any) -> bool:
+    """True for ``?``/``*`` and predicate placeholders (Def. 3 NIP elements)."""
     return isinstance(value, (_Any, _Star, Predicate))

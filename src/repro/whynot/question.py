@@ -54,5 +54,6 @@ class WhyNotQuestion:
         return any_match(relation, self.nip)
 
     def describe(self) -> str:
+        """Human-readable question summary: the NIP plus the query plan."""
         header = f"Why-not question {self.name or '(unnamed)'}"
         return f"{header}\n  missing answer: {self.nip!r}\n  {self.query.describe()}"

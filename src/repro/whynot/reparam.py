@@ -412,6 +412,7 @@ class Reparameterization:
         self.changes = changes
 
     def apply(self, query: Query) -> Query:
+        """The reparameterized query Q′ (same structure, changed parameters)."""
         return query.reparameterize(self.changes)
 
     @property

@@ -132,12 +132,15 @@ class TRow:
         self.retained_known = retained_known
 
     def valid(self, i: int) -> bool:
+        """Does this row exist under schema alternative *i*?"""
         return (self.valid_mask >> i) & 1 == 1
 
     def consistent_at(self, i: int) -> bool:
+        """Does this row match the backtraced NIP under SA *i*?"""
         return (self.consistent_mask >> i) & 1 == 1
 
     def retained_at(self, i: int) -> Optional[bool]:
+        """Tri-state retained flag under SA *i* (None: operator never filters)."""
         if (self.retained_known >> i) & 1 == 0:
             return None
         return (self.retained_true >> i) & 1 == 1
@@ -178,6 +181,7 @@ class SAGroups:
 
     @classmethod
     def single(cls, n: int) -> "SAGroups":
+        """The trivial partition: all *n* SAs share one group."""
         return cls((0,) * n, [0], [(1 << n) - 1])
 
     def __len__(self) -> int:
@@ -238,6 +242,7 @@ class TraceResult:
     op_of_rid: dict[int, int] = field(default_factory=dict)
 
     def final_rows(self) -> list[TRow]:
+        """The traced rows of the root operator (the relaxed final result)."""
         return self.traces[self.root_id].rows
 
     def ancestors(self, rids: "set[int] | list[int]") -> set[int]:
@@ -253,6 +258,7 @@ class TraceResult:
         return seen
 
     def total_rows(self) -> int:
+        """Total number of traced rows across all operators."""
         return len(self.rows_by_rid)
 
 
@@ -301,6 +307,7 @@ class Tracer:
     # -- public entry --------------------------------------------------------
 
     def run(self) -> TraceResult:
+        """Trace every operator bottom-up and assemble the :class:`TraceResult`."""
         result = TraceResult({}, self.query.root.op_id, self.n)
         for op in self.query.ops:
             child_traces = [result.traces[c.op_id] for c in op.children]

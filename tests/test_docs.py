@@ -1,5 +1,7 @@
 """Documentation health: required pages exist, intra-repo links resolve,
-and the commands the README documents reference real entry points."""
+the commands the README documents reference real entry points, the public
+API meets the docstring-coverage gate, and the plan renderings quoted in
+``docs/OPTIMIZER.md`` match the pretty-printer's output verbatim."""
 
 import re
 import sys
@@ -8,11 +10,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
+from check_docstrings import check_all as check_docstrings  # noqa: E402
 from check_links import check_all, doc_files  # noqa: E402
 
 
 def test_required_docs_exist():
-    for name in ("README.md", "docs/ARCHITECTURE.md", "docs/BENCHMARKS.md"):
+    for name in (
+        "README.md",
+        "docs/ARCHITECTURE.md",
+        "docs/BENCHMARKS.md",
+        "docs/OPTIMIZER.md",
+    ):
         assert (REPO_ROOT / name).exists(), f"missing documentation page {name}"
 
 
@@ -37,3 +45,48 @@ def test_readme_file_references_exist():
     readme = (REPO_ROOT / "README.md").read_text()
     for ref in re.findall(r"`((?:src|docs|examples|benchmarks|tests)/[\w./]*)`", readme):
         assert (REPO_ROOT / ref).exists(), f"README references missing path {ref}"
+
+
+def test_readme_documents_optimizer_flags():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "--optimize" in readme and "--show-plan" in readme
+    assert "REPRO_OPTIMIZE" in readme
+    assert "docs/OPTIMIZER.md" in readme
+
+
+def test_optimizer_doc_linked_from_architecture_and_benchmarks():
+    assert "OPTIMIZER.md" in (REPO_ROOT / "docs/ARCHITECTURE.md").read_text()
+    assert "OPTIMIZER.md" in (REPO_ROOT / "docs/BENCHMARKS.md").read_text()
+    optimizer_doc = (REPO_ROOT / "docs/OPTIMIZER.md").read_text()
+    for rule in (
+        "fuse-selections",
+        "pushdown-projection",
+        "pushdown-rename",
+        "pushdown-join",
+        "pushdown-nesting",
+        "reorder-join",
+        "prune-columns",
+    ):
+        assert rule in optimizer_doc, f"rule {rule} missing from the catalog"
+
+
+def test_public_api_docstring_coverage():
+    """The docstring gate (also a CI docs-job step) must be clean."""
+    assert check_docstrings() == []
+
+
+def test_optimizer_doc_plan_renderings_are_verbatim():
+    """The before/after plans quoted in docs/OPTIMIZER.md are regenerated
+    here and compared verbatim against the pretty-printer's output."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.engine.optimizer import optimize_query
+    from repro.scenarios import get_scenario
+
+    optimizer_doc = (REPO_ROOT / "docs/OPTIMIZER.md").read_text()
+    for name in ("Q3", "T2"):
+        question = get_scenario(name).question(scale=60)
+        rendered = optimize_query(question.query, question.db).describe()
+        assert rendered in optimizer_doc, (
+            f"docs/OPTIMIZER.md is stale for {name}: regenerate the fenced "
+            "block with optimize_query(question.query, question.db).describe()"
+        )

@@ -1,0 +1,163 @@
+"""Docstring coverage gate for the core packages.
+
+Statically (via ``ast``, no imports) checks that every *public* API element
+in ``repro.algebra``, ``repro.engine`` and ``repro.whynot`` carries a
+docstring:
+
+* the module itself,
+* top-level classes and functions whose names do not start with ``_``,
+* public methods of public classes.
+
+Exemptions, chosen so contracts are documented exactly once:
+
+* dunder methods (``__init__`` included — this codebase documents
+  construction on the class docstring);
+* **documented overrides**: a method whose name resolves, through the
+  class's base-class chain inside the checked packages, to a base method
+  *with* a docstring inherits that contract (e.g. the per-operator
+  ``eval_rows``/``params``/``describe`` implementations inherit the
+  ``Operator`` contract).  A base method without a docstring exempts
+  nothing — the gap is reported at the base, where the fix belongs.
+
+Used by ``tests/test_docs.py`` and the CI docs job.
+
+Usage::
+
+    python tools/check_docstrings.py       # exit 1 + report on missing docs
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Packages whose public surface must be fully documented.
+CHECKED_PACKAGES = ("repro/algebra", "repro/engine", "repro/whynot")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def package_files() -> list[Path]:
+    """Every Python module of the checked packages (including __init__)."""
+    out: list[Path] = []
+    for package in CHECKED_PACKAGES:
+        out.extend(sorted((REPO_ROOT / "src" / package).glob("*.py")))
+    return out
+
+
+class _ClassInfo:
+    """One class's base names and per-method docstring presence."""
+
+    def __init__(self, node: ast.ClassDef):
+        self.bases = [b.id for b in node.bases if isinstance(b, ast.Name)]
+        self.bases += [b.attr for b in node.bases if isinstance(b, ast.Attribute)]
+        self.method_docs: dict[str, bool] = {
+            item.name: ast.get_docstring(item) is not None
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+
+def _class_index(trees: "list[tuple[str, ast.Module]]") -> dict[str, _ClassInfo]:
+    """Class name → info across every checked module (names are unique here)."""
+    index: dict[str, _ClassInfo] = {}
+    for _, tree in trees:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                index[node.name] = _ClassInfo(node)
+    return index
+
+
+def _documented_in_bases(
+    index: dict[str, _ClassInfo], class_name: str, method: str, seen: set
+) -> bool:
+    """True when *method* resolves to a documented definition up the chain."""
+    if class_name in seen:
+        return False
+    seen.add(class_name)
+    info = index.get(class_name)
+    if info is None:
+        return False
+    if info.method_docs.get(method):
+        return True
+    return any(
+        _documented_in_bases(index, base, method, seen) for base in info.bases
+    )
+
+
+def _missing_in_class(
+    node: ast.ClassDef, module: str, index: dict[str, _ClassInfo]
+) -> list[str]:
+    problems = []
+    if ast.get_docstring(node) is None:
+        problems.append(f"{module}: class {node.name} has no docstring")
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name.startswith("_"):  # private + all dunders (incl. __init__)
+            continue
+        if ast.get_docstring(item) is not None:
+            continue
+        inherited = any(
+            _documented_in_bases(index, base, item.name, set())
+            for base in index[node.name].bases
+        )
+        if not inherited:
+            problems.append(
+                f"{module}:{item.lineno}: method {node.name}.{item.name} "
+                "has no docstring"
+            )
+    return problems
+
+
+def check_file(module: str, tree: ast.Module, index: dict[str, _ClassInfo]) -> list[str]:
+    """Return human-readable problems for one parsed module."""
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{module}: module has no docstring")
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _is_public(node.name):
+            problems.extend(_missing_in_class(node, module, index))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(
+            node.name
+        ):
+            if ast.get_docstring(node) is None:
+                problems.append(
+                    f"{module}:{node.lineno}: function {node.name} has no docstring"
+                )
+    return problems
+
+
+def check_all() -> list[str]:
+    """Problems across every checked package, in deterministic order."""
+    trees = [
+        (str(path.relative_to(REPO_ROOT)), ast.parse(path.read_text()))
+        for path in package_files()
+    ]
+    index = _class_index(trees)
+    problems = []
+    for module, tree in trees:
+        problems.extend(check_file(module, tree, index))
+    return problems
+
+
+def main() -> int:
+    """CLI entry point: report missing docstrings, exit 1 when any exist."""
+    problems = check_all()
+    n_files = len(package_files())
+    if problems:
+        print(f"missing docstrings ({len(problems)} across {n_files} modules):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docstring coverage OK ({n_files} modules in {', '.join(CHECKED_PACKAGES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
