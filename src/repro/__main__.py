@@ -8,6 +8,7 @@ Usage::
     python -m repro run Q10 --optimize       # optimized answer path
     python -m repro run Q10 --show-plan      # original vs optimized plan
     python -m repro table7 [--scale 40]      # the Table-7 summary
+    python -m repro fuzz --seed 4 --cases 200   # differential fuzz sweep
 
 ``--backend serial`` (default) evaluates in-process; ``--backend process``
 fans the partitioned execution and SA-group tracing out across worker
@@ -18,12 +19,43 @@ answer path (default: the ``REPRO_OPTIMIZE`` environment variable; see
 ``docs/OPTIMIZER.md``) — explanations are identical either way.
 ``--show-plan`` prints the scenario query's original vs. optimized plan with
 per-rule provenance annotations before running it.
+
+``fuzz`` runs the seeded differential-testing sweep of :mod:`repro.fuzz`
+(see ``docs/FUZZING.md``): random nested databases and plans are checked
+across ``Query.evaluate`` × backends × optimizer on/off × partition counts;
+any divergence is shrunk to a minimal repro and (with ``--corpus-dir``)
+written as a corpus JSON file ready to pin as a regression test.  Exit code
+1 signals at least one divergence.
+
+Count-like flags (``--workers``, ``--partitions``, ``--cases``, ``--depth``,
+``--rows``, ``--ops``) validate their values up front: zero or negative
+counts fail with a usage error instead of a traceback from deep inside the
+executor.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (friendly error otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _partition_list(text: str) -> "tuple[int, ...]":
+    """argparse type: comma-separated positive partition counts, e.g. ``1,3,7``."""
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    if not parts:
+        raise argparse.ArgumentTypeError("expected at least one partition count")
+    return tuple(_positive_int(p) for p in parts)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -92,6 +124,70 @@ def _cmd_table7(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.fuzz import FuzzConfig, run_sweep, shrink_case
+    from repro.fuzz.serialize import dump_case
+
+    config = FuzzConfig(depth=args.depth, rows=args.rows, ops=args.ops)
+    backends = ("serial", "process") if args.backend == "both" else (args.backend,)
+    explain_grid = [(b, opt) for b in backends for opt in (False, True)]
+    oracle_options = dict(
+        partitions=args.partitions,
+        backends=backends,
+        workers=args.workers,
+        explain_grid=explain_grid,
+    )
+    print(
+        f"fuzzing: seed={args.seed} cases={args.cases} depth={args.depth} "
+        f"rows={args.rows} ops={args.ops} partitions={','.join(map(str, args.partitions))} "
+        f"backends={'+'.join(backends)}"
+    )
+    result = run_sweep(
+        args.seed,
+        args.cases,
+        config,
+        questions=not args.no_questions,
+        **oracle_options,
+    )
+    for case, report in result.failures:
+        print(f"\nDIVERGENT: {case.name}")
+        for divergence in report.divergences:
+            print(f"  {divergence.describe()}")
+        if not args.no_shrink:
+            shrunk = shrink_case(case, **oracle_options)
+            tables = sum(len(s.rows) for s in shrunk.db_spec.tables.values())
+            print(
+                f"  shrunk to {len(shrunk.query.ops)} operators, {tables} rows"
+                f"{'' if shrunk.nip is None else ', with why-not question'}"
+            )
+            case = shrunk
+        if args.corpus_dir:
+            os.makedirs(args.corpus_dir, exist_ok=True)
+            path = os.path.join(args.corpus_dir, f"{case.name}.json")
+            found_by = (
+                f"python -m repro fuzz --seed {args.seed} --cases {args.cases} "
+                f"--depth {args.depth} --rows {args.rows} --ops {args.ops} "
+                f"--partitions {','.join(map(str, args.partitions))} "
+                f"--backend {args.backend}"
+            )
+            dump_case(
+                case,
+                path,
+                description=(
+                    "divergent case, unshrunk (verify before pinning)"
+                    if args.no_shrink
+                    else "shrunken divergent case (verify before pinning)"
+                ),
+                found_by=found_by,
+            )
+            print(f"  corpus file written: {path}")
+    print()
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Why-not explanations over nested data"
@@ -109,7 +205,7 @@ def main(argv=None) -> int:
         )
         p.add_argument(
             "--workers",
-            type=int,
+            type=_positive_int,
             default=None,
             help="worker processes for --backend process (default: all cores)",
         )
@@ -135,6 +231,56 @@ def main(argv=None) -> int:
     t7.add_argument("--scale", type=int, default=40)
     add_backend_flags(t7)
 
+    fuzz = sub.add_parser(
+        "fuzz", help="run the seeded differential fuzz sweep (docs/FUZZING.md)"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="sweep seed (default 0)")
+    fuzz.add_argument(
+        "--cases", type=_positive_int, default=100, help="number of cases (default 100)"
+    )
+    fuzz.add_argument(
+        "--depth", type=_positive_int, default=2, help="max schema nesting depth"
+    )
+    fuzz.add_argument(
+        "--rows", type=_positive_int, default=8, help="max rows per generated table"
+    )
+    fuzz.add_argument(
+        "--ops", type=_positive_int, default=6, help="max operators per generated plan"
+    )
+    fuzz.add_argument(
+        "--partitions",
+        type=_partition_list,
+        default=(1, 3, 7),
+        help="comma-separated partition counts to cross-check (default 1,3,7)",
+    )
+    fuzz.add_argument(
+        "--backend",
+        choices=("serial", "process", "both"),
+        default="both",
+        help="executor backends to cross-check (default both)",
+    )
+    fuzz.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="worker processes for the process backend (default 2)",
+    )
+    fuzz.add_argument(
+        "--no-questions",
+        action="store_true",
+        help="skip why-not question derivation and the explanation differential",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report divergent cases without shrinking them",
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="write shrunken divergent cases as JSON into this directory",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -142,6 +288,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "table7":
         return _cmd_table7(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return 1
 
 

@@ -16,14 +16,23 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from repro.algebra.expressions import Expr
-from repro.nested.values import NULL, is_null
+from repro.nested.values import NAN, NULL, is_null
 
 
 def _exact_sum(values: list) -> Any:
-    """Order-independent sum: exact fsum for floats, plain sum otherwise."""
+    """Order-independent sum: exact fsum for floats, plain sum otherwise.
+
+    A NaN result is returned as the canonical :data:`~repro.nested.values.NAN`
+    object so aggregate outputs obey the engine-wide single-NaN invariant.
+    """
     if any(isinstance(v, float) for v in values):
-        return math.fsum(values)
+        total = math.fsum(values)
+        return NAN if total != total else total
     return sum(values)
+
+
+def _is_nan(value: Any) -> bool:
+    return type(value) is float and value != value
 
 
 AGGREGATE_FUNCTIONS = ("sum", "count", "avg", "min", "max")
@@ -33,7 +42,12 @@ def apply_aggregate(func: str, values: Iterable[Any], distinct: bool = False) ->
     """Apply aggregate *func* to an iterable of raw values.
 
     Returns ⊥ for value aggregates over an empty (or all-null) input and 0 for
-    ``count``, matching SQL.
+    ``count``, matching SQL.  Results are independent of input order, which
+    the partitioned executor relies on: float sums are exact (``fsum``) and
+    NaN sorts *above* every other value for ``min``/``max`` (the
+    Postgres/Spark convention) — Python's own ``min``/``max`` return whichever
+    operand happens to come first once a NaN comparison is involved, which
+    made group results depend on the partitioning (fuzzer find, seed 4).
     """
     if func not in AGGREGATE_FUNCTIONS:
         raise ValueError(f"unknown aggregate {func!r}; expected one of {AGGREGATE_FUNCTIONS}")
@@ -50,11 +64,16 @@ def apply_aggregate(func: str, values: Iterable[Any], distinct: bool = False) ->
     if func == "sum":
         return _exact_sum(kept)
     if func == "avg":
-        return _exact_sum(kept) / len(kept)
-    if func == "min":
-        return min(kept)
-    if func == "max":
-        return max(kept)
+        total = _exact_sum(kept)
+        if _is_nan(total):
+            return NAN
+        return total / len(kept)
+    if func in ("min", "max"):
+        ordered = [v for v in kept if not _is_nan(v)]
+        if func == "min":
+            # NaN is the largest value: it wins min only when nothing else is left.
+            return min(ordered) if ordered else NAN
+        return NAN if len(ordered) != len(kept) else max(ordered)
     raise AssertionError("unreachable")
 
 

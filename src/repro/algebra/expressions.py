@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator
 
 from repro.nested.paths import Path, compile_path, parse_path, path_str
-from repro.nested.values import NULL, Bag, Tup, is_null
+from repro.nested.values import NAN, NULL, Bag, Tup, is_null
 
 CompiledExpr = Callable[[Tup], Any]
 
@@ -300,7 +300,14 @@ class Cmp(Expr):
 
 
 class Arith(Expr):
-    """Arithmetic ``left op right`` with op ∈ {+, -, *, /}; ⊥ is absorbing."""
+    """Arithmetic ``left op right`` with op ∈ {+, -, *, /}; ⊥ is absorbing.
+
+    A NaN result is returned as the canonical
+    :data:`~repro.nested.values.NAN` object, so computed columns feeding
+    group/join keys obey the engine-wide single-NaN invariant (NaN produced
+    per row in a worker process must equal NaN produced by the reference
+    evaluation in the driver).
+    """
 
     __slots__ = ("op", "left", "right")
 
@@ -316,7 +323,10 @@ class Arith(Expr):
         rhs = self.right.eval(tup)
         if is_null(lhs) or is_null(rhs):
             return NULL
-        return _ARITH_FUNCS[self.op](lhs, rhs)
+        out = _ARITH_FUNCS[self.op](lhs, rhs)
+        if type(out) is float and out != out:
+            return NAN
+        return out
 
     def _compile(self) -> CompiledExpr:
         left = self.left.compile()
@@ -328,7 +338,10 @@ class Arith(Expr):
             rhs = right(t)
             if is_null(lhs) or is_null(rhs):
                 return NULL
-            return arith_fn(lhs, rhs)
+            out = arith_fn(lhs, rhs)
+            if type(out) is float and out != out:
+                return NAN
+            return out
 
         return run
 

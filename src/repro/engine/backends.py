@@ -56,7 +56,7 @@ from functools import partial
 from typing import Any, Optional, Sequence
 
 from repro.algebra.operators import EvalContext, Query, RelationNesting
-from repro.nested.values import Bag, Layout, Tup
+from repro.nested.values import NAN, Bag, Layout, Tup
 
 #: Environment variables consulted when no explicit backend/workers is given.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -181,9 +181,29 @@ def _task_rows(state: WorkerState, op_id: int, child_rows: list) -> Any:
     return out, [(op_id, n_in, len(out), time.perf_counter() - started)]
 
 
+def _canonicalize_key_nans(pairs: list) -> None:
+    """Re-canonicalize NaNs inside precomputed join-key tuples, in place.
+
+    Rows re-canonicalize their NaNs on unpickle (``Tup._unpickle``), but the
+    driver-computed shuffle keys for joins are plain Python tuples, which
+    unpickle natively — so a canonical NaN key arrives as a fresh float per
+    task and would no longer match its partner side's key (found by the
+    differential fuzzer, seed 9: NaN equi-join keys matched on the serial
+    backend but not on the process backend).
+    """
+    for i, (key, row) in enumerate(pairs):
+        if key is not None and any(type(v) is float and v != v for v in key):
+            pairs[i] = (
+                tuple(NAN if (type(v) is float and v != v) else v for v in key),
+                row,
+            )
+
+
 def _task_join_keyed(state: WorkerState, op_id: int, left_pairs: list, right_pairs: list) -> Any:
     op = state.op(op_id)
     started = time.perf_counter()
+    _canonicalize_key_nans(left_pairs)
+    _canonicalize_key_nans(right_pairs)
     out = op.eval_keyed(left_pairs, right_pairs, state.ctx())
     n_in = len(left_pairs) + len(right_pairs)
     return out, [(op_id, n_in, len(out), time.perf_counter() - started)]

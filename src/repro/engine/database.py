@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.nested.types import ANY_TYPE, NestedType, TupleType, type_of, unify
-from repro.nested.values import Bag, Tup
+from repro.nested.values import Bag, Tup, canonicalize_value
 
 
 class Database:
@@ -47,8 +47,15 @@ class Database:
         return value
 
     def add(self, name: str, rows: Iterable[Any], schema: Optional[TupleType] = None) -> None:
-        """Register relation *name* with the given rows."""
+        """Register relation *name* with the given rows.
+
+        Every NaN in the data is mapped to the canonical
+        :data:`~repro.nested.values.NAN` object on the way in (a no-op for
+        NaN-free rows), establishing the single-NaN invariant the engine's
+        grouping/joining/partitioning relies on.
+        """
         bag = rows if isinstance(rows, Bag) else Bag(self._to_tup(r) for r in rows)
+        bag = canonicalize_value(bag)
         self._relations[name] = bag
         self.version += 1
         if schema is not None:

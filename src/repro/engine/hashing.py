@@ -19,22 +19,38 @@ only to pick shuffle targets, where collisions merely co-locate rows.
 
 from __future__ import annotations
 
+import datetime
 import zlib
 from typing import Any
 
 from repro.nested.values import Bag, Tup, is_null
 
 _NULL_HASH = 0x9E3779B9
+#: Fixed hash for every NaN.  CPython ≥ 3.10 hashes NaN by object identity
+#: (NaN != NaN defeats the usual equal-hash contract), which would route
+#: "the same" NaN to different partitions across processes and runs —
+#: found by the differential fuzzer (seed 4) as diverging shuffle metrics
+#: and NaN-keyed groups between backends.
+_NAN_HASH = 0x7FF80000
 _LAYOUT_HASHES: dict[int, int] = {}
 
 
 def stable_hash(value: Any) -> int:
-    """A deterministic, seed-independent hash of a nested value."""
+    """A deterministic, seed-independent hash of a nested value.
+
+    Raises ``TypeError`` for types outside the nested value model (str, bytes,
+    bool/int/float, date/datetime, ⊥, ``Tup``, ``Bag``, tuples and
+    frozensets): an unknown type would silently fall back to the built-in
+    ``hash``, which is process-salted for anything hashing via its contents
+    (the exact quiet failure this function exists to prevent).
+    """
     if isinstance(value, str):
         return zlib.crc32(value.encode("utf-8", "surrogatepass"))
     if isinstance(value, (bool, int, float)):
         # CPython's numeric hash is unsalted and equality-compatible
-        # across int/float/bool.
+        # across int/float/bool — except NaN, which hashes by identity.
+        if value != value:
+            return _NAN_HASH
         return hash(value)
     if is_null(value):
         return _NULL_HASH
@@ -55,6 +71,14 @@ def stable_hash(value: Any) -> int:
         return hash(("set", frozenset(stable_hash(v) for v in value)))
     if isinstance(value, bytes):
         return zlib.crc32(value)
-    # Unknown primitive: fall back to the built-in hash (unsalted for most
-    # numeric-like types; extend this function if a salted type shows up).
-    return hash(value)
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        # datetime hashing goes through the salted bytes hash internally;
+        # the ISO form is canonical and unambiguous per concrete type.
+        return zlib.crc32(value.isoformat().encode("ascii"))
+    raise TypeError(
+        f"stable_hash: unsupported type {type(value).__name__!r} for "
+        f"{value!r}; the built-in hash() is process-salted for arbitrary "
+        "types, which would make partition assignment seed-dependent — "
+        "extend repro.engine.hashing.stable_hash with a deterministic "
+        "encoding for this type instead"
+    )

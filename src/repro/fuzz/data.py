@@ -1,0 +1,195 @@
+"""Random nested-database generation for differential fuzzing.
+
+Databases are generated from a :class:`random.Random` instance, so a case is
+fully determined by its seed: schemas with configurable nesting depth and
+width, and value pools deliberately stacked with the edge cases that have
+historically broken engines — NaN and signed zeros, the ``2``/``2.0``/``True``
+numeric-tower collisions, empty and ⊥ bags, all-null columns, empty strings,
+and unicode including lone surrogates.
+
+Attribute and table names are globally unique per database (a single counter
+feeds every level), which keeps generated plans well-typed by construction:
+joins and flattens can concatenate any two schemas without name clashes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.engine.database import Database
+from repro.nested.types import BOOL, FLOAT, INT, STR, BagType, NestedType, PrimitiveType, TupleType
+from repro.nested.values import NAN, NULL, Bag, Layout, Tup
+
+#: Adversarial value pools per declared column type.  The numeric pools mix
+#: the tower on purpose — ``2 == 2.0`` must group/join/hash alike on every
+#: execution path — but stay within the declared type's ``conforms`` rules
+#: (int fits a float column and vice versa; bool does not, so ``True == 1``
+#: collisions are exercised through joins between bool and int columns).
+INT_POOL = (0, 1, 2, -1, 7, 42, 999, 2.0, 0.0)
+FLOAT_POOL = (0.0, -0.0, 1.5, 2.0, 0.25, -3.75, NAN, 2, 42.0)
+STR_POOL = ("", "a", "b", "BTS", "naïve", "x\udc80y", "\U0001f680", "aa")
+BOOL_POOL = (True, False)
+
+#: Probability that any single generated value is ⊥ instead of pool-drawn.
+NULL_RATE = 0.12
+#: Probability that a generated column is declared-but-always-⊥.
+ALL_NULL_RATE = 0.08
+#: Probability that a nested bag value is empty / ⊥ for one row.
+EMPTY_BAG_RATE = 0.2
+NULL_BAG_RATE = 0.1
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Size knobs for generated databases and plans (all upper bounds)."""
+
+    depth: int = 2  #: max bag-of-tuple nesting levels below the row
+    width: int = 4  #: max columns per tuple level
+    rows: int = 8  #: max rows per table
+    tables: int = 2  #: max tables per database
+    bag_size: int = 3  #: max elements per nested bag
+    ops: int = 6  #: max operators stacked on top of the table accesses
+
+    def with_depth(self, depth: int) -> "FuzzConfig":
+        """A copy with the nesting depth replaced (CLI ``--depth``)."""
+        return replace(self, depth=depth)
+
+
+class NameSource:
+    """Globally unique lowercase names: ``a0, a1, ...`` / ``t0, t1, ...``."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def fresh(self, prefix: str = "a") -> str:
+        """The next unused name with the given prefix."""
+        name = f"{prefix}{self._next}"
+        self._next += 1
+        return name
+
+
+@dataclass
+class TableSpec:
+    """One generated table: declared schema plus materialized rows."""
+
+    schema: TupleType
+    rows: list
+
+
+@dataclass
+class DbSpec:
+    """A generated database as plain data (rows are value-model ``Tup`` s).
+
+    Keeping the spec separate from the built :class:`Database` lets the
+    shrinker drop rows and the corpus serializer round-trip cases exactly.
+    """
+
+    tables: dict = field(default_factory=dict)
+
+    def build(self) -> Database:
+        """Materialize a :class:`~repro.engine.database.Database`."""
+        return Database(
+            {name: spec.rows for name, spec in self.tables.items()},
+            schemas={name: spec.schema for name, spec in self.tables.items()},
+        )
+
+
+def _gen_primitive_type(rng: random.Random) -> PrimitiveType:
+    return rng.choice((INT, FLOAT, FLOAT, STR, STR, BOOL))
+
+
+def _gen_tuple_type(
+    rng: random.Random, config: FuzzConfig, names: NameSource, depth: int
+) -> TupleType:
+    n_cols = rng.randint(2, max(2, config.width))
+    fields = []
+    has_primitive = False
+    for _ in range(n_cols):
+        name = names.fresh()
+        if depth > 0 and rng.random() < 0.3:
+            element = _gen_tuple_type(rng, config, names, depth - 1)
+            fields.append((name, BagType(element)))
+        else:
+            fields.append((name, _gen_primitive_type(rng)))
+            has_primitive = True
+    if not has_primitive:
+        # Every tuple level keeps at least one primitive column so selections,
+        # keys and why-not questions always have something to anchor on.
+        fields[-1] = (fields[-1][0], _gen_primitive_type(rng))
+    return TupleType(fields)
+
+
+def _gen_value(rng: random.Random, config: FuzzConfig, col_type: NestedType):
+    if rng.random() < NULL_RATE:
+        return NULL
+    if isinstance(col_type, BagType):
+        if rng.random() < NULL_BAG_RATE:
+            return NULL
+        if rng.random() < EMPTY_BAG_RATE:
+            return Bag()
+        size = rng.randint(1, max(1, config.bag_size))
+        assert isinstance(col_type.element, TupleType)
+        return Bag(_gen_row(rng, config, col_type.element) for _ in range(size))
+    assert isinstance(col_type, PrimitiveType)
+    if col_type.name == "int":
+        return rng.choice(INT_POOL)
+    if col_type.name == "float":
+        return rng.choice(FLOAT_POOL)
+    if col_type.name == "str":
+        return rng.choice(STR_POOL)
+    return rng.choice(BOOL_POOL)
+
+
+def _gen_row(rng: random.Random, config: FuzzConfig, schema: TupleType) -> Tup:
+    layout = Layout.of(schema.names)
+    return Tup.from_layout(
+        layout,
+        tuple(_gen_value(rng, config, col_type) for _, col_type in schema.fields),
+    )
+
+
+def gen_table(
+    rng: random.Random,
+    config: FuzzConfig,
+    names: NameSource,
+    min_rows: int = 0,
+) -> TableSpec:
+    """Generate one table: a random schema plus 0..``config.rows`` rows.
+
+    Some columns are forced all-⊥ (the classic aggregate edge case); empty
+    tables are allowed (their schema is declared explicitly).
+    """
+    schema = _gen_tuple_type(rng, config, names, config.depth)
+    all_null = frozenset(
+        name
+        for name, col_type in schema.fields
+        if not isinstance(col_type, BagType) and rng.random() < ALL_NULL_RATE
+    )
+    n_rows = rng.randint(min_rows, max(min_rows, config.rows))
+    rows = []
+    for _ in range(n_rows):
+        row = _gen_row(rng, config, schema)
+        if all_null:
+            row = row.replace(**{name: NULL for name in all_null})
+        rows.append(row)
+    return TableSpec(schema, rows)
+
+
+def gen_db_spec(rng: random.Random, config: FuzzConfig) -> DbSpec:
+    """Generate a full database spec with 1..``config.tables`` tables."""
+    names = NameSource()
+    spec = DbSpec()
+    n_tables = rng.randint(1, max(1, config.tables))
+    for _ in range(n_tables):
+        # The first table gets at least one row so most plans are non-trivial;
+        # later tables may be empty (outer joins against nothing, etc.).
+        min_rows = 1 if not spec.tables else 0
+        spec.tables[names.fresh("t")] = gen_table(rng, config, names, min_rows=min_rows)
+    return spec
+
+
+def gen_database(rng: random.Random, config: Optional[FuzzConfig] = None) -> Database:
+    """Generate a random nested database (convenience over :func:`gen_db_spec`)."""
+    return gen_db_spec(rng, config or FuzzConfig()).build()

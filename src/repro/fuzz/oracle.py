@@ -1,0 +1,291 @@
+"""The differential oracle: cross-check every execution path on one case.
+
+For a generated ``(database, query[, why-not question])`` case the oracle
+runs:
+
+* the reference semantics ``Query.evaluate``,
+* the partitioned executor for every ``backend × optimize × partitions``
+  combination requested (defaults: serial/process × on/off × 1/3/7),
+
+and checks
+
+1. **result bags** — every configuration must equal the reference bag;
+2. **metrics invariants** — the root operator's ``rows_out`` equals the
+   result size, and total shuffled rows agree across backends for the same
+   (partitions, optimize) point;
+3. **explanation sets** — ``explain`` (validated why-not question) must
+   produce the identical ranked explanation label sets for every requested
+   backend/optimizer combination;
+4. **matcher agreement** — the reference NIP matcher
+   (:func:`repro.whynot.matching.matches`) and the compiled matcher
+   (:func:`repro.whynot.matching.compile_pattern`) must agree on every
+   result row.
+
+A configuration raising the *same* exception type as the reference is
+treated as consistently-unsupported (the case is reported as skipped, not
+divergent); differing exception behaviour is a divergence like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.algebra.operators import Query
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.nested.values import Bag
+from repro.whynot.matching import compile_pattern, matches
+from repro.whynot.question import WhyNotQuestion
+
+#: Default grid (the acceptance grid of the fuzz subsystem).
+PARTITIONS = (1, 3, 7)
+BACKENDS = ("serial", "process")
+OPTIMIZE = (False, True)
+#: Backend/optimizer pairs explanation sets are compared across.  Tracing is
+#: the expensive path, so the default exercises the optimizer toggle on the
+#: serial backend plus one process-backend point.
+EXPLAIN_GRID = (("serial", False), ("serial", True), ("process", False))
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between execution paths."""
+
+    kind: str  #: "result" | "error" | "metrics" | "explanation" | "matcher"
+    config: str  #: the configuration that disagreed with the reference
+    detail: str  #: human-readable description (truncated values)
+
+    def describe(self) -> str:
+        """One-line rendering for CLI / test output."""
+        return f"[{self.kind}] {self.config}: {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of checking one case across the configuration grid."""
+
+    divergences: list = field(default_factory=list)
+    configs_run: int = 0
+    explain_configs_run: int = 0
+    #: Exception repr when the reference itself failed (case counted skipped).
+    reference_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no divergence was observed."""
+        return not self.divergences
+
+    def describe(self) -> str:
+        """Multi-line summary of all divergences (empty string when ok)."""
+        return "\n".join(d.describe() for d in self.divergences)
+
+
+def _clip(value: Any, limit: int = 300) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _outcome(fn):
+    """Run *fn*, folding exceptions into ("error", type-name) outcomes."""
+    try:
+        return ("ok", fn())
+    except Exception as exc:  # noqa: BLE001 - the oracle compares behaviours
+        return ("error", type(exc).__name__)
+
+
+def _bag_diff(reference: Bag, got: Bag) -> str:
+    missing = reference.difference(got)
+    extra = got.difference(reference)
+    parts = []
+    if len(missing):
+        parts.append(f"missing {_clip(list(missing)[:3])}")
+    if len(extra):
+        parts.append(f"extra {_clip(list(extra)[:3])}")
+    return "; ".join(parts) or "bags differ in multiplicities"
+
+
+def check_case(
+    db: Database,
+    query: Query,
+    question: Optional[WhyNotQuestion] = None,
+    partitions: Sequence[int] = PARTITIONS,
+    backends: Sequence[str] = BACKENDS,
+    optimize: Sequence[bool] = OPTIMIZE,
+    workers: int = 2,
+    explain_grid: Optional[Sequence] = None,
+) -> OracleReport:
+    """Differentially test one case across the full configuration grid."""
+    report = OracleReport()
+    reference = _outcome(lambda: query.evaluate(db))
+
+    shuffled_totals: dict = {}
+    for backend in backends:
+        for opt in optimize:
+            for nparts in partitions:
+                config = f"backend={backend} optimize={opt} partitions={nparts}"
+                executor = Executor(
+                    num_partitions=nparts,
+                    backend=backend,
+                    workers=workers,
+                    optimize=opt,
+                )
+                got = _outcome(lambda: executor.execute(query, db))
+                report.configs_run += 1
+                if got[0] != reference[0]:
+                    report.divergences.append(
+                        Divergence(
+                            "error",
+                            config,
+                            f"reference={reference[1] if reference[0] == 'error' else 'ok'}"
+                            f" vs executor={got[1] if got[0] == 'error' else 'ok'}",
+                        )
+                    )
+                    continue
+                if reference[0] == "error":
+                    if got[1] != reference[1]:
+                        report.divergences.append(
+                            Divergence(
+                                "error",
+                                config,
+                                f"exception {got[1]} vs reference {reference[1]}",
+                            )
+                        )
+                    continue
+                if got[1] != reference[1]:
+                    report.divergences.append(
+                        Divergence("result", config, _bag_diff(reference[1], got[1]))
+                    )
+                    continue
+                metrics = executor.last_metrics
+                root_id = (
+                    executor.last_report.optimized.root.op_id
+                    if executor.last_report is not None
+                    else query.root.op_id
+                )
+                root_metrics = metrics.operators.get(root_id)
+                if root_metrics is not None and root_metrics.rows_out != len(reference[1]):
+                    report.divergences.append(
+                        Divergence(
+                            "metrics",
+                            config,
+                            f"root rows_out={root_metrics.rows_out} "
+                            f"!= |result|={len(reference[1])}",
+                        )
+                    )
+                total_shuffled = sum(
+                    m.shuffled_rows for m in metrics.operators.values()
+                )
+                key = (opt, nparts)
+                previous = shuffled_totals.get(key)
+                if previous is None:
+                    shuffled_totals[key] = (backend, total_shuffled)
+                elif previous[1] != total_shuffled:
+                    report.divergences.append(
+                        Divergence(
+                            "metrics",
+                            config,
+                            f"shuffled_rows={total_shuffled} vs "
+                            f"{previous[1]} on backend={previous[0]}",
+                        )
+                    )
+
+    if reference[0] == "error":
+        report.reference_error = reference[1]
+        return report
+
+    if question is not None:
+        _check_matcher(report, reference[1], question.nip)
+        _check_explanations(
+            report,
+            query,
+            db,
+            question,
+            explain_grid if explain_grid is not None else EXPLAIN_GRID,
+            workers,
+        )
+    return report
+
+
+def _check_matcher(report: OracleReport, result: Bag, nip: Any) -> None:
+    """Reference vs compiled NIP matcher agreement over the result rows."""
+    compiled = compile_pattern(nip)
+    for i, row in enumerate(result.distinct()):
+        if i >= 64:
+            break
+        ref = matches(row, nip)
+        got = compiled(row)
+        if ref != got:
+            report.divergences.append(
+                Divergence(
+                    "matcher",
+                    "compile_pattern",
+                    f"matches={ref} but compiled={got} for row {_clip(row)}",
+                )
+            )
+            return
+
+
+def _explanation_key(result) -> list:
+    """Explanations as comparable data: ranked label sets + SA count."""
+    return [tuple(sorted(e.labels)) for e in result.explanations]
+
+
+def _check_explanations(
+    report: OracleReport,
+    query: Query,
+    db: Database,
+    question: WhyNotQuestion,
+    grid: Sequence,
+    workers: int,
+) -> None:
+    from repro.whynot.explain import explain
+
+    outcomes = []
+    for backend, opt in grid:
+        # A fresh question per configuration: ``explain`` seeds the result
+        # cache, and sharing it across configurations could mask divergence.
+        fresh = WhyNotQuestion(query, db, question.nip, name=question.name)
+        outcome = _outcome(
+            lambda: explain(
+                fresh, backend=backend, workers=workers, optimize=opt, validate=True
+            )
+        )
+        report.explain_configs_run += 1
+        outcomes.append(((backend, opt), outcome))
+    kinds = {o[0] for _, o in outcomes}
+    if kinds == {"error"}:
+        names = {o[1] for _, o in outcomes}
+        if len(names) > 1:
+            report.divergences.append(
+                Divergence(
+                    "explanation",
+                    "all-configs",
+                    f"differing exception types across configs: {sorted(names)}",
+                )
+            )
+        return
+    baseline_config, baseline = outcomes[0]
+    for config, outcome in outcomes[1:]:
+        if outcome[0] != baseline[0]:
+            report.divergences.append(
+                Divergence(
+                    "explanation",
+                    f"backend={config[0]} optimize={config[1]}",
+                    f"outcome {outcome[0]}/{outcome[1] if outcome[0] == 'error' else ''}"
+                    f" vs {baseline[0]} on backend={baseline_config[0]} "
+                    f"optimize={baseline_config[1]}",
+                )
+            )
+            continue
+        if outcome[0] == "ok":
+            got = _explanation_key(outcome[1])
+            expected = _explanation_key(baseline[1])
+            if got != expected:
+                report.divergences.append(
+                    Divergence(
+                        "explanation",
+                        f"backend={config[0]} optimize={config[1]}",
+                        f"explanations {got} vs {expected}",
+                    )
+                )

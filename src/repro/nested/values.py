@@ -64,6 +64,54 @@ def is_null(value: Any) -> bool:
     return value is None or isinstance(value, _Null)
 
 
+#: The canonical NaN object of the value model.
+#:
+#: IEEE NaN compares unequal to itself, so CPython hashes every NaN float by
+#: object identity (Python ≥ 3.10) and ``pickle`` does not memoize floats —
+#: two "equal-position" NaNs stop being one value the moment a row crosses a
+#: process boundary or is produced by two evaluation paths.  That would make
+#: grouping, joining, deduplication and partition routing depend on object
+#: identity and therefore on the execution strategy.  Instead the engine
+#: maintains the invariant that **every NaN inside the value model is this
+#: single object**: ingestion (:meth:`repro.engine.database.Database.add`),
+#: arithmetic (:class:`repro.algebra.expressions.Arith`), aggregation
+#: (:func:`repro.algebra.aggregates.apply_aggregate`) and unpickling
+#: (:meth:`Tup._unpickle` / :meth:`Bag._unpickle`) all canonicalize.  NaN
+#: thus behaves as one value — SQL's reading for GROUP BY / DISTINCT — and
+#: every backend/partitioning produces identical results.
+NAN = float("nan")
+
+
+def _is_nan(value: Any) -> bool:
+    # ``type is float`` first: ``!=`` on containers would do real work.
+    return type(value) is float and value != value
+
+
+def canonicalize_value(value: Any) -> Any:
+    """Map every NaN inside *value* to the canonical :data:`NAN` object.
+
+    Returns *value* itself (no rebuild) when nothing needs replacing — the
+    overwhelmingly common case — so ingestion-time canonicalization is cheap.
+    """
+    if type(value) is float:
+        return NAN if value != value else value
+    if isinstance(value, Tup):
+        values = value.values()
+        canon = tuple(canonicalize_value(v) for v in values)
+        if all(a is b for a, b in zip(canon, values)):
+            return value
+        return Tup.from_layout(value.layout, canon)
+    if isinstance(value, Bag):
+        changed = False
+        pairs = []
+        for element, count in value.items():
+            canon = canonicalize_value(element)
+            changed = changed or canon is not element
+            pairs.append((canon, count))
+        return Bag.from_counts(pairs) if changed else value
+    return value
+
+
 class Layout:
     """An interned tuple shape: attribute names plus the name→position index.
 
@@ -323,6 +371,16 @@ class Tup:
 
     @classmethod
     def _unpickle(cls, names: tuple, values: tuple) -> "Tup":
+        # ``pickle`` does not memoize floats, so NaNs must be re-canonicalized
+        # on arrival or grouping/joining in worker processes would depend on
+        # object identity (see :data:`NAN`).  Nested Tup/Bag values arrive
+        # through their own ``_unpickle`` and are already canonical.
+        for v in values:
+            if type(v) is float and v != v and v is not NAN:
+                values = tuple(
+                    NAN if (type(u) is float and u != u) else u for u in values
+                )
+                break
         return cls.from_layout(Layout.of(names), values)
 
     def __reduce__(self):
@@ -440,7 +498,12 @@ class Bag:
 
     @classmethod
     def _unpickle(cls, pairs: tuple) -> "Bag":
-        return cls.from_counts(pairs)
+        # Same NaN re-canonicalization as ``Tup._unpickle`` for bags whose
+        # elements are raw floats; counts of NaN elements that were distinct
+        # objects on the sending side merge into the canonical one here.
+        return cls.from_counts(
+            (NAN if (type(e) is float and e != e) else e, c) for e, c in pairs
+        )
 
     def __reduce__(self):
         # Same reason as ``Tup``: immutable slots need an explicit pickle

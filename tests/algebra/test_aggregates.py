@@ -1,10 +1,13 @@
 """Unit tests for the SQL aggregate functions."""
 
+import itertools
+import math
+
 import pytest
 
 from repro.algebra.aggregates import AGGREGATE_FUNCTIONS, AggSpec, apply_aggregate
 from repro.algebra.expressions import col
-from repro.nested.values import NULL, is_null
+from repro.nested.values import NAN, NULL, is_null
 
 
 class TestApplyAggregate:
@@ -36,6 +39,44 @@ class TestApplyAggregate:
     def test_unknown_function(self):
         with pytest.raises(ValueError):
             apply_aggregate("median", [1])
+
+
+class TestNaNOrderIndependence:
+    """Regression: fuzzer seed 4 — aggregates must not depend on input order.
+
+    Python's ``min``/``max`` return whichever operand comes first once a NaN
+    comparison is involved, so group results depended on how the partitioned
+    executor happened to interleave a group's rows.  The fixed semantics
+    (Postgres/Spark): NaN sorts *above* every other value — ``max`` returns
+    NaN whenever one is present, ``min`` only when nothing else is left.
+    """
+
+    def test_min_max_with_nan_are_order_independent(self):
+        values = [float("nan"), 1.0, 2.0]
+        for perm in itertools.permutations(values):
+            assert apply_aggregate("min", list(perm)) == 1.0
+            assert math.isnan(apply_aggregate("max", list(perm)))
+
+    def test_min_of_only_nans_is_nan(self):
+        result = apply_aggregate("min", [float("nan"), float("nan")])
+        assert result is NAN  # canonical object, not just any NaN
+
+    def test_sum_avg_with_nan_return_canonical_nan(self):
+        for func in ("sum", "avg"):
+            for perm in itertools.permutations([float("nan"), 1.0, 2.0]):
+                assert apply_aggregate(func, list(perm)) is NAN
+
+    def test_distinct_treats_nan_as_one_value(self):
+        # With the canonical-NaN invariant, DISTINCT over NaNs counts one
+        # value (SQL semantics) regardless of how rows were partitioned.
+        assert apply_aggregate("count", [NAN, NAN, 1.0], distinct=True) == 2
+
+    def test_mixed_numeric_tower_distinct_is_order_independent(self):
+        # 2 == 2.0 collapse under DISTINCT (True == 1 stays distinct from
+        # both), so the distinct sum is 3 no matter how rows interleave.
+        for perm in itertools.permutations([2, 2.0, True]):
+            assert apply_aggregate("sum", list(perm), distinct=True) == 3
+            assert apply_aggregate("count", list(perm), distinct=True) == 2
 
 
 class TestAggSpec:

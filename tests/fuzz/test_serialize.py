@@ -1,0 +1,71 @@
+"""Round-trip tests for the corpus serialization format."""
+
+import json
+import math
+
+from repro.fuzz.data import FuzzConfig
+from repro.fuzz.harness import generate_case
+from repro.fuzz.serialize import (
+    case_from_json,
+    case_to_json,
+    value_from_json,
+    value_to_json,
+)
+from repro.nested.values import NAN, NULL, Bag, Tup
+from repro.whynot.placeholders import ANY, STAR, gt
+
+
+class TestValueRoundTrip:
+    def test_adversarial_primitives_survive(self):
+        values = [0, 1, -1, True, False, 2, 2.0, 0.0, -0.0, 1.5, "", "a",
+                  "naïve", "x\udc80y", "\U0001f680", NULL]
+        for value in values:
+            restored = value_from_json(json.loads(json.dumps(value_to_json(value))))
+            assert restored == value
+            assert type(restored) is type(value)
+
+    def test_negative_zero_sign_survives(self):
+        restored = value_from_json(json.loads(json.dumps(value_to_json(-0.0))))
+        assert math.copysign(1.0, restored) == -1.0
+
+    def test_nan_restores_as_canonical(self):
+        restored = value_from_json(json.loads(json.dumps(value_to_json(NAN))))
+        assert restored is NAN
+
+    def test_nested_values_and_placeholders(self):
+        nip = Tup(
+            a=ANY,
+            b=Bag([Tup(x=gt(3), y=ANY), STAR]),
+            c=Bag([NAN, 1.0, 1.0]),
+        )
+        restored = value_from_json(json.loads(json.dumps(value_to_json(nip))))
+        assert restored == nip
+
+    def test_empty_bag_survives(self):
+        restored = value_from_json(json.loads(json.dumps(value_to_json(Bag()))))
+        assert isinstance(restored, Bag) and restored.is_empty()
+
+
+class TestCaseRoundTrip:
+    def test_generated_cases_round_trip_exactly(self):
+        for index in range(12):
+            case = generate_case(13, index, FuzzConfig())
+            doc = case_to_json(case)
+            clone = case_from_json(json.loads(json.dumps(doc)))
+            assert case_to_json(clone) == doc
+            # The restored case is runnable and agrees with the original.
+            assert clone.query.evaluate(clone.database()) == case.query.evaluate(
+                case.database()
+            )
+
+    def test_round_trip_preserves_question(self):
+        found = False
+        for index in range(20):
+            case = generate_case(17, index, FuzzConfig())
+            if case.nip is None:
+                continue
+            found = True
+            clone = case_from_json(case_to_json(case))
+            assert clone.nip == case.nip
+            assert clone.question() is not None
+        assert found, "no generated case carried a question"

@@ -1,0 +1,106 @@
+"""Shrinker behaviour: minimal output that still fails, nothing over-shrunk.
+
+The shrinker is exercised two ways: with synthetic failure predicates (fast,
+checks minimality precisely) and end-to-end against a real pre-fix bug shape
+(the pinned ``nan_min_max_partition_order`` corpus case was produced by it).
+"""
+
+import random
+
+from repro.algebra.operators import TableAccess
+from repro.fuzz.data import FuzzConfig
+from repro.fuzz.harness import generate_case, shrink_case
+from repro.fuzz.serialize import case_from_json, case_to_json
+
+MARKER = 424242
+
+
+def _case_with_marker(seed=5, index=2):
+    """A generated case with one marker row injected into one table."""
+    case = generate_case(seed, index, FuzzConfig(), questions=False)
+    table = sorted(case.db_spec.tables)[0]
+    spec = case.db_spec.tables[table]
+    first = spec.rows[0]
+    name = first.attrs[0]
+    spec.rows.append(first.with_attr(name, MARKER))
+    return case, table, name
+
+
+def _contains_marker(case, table, name):
+    return any(
+        row.get(name) == MARKER for row in case.db_spec.tables[table].rows
+    )
+
+
+class TestShrinkRows:
+    def test_rows_shrink_to_the_marker(self):
+        case, table, name = _case_with_marker()
+        assert sum(len(s.rows) for s in case.db_spec.tables.values()) > 1
+
+        def fails(candidate):
+            return _contains_marker(candidate, table, name)
+
+        shrunk = shrink_case(case, still_fails=fails)
+        assert fails(shrunk)
+        # Minimal: exactly the marker row survives across all tables.
+        assert sum(len(s.rows) for s in shrunk.db_spec.tables.values()) == 1
+
+    def test_plan_shrinks_to_a_single_table_access(self):
+        case, table, name = _case_with_marker(seed=6, index=1)
+
+        def fails(candidate):
+            return _contains_marker(candidate, table, name)
+
+        shrunk = shrink_case(case, still_fails=fails)
+        # The failure does not depend on the plan at all, so every non-source
+        # operator must have been removed.
+        assert len(shrunk.query.ops) == 1
+        assert isinstance(shrunk.query.root, TableAccess)
+        assert shrunk.nip is None
+
+    def test_shrunk_case_still_round_trips(self):
+        case, table, name = _case_with_marker(seed=7, index=0)
+
+        def fails(candidate):
+            return _contains_marker(candidate, table, name)
+
+        shrunk = shrink_case(case, still_fails=fails)
+        clone = case_from_json(case_to_json(shrunk))
+        assert fails(clone)
+        assert case_to_json(clone) == case_to_json(shrunk)
+
+
+class TestShrinkAgainstRealOracle:
+    def test_never_failing_case_is_returned_unchanged_in_shape(self):
+        case = generate_case(8, 3, FuzzConfig(), questions=False)
+
+        def never_fails(candidate):
+            return False
+
+        shrunk = shrink_case(case, still_fails=never_fails)
+        # Nothing may be removed when removal doesn't preserve the failure.
+        assert case_to_json(shrunk) == case_to_json(case)
+
+    def test_min_max_bug_shape_shrinks_below_original(self):
+        """End-to-end: re-create the pre-fix min/max divergence with a
+        synthetic order-sensitive oracle and shrink it (the real pre-fix run
+        produced the pinned corpus case the same way, fuzz seed 21)."""
+        case = generate_case(21, 22, FuzzConfig(), questions=False)
+        original_rows = sum(len(s.rows) for s in case.db_spec.tables.values())
+
+        def fails(candidate):
+            # Stand-in for the old order-dependent min/max: fail while any
+            # table still has a NaN float anywhere (the bug's trigger).
+            for spec in candidate.db_spec.tables.values():
+                for row in spec.rows:
+                    for value in row.values():
+                        if type(value) is float and value != value:
+                            return True
+            return False
+
+        assert fails(case), "seed 21 case 22 lost its NaN trigger"
+        shrunk = shrink_case(case, still_fails=fails)
+        assert fails(shrunk)
+        shrunk_rows = sum(len(s.rows) for s in shrunk.db_spec.tables.values())
+        assert shrunk_rows == 1
+        assert shrunk_rows < original_rows

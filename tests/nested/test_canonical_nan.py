@@ -1,0 +1,86 @@
+"""The single-NaN invariant of the value model (fuzzer regressions, seed 2/9).
+
+Every NaN inside the value model must be the canonical ``NAN`` object:
+``pickle`` does not memoize floats and CPython hashes NaN by identity, so
+without canonicalization "equal" NaNs stop grouping/joining together the
+moment a row crosses a process boundary.
+"""
+
+import math
+import pickle
+
+from repro.engine.database import Database
+from repro.nested.values import NAN, NULL, Bag, Tup, canonicalize_value
+
+
+class TestCanonicalizeValue:
+    def test_plain_nan_becomes_canonical(self):
+        fresh = float("nan")
+        assert fresh is not NAN
+        assert canonicalize_value(fresh) is NAN
+
+    def test_clean_values_are_returned_unchanged(self):
+        t = Tup(a=1, b="x", c=Bag([Tup(d=2.5)]))
+        assert canonicalize_value(t) is t
+
+    def test_nested_nan_is_replaced_everywhere(self):
+        t = Tup(a=float("nan"), b=Bag([float("nan"), Tup(c=float("nan"))]))
+        canon = canonicalize_value(t)
+        assert canon["a"] is NAN
+        elements = list(canon["b"])
+        assert elements[0] is NAN or elements[1] is NAN
+        for element in elements:
+            if isinstance(element, Tup):
+                assert element["c"] is NAN
+
+    def test_distinct_nans_merge_in_bags(self):
+        bag = canonicalize_value(Bag([float("nan"), float("nan")]))
+        assert bag.mult(NAN) == 2
+
+    def test_zeros_and_nulls_are_untouched(self):
+        t = Tup(a=0.0, b=-0.0, c=NULL)
+        assert canonicalize_value(t) is t
+
+
+class TestUnpickleCanonicalization:
+    """Fuzzer seed 2: rows crossing the process boundary lose NaN identity."""
+
+    def test_tup_unpickle_restores_canonical_nan(self):
+        t = pickle.loads(pickle.dumps(Tup(x=NAN, y=1)))
+        assert t["x"] is NAN
+
+    def test_bag_unpickle_restores_canonical_nan(self):
+        bag = pickle.loads(pickle.dumps(Bag([NAN, NAN, 2.0])))
+        assert bag.mult(NAN) == 2
+
+    def test_deep_round_trip_keeps_grouping_semantics(self):
+        row = Tup(k=NAN, nested=Bag([Tup(v=NAN)]))
+        clone = pickle.loads(pickle.dumps(row))
+        # Tuple equality relies on the identity shortcut for NaN members;
+        # without canonical unpickling these two rows stop being equal.
+        assert clone == row
+        assert hash(clone) == hash(row)
+
+    def test_nan_free_rows_round_trip_exactly(self):
+        row = Tup(a=1.5, b="x", c=Bag([0.0, -0.0]))
+        assert pickle.loads(pickle.dumps(row)) == row
+
+
+class TestIngestionCanonicalization:
+    def test_database_add_canonicalizes_tup_rows(self):
+        db = Database({"t": [Tup(a=float("nan"))]})
+        rows = list(db.relation("t"))
+        assert rows[0]["a"] is NAN
+
+    def test_database_add_canonicalizes_converted_rows(self):
+        db = Database({"t": [{"a": float("nan"), "b": [{"c": float("nan")}]}]})
+        row = next(iter(db.relation("t")))
+        assert row["a"] is NAN
+        assert next(iter(row["b"]))["c"] is NAN
+
+    def test_nan_rows_group_as_one_value(self):
+        # Two source rows with independently created NaNs: one group.
+        db = Database({"t": [{"k": float("nan"), "v": 1}, {"k": float("nan"), "v": 2}]})
+        keys = {row["k"] for row in db.relation("t")}
+        assert len(keys) == 1
+        assert math.isnan(next(iter(keys)))
