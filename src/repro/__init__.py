@@ -4,14 +4,18 @@ Reproduction of Diestelkämper, Lee, Herschel, Glavic: *"To not miss the
 forest for the trees — A holistic approach for explaining missing answers
 over nested data"*.
 
-Quickstart::
+Quickstart (verbatim-runnable; asserted by ``tests/test_docs.py``)::
 
     from repro import (
         Database, Session, col, lit, Tup, Bag, ANY, STAR,
         WhyNotQuestion, explain,
     )
 
-    db = Database({"person": [...]})
+    db = Database({"person": [
+        {"name": "Peter",
+         "address1": [{"city": "NY", "year": 2010}, {"city": "LA", "year": 2019}],
+         "address2": [{"city": "LA", "year": 2010}, {"city": "SF", "year": 2018}]},
+    ]})
     q = (Session(db).table("person")
             .explode("address2")
             .filter(col("year").ge(lit(2019)))
@@ -21,6 +25,14 @@ Quickstart::
     phi = WhyNotQuestion(q, db, Tup(city="NY", nList=Bag([ANY, STAR])))
     result = explain(phi, alternatives=[["person.address2", "person.address1"]])
     print(result.describe())
+
+Served over HTTP (``python -m repro serve``, see ``docs/API.md``)::
+
+    from repro.api import ExplanationService, ExplainRequest
+
+    service = ExplanationService()
+    response = service.explain(ExplainRequest(scenario="Q1", scale=20))
+    assert response.explanation_sets()
 """
 
 from repro.nested.values import NULL, Bag, Tup
@@ -39,8 +51,16 @@ from repro.whynot.explain import Explanation, WhyNotResult, explain
 from repro.whynot.refine import refine_side_effects
 from repro.whynot.exact import enumerate_explanations
 from repro.baselines import conseil_explain, wnpp_explain
+from repro.wire import WIRE_VERSION
+from repro.api import (
+    Client,
+    ExplainOptions,
+    ExplainRequest,
+    ExplainResponse,
+    ExplanationService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "NULL",
@@ -76,4 +96,10 @@ __all__ = [
     "enumerate_explanations",
     "conseil_explain",
     "wnpp_explain",
+    "WIRE_VERSION",
+    "Client",
+    "ExplainOptions",
+    "ExplainRequest",
+    "ExplainResponse",
+    "ExplanationService",
 ]

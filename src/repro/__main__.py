@@ -9,6 +9,7 @@ Usage::
     python -m repro run Q10 --show-plan      # original vs optimized plan
     python -m repro table7 [--scale 40]      # the Table-7 summary
     python -m repro fuzz --seed 4 --cases 200   # differential fuzz sweep
+    python -m repro serve --port 8080        # HTTP explanation service
 
 ``--backend serial`` (default) evaluates in-process; ``--backend process``
 fans the partitioned execution and SA-group tracing out across worker
@@ -27,10 +28,17 @@ any divergence is shrunk to a minimal repro and (with ``--corpus-dir``)
 written as a corpus JSON file ready to pin as a regression test.  Exit code
 1 signals at least one divergence.
 
+``serve`` boots the HTTP serving front end (:mod:`repro.api.http`): the
+versioned wire-format endpoints ``POST /v1/explain``, ``POST /v1/query``,
+``GET /v1/scenarios`` and ``GET /v1/health`` backed by an
+:class:`~repro.api.ExplanationService` with an LRU result cache — see
+``docs/API.md`` for the endpoint reference and ``repro.api.Client`` for the
+Python client.
+
 Count-like flags (``--workers``, ``--partitions``, ``--cases``, ``--depth``,
-``--rows``, ``--ops``) validate their values up front: zero or negative
-counts fail with a usage error instead of a traceback from deep inside the
-executor.
+``--rows``, ``--ops``, ``--cache-size``) validate their values up front:
+zero or negative counts fail with a usage error instead of a traceback from
+deep inside the executor.
 """
 
 from __future__ import annotations
@@ -188,6 +196,19 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import ExplainOptions, ExplanationService
+    from repro.api.http import serve
+
+    service = ExplanationService(
+        cache_size=args.cache_size,
+        options=ExplainOptions(
+            backend=args.backend, workers=args.workers, optimize=args.optimize
+        ),
+    )
+    return serve(host=args.host, port=args.port, service=service, quiet=args.quiet)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Why-not explanations over nested data"
@@ -281,6 +302,29 @@ def main(argv=None) -> int:
         help="write shrunken divergent cases as JSON into this directory",
     )
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the HTTP explanation service (docs/API.md)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port; 0 binds an ephemeral free port (default 8080)",
+    )
+    serve_parser.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=128,
+        help="LRU result-cache capacity (default 128)",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    add_backend_flags(serve_parser)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -290,6 +334,8 @@ def main(argv=None) -> int:
         return _cmd_table7(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 1
 
 

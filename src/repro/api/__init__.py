@@ -1,0 +1,44 @@
+"""Stable public API: the request/response layer over the wire format.
+
+Three pieces turn the in-process library into a serveable system:
+
+* :class:`ExplanationService` — a stateful server core owning a database
+  registry, request validation, a ``stable_hash``-keyed LRU result cache
+  (hit/miss counters surfaced in every response) and concurrent dispatch
+  (:mod:`repro.api.service`);
+* the HTTP front end — ``python -m repro serve`` exposes
+  ``POST /v1/explain``, ``POST /v1/query``, ``GET /v1/scenarios`` and
+  ``GET /v1/health`` over the versioned wire format of :mod:`repro.wire`
+  (:mod:`repro.api.http`, stdlib ``ThreadingHTTPServer``);
+* :class:`Client` — a small ``urllib`` client so Python callers on other
+  machines get the same typed objects back (:mod:`repro.api.client`).
+
+The in-process entry points (:func:`repro.explain`,
+:func:`repro.scenarios.run_scenario`) are unchanged — the service wraps
+them, and the differential fuzz oracle cross-checks both paths
+(``docs/API.md`` documents the format and its compatibility policy).
+"""
+
+from repro.api.client import ApiError, Client, RemoteExplainResponse
+from repro.api.service import (
+    API_VERSION,
+    BadRequest,
+    ExplainOptions,
+    ExplainRequest,
+    ExplainResponse,
+    ExplanationService,
+    UnknownDatabase,
+)
+
+__all__ = [
+    "API_VERSION",
+    "ApiError",
+    "BadRequest",
+    "Client",
+    "ExplainOptions",
+    "ExplainRequest",
+    "ExplainResponse",
+    "ExplanationService",
+    "RemoteExplainResponse",
+    "UnknownDatabase",
+]

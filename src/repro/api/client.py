@@ -1,0 +1,183 @@
+"""A small HTTP client for the serving front end (stdlib ``urllib`` only).
+
+:class:`Client` speaks the versioned wire format against a running
+``python -m repro serve`` instance, so a Python caller on another machine
+gets the same typed objects the in-process API returns::
+
+    from repro.api import Client
+    client = Client("http://127.0.0.1:8080")
+    client.health()["status"]                     # "ok"
+    response = client.explain(scenario="Q1", scale=20)
+    response.explanation_sets()                   # ranked label sets
+    response.cached, response.cache               # LRU serving metadata
+
+``explain`` also accepts a full :class:`~repro.api.service.ExplainRequest`
+(inline database and all), and ``query`` evaluates a plain plan remotely,
+returning the decoded result bag plus execution metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.api.service import API_VERSION, ExplainOptions, ExplainRequest
+from repro.engine.metrics import ExecutionMetrics
+from repro.nested.values import Bag
+from repro.whynot.approximate import Explanation
+from repro.wire import (
+    check_envelope,
+    database_to_json,
+    explanation_from_json,
+    metrics_from_json,
+    query_to_json,
+    relation_from_json,
+)
+
+
+class ApiError(RuntimeError):
+    """A non-2xx response from the server (carries status + typed payload)."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(f"HTTP {status} {error_type}: {message}")
+        self.status = status
+        self.error_type = error_type
+
+
+@dataclass
+class RemoteExplainResponse:
+    """A decoded ``explain-response`` document (client-side view).
+
+    ``raw`` keeps the full wire document; the accessors decode the parts a
+    caller compares against in-process results.
+    """
+
+    raw: dict
+
+    @property
+    def cached(self) -> bool:
+        """True when the server answered from its LRU without re-tracing."""
+        return self.raw["cached"]
+
+    @property
+    def cache(self) -> dict:
+        """Server-wide cache counters at response time (hits/misses/size)."""
+        return self.raw["cache"]
+
+    @property
+    def n_sas(self) -> int:
+        """Number of schema alternatives the server traced."""
+        return self.raw["result"]["n_sas"]
+
+    @property
+    def timings(self) -> dict:
+        """Per-step timings of the run that produced this result.
+
+        A cache hit returns the stored result unchanged, so these describe
+        the original (miss) run — use :attr:`cached` to tell the cases
+        apart.
+        """
+        return self.raw["result"]["timings"]
+
+    def explanations(self) -> "list[Explanation]":
+        """The ranked explanations as value objects."""
+        return [explanation_from_json(e) for e in self.raw["result"]["explanations"]]
+
+    def explanation_sets(self) -> "list[frozenset[str]]":
+        """Ranked explanations as label sets (byte-comparable to in-process)."""
+        return [frozenset(e["labels"]) for e in self.raw["result"]["explanations"]]
+
+
+class Client:
+    """Synchronous wire-format client for one serving endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}/{API_VERSION}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body, ensure_ascii=True).encode("ascii")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read()).get("error", {})
+            except Exception:  # noqa: BLE001 - error body may be anything
+                payload = {}
+            raise ApiError(
+                exc.code,
+                payload.get("type", "Unknown"),
+                payload.get("message", str(exc)),
+            ) from None
+
+    # -- endpoints ------------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /v1/health`` — liveness, versions and cache counters."""
+        return self._request("GET", "/health")
+
+    def scenarios(self) -> "list[dict]":
+        """``GET /v1/scenarios`` — the server's registered paper scenarios."""
+        return self._request("GET", "/scenarios")["scenarios"]
+
+    def explain(
+        self,
+        request: Optional[ExplainRequest] = None,
+        scenario: Optional[str] = None,
+        scale: Optional[int] = None,
+        options: Optional[ExplainOptions] = None,
+    ) -> RemoteExplainResponse:
+        """``POST /v1/explain`` — answer a why-not question remotely.
+
+        Pass either a full :class:`ExplainRequest` or the scenario
+        shorthand (``scenario=`` + optional ``scale=``/``options=``).
+        """
+        if request is None:
+            if scenario is None:
+                raise ValueError("explain needs a request or a scenario name")
+            request = ExplainRequest(
+                scenario=scenario, scale=scale, options=options or ExplainOptions()
+            )
+        document = self._request("POST", "/explain", request.to_json())
+        check_envelope(document, "explain-response")
+        return RemoteExplainResponse(document)
+
+    def query(
+        self,
+        query: Any,
+        database: "str | Any",
+        options: Optional[ExplainOptions] = None,
+    ) -> "tuple[Bag, ExecutionMetrics]":
+        """``POST /v1/query`` — evaluate a plan remotely.
+
+        ``database`` is a registered name or an inline
+        :class:`~repro.engine.database.Database`; returns the decoded
+        result bag and the server-side execution metrics.
+        """
+        body = {
+            "format": 2,
+            "kind": "query-request",
+            "query": query_to_json(query),
+            "database": (
+                database if isinstance(database, str) else database_to_json(database)
+            ),
+            "options": (options or ExplainOptions()).to_json(),
+        }
+        document = self._request("POST", "/query", body)
+        check_envelope(document, "query-response")
+        return (
+            relation_from_json(document["result"]),
+            metrics_from_json(document["metrics"]),
+        )

@@ -1,0 +1,209 @@
+"""HTTP serving front end over the wire format (stdlib only).
+
+``python -m repro serve --port 8080`` boots a
+:class:`http.server.ThreadingHTTPServer` around one
+:class:`~repro.api.service.ExplanationService`, so any HTTP client — not
+just Python — can submit why-not questions end-to-end:
+
+* ``POST /v1/explain`` — an ``explain-request`` wire document (explicit
+  query+nip+database or the ``{"scenario": "Q1"}`` shorthand) →
+  ``explain-response`` with the ranked explanations and cache counters;
+* ``POST /v1/query`` — a ``query-request`` document → the result relation
+  plus execution metrics;
+* ``GET /v1/scenarios`` — the registered paper scenarios;
+* ``GET /v1/health`` — liveness, versions, cache counters.
+
+Errors come back as JSON ``{"error": {"type", "message"}}`` with 400 for
+malformed/ill-posed requests, 404 for unknown routes, 405 for wrong
+methods, and 500 for unexpected failures.  See ``docs/API.md`` for the
+endpoint reference and curl examples.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro import __version__
+from repro.api.service import (
+    API_VERSION,
+    CLIENT_ERRORS,
+    ExplainOptions,
+    ExplainRequest,
+    ExplanationService,
+)
+from repro.wire import (
+    WIRE_VERSION,
+    check_envelope,
+    database_from_json,
+    metrics_to_json,
+    query_from_json,
+    relation_to_json,
+)
+
+#: Request bodies larger than this are rejected up front (64 MiB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ApiServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ExplanationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: ExplanationService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1/...`` requests onto the bound service."""
+
+    server: ApiServer  # narrowed type for the attribute lookups below
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Suppress per-request stderr noise unless the server is verbose."""
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document, ensure_ascii=True).encode("ascii")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: BaseException) -> None:
+        self._send_json(
+            status,
+            {"error": {"type": type(exc).__name__, "message": str(exc)}},
+        )
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """Dispatch ``GET /v1/health`` and ``GET /v1/scenarios``."""
+        try:
+            if self.path == f"/{API_VERSION}/health":
+                self._send_json(200, self._health())
+            elif self.path == f"/{API_VERSION}/scenarios":
+                self._send_json(
+                    200,
+                    {
+                        "format": WIRE_VERSION,
+                        "kind": "scenarios",
+                        "scenarios": self.server.service.scenarios(),
+                    },
+                )
+            elif self.path in (f"/{API_VERSION}/explain", f"/{API_VERSION}/query"):
+                self._send_json(405, {"error": {"type": "MethodNotAllowed",
+                                                "message": "use POST"}})
+            else:
+                self._send_json(404, {"error": {"type": "NotFound",
+                                                "message": f"no route {self.path}"}})
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_error_json(500, exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """Dispatch ``POST /v1/explain`` and ``POST /v1/query``."""
+        try:
+            if self.path == f"/{API_VERSION}/explain":
+                document = self._read_body()
+                request = ExplainRequest.from_json(document)
+                response = self.server.service.explain(request)
+                self._send_json(200, response.to_json())
+            elif self.path == f"/{API_VERSION}/query":
+                self._send_json(200, self._run_query(self._read_body()))
+            elif self.path in (f"/{API_VERSION}/health", f"/{API_VERSION}/scenarios"):
+                self._send_json(405, {"error": {"type": "MethodNotAllowed",
+                                                "message": "use GET"}})
+            else:
+                self._send_json(404, {"error": {"type": "NotFound",
+                                                "message": f"no route {self.path}"}})
+        except CLIENT_ERRORS as exc:
+            self._send_error_json(400, exc)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_error_json(500, exc)
+
+    def _health(self) -> dict:
+        service = self.server.service
+        return {
+            "format": WIRE_VERSION,
+            "kind": "health",
+            "status": "ok",
+            "version": __version__,
+            "api_version": API_VERSION,
+            "wire_format": WIRE_VERSION,
+            "cache": service.cache_stats(),
+            "databases": service.databases(),
+        }
+
+    def _run_query(self, document: dict) -> dict:
+        check_envelope(document, "query-request")
+        query = query_from_json(document["query"])
+        db_field = document["database"]
+        database = (
+            db_field if isinstance(db_field, str) else database_from_json(db_field)
+        )
+        options = ExplainOptions.from_json(document.get("options"))
+        result, metrics = self.server.service.query(query, database, options)
+        return {
+            "format": WIRE_VERSION,
+            "kind": "query-response",
+            "result": relation_to_json(result),
+            "metrics": metrics_to_json(metrics),
+        }
+
+
+def make_server(
+    service: Optional[ExplanationService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ApiServer:
+    """Build a bound (but not yet serving) API server.
+
+    ``port=0`` binds an ephemeral free port — read it back from
+    ``server.server_address`` (the pattern the tests and the CI smoke
+    script use).
+    """
+    return ApiServer((host, port), service or ExplanationService(), quiet=quiet)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    service: Optional[ExplanationService] = None,
+    quiet: bool = False,
+) -> int:
+    """Run the serving front end until interrupted (the CLI entry point)."""
+    server = make_server(service, host, port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro api {API_VERSION} (wire format {WIRE_VERSION}) "
+          f"listening on http://{bound_host}:{bound_port}")
+    print(f"  POST /{API_VERSION}/explain   POST /{API_VERSION}/query   "
+          f"GET /{API_VERSION}/scenarios   GET /{API_VERSION}/health")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.service.close()
+    return 0

@@ -1,0 +1,487 @@
+"""Request/response layer: ``ExplanationService`` and its dataclasses.
+
+The service is the stateful, production-facing entry point the ROADMAP's
+north star asks for.  It owns
+
+* a **database registry** — named :class:`~repro.engine.database.Database`
+  objects requests can reference instead of shipping data inline;
+* **prepared questions** — every request is resolved and validated
+  (Definition 5) before work is dispatched, so malformed or ill-posed
+  questions fail fast with a typed error;
+* a **result cache** — an LRU keyed by
+  :func:`~repro.engine.hashing.stable_hash` over the request's canonical
+  wire encoding, with hit/miss counters surfaced in every response.  The
+  key covers everything that determines the *explanations* (query, NIP,
+  database content, alternatives, SA toggles); execution-only knobs
+  (backend, workers, partitions, optimize) are excluded because the engine's
+  equivalence guarantees make results independent of them — the same cached
+  entry serves all of them, and the differential fuzz oracle cross-checks
+  the service against direct :func:`~repro.whynot.explain.explain` to keep
+  that assumption honest;
+* **concurrent dispatch** — :meth:`ExplanationService.submit` fans requests
+  out over a thread pool; each request still uses the configured execution
+  backend (:mod:`repro.engine.backends`) underneath.
+
+:func:`~repro.whynot.explain.explain` remains the in-process computational
+core; the service wraps it (and the scenario registry) with the request
+lifecycle, so existing callers and tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.hashing import stable_hash
+from repro.engine.metrics import ExecutionMetrics
+from repro.nested.values import Bag
+from repro.whynot.explain import WhyNotResult, explain
+from repro.whynot.question import IllPosedQuestion, WhyNotQuestion
+from repro.wire import (
+    WIRE_VERSION,
+    check_envelope,
+    database_from_json,
+    database_to_json,
+    envelope,
+    query_from_json,
+    query_to_json,
+    result_to_json,
+    value_from_json,
+    value_to_json,
+)
+from repro.wire.payloads import alternatives_from_json, alternatives_to_json
+
+#: Serving API version (the ``/v1/...`` HTTP prefix).
+API_VERSION = "v1"
+
+#: Largest scenario ``scale`` the service accepts from a request.  ``scale``
+#: is network-controlled input that sizes a synchronous database build, so
+#: it is bounded like any other request knob (the paper's evaluation uses
+#: scales up to the low hundreds).
+MAX_SCENARIO_SCALE = 10_000
+
+
+class UnknownDatabase(KeyError):
+    """Raised when a request references a database name not in the registry."""
+
+
+class BadRequest(ValueError):
+    """Raised when a request payload is structurally invalid or incomplete."""
+
+
+@dataclass(frozen=True)
+class ExplainOptions:
+    """Execution and algorithm knobs of one explain request.
+
+    ``backend``/``workers``/``optimize`` select *how* the engine runs (and
+    default to the ``REPRO_BACKEND``/``REPRO_OPTIMIZE`` environment, like
+    the CLI); ``partitions`` applies to plain query evaluation only
+    (:meth:`ExplanationService.query` / ``POST /v1/query`` — the explain
+    pipeline's tracing step manages its own partitioning);
+    ``use_schema_alternatives``/``revalidate``/``max_sas`` select *what* is
+    computed (the paper's RP vs RPnoSA vs no-revalidation ablation) and
+    therefore participate in the cache key.
+    """
+
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    partitions: Optional[int] = None
+    optimize: Optional[bool] = None
+    use_schema_alternatives: bool = True
+    revalidate: bool = True
+    max_sas: int = 64
+
+    def semantic_fields(self) -> dict:
+        """The option fields that change explanation content (cache key part)."""
+        return {
+            "use_schema_alternatives": self.use_schema_alternatives,
+            "revalidate": self.revalidate,
+            "max_sas": self.max_sas,
+        }
+
+    def to_json(self) -> dict:
+        """Encode as a plain JSON object (all fields, defaults included)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "partitions": self.partitions,
+            "optimize": self.optimize,
+            "use_schema_alternatives": self.use_schema_alternatives,
+            "revalidate": self.revalidate,
+            "max_sas": self.max_sas,
+        }
+
+    @classmethod
+    def from_json(cls, data: Optional[dict]) -> "ExplainOptions":
+        """Decode :meth:`to_json` output; unknown fields are rejected."""
+        if data is None:
+            return cls()
+        extra = set(data) - set(cls.__dataclass_fields__)
+        if extra:
+            raise BadRequest(f"unknown option fields: {sorted(extra)}")
+        return cls(**data)
+
+
+@dataclass
+class ExplainRequest:
+    """One why-not request: ⟨Q, D, t⟩ plus alternatives and options.
+
+    Two forms are accepted:
+
+    * **explicit** — ``query`` + ``nip`` + ``database`` (a registered name
+      or an inline :class:`Database`);
+    * **scenario shorthand** — ``scenario`` (+ optional ``scale``): the
+      server builds query, database, NIP and attribute alternatives from
+      its scenario registry.
+    """
+
+    query: Optional[Any] = None
+    nip: Any = None
+    database: "str | Database | None" = None
+    alternatives: Sequence[Sequence[str]] = ()
+    options: ExplainOptions = field(default_factory=ExplainOptions)
+    name: str = ""
+    scenario: Optional[str] = None
+    scale: Optional[int] = None
+
+    def to_json(self) -> dict:
+        """Encode as an ``explain-request`` wire document."""
+        body: dict = {"options": self.options.to_json(), "name": self.name}
+        if self.scenario is not None:
+            body["scenario"] = self.scenario
+            if self.scale is not None:
+                body["scale"] = self.scale
+        else:
+            if self.query is None or self.database is None:
+                raise BadRequest(
+                    "request needs either a scenario name or query+nip+database"
+                )
+            body["query"] = query_to_json(self.query)
+            body["nip"] = value_to_json(self.nip)
+            body["alternatives"] = alternatives_to_json(self.alternatives)
+            body["database"] = (
+                self.database
+                if isinstance(self.database, str)
+                else database_to_json(self.database)
+            )
+        return envelope("explain-request", body)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ExplainRequest":
+        """Decode :meth:`to_json` output (databases stay name refs/inline)."""
+        check_envelope(data, "explain-request")
+        options = ExplainOptions.from_json(data.get("options"))
+        if "scenario" in data:
+            return cls(
+                scenario=data["scenario"],
+                scale=data.get("scale"),
+                options=options,
+                name=data.get("name", ""),
+            )
+        try:
+            query = query_from_json(data["query"])
+            nip = value_from_json(data["nip"])
+            db_field = data["database"]
+        except KeyError as exc:
+            raise BadRequest(f"explain-request is missing field {exc}") from None
+        database = db_field if isinstance(db_field, str) else database_from_json(db_field)
+        return cls(
+            query=query,
+            nip=nip,
+            database=database,
+            alternatives=alternatives_from_json(data.get("alternatives")),
+            options=options,
+            name=data.get("name", ""),
+        )
+
+
+@dataclass
+class ExplainResponse:
+    """One explain answer: the result plus serving metadata.
+
+    ``cached`` is True when the response was served from the LRU without
+    re-tracing; ``cache`` carries the service-wide hit/miss counters at
+    response time.
+    """
+
+    result: WhyNotResult
+    cached: bool
+    cache: dict
+    api_version: str = API_VERSION
+
+    @property
+    def explanations(self):
+        """The ranked :class:`~repro.whynot.approximate.Explanation` list."""
+        return self.result.explanations
+
+    def explanation_sets(self) -> "list[frozenset[str]]":
+        """Ranked explanations as label sets (the Table-8 comparison format)."""
+        return [frozenset(e.labels) for e in self.result.explanations]
+
+    def to_json(self) -> dict:
+        """Encode as an ``explain-response`` wire document."""
+        return envelope(
+            "explain-response",
+            {
+                "api_version": self.api_version,
+                "cached": self.cached,
+                "cache": dict(self.cache),
+                "result": result_to_json(self.result),
+            },
+        )
+
+
+class ExplanationService:
+    """Stateful explanation server core (registry + cache + dispatch).
+
+    Thread-safe: the registry and cache take an internal lock, and
+    :meth:`submit` dispatches requests on a shared thread pool, so one
+    service instance can back a threaded HTTP front end
+    (:mod:`repro.api.http`) directly.
+    """
+
+    def __init__(
+        self,
+        databases: Optional[dict] = None,
+        cache_size: int = 128,
+        options: Optional[ExplainOptions] = None,
+        max_concurrency: int = 4,
+    ):
+        self._lock = threading.Lock()
+        self._databases: "OrderedDict[str, tuple[Database, int]]" = OrderedDict()
+        self._registrations = 0
+        self._cache: "OrderedDict[int, WhyNotResult]" = OrderedDict()
+        self.cache_size = cache_size
+        self.hits = 0
+        self.misses = 0
+        self.default_options = options or ExplainOptions()
+        self._max_concurrency = max_concurrency
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: Small LRU of built scenario databases — bounded, because ``scale``
+        #: arrives from the network and every distinct value builds a fresh
+        #: database.
+        self._scenario_dbs: "OrderedDict[tuple, Database]" = OrderedDict()
+        self._scenario_db_limit = 16
+        for name, db in (databases or {}).items():
+            self.register_database(name, db)
+
+    # -- registry -------------------------------------------------------------
+
+    def register_database(self, name: str, db: Database) -> None:
+        """Register (or replace) a named database for by-name requests."""
+        with self._lock:
+            self._registrations += 1
+            self._databases[name] = (db, self._registrations)
+
+    def database(self, name: str) -> Database:
+        """Look up a registered database (``UnknownDatabase`` when absent)."""
+        with self._lock:
+            try:
+                return self._databases[name][0]
+            except KeyError:
+                raise UnknownDatabase(
+                    f"no database registered as {name!r}; "
+                    f"have {sorted(self._databases)}"
+                ) from None
+
+    def databases(self) -> "list[str]":
+        """Registered database names, in registration order."""
+        with self._lock:
+            return list(self._databases)
+
+    def scenarios(self) -> "list[dict]":
+        """Metadata of every registered paper scenario (for ``/v1/scenarios``)."""
+        from repro.scenarios import SCENARIOS
+
+        return [
+            {
+                "name": s.name,
+                "description": s.description,
+                "default_scale": s.default_scale,
+                "alternatives": [list(g) for g in s.alternatives],
+                "gold": sorted(s.gold) if s.gold is not None else None,
+                "notes": s.notes,
+            }
+            for s in SCENARIOS.values()
+        ]
+
+    # -- request lifecycle ----------------------------------------------------
+
+    def prepare(self, request: ExplainRequest) -> "tuple[WhyNotQuestion, list, int]":
+        """Resolve and validate a request into ``(question, alternatives, key)``.
+
+        Raises :class:`BadRequest` for structurally invalid requests,
+        :class:`UnknownDatabase` for unresolved database names, and
+        :class:`~repro.whynot.question.IllPosedQuestion` when the "missing"
+        answer is already present (Definition 5).
+        """
+        question, alternatives, key = self._resolve(request)
+        question.validate()
+        return question, alternatives, key
+
+    def _resolve(self, request: ExplainRequest):
+        """Build the question and its cache key without validating it."""
+        if request.scenario is not None:
+            from repro.scenarios import SCENARIOS, get_scenario
+
+            try:
+                scenario = get_scenario(request.scenario)
+            except KeyError:
+                raise BadRequest(
+                    f"unknown scenario {request.scenario!r}; "
+                    f"have {sorted(SCENARIOS)}"
+                ) from None
+            scale = request.scale if request.scale is not None else scenario.default_scale
+            if not isinstance(scale, int) or isinstance(scale, bool) or scale < 1:
+                raise BadRequest(f"scale must be a positive integer, got {scale!r}")
+            if scale > MAX_SCENARIO_SCALE:
+                raise BadRequest(
+                    f"scale {scale} exceeds the serving limit {MAX_SCENARIO_SCALE}"
+                )
+            cache_token = ("scenario", scenario.name, scale)
+            with self._lock:
+                entry = self._scenario_dbs.get((scenario.name, scale))
+                if entry is not None:
+                    self._scenario_dbs.move_to_end((scenario.name, scale))
+            if entry is None:
+                entry = scenario.make_db(scale)
+                with self._lock:
+                    self._scenario_dbs[(scenario.name, scale)] = entry
+                    while len(self._scenario_dbs) > self._scenario_db_limit:
+                        self._scenario_dbs.popitem(last=False)
+            question = WhyNotQuestion(
+                scenario.make_query(), entry, scenario.make_nip(), name=scenario.name
+            )
+            alternatives = list(scenario.alternatives)
+        else:
+            if request.query is None or request.nip is None or request.database is None:
+                raise BadRequest(
+                    "request needs either a scenario name or query+nip+database"
+                )
+            if isinstance(request.database, str):
+                db = self.database(request.database)
+                with self._lock:
+                    token = self._databases[request.database][1]
+                cache_token = ("named", request.database, token, db.version)
+            else:
+                db = request.database
+                cache_token = ("inline", database_to_json(db))
+            question = WhyNotQuestion(
+                request.query, db, request.nip, name=request.name
+            )
+            alternatives = list(request.alternatives)
+        key_doc = {
+            "db": cache_token,
+            "query": query_to_json(question.query),
+            "nip": value_to_json(question.nip),
+            "alternatives": alternatives_to_json(alternatives),
+            "options": request.options.semantic_fields(),
+        }
+        key = stable_hash(json.dumps(key_doc, sort_keys=True, ensure_ascii=True))
+        return question, alternatives, key
+
+    def explain(self, request: ExplainRequest, use_cache: bool = True) -> ExplainResponse:
+        """Answer one request (through the cache unless ``use_cache=False``)."""
+        question, alternatives, key = self._resolve(request)
+        if use_cache and self.cache_size > 0:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.hits += 1
+                    return ExplainResponse(cached, True, self._stats_locked())
+                self.misses += 1
+        question.validate()
+        options = request.options
+        result = explain(
+            question,
+            alternatives=alternatives,
+            use_schema_alternatives=options.use_schema_alternatives,
+            revalidate=options.revalidate,
+            max_sas=options.max_sas,
+            validate=False,
+            backend=options.backend or self.default_options.backend,
+            workers=options.workers or self.default_options.workers,
+            optimize=(
+                options.optimize
+                if options.optimize is not None
+                else self.default_options.optimize
+            ),
+        )
+        if use_cache and self.cache_size > 0:
+            with self._lock:
+                self._cache[key] = result
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        with self._lock:
+            return ExplainResponse(result, False, self._stats_locked())
+
+    def submit(self, request: ExplainRequest, use_cache: bool = True) -> "Future[ExplainResponse]":
+        """Dispatch a request on the service thread pool (concurrent serving)."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_concurrency,
+                    thread_name_prefix="repro-api",
+                )
+            pool = self._pool
+        return pool.submit(self.explain, request, use_cache)
+
+    def query(
+        self,
+        query: Any,
+        database: "str | Database",
+        options: Optional[ExplainOptions] = None,
+    ) -> "tuple[Bag, ExecutionMetrics]":
+        """Evaluate a plain query through the partitioned executor.
+
+        Returns ``(result bag, execution metrics)``; ``options`` selects
+        backend/workers/partitions/optimize for this run.
+        """
+        options = options or self.default_options
+        db = self.database(database) if isinstance(database, str) else database
+        executor = Executor(
+            num_partitions=options.partitions or 4,
+            backend=options.backend or self.default_options.backend,
+            workers=options.workers or self.default_options.workers,
+            optimize=(
+                options.optimize
+                if options.optimize is not None
+                else self.default_options.optimize
+            ),
+        )
+        result = executor.execute(query, db)
+        return result, executor.last_metrics
+
+    # -- cache ----------------------------------------------------------------
+
+    def _stats_locked(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}
+
+    def cache_stats(self) -> dict:
+        """Current cache counters: ``{"hits", "misses", "size"}``."""
+        with self._lock:
+            return self._stats_locked()
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (counters keep accumulating)."""
+        with self._lock:
+            self._cache.clear()
+
+    def close(self) -> None:
+        """Shut the dispatch pool down (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+#: Error types the HTTP layer maps to 4xx responses.
+CLIENT_ERRORS = (BadRequest, UnknownDatabase, IllPosedQuestion, ValueError, KeyError)

@@ -19,7 +19,12 @@ and checks
 4. **matcher agreement** — the reference NIP matcher
    (:func:`repro.whynot.matching.matches`) and the compiled matcher
    (:func:`repro.whynot.matching.compile_pattern`) must agree on every
-   result row.
+   result row;
+5. **service agreement** — :meth:`repro.api.ExplanationService.explain`
+   must return the same explanation payload as direct ``explain`` both with
+   the result cache off and on, the cached re-request must be flagged as a
+   hit, and a consistently-failing question must fail with the same
+   exception type through the service.
 
 A configuration raising the *same* exception type as the reference is
 treated as consistently-unsupported (the case is reported as skipped, not
@@ -52,7 +57,7 @@ EXPLAIN_GRID = (("serial", False), ("serial", True), ("process", False))
 class Divergence:
     """One observed disagreement between execution paths."""
 
-    kind: str  #: "result" | "error" | "metrics" | "explanation" | "matcher"
+    kind: str  #: "result" | "error" | "metrics" | "explanation" | "matcher" | "service"
     config: str  #: the configuration that disagreed with the reference
     detail: str  #: human-readable description (truncated values)
 
@@ -207,6 +212,82 @@ def check_case(
     return report
 
 
+def _check_service(
+    report: OracleReport,
+    query: Query,
+    db: Database,
+    question: WhyNotQuestion,
+    baseline_key,
+    baseline_error: Optional[str],
+) -> None:
+    """Cross-check :class:`repro.api.ExplanationService` against ``explain``.
+
+    Runs the service path with the cache disabled and enabled (twice, to
+    exercise a hit); every response must carry the baseline's explanation
+    payload, and the repeated cached request must be served as a hit with
+    the hit counter incremented.
+    """
+    from repro.api import ExplainRequest, ExplanationService
+
+    def fresh_request() -> ExplainRequest:
+        return ExplainRequest(
+            query=query, nip=question.nip, database=db, name=question.name
+        )
+
+    service = ExplanationService(cache_size=8)
+    runs = (
+        ("service cache=off", lambda: service.explain(fresh_request(), use_cache=False)),
+        ("service cache=miss", lambda: service.explain(fresh_request())),
+        ("service cache=hit", lambda: service.explain(fresh_request())),
+    )
+    for config, run in runs:
+        outcome = _outcome(run)
+        report.explain_configs_run += 1
+        if baseline_error is not None:
+            if outcome[0] != "error" or outcome[1] != baseline_error:
+                report.divergences.append(
+                    Divergence(
+                        "service",
+                        config,
+                        f"outcome {outcome[1] if outcome[0] == 'error' else 'ok'}"
+                        f" vs direct-explain exception {baseline_error}",
+                    )
+                )
+            continue
+        if outcome[0] == "error":
+            report.divergences.append(
+                Divergence(
+                    "service", config, f"raised {outcome[1]} but direct explain succeeded"
+                )
+            )
+            continue
+        response = outcome[1]
+        got = _explanation_key(response.result)
+        if got != baseline_key:
+            report.divergences.append(
+                Divergence(
+                    "service", config, f"explanations {got} vs {baseline_key}"
+                )
+            )
+        expect_hit = config == "service cache=hit"
+        if response.cached != expect_hit:
+            report.divergences.append(
+                Divergence(
+                    "service",
+                    config,
+                    f"cached={response.cached}, expected {expect_hit}",
+                )
+            )
+    if baseline_error is None and service.cache_stats()["hits"] != 1:
+        report.divergences.append(
+            Divergence(
+                "service",
+                "cache counters",
+                f"expected exactly 1 hit, got {service.cache_stats()}",
+            )
+        )
+
+
 def _check_matcher(report: OracleReport, result: Bag, nip: Any) -> None:
     """Reference vs compiled NIP matcher agreement over the result rows."""
     compiled = compile_pattern(nip)
@@ -264,6 +345,8 @@ def _check_explanations(
                     f"differing exception types across configs: {sorted(names)}",
                 )
             )
+        else:
+            _check_service(report, query, db, question, None, outcomes[0][1][1])
         return
     baseline_config, baseline = outcomes[0]
     for config, outcome in outcomes[1:]:
@@ -289,3 +372,7 @@ def _check_explanations(
                         f"explanations {got} vs {expected}",
                     )
                 )
+    if baseline[0] == "ok":
+        _check_service(
+            report, query, db, question, _explanation_key(baseline[1]), None
+        )

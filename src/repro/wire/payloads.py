@@ -1,0 +1,320 @@
+"""Wire payloads: databases, why-not questions, explanations, metrics.
+
+Every top-level document carries an **envelope** — ``{"format": <version>,
+"kind": "<payload kind>", ...}`` — so a reader can reject unknown versions
+up front with a useful error.  The payload bodies are built from the core
+codecs in :mod:`repro.wire.codec`.
+
+Payload kinds:
+
+* ``database``   — named tables, each a declared row schema plus rows;
+* ``question``   — ⟨Q, D, t⟩ plus attribute-alternative groups, with the
+  database either inline or referenced by registered name (the
+  :class:`~repro.api.ExplanationService` registry resolves references);
+* ``result``     — a full :class:`~repro.whynot.explain.WhyNotResult`
+  payload: ranked explanations, SA count/descriptions, step timings and the
+  optimizer summary (backtrace/trace internals stay in-process — they are
+  unbounded and carry no API contract);
+* ``metrics``    — an :class:`~repro.engine.metrics.ExecutionMetrics` dump
+  (per-operator counters + backend/optimizer summary);
+* ``relation``   — a bag of tuples (query results on the wire).
+
+The request/response envelopes of the serving layer (``explain-request`` /
+``explain-response``) are defined next to their dataclasses in
+:mod:`repro.api.service`, built from these payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.engine.metrics import ExecutionMetrics, OperatorMetrics
+from repro.nested.values import Bag
+from repro.whynot.approximate import Explanation
+from repro.whynot.explain import WhyNotResult
+from repro.whynot.question import WhyNotQuestion
+from repro.wire.codec import (
+    SUPPORTED_VERSIONS,
+    WIRE_VERSION,
+    query_from_json,
+    query_to_json,
+    type_from_json,
+    type_to_json,
+    value_from_json,
+    value_to_json,
+)
+
+
+def envelope(kind: str, body: dict) -> dict:
+    """Wrap a payload body in the versioned wire envelope."""
+    document = {"format": WIRE_VERSION, "kind": kind}
+    document.update(body)
+    return document
+
+
+def check_envelope(data: Any, kind: Optional[str] = None) -> dict:
+    """Validate a wire document's envelope and return the document.
+
+    Raises ``ValueError`` on an unsupported format version or (when *kind*
+    is given) a mismatched payload kind.  Format-v1 documents have no
+    ``kind`` field — they predate the payload envelopes — and are accepted
+    as-is for backward compatibility.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"wire document must be a JSON object, got {type(data).__name__}")
+    version = data.get("format")
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported wire format {version!r}; supported: {SUPPORTED_VERSIONS}"
+        )
+    if kind is not None and version >= 2 and data.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} payload, got {data.get('kind')!r}")
+    return data
+
+
+# -- databases ----------------------------------------------------------------
+
+
+def database_to_json(db: Database) -> dict:
+    """Encode a full database: every table's declared schema plus its rows.
+
+    Rows are written with explicit multiplicities (``[row, count]`` pairs),
+    so bag semantics survive the trip exactly.
+    """
+    tables = {}
+    for name in db.tables():
+        tables[name] = {
+            "schema": type_to_json(db.schema(name)),
+            "rows": [[value_to_json(row), count] for row, count in db.relation(name).items()],
+        }
+    return envelope("database", {"tables": tables})
+
+
+def database_from_json(data: dict) -> Database:
+    """Decode :func:`database_to_json` output into a fresh :class:`Database`."""
+    check_envelope(data, "database")
+    db = Database()
+    for name, table in data["tables"].items():
+        rows = Bag.from_counts(
+            (value_from_json(row), count) for row, count in table["rows"]
+        )
+        db.add(name, rows, schema=type_from_json(table["schema"]))
+    return db
+
+
+# -- attribute-alternative groups ---------------------------------------------
+
+
+def _source_to_str(spec: Any) -> str:
+    """Normalize a ``(table, path)`` source tuple to its dotted-string form."""
+    if isinstance(spec, str):
+        return spec
+    table, path = spec
+    return ".".join((table, *path))
+
+
+def alternatives_to_json(groups: Sequence) -> list:
+    """Encode attribute-alternative groups, preserving both shapes.
+
+    A *mutual* group (plain iterable of interchangeable attributes) encodes
+    as a list of dotted strings; a *directed* pair ``(from, [to, ...])``
+    (the paper's ``place.country → user.location`` arrows) encodes as
+    ``{"from": ..., "to": [...]}`` — see
+    :func:`repro.whynot.alternatives.enumerate_schema_alternatives`.
+    """
+    out = []
+    for group in groups:
+        if (
+            isinstance(group, tuple)
+            and len(group) == 2
+            and isinstance(group[0], str)
+            and not isinstance(group[1], str)
+        ):
+            out.append(
+                {"from": group[0], "to": [_source_to_str(s) for s in group[1]]}
+            )
+        else:
+            out.append([_source_to_str(s) for s in group])
+    return out
+
+
+def alternatives_from_json(data: Sequence) -> list:
+    """Decode :func:`alternatives_to_json` output (shapes preserved)."""
+    groups: list = []
+    for group in data or ():
+        if isinstance(group, dict):
+            groups.append((group["from"], [str(s) for s in group["to"]]))
+        else:
+            groups.append([str(s) for s in group])
+    return groups
+
+
+# -- why-not questions --------------------------------------------------------
+
+
+def question_to_json(
+    question: WhyNotQuestion,
+    alternatives: Sequence[Sequence[str]] = (),
+    database: Optional[str] = None,
+) -> dict:
+    """Encode a why-not question ⟨Q, D, t⟩ plus its attribute alternatives.
+
+    When *database* is given the payload references the database by that
+    registered name instead of inlining the data (the service registry
+    resolves it); otherwise the full database is embedded.
+    """
+    body = {
+        "name": question.name,
+        "query": query_to_json(question.query),
+        "nip": value_to_json(question.nip),
+        "alternatives": alternatives_to_json(alternatives),
+        "database": database if database is not None else database_to_json(question.db),
+    }
+    return envelope("question", body)
+
+
+def question_from_json(
+    data: dict, resolve_database=None
+) -> "tuple[WhyNotQuestion, list[list[str]]]":
+    """Decode :func:`question_to_json` output.
+
+    Returns ``(question, alternatives)``.  A by-name database reference is
+    resolved through *resolve_database* (a ``name -> Database`` callable,
+    typically the service registry); without one, a name reference raises
+    ``ValueError``.
+    """
+    check_envelope(data, "question")
+    db_field = data["database"]
+    if isinstance(db_field, str):
+        if resolve_database is None:
+            raise ValueError(
+                f"question references database {db_field!r} by name but no "
+                "registry was provided"
+            )
+        db = resolve_database(db_field)
+    else:
+        db = database_from_json(db_field)
+    question = WhyNotQuestion(
+        query_from_json(data["query"]),
+        db,
+        value_from_json(data["nip"]),
+        name=data.get("name", ""),
+    )
+    return question, alternatives_from_json(data.get("alternatives"))
+
+
+# -- relations ----------------------------------------------------------------
+
+
+def relation_to_json(bag: Bag) -> dict:
+    """Encode a query result (a bag of tuples) as a ``relation`` payload."""
+    return envelope("relation", {"rows": [[value_to_json(r), c] for r, c in bag.items()]})
+
+
+def relation_from_json(data: dict) -> Bag:
+    """Decode :func:`relation_to_json` output."""
+    check_envelope(data, "relation")
+    return Bag.from_counts((value_from_json(r), c) for r, c in data["rows"])
+
+
+# -- explanations and results -------------------------------------------------
+
+
+def explanation_to_json(explanation: Explanation) -> dict:
+    """Encode one ranked explanation (operator ids, labels, SA, bounds)."""
+    return {
+        "ops": sorted(explanation.ops),
+        "labels": list(explanation.labels),
+        "sa_index": explanation.sa_index,
+        "sa_description": explanation.sa_description,
+        "lb": explanation.lb,
+        "ub": explanation.ub,
+        "rank": explanation.rank,
+    }
+
+
+def explanation_from_json(data: dict) -> Explanation:
+    """Decode :func:`explanation_to_json` output."""
+    return Explanation(
+        ops=frozenset(data["ops"]),
+        labels=tuple(data["labels"]),
+        sa_index=data["sa_index"],
+        sa_description=data["sa_description"],
+        lb=data["lb"],
+        ub=data["ub"],
+        rank=data["rank"],
+    )
+
+
+def result_to_json(result: WhyNotResult) -> dict:
+    """Encode a :class:`WhyNotResult` as a ``result`` payload.
+
+    The payload is the API contract of an explanation run: the question
+    identity (name + NIP), the ranked explanations, the number and
+    descriptions of the traced schema alternatives, per-step timings, rows
+    traced, and the optimizer summary.  The in-process-only fields
+    (``backtrace``, ``trace``, the SA queries themselves) are deliberately
+    not wire-visible.
+    """
+    body = {
+        "question": result.question.name,
+        "nip": value_to_json(result.question.nip),
+        "explanations": [explanation_to_json(e) for e in result.explanations],
+        "n_sas": result.n_sas,
+        "sa_descriptions": [sa.describe() for sa in result.sas],
+        "rows_traced": result.rows_traced(),
+        "timings": dict(result.timings),
+        "optimizer": result.optimizer,
+    }
+    return envelope("result", body)
+
+
+def metrics_to_json(metrics: ExecutionMetrics) -> dict:
+    """Encode an :class:`ExecutionMetrics` as a ``metrics`` payload."""
+    operators = {}
+    for op_id, m in metrics.operators.items():
+        operators[str(op_id)] = {
+            "label": m.label,
+            "rows_in": m.rows_in,
+            "rows_out": m.rows_out,
+            "shuffled_rows": m.shuffled_rows,
+            "partitions": m.partitions,
+            "tasks": m.tasks,
+            "wall_seconds": m.wall_seconds,
+            "cpu_seconds": m.cpu_seconds,
+            "origins": list(m.origins),
+        }
+    body = {
+        "operators": operators,
+        "wall_seconds": metrics.wall_seconds,
+        "backend": metrics.backend,
+        "workers": metrics.workers,
+        "optimizer": metrics.optimizer,
+    }
+    return envelope("metrics", body)
+
+
+def metrics_from_json(data: dict) -> ExecutionMetrics:
+    """Decode :func:`metrics_to_json` output."""
+    check_envelope(data, "metrics")
+    metrics = ExecutionMetrics(
+        wall_seconds=data["wall_seconds"],
+        backend=data["backend"],
+        workers=data["workers"],
+        optimizer=data["optimizer"],
+    )
+    for op_id, m in data["operators"].items():
+        metrics.operators[int(op_id)] = OperatorMetrics(
+            op_id=int(op_id),
+            label=m["label"],
+            rows_in=m["rows_in"],
+            rows_out=m["rows_out"],
+            shuffled_rows=m["shuffled_rows"],
+            partitions=m["partitions"],
+            tasks=m["tasks"],
+            wall_seconds=m["wall_seconds"],
+            cpu_seconds=m["cpu_seconds"],
+            origins=tuple(m["origins"]),
+        )
+    return metrics

@@ -102,3 +102,23 @@ class TestListCommand:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "Q10" in out
+
+
+class TestServeCommand:
+    """The serve subcommand validates its knobs before binding a socket."""
+
+    def test_rejects_bad_cache_size(self, capsys):
+        _usage_error(["serve", "--cache-size", "0"])
+        err = capsys.readouterr().err
+        assert "--cache-size" in err and "Traceback" not in err
+
+    def test_rejects_bad_workers(self, capsys):
+        _usage_error(["serve", "--workers", "0"])
+        assert "--workers" in capsys.readouterr().err
+
+    def test_help_documents_endpoints_doc(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--port" in out and "--cache-size" in out

@@ -17,6 +17,7 @@ from check_links import check_all, doc_files  # noqa: E402
 def test_required_docs_exist():
     for name in (
         "README.md",
+        "docs/API.md",
         "docs/ARCHITECTURE.md",
         "docs/BENCHMARKS.md",
         "docs/OPTIMIZER.md",
@@ -68,6 +69,50 @@ def test_optimizer_doc_linked_from_architecture_and_benchmarks():
         "prune-columns",
     ):
         assert rule in optimizer_doc, f"rule {rule} missing from the catalog"
+
+
+def test_quickstart_docstring_is_verbatim_runnable():
+    """The package docstring's quickstart blocks must execute as written
+    (they drift silently as the API evolves otherwise)."""
+    import textwrap
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import repro
+
+    blocks = re.findall(r"::\n\n((?:    .*\n|\n)+)", repro.__doc__)
+    assert len(blocks) >= 2, "expected the library and service quickstart blocks"
+    namespace = {}
+    for block in blocks:
+        exec(textwrap.dedent(block), namespace)  # noqa: S102 - doc under test
+    assert namespace["result"].explanations, "quickstart found no explanations"
+    assert namespace["response"].explanation_sets()
+
+
+def test_api_doc_covers_wire_format_and_endpoints():
+    api_doc = (REPO_ROOT / "docs/API.md").read_text()
+    for needle in (
+        "/v1/explain",
+        "/v1/query",
+        "/v1/scenarios",
+        "/v1/health",
+        "curl",
+        "ExplanationService",
+        "Client",
+        '"format": 2',
+        "Compatibility policy",
+        "python -m repro serve",
+    ):
+        assert needle in api_doc, f"docs/API.md is missing {needle!r}"
+
+
+def test_api_doc_linked_from_readme_and_architecture():
+    assert "docs/API.md" in (REPO_ROOT / "README.md").read_text()
+    assert "API.md" in (REPO_ROOT / "docs/ARCHITECTURE.md").read_text()
+
+
+def test_readme_documents_serve():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "python -m repro serve" in readme
 
 
 def test_public_api_docstring_coverage():

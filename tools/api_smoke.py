@@ -1,0 +1,130 @@
+"""End-to-end smoke test of the HTTP serving front end (the CI ``api`` job).
+
+Boots ``python -m repro serve`` as a real subprocess on a free port, then
+drives it through :class:`repro.api.Client`:
+
+1. ``GET /v1/health`` answers ``status: ok`` (polled until the server is up);
+2. ``GET /v1/scenarios`` lists the TPC-H scenarios;
+3. ``POST /v1/explain`` on a TPC-H scenario returns a wire-schema-valid
+   response whose explanation sets are **identical** to in-process
+   ``explain()``;
+4. the repeated request is served from the LRU cache (hit counter + flag);
+5. ``POST /v1/query`` returns the correct result bag.
+
+Exits non-zero on any failure; the surrounding CI step adds the timeout.
+
+Usage::
+
+    PYTHONPATH=src python tools/api_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Client, ExplainOptions  # noqa: E402
+from repro.scenarios import get_scenario  # noqa: E402
+from repro.whynot.explain import explain  # noqa: E402
+from repro.wire import check_envelope  # noqa: E402
+
+SCENARIO = "Q1"
+SCALE = 20
+BOOT_TIMEOUT_S = 60.0
+
+
+def free_port() -> int:
+    """Grab an ephemeral TCP port for the server subprocess."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_health(client: Client, deadline: float) -> dict:
+    """Poll ``/v1/health`` until the server answers or the deadline passes."""
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            health = client.health()
+            if health.get("status") == "ok":
+                return health
+        except Exception as exc:  # noqa: BLE001 - booting server refuses/ECONNRESET
+            last_error = exc
+        time.sleep(0.2)
+    raise TimeoutError(f"server did not become healthy: {last_error!r}")
+
+
+def main() -> int:
+    port = free_port()
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port), "--quiet"],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    client = Client(f"http://127.0.0.1:{port}")
+    try:
+        health = wait_for_health(client, time.monotonic() + BOOT_TIMEOUT_S)
+        print(f"health ok: version={health['version']} wire={health['wire_format']}")
+
+        names = {s["name"] for s in client.scenarios()}
+        assert SCENARIO in names, f"{SCENARIO} missing from /v1/scenarios: {names}"
+        print(f"scenarios ok: {len(names)} registered")
+
+        scenario = get_scenario(SCENARIO)
+        question = scenario.question(SCALE)
+        direct = explain(question, alternatives=scenario.alternatives)
+        expected = [frozenset(e.labels) for e in direct.explanations]
+
+        started = time.perf_counter()
+        cold = client.explain(scenario=SCENARIO, scale=SCALE)
+        cold_s = time.perf_counter() - started
+        check_envelope(cold.raw, "explain-response")
+        check_envelope(cold.raw["result"], "result")
+        assert cold.explanation_sets() == expected, (
+            f"served explanations {cold.explanation_sets()} != in-process {expected}"
+        )
+        assert not cold.cached
+        print(f"explain ok: {len(expected)} explanations match in-process "
+              f"({cold_s * 1000:.0f} ms cold)")
+
+        started = time.perf_counter()
+        warm = client.explain(scenario=SCENARIO, scale=SCALE)
+        warm_s = time.perf_counter() - started
+        assert warm.cached, "second request was not served from the cache"
+        assert warm.cache["hits"] == cold.cache["hits"] + 1, warm.cache
+        assert warm.explanation_sets() == expected
+        print(f"cache ok: hit served in {warm_s * 1000:.0f} ms "
+              f"(counters {warm.cache})")
+
+        bag, metrics = client.query(
+            question.query, question.db, ExplainOptions(partitions=3)
+        )
+        assert bag == question.query.evaluate(question.db), "/v1/query result differs"
+        print(f"query ok: |result|={len(bag)} backend={metrics.backend}")
+        print("api smoke: OK")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            output, _ = process.communicate(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            output, _ = process.communicate()
+        if output:
+            print("--- server log ---")
+            print(output.rstrip())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: Packages whose public surface must be fully documented.
-CHECKED_PACKAGES = ("repro/algebra", "repro/engine", "repro/fuzz", "repro/whynot")
+CHECKED_PACKAGES = (
+    "repro/algebra",
+    "repro/api",
+    "repro/engine",
+    "repro/fuzz",
+    "repro/whynot",
+    "repro/wire",
+)
 
 
 def _is_public(name: str) -> bool:
