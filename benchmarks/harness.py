@@ -33,20 +33,29 @@ recorded in the payloads, and the Figure-10 series always measures the plain
 query both optimizer-off and optimizer-on (``query_s`` vs ``query_opt_s``)
 so every ``BENCH_fig10.json`` carries the on-vs-off comparison.
 
+``REPRO_BENCH_ENGINE=columnar`` switches the timed runs to the columnar
+batch engine (:mod:`repro.engine.columnar`); ``query_speedups`` /
+``query_speedup_aggregate`` in ``BENCH_fig10.json`` then measure the
+kernel-codegen speedup of the plain query path against the row-engine
+baseline.  See ``docs/KERNELS.md``.
+
 See ``docs/BENCHMARKS.md`` for how to read the emitted files.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Optional
 
 from repro.baselines.common import build_s1_trace
 from repro.baselines.wnpp import wnpp_explain
 from repro.engine.backends import get_backend
+from repro.engine.columnar import resolve_engine
 from repro.engine.executor import Executor
 from repro.scenarios import get_scenario
 from repro.whynot.explain import explain
@@ -74,10 +83,20 @@ def bench_optimize() -> bool:
     )
 
 
+def bench_engine() -> str:
+    """The evaluation engine timed runs use (``REPRO_BENCH_ENGINE``, default row)."""
+    return resolve_engine(os.environ.get("REPRO_BENCH_ENGINE") or "row")
+
+
 def backend_info() -> dict:
-    """Backend/optimizer metadata embedded into the BENCH payloads."""
+    """Backend/optimizer/engine metadata embedded into the BENCH payloads."""
     backend = bench_backend()
-    return {"name": backend.name, "workers": backend.workers, "optimize": bench_optimize()}
+    return {
+        "name": backend.name,
+        "workers": backend.workers,
+        "optimize": bench_optimize(),
+        "engine": bench_engine(),
+    }
 
 
 def write_result(name: str, text: str) -> None:
@@ -127,8 +146,11 @@ def emit_fig10_bench(series: "list[dict]") -> dict:
     if baseline is not None:
         base_by_name = {row["scenario"]: row for row in baseline["series"]}
         speedups = {}
+        query_speedups = {}
         base_total = 0.0
         new_total = 0.0
+        base_query_total = 0.0
+        new_query_total = 0.0
         for row in series:
             base_row = base_by_name.get(row["scenario"])
             if base_row is None:
@@ -136,12 +158,22 @@ def emit_fig10_bench(series: "list[dict]") -> dict:
             row["baseline_rp_s"] = base_row["rp_s"]
             row["baseline_query_s"] = base_row["query_s"]
             row["rp_speedup"] = base_row["rp_s"] / row["rp_s"] if row["rp_s"] else None
+            row["query_speedup"] = (
+                base_row["query_s"] / row["query_s"] if row["query_s"] else None
+            )
             speedups[row["scenario"]] = row["rp_speedup"]
+            query_speedups[row["scenario"]] = row["query_speedup"]
             base_total += base_row["rp_s"]
             new_total += row["rp_s"]
+            base_query_total += base_row["query_s"]
+            new_query_total += row["query_s"]
         payload["baseline_tag"] = baseline.get("tag", "baseline")
         payload["rp_speedups"] = speedups
         payload["rp_speedup_aggregate"] = base_total / new_total if new_total else None
+        payload["query_speedups"] = query_speedups
+        payload["query_speedup_aggregate"] = (
+            base_query_total / new_query_total if new_query_total else None
+        )
     write_json("BENCH_fig10", payload)
     return payload
 
@@ -194,7 +226,28 @@ def emit_fig11_bench(series: "list[dict]") -> dict:
     return payload
 
 
-def time_query(scenario_name: str, scale: int, backend=None, optimize=None) -> float:
+@contextmanager
+def _gc_paused():
+    """Disable the cyclic GC around a timed region (``timeit`` convention).
+
+    The plain-query timings are sub-millisecond; a collection triggered by
+    garbage from the much larger pipeline runs interleaved in the same
+    process would otherwise dominate the measurement.  Collection is forced
+    once up front so the timed region starts from a clean heap.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def time_query(
+    scenario_name: str, scale: int, backend=None, optimize=None, engine=None
+) -> float:
     """Wall time of the plain (partitioned) execution of the scenario query."""
     scenario = get_scenario(scenario_name)
     question = scenario.question(scale)
@@ -202,10 +255,12 @@ def time_query(scenario_name: str, scale: int, backend=None, optimize=None) -> f
         num_partitions=4,
         backend=backend if backend is not None else bench_backend(),
         optimize=optimize if optimize is not None else bench_optimize(),
+        engine=engine if engine is not None else bench_engine(),
     )
-    started = time.perf_counter()
-    executor.execute(question.query, question.db)
-    return time.perf_counter() - started
+    with _gc_paused():
+        started = time.perf_counter()
+        executor.execute(question.query, question.db)
+        return time.perf_counter() - started
 
 
 def time_explain(
@@ -215,6 +270,7 @@ def time_explain(
     alternatives=None,
     backend=None,
     optimize=None,
+    engine=None,
 ) -> tuple[float, int]:
     """Wall time of the full why-not pipeline; returns (seconds, #SAs)."""
     scenario = get_scenario(scenario_name)
@@ -228,6 +284,7 @@ def time_explain(
         validate=False,
         backend=backend if backend is not None else bench_backend(),
         optimize=optimize if optimize is not None else bench_optimize(),
+        engine=engine if engine is not None else bench_engine(),
     )
     return time.perf_counter() - started, result.n_sas
 

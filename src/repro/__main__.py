@@ -23,7 +23,8 @@ per-rule provenance annotations before running it.
 
 ``fuzz`` runs the seeded differential-testing sweep of :mod:`repro.fuzz`
 (see ``docs/FUZZING.md``): random nested databases and plans are checked
-across ``Query.evaluate`` × backends × optimizer on/off × partition counts;
+across ``Query.evaluate`` × backends × optimizer on/off × partition counts
+× row/columnar engines;
 any divergence is shrunk to a minimal repro and (with ``--corpus-dir``)
 written as a corpus JSON file ready to pin as a regression test.  Exit code
 1 signals at least one divergence.
@@ -101,6 +102,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         optimize=args.optimize,
+        engine=args.engine,
     )
     print(f"  WN++    : {_fmt(run.wnpp)}")
     print(f"  Conseil : {_fmt(run.conseil)}")
@@ -125,6 +127,7 @@ def _cmd_table7(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             optimize=args.optimize,
+            engine=args.engine,
         )
         wn, nosa, rp = run.counts()
         gold = run.gold_position()
@@ -140,17 +143,21 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     config = FuzzConfig(depth=args.depth, rows=args.rows, ops=args.ops)
     backends = ("serial", "process") if args.backend == "both" else (args.backend,)
-    explain_grid = [(b, opt) for b in backends for opt in (False, True)]
+    engines = ("row", "columnar") if args.engine is None else (args.engine,)
+    explain_grid = [
+        (b, opt, e) for b in backends for opt in (False, True) for e in engines
+    ]
     oracle_options = dict(
         partitions=args.partitions,
         backends=backends,
         workers=args.workers,
+        engines=engines,
         explain_grid=explain_grid,
     )
     print(
         f"fuzzing: seed={args.seed} cases={args.cases} depth={args.depth} "
         f"rows={args.rows} ops={args.ops} partitions={','.join(map(str, args.partitions))} "
-        f"backends={'+'.join(backends)}"
+        f"backends={'+'.join(backends)} engines={'+'.join(engines)}"
     )
     result = run_sweep(
         args.seed,
@@ -179,6 +186,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 f"--depth {args.depth} --rows {args.rows} --ops {args.ops} "
                 f"--partitions {','.join(map(str, args.partitions))} "
                 f"--backend {args.backend}"
+                + (f" --engine {args.engine}" if args.engine else "")
             )
             dump_case(
                 case,
@@ -203,7 +211,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = ExplanationService(
         cache_size=args.cache_size,
         options=ExplainOptions(
-            backend=args.backend, workers=args.workers, optimize=args.optimize
+            backend=args.backend,
+            workers=args.workers,
+            optimize=args.optimize,
+            engine=args.engine,
         ),
     )
     return serve(host=args.host, port=args.port, service=service, quiet=args.quiet)
@@ -236,6 +247,13 @@ def main(argv=None) -> int:
             default=None,
             help="run the logical plan optimizer on the answer path "
             "(default: REPRO_OPTIMIZE)",
+        )
+        p.add_argument(
+            "--engine",
+            choices=("row", "columnar"),
+            default=None,
+            help="chain evaluation engine: row closures or generated "
+            "columnar kernels (default: REPRO_ENGINE or row)",
         )
 
     run_parser = sub.add_parser("run", help="run one scenario")
@@ -285,6 +303,12 @@ def main(argv=None) -> int:
         type=_positive_int,
         default=2,
         help="worker processes for the process backend (default 2)",
+    )
+    fuzz.add_argument(
+        "--engine",
+        choices=("row", "columnar"),
+        default=None,
+        help="restrict the engine axis to one engine (default: cross-check both)",
     )
     fuzz.add_argument(
         "--no-questions",

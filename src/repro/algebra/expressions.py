@@ -33,7 +33,20 @@ from repro.nested.values import NAN, NULL, Bag, Tup, is_null
 CompiledExpr = Callable[[Tup], Any]
 
 
+class KernelUnsupported(Exception):
+    """Raised by a codegen hook when a node cannot be lowered to kernel code.
+
+    The kernel builder (:mod:`repro.engine.kernels`) treats this as "fall
+    back to the row-at-a-time path for the whole chain" — never as an error,
+    so hooks are free to decline any shape they cannot reproduce exactly.
+    """
+
+
 COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Python source operator per comparison token (for kernel codegen); the
+#: inline operators agree with :data:`_CMP_FUNCS` exactly.
+_CMP_SOURCE = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
 _CMP_FUNCS: dict[str, Callable[[Any, Any], bool]] = {
     "=": lambda a, b: a == b,
@@ -73,6 +86,20 @@ class Expr:
 
     def _compile(self) -> CompiledExpr:
         raise NotImplementedError
+
+    def emit_kernel(self, kb) -> str:
+        """Lower this node into kernel source (see ``docs/KERNELS.md``).
+
+        *kb* is the :class:`repro.engine.kernels.KernelBuilder` for the chain
+        being compiled.  The hook may append statements through the builder
+        and must return a Python expression string yielding the node's value
+        for the current row; it must agree with :meth:`eval` /
+        :meth:`compile` exactly (⊥ propagation, canonical NaN, comparison
+        ``TypeError`` → ``False``).  Raise :class:`KernelUnsupported` when
+        the node cannot be lowered — the whole chain then runs on the row
+        path.
+        """
+        raise KernelUnsupported(type(self).__name__)
 
     def __getstate__(self):
         """Pickle without the compiled closure (workers re-compile lazily).
@@ -194,6 +221,9 @@ class Attr(Expr):
     def _compile(self) -> CompiledExpr:
         return compile_path(self.path)
 
+    def emit_kernel(self, kb) -> str:
+        return kb.path_value(self.path)
+
     def map_attrs(self, fn: Callable[[Path], Path]) -> "Attr":
         return Attr(fn(self.path))
 
@@ -221,6 +251,14 @@ class Const(Expr):
     def _compile(self) -> CompiledExpr:
         value = self.value
         return lambda t: value
+
+    def emit_kernel(self, kb) -> str:
+        # int/bool/str literals inline verbatim; anything else (floats with
+        # NaN, tuples, bags, ⊥) is bound as a kernel global so the kernel
+        # yields the *same object* the row path would.
+        if type(self.value) in (int, bool, str):
+            return repr(self.value)
+        return kb.bind(self.value)
 
     def map_attrs(self, fn: Callable[[Path], Path]) -> "Const":
         return self
@@ -273,6 +311,19 @@ class Cmp(Expr):
                 return False
 
         return run
+
+    def emit_kernel(self, kb) -> str:
+        lhs = kb.capture(self.left.emit_kernel(kb))
+        rhs = kb.capture(self.right.emit_kernel(kb))
+        out = kb.tmp()
+        kb.emit(f"if {kb.null_test(lhs)} or {kb.null_test(rhs)}:")
+        kb.emit(f"    {out} = False")
+        kb.emit("else:")
+        kb.emit("    try:")
+        kb.emit(f"        {out} = {lhs} {_CMP_SOURCE[self.op]} {rhs}")
+        kb.emit("    except TypeError:")
+        kb.emit(f"        {out} = False")
+        return out
 
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
@@ -345,6 +396,18 @@ class Arith(Expr):
 
         return run
 
+    def emit_kernel(self, kb) -> str:
+        lhs = kb.capture(self.left.emit_kernel(kb))
+        rhs = kb.capture(self.right.emit_kernel(kb))
+        out = kb.tmp()
+        kb.emit(f"if {kb.null_test(lhs)} or {kb.null_test(rhs)}:")
+        kb.emit(f"    {out} = _NULL")
+        kb.emit("else:")
+        kb.emit(f"    {out} = {lhs} {self.op} {rhs}")
+        kb.emit(f"    if type({out}) is float and {out} != {out}:")
+        kb.emit(f"        {out} = _NAN")
+        return out
+
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
 
@@ -394,6 +457,20 @@ class And(Expr):
 
         return run
 
+    def emit_kernel(self, kb) -> str:
+        # Nested ifs preserve short-circuit evaluation: term i+1's statements
+        # only run when term i was truthy, exactly like the compiled closure.
+        out = kb.tmp()
+        kb.emit(f"{out} = False")
+        opened = 0
+        for term in self.terms:
+            kb.emit(f"if {term.emit_kernel(kb)}:")
+            kb.indent += 1
+            opened += 1
+        kb.emit(f"{out} = True")
+        kb.indent -= opened
+        return out
+
     def children(self) -> tuple[Expr, ...]:
         return self.terms
 
@@ -438,6 +515,18 @@ class Or(Expr):
 
         return run
 
+    def emit_kernel(self, kb) -> str:
+        out = kb.tmp()
+        kb.emit(f"{out} = True")
+        opened = 0
+        for term in self.terms:
+            kb.emit(f"if not ({term.emit_kernel(kb)}):")
+            kb.indent += 1
+            opened += 1
+        kb.emit(f"{out} = False")
+        kb.indent -= opened
+        return out
+
     def children(self) -> tuple[Expr, ...]:
         return self.terms
 
@@ -468,6 +557,9 @@ class Not(Expr):
     def _compile(self) -> CompiledExpr:
         fn = self.term.compile()
         return lambda t: not fn(t)
+
+    def emit_kernel(self, kb) -> str:
+        return f"(not ({self.term.emit_kernel(kb)}))"
 
     def children(self) -> tuple[Expr, ...]:
         return (self.term,)
@@ -526,6 +618,20 @@ class Contains(Expr):
 
         return run
 
+    def emit_kernel(self, kb) -> str:
+        hay = kb.capture(self.haystack.emit_kernel(kb))
+        needle = kb.capture(self.needle.emit_kernel(kb))
+        out = kb.tmp()
+        kb.emit(f"if {kb.null_test(hay)} or {kb.null_test(needle)}:")
+        kb.emit(f"    {out} = False")
+        kb.emit(f"elif isinstance({hay}, str):")
+        kb.emit(f"    {out} = str({needle}) in {hay}")
+        kb.emit(f"elif isinstance({hay}, _Bag):")
+        kb.emit(f"    {out} = {needle} in {hay}")
+        kb.emit("else:")
+        kb.emit(f"    {out} = False")
+        return out
+
     def children(self) -> tuple[Expr, ...]:
         return (self.haystack, self.needle)
 
@@ -560,6 +666,10 @@ class IsNull(Expr):
     def _compile(self) -> CompiledExpr:
         fn = self.term.compile()
         return lambda t: is_null(fn(t))
+
+    def emit_kernel(self, kb) -> str:
+        value = kb.capture(self.term.emit_kernel(kb))
+        return f"({kb.null_test(value)})"
 
     def children(self) -> tuple[Expr, ...]:
         return (self.term,)

@@ -41,10 +41,14 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.algebra.aggregates import AggSpec, apply_aggregate
-from repro.algebra.expressions import Attr, Expr
+from repro.algebra.expressions import Attr, Expr, KernelUnsupported
 from repro.nested.paths import Path, compile_path, parse_path, path_str
 from repro.nested.types import AnyType, BagType, TupleType
 from repro.nested.values import NULL, Bag, Layout, Tup, is_null
+
+#: ⊥'s concrete type, for inlined null tests in aggregation hot loops
+#: (identity against ``NULL`` is not enough: unpickling creates new ⊥s).
+_NULL_TYPE = type(NULL)
 
 
 class EvalContext:
@@ -70,6 +74,12 @@ class Operator:
     """
 
     symbol = "?"
+
+    #: True when the operator may change row cardinality (filtering or
+    #: flattening).  The kernel builder (:mod:`repro.engine.kernels`) emits
+    #: per-operator row counters only after these operators; every other
+    #: chain operator is 1:1 and inherits its input count.
+    kernel_changes_cardinality = False
 
     def __init__(self, children: Sequence["Operator"], label: Optional[str] = None):
         self.children: tuple[Operator, ...] = tuple(children)
@@ -116,6 +126,36 @@ class Operator:
     def eval_rows(self, child_rows: list[list[Tup]], ctx: EvalContext) -> list[Tup]:
         """Evaluate this operator over its children's row lists (bag semantics)."""
         raise NotImplementedError
+
+    def kernel_key(self, ctx: EvalContext) -> tuple:
+        """Hashable semantic identity of this operator for the kernel cache.
+
+        Two operators with equal keys must emit byte-identical kernel code
+        for the same input layout, so the key covers every parameter the
+        emission reads — including schema-derived facts such as the field
+        names a flatten pads with.  Operators without a codegen hook raise
+        :class:`~repro.algebra.expressions.KernelUnsupported`, which the
+        kernel builder treats as "run the whole chain on the row path".
+        """
+        raise KernelUnsupported(type(self).__name__)
+
+    def emit_kernel(self, kb, ctx: EvalContext) -> None:
+        """Emit this operator's per-row kernel statements into builder *kb*.
+
+        Called inside the generated per-partition loop with the current row
+        held as named column variables (``kb.columns()``).  The hook mutates
+        the builder's column map to reflect its output row and may emit
+        ``continue`` (filtering), open ``for`` loops by raising ``kb.indent``
+        (flattening — subsequent operators then run once per element), or
+        ``raise _Bailout`` for value shapes the kernel cannot reproduce
+        bit-identically; a bailout makes the caller rerun the partition on
+        the row-at-a-time path, which also recreates exact error messages.
+        Semantics must mirror :meth:`eval_rows` exactly — same outputs, same
+        ⊥/NaN handling, same exceptions on malformed data (via bailout).
+        Operators that cannot be lowered raise
+        :class:`~repro.algebra.expressions.KernelUnsupported`.
+        """
+        raise KernelUnsupported(type(self).__name__)
 
     def output_schema(self, child_schemas: list[TupleType], db) -> TupleType:
         """Infer the output row schema from the children's schemas (Table 1)."""
@@ -250,6 +290,15 @@ class Projection(Operator):
         from_layout = Tup.from_layout
         return [from_layout(layout, tuple(fn(t) for fn in fns)) for t in child_rows[0]]
 
+    def kernel_key(self, ctx):
+        return ("pi", self.cols)
+
+    def emit_kernel(self, kb, ctx):
+        new_cols = []
+        for name, expr in self.cols:
+            new_cols.append((name, kb.capture(expr.emit_kernel(kb))))
+        kb.set_cols(new_cols)
+
     def output_schema(self, child_schemas, db) -> TupleType:
         from repro.algebra.schema import expr_type
 
@@ -290,6 +339,15 @@ class Renaming(Operator):
         from_layout = Tup.from_layout
         return [from_layout(t.layout.rename(pairs), t.values()) for t in child_rows[0]]
 
+    def kernel_key(self, ctx):
+        return ("rho", self.pairs)
+
+    def emit_kernel(self, kb, ctx):
+        mapping = self._mapping()
+        kb.set_cols(
+            [(mapping.get(name, name), var) for name, var in kb.columns()]
+        )
+
     def output_schema(self, child_schemas, db) -> TupleType:
         mapping = self._mapping()
         return TupleType(
@@ -320,6 +378,16 @@ class Selection(Operator):
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
         pred = self.pred.compile()
         return [t for t in child_rows[0] if pred(t)]
+
+    kernel_changes_cardinality = True
+
+    def kernel_key(self, ctx):
+        return ("sigma", self.pred)
+
+    def emit_kernel(self, kb, ctx):
+        cond = self.pred.emit_kernel(kb)
+        kb.emit(f"if not ({cond}):")
+        kb.emit("    continue")
 
     def output_schema(self, child_schemas, db) -> TupleType:
         return child_schemas[0]
@@ -402,6 +470,24 @@ class Join(Operator):
         dropped = set(drop)
         return Tup((name, NULL) for name, _ in schema.fields if name not in dropped)
 
+    def _cached_pad(self, schema: TupleType) -> Tup:
+        """The (drop-free) ⊥ pad row for *schema*, memoised per schema object.
+
+        Outer joins need the pad once per :meth:`eval_keyed` call; schemas are
+        stable across an execution, so a one-entry identity-checked cache
+        avoids rebuilding the row per partition.
+        """
+        memo = getattr(self, "_compiled_pads", None)
+        if memo is None:
+            memo = {}
+            self._compiled_pads = memo
+        cached = memo.get(id(schema))
+        if cached is not None and cached[0] is schema:
+            return cached[1]
+        pad = self._pad(schema)
+        memo[id(schema)] = (schema, pad)  # holding schema keeps its id valid
+        return pad
+
     def _right_drop(self) -> "frozenset[str]":
         drop = getattr(self, "_compiled_drop", None)
         if drop is None:
@@ -417,6 +503,38 @@ class Join(Operator):
         if drop:
             right_t = right_t.drop(drop)
         return left_t.concat(right_t)
+
+    def _combiner(self, left_layout, right_layout):
+        """A fused ``(left, right) → combined`` row builder for a layout pair.
+
+        Equivalent to :meth:`_combine` but materializes one output ``Tup``
+        per pair instead of an intermediate dropped right tuple; the combined
+        layout and the kept right positions are resolved once per
+        ``(left layout, right layout)`` pair and memoised (joins emit one
+        output row per match, which makes this the hot constructor of the
+        whole wide path).
+        """
+        memo = getattr(self, "_compiled_combiners", None)
+        if memo is None:
+            memo = {}
+            self._compiled_combiners = memo
+        fn = memo.get((left_layout, right_layout))
+        if fn is None:
+            drop = self._right_drop()
+            if drop:
+                kept, _, gather = right_layout.drop(tuple(sorted(drop)))
+            else:
+                kept, gather = right_layout, None
+            combined = left_layout.concat(kept)
+            mk = Tup.from_layout
+            if gather is None:
+                def fn(l, r):
+                    return mk(combined, l._values + r._values)
+            else:
+                def fn(l, r):
+                    return mk(combined, l._values + gather(r._values))
+            memo[(left_layout, right_layout)] = fn
+        return fn
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
         left_key, right_key = self.key_fns()
@@ -435,36 +553,86 @@ class Join(Operator):
         Used directly by the executor so shuffle keys are not recomputed
         inside each partition.
         """
+        extra = self.extra.compile() if self.extra is not None else None
+        combiner = self._combiner
+        combiners: dict = {}
+        out: list[Tup] = []
+        if self.how == "inner":
+            # Inner joins need no matched-side bookkeeping: index rows (not
+            # positions) and emit straight off the probe loop.
+            row_index: dict[tuple, list[Tup]] = {}
+            for key, r in right_pairs:
+                if key is not None:
+                    members = row_index.get(key)
+                    if members is None:
+                        row_index[key] = [r]
+                    else:
+                        members.append(r)
+            append = out.append
+            cl = cr = fn = None
+            for key, l in left_pairs:
+                if key is None:
+                    continue
+                members = row_index.get(key)
+                if members is None:
+                    continue
+                for r in members:
+                    if l._layout is not cl or r._layout is not cr:
+                        cl, cr = l._layout, r._layout
+                        fn = combiners.get((cl, cr))
+                        if fn is None:
+                            fn = combiners[(cl, cr)] = combiner(cl, cr)
+                    combined = fn(l, r)
+                    if extra is not None and not extra(combined):
+                        continue
+                    append(combined)
+            return out
         index: dict[tuple, list[int]] = {}
         for j, (key, _) in enumerate(right_pairs):
             if key is not None:
-                index.setdefault(key, []).append(j)
-        extra = self.extra.compile() if self.extra is not None else None
-        combine = self._combine
-        out: list[Tup] = []
+                positions = index.get(key)
+                if positions is None:
+                    index[key] = [j]
+                else:
+                    positions.append(j)
         matched_right: set[int] = set()
         right_pad = (
-            self._pad(ctx.schema_of(self.children[1]))
+            self._cached_pad(ctx.schema_of(self.children[1]))
             if self.how in ("left", "full")
             else None
         )
         empty: tuple[int, ...] = ()
+        cl = cr = fn = None  # one-entry layout-pair combiner cache (identity)
+        pad_cl = pad_fn = None  # same, for the ⊥-padded rows
         for key, l in left_pairs:
             any_match = False
             for j in index.get(key, empty) if key is not None else empty:
-                combined = combine(l, right_pairs[j][1])
+                r = right_pairs[j][1]
+                if l._layout is not cl or r._layout is not cr:
+                    cl, cr = l._layout, r._layout
+                    fn = combiners.get((cl, cr))
+                    if fn is None:
+                        fn = combiners[(cl, cr)] = combiner(cl, cr)
+                combined = fn(l, r)
                 if extra is not None and not extra(combined):
                     continue
                 out.append(combined)
                 matched_right.add(j)
                 any_match = True
             if not any_match and right_pad is not None:
-                out.append(combine(l, right_pad))
+                if l._layout is not pad_cl:
+                    pad_cl = l._layout
+                    pad_fn = combiner(pad_cl, right_pad._layout)
+                out.append(pad_fn(l, right_pad))
         if self.how in ("right", "full"):
-            left_pad = self._pad(ctx.schema_of(self.children[0]))
+            left_pad = self._cached_pad(ctx.schema_of(self.children[0]))
+            pad_cr = pad_rfn = None
             for j, (_, r) in enumerate(right_pairs):
                 if j not in matched_right:
-                    out.append(combine(left_pad, r))
+                    if r._layout is not pad_cr:
+                        pad_cr = r._layout
+                        pad_rfn = combiner(left_pad._layout, pad_cr)
+                    out.append(pad_rfn(left_pad, r))
         return out
 
     def output_schema(self, child_schemas, db) -> TupleType:
@@ -527,6 +695,38 @@ class TupleFlatten(Operator):
             else:
                 raise TypeError(f"tuple flatten of non-tuple value {value!r} at {self.path}")
         return out
+
+    def _kernel_field_names(self, ctx) -> tuple[str, ...]:
+        nested = _strict_resolve(ctx.schema_of(self.children[0]), self.path)
+        return nested.names if isinstance(nested, TupleType) else ()
+
+    def kernel_key(self, ctx):
+        if self.alias is not None:
+            return ("ftup", self.path, self.alias)
+        return ("ftup", self.path, None, self._kernel_field_names(ctx))
+
+    def emit_kernel(self, kb, ctx):
+        value = kb.capture(kb.path_value(self.path))
+        if self.alias is not None:
+            kb.replace_or_append(self.alias, value)
+            return
+        field_names = self._kernel_field_names(ctx)
+        field_vars = [kb.tmp() for _ in field_names]
+        layout_var = kb.bind(Layout.of(field_names))
+        kb.emit(f"if {kb.null_test(value)}:")
+        kb.indent += 1
+        kb.emit(" = ".join(field_vars + ["_NULL"]) if field_vars else "pass")
+        kb.indent -= 1
+        kb.emit(f"elif isinstance({value}, _Tup) and {value}._layout is {layout_var}:")
+        kb.indent += 1
+        kb.emit(f"{', '.join(field_vars)}, = {value}._values" if field_vars else "pass")
+        kb.indent -= 1
+        kb.emit("else:")
+        kb.indent += 1
+        kb.emit("raise _Bailout")
+        kb.indent -= 1
+        for name, var in zip(field_names, field_vars):
+            kb.append_col(name, var)
 
     def output_schema(self, child_schemas, db) -> TupleType:
         schema = child_schemas[0]
@@ -674,6 +874,60 @@ class RelationFlatten(Operator):
                     out.append(t.concat(element))
         return out
 
+    kernel_changes_cardinality = True
+
+    def kernel_key(self, ctx):
+        names = (self.alias,) if self.alias is not None else self._element_fields(ctx)
+        return ("frel", self.path, self.alias, self.outer, names)
+
+    def emit_kernel(self, kb, ctx):
+        value = kb.capture(kb.path_value(self.path))
+        seq = kb.tmp()
+        if self.alias is not None:
+            pad_element: Any = NULL
+        else:
+            pad_names = self._element_fields(ctx)
+            pad_element = Tup.from_layout(
+                Layout.of(pad_names), (NULL,) * len(pad_names)
+            )
+        kb.emit(
+            f"if {kb.null_test(value)}"
+            f" or (isinstance({value}, _Bag) and {value}.is_empty()):"
+        )
+        kb.indent += 1
+        if self.outer:
+            kb.emit(f"{seq} = {kb.bind((pad_element,))}")
+        else:
+            kb.emit("continue")
+        kb.indent -= 1
+        kb.emit(f"elif isinstance({value}, _Bag):")
+        kb.indent += 1
+        kb.emit(f"{seq} = {value}")
+        kb.indent -= 1
+        kb.emit("else:")
+        kb.indent += 1
+        kb.emit("raise _Bailout")
+        kb.indent -= 1
+        elem = kb.tmp()
+        kb.emit(f"for {elem} in {seq}:")
+        kb.indent += 1  # stays raised: the rest of the chain runs per element
+        if self.alias is not None:
+            kb.append_col(self.alias, elem)
+            return
+        names = self._element_fields(ctx)
+        layout_var = kb.bind(Layout.of(names))
+        kb.emit(
+            f"if not (isinstance({elem}, _Tup) and {elem}._layout is {layout_var}):"
+        )
+        kb.indent += 1
+        kb.emit("raise _Bailout")
+        kb.indent -= 1
+        field_vars = [kb.tmp() for _ in names]
+        if field_vars:
+            kb.emit(f"{', '.join(field_vars)}, = {elem}._values")
+        for name, var in zip(names, field_vars):
+            kb.append_col(name, var)
+
     def output_schema(self, child_schemas, db) -> TupleType:
         schema = child_schemas[0]
         bag_type = _strict_resolve(schema, self.path)
@@ -736,6 +990,17 @@ class TupleNesting(Operator):
             for t in child_rows[0]
         ]
 
+    def kernel_key(self, ctx):
+        return ("ntup", self.attrs, self.target)
+
+    def emit_kernel(self, kb, ctx):
+        proj_layout = kb.bind(Layout.of(self.attrs))
+        vars_ = [kb.col(name) for name in self.attrs]
+        inner = ", ".join(vars_) + ("," if vars_ else "")
+        nested = kb.capture(f"_mk({proj_layout}, ({inner}))")
+        kb.drop_cols(self.attrs)
+        kb.append_col(self.target, nested)
+
     def output_schema(self, child_schemas, db) -> TupleType:
         schema = child_schemas[0]
         nested = schema.project(self.attrs)
@@ -785,18 +1050,21 @@ class RelationNesting(Operator):
     def eval_keyed(self, pairs: "list[tuple[Tup, Tup]]", ctx) -> list[Tup]:
         """Group rows by precomputed keys and nest the projections on A."""
         attrs = self.attrs
-        groups: dict[Tup, list[Tup]] = {}
+        # Same C-level ``(layout, values)`` grouping as GroupAggregation:
+        # interned layouts make it exactly ``Tup`` equality without the
+        # per-row Python ``__hash__`` call.
+        groups: "dict[tuple, tuple[Tup, list[Tup]]]" = {}
         for key, t in pairs:
-            members = groups.get(key)
-            if members is None:
-                groups[key] = [t.project(attrs)]
+            entry = groups.get((key._layout, key._values))
+            if entry is None:
+                groups[(key._layout, key._values)] = (key, [t.project(attrs)])
             else:
-                members.append(t.project(attrs))
+                entry[1].append(t.project(attrs))
         target_layout = Layout.of((self.target,))
         from_layout = Tup.from_layout
         return [
             key.concat(from_layout(target_layout, (Bag(members),)))
-            for key, members in groups.items()
+            for key, members in groups.values()
         ]
 
     def output_schema(self, child_schemas, db) -> TupleType:
@@ -848,7 +1116,10 @@ class NestedAggregation(Operator):
 
     def aggregate_value(self, t: Tup) -> Any:
         """The aggregate over one row's nested relation (shared with tracing)."""
-        bag = compile_path(self.attr)(t)
+        return self.aggregate_bag(compile_path(self.attr)(t))
+
+    def aggregate_bag(self, bag: Any) -> Any:
+        """The aggregate over one nested-relation value (⊥ counts as empty)."""
         if is_null(bag):
             elements: list[Any] = []
         elif isinstance(bag, Bag):
@@ -867,6 +1138,14 @@ class NestedAggregation(Operator):
 
     def eval_rows(self, child_rows, ctx) -> list[Tup]:
         return [t.with_attr(self.out, self.aggregate_value(t)) for t in child_rows[0]]
+
+    def kernel_key(self, ctx):
+        return ("gamma_nest", self.func, self.attr, self.out, self.field)
+
+    def emit_kernel(self, kb, ctx):
+        agg = kb.bind(self.aggregate_bag)
+        value = kb.capture(f"{agg}({kb.path_value(self.attr)})")
+        kb.replace_or_append(self.out, value)
 
     def output_schema(self, child_schemas, db) -> TupleType:
         from repro.nested.types import FLOAT, INT
@@ -992,15 +1271,53 @@ class GroupAggregation(Operator):
 
     def eval_keyed(self, pairs: "list[tuple[Tup, Tup]]", ctx) -> list[Tup]:
         """Group rows by precomputed keys and aggregate each group."""
-        groups: dict[Tup, list[Tup]] = {}
+        # Group on ``(layout, values)`` instead of the key ``Tup``: layouts
+        # are interned, so this is exactly ``Tup`` equality/hashing but stays
+        # in C-level tuple hashing instead of calling ``Tup.__hash__`` per
+        # row.  The first-seen key tuple represents its group, as before.
+        groups: "dict[tuple, tuple[Tup, list[Tup]]]" = {}
         for key, t in pairs:
-            members = groups.get(key)
-            if members is None:
-                groups[key] = [t]
+            entry = groups.get((key._layout, key._values))
+            if entry is None:
+                groups[(key._layout, key._values)] = (key, [t])
             else:
-                members.append(t)
-        aggregate = self.aggregate_tuple
-        return [key.concat(aggregate(members)) for key, members in groups.items()]
+                entry[1].append(t)
+        # Fused output construction: equivalent to
+        # ``key.concat(self.aggregate_tuple(members))`` without the
+        # intermediate aggregate tuple (one output row per group is the hot
+        # constructor of the aggregation path).
+        agg_layout = getattr(self, "_compiled_agg_layout", None)
+        if agg_layout is None:
+            agg_layout = self._compiled_agg_layout = Layout.of(
+                spec.out for spec in self.aggs
+            )
+        plan = self._agg_plan()
+        mk = Tup.from_layout
+        out: list[Tup] = []
+        ckl = cout = None  # one-entry key-layout → output-layout cache
+        for key, members in groups.values():
+            values = []
+            for _, func, distinct, fn in plan:
+                if fn is None:
+                    values.append(len(members))
+                elif func == "count" and not distinct:
+                    # len([v if not null]) without the intermediate list; the
+                    # null test is inlined (one Python call per row saved).
+                    n = 0
+                    for t in members:
+                        v = fn(t)
+                        if v is not None and type(v) is not _NULL_TYPE:
+                            n += 1
+                    values.append(n)
+                else:
+                    values.append(
+                        apply_aggregate(func, [fn(t) for t in members], distinct)
+                    )
+            if key._layout is not ckl:
+                ckl = key._layout
+                cout = ckl.concat(agg_layout)
+            out.append(mk(cout, key._values + tuple(values)))
+        return out
 
     def output_schema(self, child_schemas, db) -> TupleType:
         from repro.algebra.schema import expr_type
@@ -1328,8 +1645,12 @@ class Query:
         return "\n".join(lines)
 
     def __getstate__(self) -> dict:
-        """Pickle without the schema cache (it pins a database reference)."""
-        return {k: v for k, v in self.__dict__.items() if k != "_schema_cache"}
+        """Pickle without the schema/plan caches (they pin database references)."""
+        return {
+            k: v
+            for k, v in self.__dict__.items()
+            if k not in ("_schema_cache", "_optimize_cache")
+        }
 
     def __repr__(self) -> str:
         return f"Query({self.root.describe()}, ops={len(self.ops)})"

@@ -79,20 +79,23 @@ class BadRequest(ValueError):
 class ExplainOptions:
     """Execution and algorithm knobs of one explain request.
 
-    ``backend``/``workers``/``optimize`` select *how* the engine runs (and
-    default to the ``REPRO_BACKEND``/``REPRO_OPTIMIZE`` environment, like
-    the CLI); ``partitions`` applies to plain query evaluation only
-    (:meth:`ExplanationService.query` / ``POST /v1/query`` — the explain
-    pipeline's tracing step manages its own partitioning);
-    ``use_schema_alternatives``/``revalidate``/``max_sas`` select *what* is
-    computed (the paper's RP vs RPnoSA vs no-revalidation ablation) and
-    therefore participate in the cache key.
+    ``backend``/``workers``/``optimize``/``engine`` select *how* the engine
+    runs (and default to the ``REPRO_BACKEND``/``REPRO_OPTIMIZE``/
+    ``REPRO_ENGINE`` environment, like the CLI); ``partitions`` applies to
+    plain query evaluation only (:meth:`ExplanationService.query` /
+    ``POST /v1/query`` — the explain pipeline's tracing step manages its own
+    partitioning); ``use_schema_alternatives``/``revalidate``/``max_sas``
+    select *what* is computed (the paper's RP vs RPnoSA vs no-revalidation
+    ablation) and therefore participate in the cache key.  ``engine`` is an
+    execution-only knob — explanations are engine-invariant, so it stays out
+    of the cache key like ``backend``.
     """
 
     backend: Optional[str] = None
     workers: Optional[int] = None
     partitions: Optional[int] = None
     optimize: Optional[bool] = None
+    engine: Optional[str] = None
     use_schema_alternatives: bool = True
     revalidate: bool = True
     max_sas: int = 64
@@ -112,6 +115,7 @@ class ExplainOptions:
             "workers": self.workers,
             "partitions": self.partitions,
             "optimize": self.optimize,
+            "engine": self.engine,
             "use_schema_alternatives": self.use_schema_alternatives,
             "revalidate": self.revalidate,
             "max_sas": self.max_sas,
@@ -413,6 +417,7 @@ class ExplanationService:
                 if options.optimize is not None
                 else self.default_options.optimize
             ),
+            engine=options.engine or self.default_options.engine,
         )
         if use_cache and self.cache_size > 0:
             with self._lock:
@@ -456,6 +461,7 @@ class ExplanationService:
                 if options.optimize is not None
                 else self.default_options.optimize
             ),
+            engine=options.engine or self.default_options.engine,
         )
         result = executor.execute(query, db)
         return result, executor.last_metrics

@@ -24,6 +24,11 @@ Task shapes understood by :func:`run_task`:
     Run a fused chain of narrow operators over one partition; returns the
     final rows plus per-operator ``(op_id, rows_in, rows_out, seconds)``
     stats so the driver can merge metrics across workers.
+``("kchain", op_ids, rows)``
+    The columnar engine's variant of ``chain``: the partition runs through
+    one generated-and-cached kernel when possible, with a per-partition
+    row-path fallback (see :mod:`repro.engine.columnar`); returns
+    ``(rows, stats, kernel_info)``.
 ``("rows", op_id, child_rows)``
     Generic ``eval_rows`` call (deduplication, difference, global
     aggregation).
@@ -56,6 +61,7 @@ from functools import partial
 from typing import Any, Optional, Sequence
 
 from repro.algebra.operators import EvalContext, Query, RelationNesting
+from repro.engine.columnar import task_kernel_chain
 from repro.nested.values import NAN, Bag, Layout, Tup
 
 #: Environment variables consulted when no explicit backend/workers is given.
@@ -121,16 +127,24 @@ class TaskContext:
         """The driver-side :class:`WorkerState` for inline (serial) evaluation."""
         if self._state is None:
             self._state = WorkerState(self.query, self.db, self.sa_queries)
+            self._state.local = True
         return self._state
 
 
 class WorkerState:
-    """Per-process view of a :class:`TaskContext` with lazy eval contexts."""
+    """Per-process view of a :class:`TaskContext` with lazy eval contexts.
+
+    ``local`` is True only for the driver-side state of the serial backend:
+    its task payloads never cross a pickle boundary, so NaN re-canonical-
+    ization of driver-computed keys can be skipped (the value model keeps
+    in-process NaNs canonical by construction).
+    """
 
     def __init__(self, query: Query, db, sa_queries: Optional[Sequence[Query]] = None):
         self.query = query
         self.db = db
         self.sa_queries = sa_queries
+        self.local = False
         self._ctx: Optional[EvalContext] = None
         self._sa_ctxs: dict[int, EvalContext] = {}
 
@@ -202,8 +216,9 @@ def _canonicalize_key_nans(pairs: list) -> None:
 def _task_join_keyed(state: WorkerState, op_id: int, left_pairs: list, right_pairs: list) -> Any:
     op = state.op(op_id)
     started = time.perf_counter()
-    _canonicalize_key_nans(left_pairs)
-    _canonicalize_key_nans(right_pairs)
+    if not state.local:
+        _canonicalize_key_nans(left_pairs)
+        _canonicalize_key_nans(right_pairs)
     out = op.eval_keyed(left_pairs, right_pairs, state.ctx())
     n_in = len(left_pairs) + len(right_pairs)
     return out, [(op_id, n_in, len(out), time.perf_counter() - started)]
@@ -326,6 +341,7 @@ def _task_trace_group(state: WorkerState, sa: int, op_id: int, parent_vals: list
 
 _TASK_HANDLERS = {
     "chain": _task_chain,
+    "kchain": task_kernel_chain,
     "rows": _task_rows,
     "join_keyed": _task_join_keyed,
     "group_keyed": _task_group_keyed,

@@ -54,6 +54,13 @@ from repro.algebra.operators import (
     Union,
 )
 from repro.engine.backends import ExecutionBackend, TaskContext, get_backend
+from repro.engine.columnar import (
+    group_key_scatter,
+    join_key_scatter,
+    merge_kernel_info,
+    new_kernel_info,
+    resolve_engine,
+)
 from repro.engine.database import Database
 from repro.engine.hashing import stable_hash
 from repro.engine.metrics import ExecutionMetrics, OperatorMetrics
@@ -136,6 +143,13 @@ class Executor:
     ``REPRO_OPTIMIZE`` environment variable.  Results are identical either
     way — the optimizer's equivalence suite enforces it for every scenario —
     and ``last_report`` keeps the rewrite provenance of the last run.
+
+    ``engine`` selects the chain-evaluation engine: ``"row"`` evaluates
+    fused chains row-at-a-time through compiled closures (the oracle path),
+    ``"columnar"`` lowers each chain to a cached generated kernel with
+    vectorized shuffle-key extraction for wide operators
+    (:mod:`repro.engine.columnar`); ``None`` defers to ``REPRO_ENGINE``.
+    Result bags are bit-identical across engines for every plan.
     """
 
     def __init__(
@@ -144,12 +158,14 @@ class Executor:
         backend: "str | ExecutionBackend | None" = None,
         workers: Optional[int] = None,
         optimize: Optional[bool] = None,
+        engine: Optional[str] = None,
     ):
         if num_partitions < 1:
             raise ValueError("need at least one partition")
         self.num_partitions = num_partitions
         self.backend = get_backend(backend, workers)
         self.optimize = resolve_optimize(optimize)
+        self.engine = resolve_engine(engine)
         self.last_metrics: Optional[ExecutionMetrics] = None
         self.last_report: Optional[OptimizationReport] = None
 
@@ -164,14 +180,19 @@ class Executor:
         ctx = EvalContext(db, query.infer_schemas(db))
         context = TaskContext(query, db)
         metrics = ExecutionMetrics(
-            backend=self.backend.name, workers=self.backend.workers
+            backend=self.backend.name,
+            workers=self.backend.workers,
+            engine=self.engine,
         )
+        if self.engine == "columnar":
+            metrics.kernels = new_kernel_info()
         cache: dict[int, Partitions] = {}
         for segment in build_segments(query):
             self._run_segment(segment, cache, ctx, context, metrics)
         metrics.wall_seconds = time.perf_counter() - started
         if report is not None:
             metrics.optimizer = report.summary()
+            metrics.optimizer["rewrite_seconds"] = report.rewrite_seconds
             for op_id, m in metrics.operators.items():
                 origins = report.origin_of.get(op_id, ())
                 if origins != (op_id,):
@@ -183,10 +204,9 @@ class Executor:
     # -- partitioning helpers ------------------------------------------------
 
     def _partition_round_robin(self, rows: list[Tup]) -> Partitions:
-        parts: Partitions = [[] for _ in range(self.num_partitions)]
-        for i, row in enumerate(rows):
-            parts[i % self.num_partitions].append(row)
-        return parts
+        # Stride slicing assigns row i to partition i % n, like the obvious
+        # append loop, but each partition is materialized in one C-level slice.
+        return [rows[i :: self.num_partitions] for i in range(self.num_partitions)]
 
     def _shuffle_by_key(
         self, parts: Partitions, key_fn, metrics: OperatorMetrics
@@ -205,16 +225,23 @@ class Executor:
         parts: Partitions,
         key_fn: Callable[[Tup], Any],
         metrics: OperatorMetrics,
+        scatter: "Callable[[list, int, list], int] | None" = None,
     ) -> KeyedPartitions:
         """Repartition rows by key, keeping the computed key with each row.
 
         ``None`` keys (⊥-valued join keys) go to partition 0 so outer joins
-        can still emit their padded rows exactly once.
+        can still emit their padded rows exactly once.  With the columnar
+        engine, *scatter* replaces the per-row *key_fn* + hash loop with a
+        one-pass column extraction over the shared layout that hashes the
+        key column in a single sweep and places rows directly.
         """
         out: KeyedPartitions = [[] for _ in range(self.num_partitions)]
         shuffled = 0
         nparts = self.num_partitions
         for part in parts:
+            if scatter is not None:
+                shuffled += scatter(part, nparts, out)
+                continue
             for row in part:
                 key = key_fn(row)
                 target = 0 if key is None else stable_hash(key) % nparts
@@ -296,13 +323,16 @@ class Executor:
         op_ids = tuple(op.op_id for op in ops)
         # Register metrics in plan order before merging task stats.
         per_op = {op.op_id: self._op_metrics(metrics, op) for op in ops}
+        kind = "kchain" if self.engine == "columnar" else "chain"
         results = self.backend.run(
-            context, [("chain", op_ids, part) for part in child_parts]
+            context, [(kind, op_ids, part) for part in child_parts]
         )
-        cache[op_ids[-1]] = [rows for rows, _ in results]
-        for _, stats in results:
-            for op_id, n_in, n_out, seconds in stats:
+        cache[op_ids[-1]] = [result[0] for result in results]
+        for result in results:
+            for op_id, n_in, n_out, seconds in result[1]:
                 per_op[op_id].absorb_task(n_in, n_out, seconds)
+            if len(result) > 2 and metrics.kernels is not None:
+                merge_kernel_info(metrics.kernels, result[2])
         elapsed = time.perf_counter() - started
         for op in ops:
             # Driver-observed elapsed time is attributed to the whole fused
@@ -322,10 +352,15 @@ class Executor:
         m.rows_in = sum(len(p) for parts in child_parts for p in parts)
         nparts = self.num_partitions
         pad_empty = False
+        columnar = self.engine == "columnar"
         if isinstance(op, Join):
             left_key, right_key = op.key_fns()
-            left = self._shuffle_keyed(child_parts[0], left_key, m)
-            right = self._shuffle_keyed(child_parts[1], right_key, m)
+            left_scatter = right_scatter = None
+            if columnar:
+                left_scatter = join_key_scatter(tuple(l for l, _ in op.on), left_key)
+                right_scatter = join_key_scatter(tuple(r for _, r in op.on), right_key)
+            left = self._shuffle_keyed(child_parts[0], left_key, m, left_scatter)
+            right = self._shuffle_keyed(child_parts[1], right_key, m, right_scatter)
             tasks = [
                 ("join_keyed", op.op_id, left[i], right[i]) for i in range(nparts)
             ]
@@ -334,7 +369,8 @@ class Executor:
             tasks = [("rows", op.op_id, [gathered])]
             pad_empty = True
         elif isinstance(op, (GroupAggregation, RelationNesting)):
-            shuffled = self._shuffle_keyed(child_parts[0], op.key_fn(), m)
+            scatter = group_key_scatter(op) if columnar else None
+            shuffled = self._shuffle_keyed(child_parts[0], op.key_fn(), m, scatter)
             tasks = [("group_keyed", op.op_id, part) for part in shuffled]
         else:  # Deduplication, Difference: shuffle whole rows by value
             shuffled = [

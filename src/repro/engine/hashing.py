@@ -35,6 +35,43 @@ _NAN_HASH = 0x7FF80000
 _LAYOUT_HASHES: dict[int, int] = {}
 
 
+def layout_hash(layout) -> int:
+    """The memoised :func:`stable_hash` of a layout's attribute-name tuple.
+
+    ``Tup`` keys hash as ``hash((layout_hash(t.layout), *value hashes))``;
+    exposing the layout component lets the columnar shuffle pre-hash key
+    columns without rebuilding it per row.
+    """
+    names_hash = _LAYOUT_HASHES.get(id(layout))
+    if names_hash is None:
+        names_hash = hash(tuple(stable_hash(n) for n in layout.names))
+        _LAYOUT_HASHES[id(layout)] = names_hash
+    return names_hash
+
+
+def column_hashes(values: "list[Any]") -> "list[int]":
+    """``stable_hash`` of every element of one key column, in order.
+
+    Semantically ``[stable_hash(v) for v in values]``; the common primitive
+    key types are dispatched on exact type inside the loop so a whole shuffle
+    column is hashed without re-entering the generic chain per row.
+    """
+    out: "list[int]" = []
+    append = out.append
+    crc32 = zlib.crc32
+    for v in values:
+        tv = type(v)
+        if tv is str:
+            append(crc32(v.encode("utf-8", "surrogatepass")))
+        elif tv is int:
+            append(hash(v))
+        elif tv is float:
+            append(_NAN_HASH if v != v else hash(v))
+        else:
+            append(stable_hash(v))
+    return out
+
+
 def stable_hash(value: Any) -> int:
     """A deterministic, seed-independent hash of a nested value.
 
@@ -43,7 +80,26 @@ def stable_hash(value: Any) -> int:
     frozensets): an unknown type would silently fall back to the built-in
     ``hash``, which is process-salted for anything hashing via its contents
     (the exact quiet failure this function exists to prevent).
+
+    Shuffle partitioning hashes every key of every shuffled row, so the
+    common cases (primitives, key tuples of primitives, flat ``Tup`` keys)
+    are dispatched on exact type before the general ``isinstance`` chain;
+    subclasses still resolve through the latter.
     """
+    tv = type(value)
+    if tv is str:
+        return zlib.crc32(value.encode("utf-8", "surrogatepass"))
+    if tv is int:
+        return hash(value)
+    if tv is float:
+        return _NAN_HASH if value != value else hash(value)
+    if tv is tuple:
+        return hash(tuple([stable_hash(v) for v in value]))
+    if tv is Tup:
+        return hash(
+            (layout_hash(value._layout),)
+            + tuple([stable_hash(v) for v in value._values])
+        )
     if isinstance(value, str):
         return zlib.crc32(value.encode("utf-8", "surrogatepass"))
     if isinstance(value, (bool, int, float)):
@@ -55,12 +111,10 @@ def stable_hash(value: Any) -> int:
     if is_null(value):
         return _NULL_HASH
     if isinstance(value, Tup):
-        layout = value.layout
-        names_hash = _LAYOUT_HASHES.get(id(layout))
-        if names_hash is None:
-            names_hash = hash(tuple(stable_hash(n) for n in layout.names))
-            _LAYOUT_HASHES[id(layout)] = names_hash
-        return hash((names_hash,) + tuple(stable_hash(v) for v in value.values()))
+        return hash(
+            (layout_hash(value.layout),)
+            + tuple(stable_hash(v) for v in value.values())
+        )
     if isinstance(value, Bag):
         return hash(
             ("bag", frozenset((stable_hash(e), c) for e, c in value.items()))

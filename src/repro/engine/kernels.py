@@ -1,0 +1,345 @@
+"""Per-chain kernel code generation for the columnar engine.
+
+The row-at-a-time path evaluates a fused narrow chain by calling one
+compiled closure per operator per row and materializing a full
+:class:`~repro.nested.values.Tup` between every pair of operators.  This
+module instead lowers the whole chain to a single Python function *source
+string* — one loop over the partition, selective column extraction at the
+top, inlined per-operator statements in the body, one output-row
+materialization at the bottom — and compiles it once per
+``(chain semantics, input layout)``.
+
+Contract (see ``docs/KERNELS.md`` for the full walkthrough):
+
+* **Bit-equivalence.**  A kernel must produce exactly the rows the row path
+  produces — same values, same canonical-NaN/⊥ handling, same output
+  ``Layout`` (column names *and* order), same multiplicities and row order.
+  Operator/expression hooks that cannot guarantee this raise
+  :class:`~repro.algebra.expressions.KernelUnsupported` at build time, and
+  generated code raises :class:`KernelBailout` at run time for value shapes
+  it cannot reproduce (heterogeneous nested layouts, type errors); both make
+  the caller rerun the partition on the row path, which also recreates the
+  row path's exact error messages.
+* **Caching.**  Kernels are cached globally, keyed by the tuple of
+  per-operator :meth:`~repro.algebra.operators.Operator.kernel_key` values
+  plus the input layout's name tuple — a *semantic* key, so structurally
+  fresh but equivalent ``Query`` objects (every benchmark round builds new
+  ones) hit the cache.  Failed builds are cached as ``None`` (negative
+  entries) so unsupported chains don't retry codegen per task.
+* **Stats parity.**  A kernel returns per-operator row counters so the
+  executor reports the same ``rows_in``/``rows_out``/``tasks`` metrics as
+  the row path; only cardinality-changing operators
+  (``kernel_changes_cardinality``) need live counters, every other operator
+  is 1:1.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.algebra.expressions import KernelUnsupported
+from repro.nested.paths import Path, parse_path
+from repro.nested.values import NAN, NULL, Bag, Layout, Tup, is_null
+
+
+class KernelBailout(Exception):
+    """Raised inside a generated kernel for shapes it cannot reproduce.
+
+    Bailing out is never an error: the caller reruns the partition through
+    the row-at-a-time path, which either succeeds (e.g. heterogeneous nested
+    tuple layouts the columnar representation cannot hold) or raises the
+    genuine row-path exception with its exact message.
+    """
+
+
+def _rest_getter(rest: Path) -> Callable[[Any], Any]:
+    """A value→value getter for the non-head steps of a multi-step path.
+
+    Replicates :func:`repro.nested.paths.compile_path`'s ``get_chain``
+    semantics (and error messages) from the second step on: the head step is
+    resolved by the kernel as a column variable, the rest navigates the
+    value.
+    """
+
+    def get_rest(current: Any, _rest: Path = rest) -> Any:
+        for step in _rest:
+            if is_null(current):
+                return NULL
+            if isinstance(current, Tup):
+                i = current._index.get(step)
+                if i is None:
+                    raise KeyError(
+                        f"path step {step!r} not in tuple attrs {current.attrs}"
+                    )
+                current = current._values[i]
+            elif isinstance(current, Bag):
+                raise TypeError(
+                    f"cannot navigate path step {step!r} through a bag; flatten first"
+                )
+            else:
+                raise TypeError(
+                    f"cannot navigate path step {step!r} through primitive {current!r}"
+                )
+        return current
+
+    return get_rest
+
+
+_REST_GETTERS: "dict[Path, Callable[[Any], Any]]" = {}
+
+
+class KernelBuilder:
+    """Accumulates the body of one chain kernel during codegen.
+
+    The builder tracks the *logical row* as an ordered ``name → variable``
+    map: input columns start as ``_c{i}_`` loop variables, operator hooks
+    rewrite the map (project, rename, append, drop) and emit statements via
+    :meth:`emit` at the current :attr:`indent`.  ``_g{n}`` names bind Python
+    objects (layouts, pads, bound methods, non-literal constants) into the
+    kernel's globals so generated code shares the row path's exact objects.
+    """
+
+    def __init__(self, layout: Layout):
+        self.lines: list[str] = []
+        self.indent = 2  # function body is one level, loop body two
+        self._tmp = 0
+        self._cols: "dict[str, str]" = {
+            name: f"_c{i}_" for i, name in enumerate(layout.names)
+        }
+        self.globals: dict[str, Any] = {
+            "_NULL": NULL,
+            "_NAN": NAN,
+            "_Tup": Tup,
+            "_Bag": Bag,
+            "_mk": Tup.from_layout,
+            "_Bailout": KernelBailout,
+        }
+        self._bound: dict[int, str] = {}
+
+    # -- statement emission --------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        """Append one statement at the current indentation level."""
+        self.lines.append("    " * self.indent + line)
+
+    def tmp(self) -> str:
+        """A fresh local variable name (deterministic per build)."""
+        self._tmp += 1
+        return f"_t{self._tmp}_"
+
+    def capture(self, expr: str) -> str:
+        """Ensure *expr* is a plain variable: assign to a temp if needed."""
+        if expr.isidentifier():
+            return expr
+        var = self.tmp()
+        self.emit(f"{var} = {expr}")
+        return var
+
+    def bind(self, obj: Any) -> str:
+        """Bind *obj* into the kernel globals, returning its ``_g{n}`` name."""
+        key = id(obj)
+        name = self._bound.get(key)
+        if name is None:
+            name = f"_g{len(self._bound)}"
+            self._bound[key] = name
+            self.globals[name] = obj
+        return name
+
+    def null_test(self, var: str) -> str:
+        """The ⊥ test for a captured variable (mirrors ``is_null``)."""
+        return f"{var} is _NULL or {var} is None"
+
+    # -- logical-row columns -------------------------------------------------
+
+    def columns(self) -> "list[tuple[str, str]]":
+        """The current logical row as ordered ``(name, variable)`` pairs."""
+        return list(self._cols.items())
+
+    def col(self, name: str) -> str:
+        """The variable holding column *name* (KernelUnsupported: absent)."""
+        var = self._cols.get(name)
+        if var is None:
+            raise KernelUnsupported(f"column {name!r} not in kernel row")
+        return var
+
+    def set_cols(self, pairs: "Sequence[tuple[str, str]]") -> None:
+        """Replace the logical row wholesale (projection, renaming)."""
+        names = [name for name, _ in pairs]
+        if len(set(names)) != len(names):
+            raise KernelUnsupported(f"duplicate column names {names}")
+        self._cols = dict(pairs)
+
+    def append_col(self, name: str, var: str) -> None:
+        """Append a new column (KernelUnsupported on a name clash, matching
+        the row path's per-row ``Layout.of`` duplicate error via fallback)."""
+        if name in self._cols:
+            raise KernelUnsupported(f"duplicate column {name!r}")
+        self._cols[name] = var
+
+    def replace_or_append(self, name: str, var: str) -> None:
+        """``Tup.with_attr`` semantics: replace in place or append at the end."""
+        self._cols[name] = var
+
+    def drop_cols(self, names: "Sequence[str]") -> None:
+        """Drop columns by name (absent names are ignored, like ``Tup.drop``)."""
+        dropped = set(names)
+        self._cols = {n: v for n, v in self._cols.items() if n not in dropped}
+
+    def path_value(self, path: "str | Path") -> str:
+        """An expression string for the value at *path* in the current row.
+
+        The head step must be a live column; later steps navigate the value
+        through an interned rest-getter with ``get_chain`` semantics.
+        """
+        steps = parse_path(path)
+        first = self.col(steps[0])
+        if len(steps) == 1:
+            return first
+        rest = steps[1:]
+        getter = _REST_GETTERS.get(rest)
+        if getter is None:
+            getter = _REST_GETTERS[rest] = _rest_getter(rest)
+        return f"{self.bind(getter)}({first})"
+
+
+class CompiledKernel:
+    """One compiled chain kernel plus the metadata to derive per-op stats."""
+
+    __slots__ = ("fn", "source", "changes", "last_changer")
+
+    def __init__(
+        self,
+        fn: Callable,
+        source: str,
+        changes: "tuple[bool, ...]",
+        last_changer: int,
+    ):
+        self.fn = fn
+        self.source = source
+        self.changes = changes
+        self.last_changer = last_changer
+
+    def run(self, rows: list, ops: "Sequence[Any]") -> "tuple[list, list]":
+        """Execute over one partition; returns rows plus row-path-shaped stats.
+
+        Stats are ``(op_id, rows_in, rows_out, seconds)`` per operator, with
+        the measured kernel time split evenly across the fused operators
+        (individual operators are not separable inside one fused loop).
+        """
+        started = time.perf_counter()
+        out, counts = self.fn(rows)
+        seconds = time.perf_counter() - started
+        per = seconds / len(ops)
+        stats = []
+        n = len(rows)
+        k = 0
+        for i, op in enumerate(ops):
+            n_in = n
+            if self.changes[i]:
+                if i == self.last_changer:
+                    n = len(out)
+                else:
+                    n = counts[k]
+                    k += 1
+            stats.append((op.op_id, n_in, n, per))
+        return out, stats
+
+
+def build_kernel(ops: "Sequence[Any]", layout: Layout, ctx) -> CompiledKernel:
+    """Generate and compile the kernel for *ops* over input *layout*.
+
+    Raises :class:`~repro.algebra.expressions.KernelUnsupported` (or any
+    other exception) when the chain cannot be lowered; callers treat every
+    build failure as "use the row path".
+    """
+    kb = KernelBuilder(layout)
+    changer_idxs = [i for i, op in enumerate(ops) if op.kernel_changes_cardinality]
+    counters: list[str] = []
+    for i, op in enumerate(ops):
+        op.emit_kernel(kb, ctx)
+        if op.kernel_changes_cardinality and i != changer_idxs[-1]:
+            var = f"_k{len(counters)}"
+            counters.append(var)
+            kb.emit(f"{var} += 1")
+    out_layout = Layout.of(tuple(kb._cols))
+    values = list(kb._cols.values())
+    inner = ", ".join(values) + ("," if values else "")
+    kb.emit(f"_append(_mk({kb.bind(out_layout)}, ({inner})))")
+
+    body = kb.lines
+    used = [
+        i
+        for i in range(len(layout.names))
+        if any(f"_c{i}_" in line for line in body)
+    ]
+    prelude = ["    _out = []", "    _append = _out.append"]
+    prelude += [f"    {var} = 0" for var in counters]
+    prelude += [f"    _l{i} = [_r._values[{i}] for _r in rows]" for i in used]
+    if not used:
+        loop = "    for _ in range(len(rows)):"
+    elif len(used) == 1:
+        loop = f"    for _c{used[0]}_ in _l{used[0]}:"
+    else:
+        loop_vars = ", ".join(f"_c{i}_" for i in used)
+        lists = ", ".join(f"_l{i}" for i in used)
+        loop = f"    for {loop_vars} in zip({lists}):"
+    ret = "    return _out, (" + ", ".join(counters) + ("," if counters else "") + ")"
+    source = "\n".join(["def _kernel(rows):"] + prelude + [loop] + body + [ret]) + "\n"
+    namespace = dict(kb.globals)
+    exec(compile(source, "<repro-kernel>", "exec"), namespace)
+    return CompiledKernel(
+        namespace["_kernel"],
+        source,
+        tuple(op.kernel_changes_cardinality for op in ops),
+        changer_idxs[-1] if changer_idxs else -1,
+    )
+
+
+def kernel_source(ops: "Sequence[Any]", layout: Layout, ctx) -> str:
+    """The generated source for a chain (golden-snapshot tests, debugging)."""
+    return build_kernel(ops, layout, ctx).source
+
+
+_MISSING = object()
+
+#: Global kernel cache: semantic chain key → CompiledKernel or None (a
+#: negative entry: the chain is known not to lower, skip codegen retries).
+_KERNEL_CACHE: "dict[Any, Optional[CompiledKernel]]" = {}
+
+
+def kernel_cache_clear() -> None:
+    """Drop every cached kernel (tests; never needed in production)."""
+    _KERNEL_CACHE.clear()
+
+
+def chain_kernel(
+    ops: "Sequence[Any]", layout: Layout, ctx, info: dict
+) -> Optional[CompiledKernel]:
+    """The cached kernel for ``(chain semantics, input layout)`` or ``None``.
+
+    *info* accumulates the observability counters (``hits``/``misses``/
+    ``codegen_seconds``) that the executor surfaces through
+    ``ExecutionMetrics.kernels``.  ``None`` means "row path, please": the
+    chain contains an unsupported operator, a hook declined, or the key is
+    unhashable (e.g. a constant holding an unhashable value).
+    """
+    try:
+        key = (tuple(op.kernel_key(ctx) for op in ops), layout.names)
+        hash(key)
+    except Exception:
+        info["misses"] += 1
+        return None
+    cached = _KERNEL_CACHE.get(key, _MISSING)
+    if cached is not _MISSING:
+        info["hits"] += 1
+        return cached
+    info["misses"] += 1
+    started = time.perf_counter()
+    try:
+        kernel: Optional[CompiledKernel] = build_kernel(ops, layout, ctx)
+    except Exception:
+        kernel = None
+    info["codegen_seconds"] += time.perf_counter() - started
+    _KERNEL_CACHE[key] = kernel
+    return kernel

@@ -57,8 +57,14 @@ class ExecutionMetrics:
 
     When the logical optimizer ran, ``optimizer`` holds its summary — the
     per-rule fire counts plus operator counts before/after rewriting (see
-    :meth:`repro.engine.optimizer.OptimizationReport.summary`); ``None`` means
-    the plan executed as written.
+    :meth:`repro.engine.optimizer.OptimizationReport.summary`) plus
+    ``rewrite_seconds``, the time the fixpoint rewrite itself took; ``None``
+    means the plan executed as written.
+
+    ``engine`` names the chain-evaluation engine (``row`` or ``columnar``);
+    with the columnar engine, ``kernels`` holds the kernel-cache
+    observability counters (``hits``/``misses``/``fallbacks``/
+    ``codegen_seconds``) merged across every chain task.
     """
 
     operators: dict[int, OperatorMetrics] = field(default_factory=dict)
@@ -66,6 +72,8 @@ class ExecutionMetrics:
     backend: str = "serial"
     workers: int = 1
     optimizer: "dict | None" = None
+    engine: str = "row"
+    kernels: "dict | None" = None
 
     def total_rows_processed(self) -> int:
         """Sum of ``rows_in`` across all operators."""
@@ -84,8 +92,15 @@ class ExecutionMetrics:
         lines = [
             f"total wall time: {self.wall_seconds:.4f}s "
             f"(backend={self.backend}, workers={self.workers}, "
-            f"cpu={self.total_cpu_seconds():.4f}s)"
+            f"engine={self.engine}, cpu={self.total_cpu_seconds():.4f}s)"
         ]
+        if self.kernels is not None:
+            k = self.kernels
+            lines.append(
+                f"kernels: hits={k.get('hits', 0)} misses={k.get('misses', 0)} "
+                f"fallbacks={k.get('fallbacks', 0)} "
+                f"codegen={k.get('codegen_seconds', 0.0):.4f}s"
+            )
         if self.optimizer is not None:
             fires = ", ".join(
                 f"{name}×{count}"

@@ -58,6 +58,7 @@ annotations (the CLI's ``--show-plan``).
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Callable, Optional
 
 from repro.algebra.expressions import And, Attr, Expr
@@ -134,12 +135,18 @@ class OptimizationReport:
     user-plan operator ids (empty tuple: synthesized by a rule), which is what
     keeps metrics and plan renderings reportable against the plan the user
     wrote.
+
+    ``rewrite_seconds`` is the wall time the fixpoint rewrite itself took
+    (0.0 when the report came out of the per-query plan cache); the executor
+    surfaces it as ``metrics.optimizer["rewrite_seconds"]``.  It is kept out
+    of :meth:`summary` so summaries stay deterministic.
     """
 
     def __init__(self, original: Query, optimized: Query, rule_fires: "dict[str, int]"):
         self.original = original
         self.optimized = optimized
         self.rule_fires = dict(rule_fires)
+        self.rewrite_seconds = 0.0
         self.origin_of: dict[int, tuple[int, ...]] = {
             op.op_id: op.origins for op in optimized.ops
         }
@@ -187,8 +194,17 @@ def optimize_query(query: Query, db) -> OptimizationReport:
     """Run the rewrite rules over *query* to a fixpoint.
 
     *db* supplies table cardinalities (join reordering) and table schemas
-    (column liveness); the input query is never mutated.
+    (column liveness); the input query is never mutated.  The resulting
+    report is cached on the query instance keyed by database identity and
+    version (the same single-entry scheme as ``Query.infer_schemas``), so
+    re-executing the same query — the benchmark harness and ``explain`` both
+    do — pays the fixpoint rewrite once, not per run.
     """
+    version = getattr(db, "version", None)
+    entry = getattr(query, "_optimize_cache", None)
+    if entry is not None and entry[0] is db and entry[1] == version:
+        return entry[2]
+    started = time.perf_counter()
     fires = {name: 0 for name in RULE_NAMES}
     root = _clone_with_origins(query.root)
     for _ in range(_MAX_ROUNDS):
@@ -202,7 +218,10 @@ def optimize_query(query: Query, db) -> OptimizationReport:
         if fires == before:
             break
     optimized = Query(root, name=query.name)
-    return OptimizationReport(query, optimized, fires)
+    report = OptimizationReport(query, optimized, fires)
+    report.rewrite_seconds = time.perf_counter() - started
+    query._optimize_cache = (db, version, report)
+    return report
 
 
 # ---------------------------------------------------------------------------

@@ -4,15 +4,16 @@ For a generated ``(database, query[, why-not question])`` case the oracle
 runs:
 
 * the reference semantics ``Query.evaluate``,
-* the partitioned executor for every ``backend × optimize × partitions``
-  combination requested (defaults: serial/process × on/off × 1/3/7),
+* the partitioned executor for every ``backend × optimize × partitions ×
+  engine`` combination requested (defaults: serial/process × on/off ×
+  1/3/7 × row/columnar),
 
 and checks
 
 1. **result bags** — every configuration must equal the reference bag;
 2. **metrics invariants** — the root operator's ``rows_out`` equals the
-   result size, and total shuffled rows agree across backends for the same
-   (partitions, optimize) point;
+   result size, and total shuffled rows agree across backends *and engines*
+   for the same (partitions, optimize) point;
 3. **explanation sets** — ``explain`` (validated why-not question) must
    produce the identical ranked explanation label sets for every requested
    backend/optimizer combination;
@@ -47,10 +48,17 @@ from repro.whynot.question import WhyNotQuestion
 PARTITIONS = (1, 3, 7)
 BACKENDS = ("serial", "process")
 OPTIMIZE = (False, True)
-#: Backend/optimizer pairs explanation sets are compared across.  Tracing is
-#: the expensive path, so the default exercises the optimizer toggle on the
-#: serial backend plus one process-backend point.
-EXPLAIN_GRID = (("serial", False), ("serial", True), ("process", False))
+ENGINES = ("row", "columnar")
+#: Backend/optimizer/engine triples explanation sets are compared across.
+#: Tracing is the expensive path, so the default exercises the optimizer
+#: toggle on the serial backend, one process-backend point, and one
+#: columnar-engine point.
+EXPLAIN_GRID = (
+    ("serial", False, "row"),
+    ("serial", True, "row"),
+    ("process", False, "row"),
+    ("serial", False, "columnar"),
+)
 
 
 @dataclass
@@ -118,6 +126,7 @@ def check_case(
     backends: Sequence[str] = BACKENDS,
     optimize: Sequence[bool] = OPTIMIZE,
     workers: int = 2,
+    engines: Sequence[str] = ENGINES,
     explain_grid: Optional[Sequence] = None,
 ) -> OracleReport:
     """Differentially test one case across the full configuration grid."""
@@ -127,13 +136,19 @@ def check_case(
     shuffled_totals: dict = {}
     for backend in backends:
         for opt in optimize:
-            for nparts in partitions:
-                config = f"backend={backend} optimize={opt} partitions={nparts}"
+            for nparts, engine in (
+                (n, e) for n in partitions for e in engines
+            ):
+                config = (
+                    f"backend={backend} optimize={opt} "
+                    f"partitions={nparts} engine={engine}"
+                )
                 executor = Executor(
                     num_partitions=nparts,
                     backend=backend,
                     workers=workers,
                     optimize=opt,
+                    engine=engine,
                 )
                 got = _outcome(lambda: executor.execute(query, db))
                 report.configs_run += 1
@@ -184,14 +199,14 @@ def check_case(
                 key = (opt, nparts)
                 previous = shuffled_totals.get(key)
                 if previous is None:
-                    shuffled_totals[key] = (backend, total_shuffled)
+                    shuffled_totals[key] = (f"{backend}/{engine}", total_shuffled)
                 elif previous[1] != total_shuffled:
                     report.divergences.append(
                         Divergence(
                             "metrics",
                             config,
                             f"shuffled_rows={total_shuffled} vs "
-                            f"{previous[1]} on backend={previous[0]}",
+                            f"{previous[1]} on backend/engine={previous[0]}",
                         )
                     )
 
@@ -323,17 +338,22 @@ def _check_explanations(
     from repro.whynot.explain import explain
 
     outcomes = []
-    for backend, opt in grid:
+    for backend, opt, engine in grid:
         # A fresh question per configuration: ``explain`` seeds the result
         # cache, and sharing it across configurations could mask divergence.
         fresh = WhyNotQuestion(query, db, question.nip, name=question.name)
         outcome = _outcome(
             lambda: explain(
-                fresh, backend=backend, workers=workers, optimize=opt, validate=True
+                fresh,
+                backend=backend,
+                workers=workers,
+                optimize=opt,
+                engine=engine,
+                validate=True,
             )
         )
         report.explain_configs_run += 1
-        outcomes.append(((backend, opt), outcome))
+        outcomes.append(((backend, opt, engine), outcome))
     kinds = {o[0] for _, o in outcomes}
     if kinds == {"error"}:
         names = {o[1] for _, o in outcomes}
@@ -350,14 +370,15 @@ def _check_explanations(
         return
     baseline_config, baseline = outcomes[0]
     for config, outcome in outcomes[1:]:
+        label = f"backend={config[0]} optimize={config[1]} engine={config[2]}"
         if outcome[0] != baseline[0]:
             report.divergences.append(
                 Divergence(
                     "explanation",
-                    f"backend={config[0]} optimize={config[1]}",
+                    label,
                     f"outcome {outcome[0]}/{outcome[1] if outcome[0] == 'error' else ''}"
                     f" vs {baseline[0]} on backend={baseline_config[0]} "
-                    f"optimize={baseline_config[1]}",
+                    f"optimize={baseline_config[1]} engine={baseline_config[2]}",
                 )
             )
             continue
@@ -368,7 +389,7 @@ def _check_explanations(
                 report.divergences.append(
                     Divergence(
                         "explanation",
-                        f"backend={config[0]} optimize={config[1]}",
+                        label,
                         f"explanations {got} vs {expected}",
                     )
                 )

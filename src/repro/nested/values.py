@@ -27,7 +27,28 @@ may be compared and keyed by identity.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Iterable, Iterator, Mapping
+
+# Bound once: ``Tup``/``Bag`` construction bypasses the immutability guard
+# via ``object.__setattr__`` on every row the engine materializes, and the
+# repeated ``object`` global + attribute lookups are measurable there.
+_obj_new = object.__new__
+_obj_set = object.__setattr__
+
+
+def _gatherer(positions: "tuple[int, ...]") -> "Callable[[tuple], tuple]":
+    """A C-level gather ``values -> tuple(values[i] for i in positions)``.
+
+    ``operator.itemgetter`` returns the bare element for a single index, so
+    the 0- and 1-position shapes are wrapped to keep the tuple contract.
+    """
+    if not positions:
+        return lambda values: ()
+    if len(positions) == 1:
+        get = itemgetter(positions[0])
+        return lambda values: (get(values),)
+    return itemgetter(*positions)
 
 
 class _Null:
@@ -165,7 +186,9 @@ class Layout:
             self._derived[key] = combined
         return combined
 
-    def project(self, names: tuple[str, ...]) -> "tuple[Layout, tuple[int, ...]]":
+    def project(
+        self, names: tuple[str, ...]
+    ) -> "tuple[Layout, tuple[int, ...], Callable[[tuple], tuple]]":
         key = ("project", names)
         plan = self._derived.get(key)
         if plan is None:
@@ -176,18 +199,20 @@ class Layout:
                 raise KeyError(
                     f"tuple has no attribute {exc.args[0]!r}; attrs={self.names}"
                 ) from None
-            plan = (Layout.of(names), positions)
+            plan = (Layout.of(names), positions, _gatherer(positions))
             self._derived[key] = plan
         return plan
 
-    def drop(self, names: tuple[str, ...]) -> "tuple[Layout, tuple[int, ...]]":
+    def drop(
+        self, names: tuple[str, ...]
+    ) -> "tuple[Layout, tuple[int, ...], Callable[[tuple], tuple]]":
         key = ("drop", names)
         plan = self._derived.get(key)
         if plan is None:
             dropped = set(names)
             kept = tuple(name for name in self.names if name not in dropped)
             positions = tuple(self.index[name] for name in kept)
-            plan = (Layout.of(kept), positions)
+            plan = (Layout.of(kept), positions, _gatherer(positions))
             self._derived[key] = plan
         return plan
 
@@ -219,7 +244,7 @@ class Tup:
     tuples always list attributes in the same order.
     """
 
-    __slots__ = ("_layout", "_names", "_values", "_index", "_hash")
+    __slots__ = ("_layout", "_values", "_index", "_hash")
 
     def __init__(
         self, items: Mapping[str, Any] | Iterable[tuple[str, Any]] = (), /, **kwargs: Any
@@ -231,10 +256,8 @@ class Tup:
         pairs.extend(kwargs.items())
         layout = Layout.of(name for name, _ in pairs)
         object.__setattr__(self, "_layout", layout)
-        object.__setattr__(self, "_names", layout.names)
         object.__setattr__(self, "_values", tuple(value for _, value in pairs))
         object.__setattr__(self, "_index", layout.index)
-        object.__setattr__(self, "_hash", None)
 
     @classmethod
     def from_layout(cls, layout: Layout, values: tuple) -> "Tup":
@@ -242,13 +265,14 @@ class Tup:
 
         Skips name validation and index building; ``len(values)`` must equal
         ``len(layout.names)`` (callers derive both from the same layout).
+        The ``_hash`` slot stays unset until first use — tuple construction
+        is the hottest allocation in the engine and most rows are never
+        hashed.
         """
-        t = object.__new__(cls)
-        object.__setattr__(t, "_layout", layout)
-        object.__setattr__(t, "_names", layout.names)
-        object.__setattr__(t, "_values", values)
-        object.__setattr__(t, "_index", layout.index)
-        object.__setattr__(t, "_hash", None)
+        t = _obj_new(cls)
+        _obj_set(t, "_layout", layout)
+        _obj_set(t, "_values", values)
+        _obj_set(t, "_index", layout.index)
         return t
 
     def __setattr__(self, name: str, value: Any) -> None:
@@ -262,13 +286,13 @@ class Tup:
     @property
     def attrs(self) -> tuple[str, ...]:
         """Attribute names, in schema order (the paper's ``sch``)."""
-        return self._names
+        return self._layout.names
 
     def values(self) -> tuple[Any, ...]:
         return self._values
 
     def items(self) -> Iterator[tuple[str, Any]]:
-        return zip(self._names, self._values)
+        return zip(self._layout.names, self._values)
 
     def __contains__(self, name: str) -> bool:
         return name in self._index
@@ -277,7 +301,9 @@ class Tup:
         try:
             return self._values[self._index[name]]
         except KeyError:
-            raise KeyError(f"tuple has no attribute {name!r}; attrs={self._names}") from None
+            raise KeyError(
+                f"tuple has no attribute {name!r}; attrs={self._layout.names}"
+            ) from None
 
     def get(self, name: str, default: Any = None) -> Any:
         i = self._index.get(name)
@@ -308,14 +334,12 @@ class Tup:
 
     def project(self, names: Iterable[str]) -> "Tup":
         """Projection ``t.L`` on a list of attribute names."""
-        layout, positions = self._layout.project(tuple(names))
-        values = self._values
-        return Tup.from_layout(layout, tuple(values[i] for i in positions))
+        layout, _, gather = self._layout.project(tuple(names))
+        return Tup.from_layout(layout, gather(self._values))
 
     def drop(self, names: Iterable[str]) -> "Tup":
-        layout, positions = self._layout.drop(tuple(names))
-        values = self._values
-        return Tup.from_layout(layout, tuple(values[i] for i in positions))
+        layout, _, gather = self._layout.drop(tuple(names))
+        return Tup.from_layout(layout, gather(self._values))
 
     def concat(self, other: "Tup") -> "Tup":
         """Tuple concatenation (the paper's ``◦``); names must not clash."""
@@ -331,7 +355,8 @@ class Tup:
             i = index.get(name)
             if i is None:
                 raise KeyError(
-                    f"cannot replace unknown attribute {name!r}; attrs={self._names}"
+                    f"cannot replace unknown attribute {name!r}; "
+                    f"attrs={self._layout.names}"
                 )
             values[i] = value
         return Tup.from_layout(self._layout, tuple(values))
@@ -355,15 +380,22 @@ class Tup:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Tup):
             return NotImplemented
-        return self._names == other._names and self._values == other._values
+        if self._layout is not other._layout:
+            # Layouts are interned, so distinct objects imply distinct name
+            # tuples within a process; compare names anyway for robustness.
+            if self._layout.names != other._layout.names:
+                return False
+        return self._values == other._values
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            object.__setattr__(self, "_hash", hash((self._names, self._values)))
-        return self._hash
+        h = getattr(self, "_hash", None)
+        if h is None:
+            h = hash((self._layout.names, self._values))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __len__(self) -> int:
-        return len(self._names)
+        return len(self._values)
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{name}: {value!r}" for name, value in self.items())
@@ -387,7 +419,7 @@ class Tup:
         # The default slots protocol would call the blocked ``__setattr__``;
         # instead rebuild through the interning constructor so the layout is
         # shared with every same-shaped tuple in the receiving process.
-        return (Tup._unpickle, (self._names, self._values))
+        return (Tup._unpickle, (self._layout.names, self._values))
 
 
 class Bag:
@@ -406,9 +438,9 @@ class Bag:
         for element in elements:
             counts[element] = counts.get(element, 0) + 1
             total += 1
-        object.__setattr__(self, "_counts", counts)
-        object.__setattr__(self, "_total", total)
-        object.__setattr__(self, "_hash", None)
+        _obj_set(self, "_counts", counts)
+        _obj_set(self, "_total", total)
+        _obj_set(self, "_hash", None)
 
     @classmethod
     def from_counts(cls, pairs: Iterable[tuple[Any, int]]) -> "Bag":
@@ -422,8 +454,8 @@ class Bag:
                 continue
             counts[element] = counts.get(element, 0) + count
             total += count
-        object.__setattr__(bag, "_counts", counts)
-        object.__setattr__(bag, "_total", total)
+        _obj_set(bag, "_counts", counts)
+        _obj_set(bag, "_total", total)
         return bag
 
     def __setattr__(self, name: str, value: Any) -> None:
@@ -441,9 +473,20 @@ class Bag:
         return self._counts.get(element, 0)
 
     def __iter__(self) -> Iterator[Any]:
-        for element, count in self._counts.items():
-            for _ in range(count):
-                yield element
+        counts = self._counts
+        if self._total == len(counts):
+            # No duplicates: iterate the dict keys directly instead of
+            # resuming a generator per row (source-table scans iterate bags
+            # on every execution, and most relations are duplicate-free).
+            return iter(counts)
+        out: list[Any] = []
+        append = out.append
+        for element, count in counts.items():
+            if count == 1:
+                append(element)
+            else:
+                out.extend([element] * count)
+        return iter(out)
 
     def __len__(self) -> int:
         return self._total

@@ -91,28 +91,42 @@ def run_scenario(
     backend=None,
     workers=None,
     optimize: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> ScenarioRun:
     """Run all approaches on *scenario* and collect their explanations.
 
     ``backend``/``workers`` select the execution backend for the RP variants
     (see :mod:`repro.engine.backends`); the explanations do not depend on it.
     ``optimize`` enables the answer-path plan optimizer
-    (:mod:`repro.engine.optimizer`); explanations do not depend on that
-    either — the optimizer is explanation-preserving.
+    (:mod:`repro.engine.optimizer`) and ``engine`` selects the chain
+    evaluation engine (:mod:`repro.engine.columnar`); explanations do not
+    depend on either — the optimizer is explanation-preserving and the
+    engines are result-equivalent.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     from repro.engine.backends import get_backend
+    from repro.engine.columnar import resolve_engine
+    from repro.engine.executor import Executor
     from repro.engine.optimizer import optimize_query, resolve_optimize
 
     backend = get_backend(backend, workers)
+    engine = resolve_engine(engine)
     question = scenario.question(scale)
     if resolve_optimize(optimize):
         # Seed Q(D) through the optimized plan *before* validation caches the
         # unoptimized evaluation — this is the scenario runner's answer path.
-        question._result_cache = optimize_query(
-            question.query, question.db
-        ).optimized.evaluate(question.db)
+        answer_query = optimize_query(question.query, question.db).optimized
+        if engine == "columnar":
+            question._result_cache = Executor(
+                num_partitions=4, backend=backend, optimize=False, engine=engine
+            ).execute(answer_query, question.db)
+        else:
+            question._result_cache = answer_query.evaluate(question.db)
+    elif engine == "columnar":
+        question._result_cache = Executor(
+            num_partitions=4, backend=backend, optimize=False, engine=engine
+        ).execute(question.query, question.db)
     question.validate()
     timings: dict[str, float] = {}
 
@@ -132,6 +146,7 @@ def run_scenario(
         validate=False,
         backend=backend,
         optimize=optimize,
+        engine=engine,
     )
     timings["rp_nosa"] = time.perf_counter() - started
 
@@ -142,6 +157,7 @@ def run_scenario(
         validate=False,
         backend=backend,
         optimize=optimize,
+        engine=engine,
     )
     timings["rp"] = time.perf_counter() - started
 

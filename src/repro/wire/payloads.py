@@ -16,7 +16,7 @@ Payload kinds:
   optimizer summary (backtrace/trace internals stay in-process — they are
   unbounded and carry no API contract);
 * ``metrics``    — an :class:`~repro.engine.metrics.ExecutionMetrics` dump
-  (per-operator counters + backend/optimizer summary);
+  (per-operator counters + backend/engine/optimizer/kernel summaries);
 * ``relation``   — a bag of tuples (query results on the wire).
 
 The request/response envelopes of the serving layer (``explain-request`` /
@@ -291,6 +291,8 @@ def metrics_to_json(metrics: ExecutionMetrics) -> dict:
         "backend": metrics.backend,
         "workers": metrics.workers,
         "optimizer": metrics.optimizer,
+        "engine": metrics.engine,
+        "kernels": metrics.kernels,
     }
     return envelope("metrics", body)
 
@@ -303,6 +305,8 @@ def metrics_from_json(data: dict) -> ExecutionMetrics:
         backend=data["backend"],
         workers=data["workers"],
         optimizer=data["optimizer"],
+        engine=data.get("engine", "row"),
+        kernels=data.get("kernels"),
     )
     for op_id, m in data["operators"].items():
         metrics.operators[int(op_id)] = OperatorMetrics(

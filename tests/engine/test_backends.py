@@ -163,22 +163,26 @@ def _scenario_names():
     return sorted(SCENARIOS)
 
 
+@pytest.mark.parametrize("engine", ["row", "columnar"])
 @pytest.mark.parametrize("name", _scenario_names())
 @pytest.mark.parametrize("partitions", [1, 3, 7])
-def test_scenario_process_equals_serial(name, partitions):
-    """process ≡ serial ≡ Query.evaluate for every registered scenario."""
+def test_scenario_process_equals_serial(name, partitions, engine):
+    """process ≡ serial ≡ Query.evaluate for every scenario, on both engines."""
     from repro.scenarios import get_scenario
 
     question = get_scenario(name).question(scale=10)
     plain = question.query.evaluate(question.db)
     workers = {1: 1, 3: 2, 7: 4}[partitions]  # cover 1/2/4 workers across the grid
-    serial = Executor(num_partitions=partitions, backend="serial")
-    proc = Executor(num_partitions=partitions, backend="process", workers=workers)
+    serial = Executor(num_partitions=partitions, backend="serial", engine=engine)
+    proc = Executor(
+        num_partitions=partitions, backend="process", workers=workers, engine=engine
+    )
     assert serial.execute(question.query, question.db) == plain
     assert proc.execute(question.query, question.db) == plain, (
         f"{name} diverges on the process backend at {partitions} partitions"
     )
     ms, mp = serial.last_metrics, proc.last_metrics
+    assert ms.engine == engine and mp.engine == engine
     for op_id, s in ms.operators.items():
         p = mp.operators[op_id]
         assert (s.rows_in, s.rows_out, s.shuffled_rows) == (
@@ -217,6 +221,27 @@ def test_explain_process_equals_serial(name):
         (e.lb, e.ub) for e in proc.explanations
     ]
     assert serial.trace.total_rows() == proc.trace.total_rows()
+
+
+@pytest.mark.parametrize("name", SA_SCENARIOS)
+def test_explain_columnar_equals_row(name):
+    """The columnar answer path must not change any explanation."""
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario(name)
+    question = scenario.question(scale=12)
+    row = explain(
+        question, alternatives=scenario.alternatives, validate=False, engine="row"
+    )
+    question = scenario.question(scale=12)
+    columnar = explain(
+        question, alternatives=scenario.alternatives, validate=False, engine="columnar"
+    )
+    assert row.n_sas == columnar.n_sas
+    assert row.explanation_labels() == columnar.explanation_labels()
+    assert [(e.lb, e.ub) for e in row.explanations] == [
+        (e.lb, e.ub) for e in columnar.explanations
+    ]
 
 
 def test_running_example_explain_cross_backend(person_db, running_query):

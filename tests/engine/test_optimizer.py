@@ -343,6 +343,44 @@ def test_resolve_optimize_env(monkeypatch):
     assert resolve_optimize(False) is False and resolve_optimize(True) is True
 
 
+def test_optimize_query_caches_plan_per_query_and_db_version():
+    """Re-optimizing the same query against the same database is a cache hit."""
+    db = make_db()
+    query = Query(
+        Selection(Selection(TableAccess("R"), col("v").ge(1)), col("k").le(1))
+    )
+    first = optimize_query(query, db)
+    assert first.rewrite_seconds > 0.0
+    assert optimize_query(query, db) is first, "same query+db must reuse the plan"
+    # A structurally equal but distinct Query re-optimizes (identity keyed).
+    clone = Query(
+        Selection(Selection(TableAccess("R"), col("v").ge(1)), col("k").le(1))
+    )
+    assert optimize_query(clone, db) is not first
+    # Mutating the database invalidates the cached plan.
+    db.add("T", [Tup(z=1)])
+    second = optimize_query(query, db)
+    assert second is not first
+    assert second.rule_fires == first.rule_fires
+    # A different database object misses as well.
+    other = make_db()
+    assert optimize_query(query, other) is not second
+
+
+def test_rewrite_seconds_in_metrics_but_not_summary():
+    """The executor surfaces rewrite time; summaries stay deterministic."""
+    db = make_db()
+    query = Query(
+        Selection(Selection(TableAccess("R"), col("v").ge(1)), col("k").le(1))
+    )
+    report = optimize_query(query, db)
+    assert "rewrite_seconds" not in report.summary()
+    executor = Executor(num_partitions=2, optimize=True)
+    executor.execute(query, db)
+    recorded = executor.last_metrics.optimizer["rewrite_seconds"]
+    assert recorded == report.rewrite_seconds  # served from the plan cache
+
+
 def test_executor_surfaces_rule_fires_and_origins_in_metrics():
     db = make_db(small=4, big=40)
     query = Query(
