@@ -35,6 +35,10 @@ Served over HTTP (``python -m repro serve``, see ``docs/API.md``)::
     assert response.explanation_sets()
 """
 
+# Defined before the subpackage imports: repro.api.* reads it back via
+# ``from repro import __version__`` while this module is still initializing.
+__version__ = "1.1.0"
+
 from repro.nested.values import NULL, Bag, Tup
 from repro.nested.distance import bag_distance, relation_tree_distance
 from repro.algebra.expressions import col, lit
@@ -59,8 +63,6 @@ from repro.api import (
     ExplainResponse,
     ExplanationService,
 )
-
-__version__ = "1.1.0"
 
 __all__ = [
     "NULL",

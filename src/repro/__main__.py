@@ -31,10 +31,13 @@ written as a corpus JSON file ready to pin as a regression test.  Exit code
 
 ``serve`` boots the HTTP serving front end (:mod:`repro.api.http`): the
 versioned wire-format endpoints ``POST /v1/explain``, ``POST /v1/query``,
-``GET /v1/scenarios`` and ``GET /v1/health`` backed by an
+``GET /v1/scenarios``, ``GET /v1/health`` and ``GET /v1/stats`` backed by an
 :class:`~repro.api.ExplanationService` with an LRU result cache — see
 ``docs/API.md`` for the endpoint reference and ``repro.api.Client`` for the
-Python client.
+Python client.  ``serve --processes N`` swaps in the sharded multi-process
+front end (:mod:`repro.api.sharded`): N pre-forked workers, consistent-hash
+request routing, in-flight coalescing, queue-depth 503 backpressure and
+automatic crash respawn (``docs/SERVING.md``).
 
 Count-like flags (``--workers``, ``--partitions``, ``--cases``, ``--depth``,
 ``--rows``, ``--ops``, ``--cache-size``) validate their values up front:
@@ -205,6 +208,23 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.processes is not None:
+        from repro.api.sharded import ShardedConfig, serve_sharded
+
+        config = ShardedConfig(
+            processes=args.processes,
+            queue_depth=args.queue_depth,
+            cache_size=args.cache_size,
+            options=dict(
+                backend=args.backend,
+                workers=args.workers,
+                optimize=args.optimize,
+                engine=args.engine,
+            ),
+        )
+        return serve_sharded(
+            host=args.host, port=args.port, config=config, quiet=args.quiet
+        )
     from repro.api import ExplainOptions, ExplanationService
     from repro.api.http import serve
 
@@ -342,7 +362,21 @@ def main(argv=None) -> int:
         "--cache-size",
         type=_positive_int,
         default=128,
-        help="LRU result-cache capacity (default 128)",
+        help="LRU result-cache capacity (per worker when sharded, default 128)",
+    )
+    serve_parser.add_argument(
+        "--processes",
+        type=_positive_int,
+        default=None,
+        help="boot the sharded multi-process front end with N worker "
+        "processes (docs/SERVING.md); default: single-process server",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=16,
+        help="per-worker in-flight bound before 503 backpressure "
+        "(sharded mode only, default 16)",
     )
     serve_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"

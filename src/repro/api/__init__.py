@@ -6,12 +6,17 @@ Three pieces turn the in-process library into a serveable system:
   registry, request validation, a ``stable_hash``-keyed LRU result cache
   (hit/miss counters surfaced in every response) and concurrent dispatch
   (:mod:`repro.api.service`);
-* the HTTP front end — ``python -m repro serve`` exposes
-  ``POST /v1/explain``, ``POST /v1/query``, ``GET /v1/scenarios`` and
-  ``GET /v1/health`` over the versioned wire format of :mod:`repro.wire`
-  (:mod:`repro.api.http`, stdlib ``ThreadingHTTPServer``);
-* :class:`Client` — a small ``urllib`` client so Python callers on other
-  machines get the same typed objects back (:mod:`repro.api.client`).
+* the HTTP front ends — ``python -m repro serve`` exposes
+  ``POST /v1/explain``, ``POST /v1/query``, ``GET /v1/scenarios``,
+  ``GET /v1/health`` and ``GET /v1/stats`` over the versioned wire format
+  of :mod:`repro.wire` (:mod:`repro.api.http`, stdlib
+  ``ThreadingHTTPServer``), and ``--processes N`` swaps in the sharded
+  multi-process front end (:mod:`repro.api.sharded`: consistent-hash
+  routing, request coalescing, 503 backpressure, crash respawn — see
+  ``docs/SERVING.md``);
+* :class:`Client` — a small ``urllib`` client (with 503-aware retries) so
+  Python callers on other machines get the same typed objects back
+  (:mod:`repro.api.client`).
 
 The in-process entry points (:func:`repro.explain`,
 :func:`repro.scenarios.run_scenario`) are unchanged — the service wraps
@@ -29,6 +34,13 @@ from repro.api.service import (
     ExplanationService,
     UnknownDatabase,
 )
+from repro.api.sharded import (
+    Overloaded,
+    ShardDispatcher,
+    ShardedConfig,
+    WorkerCrashed,
+    routing_key,
+)
 
 __all__ = [
     "API_VERSION",
@@ -39,6 +51,11 @@ __all__ = [
     "ExplainRequest",
     "ExplainResponse",
     "ExplanationService",
+    "Overloaded",
     "RemoteExplainResponse",
+    "ShardDispatcher",
+    "ShardedConfig",
     "UnknownDatabase",
+    "WorkerCrashed",
+    "routing_key",
 ]

@@ -19,6 +19,7 @@ returning the decoded result bag plus execution metrics.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
@@ -39,12 +40,23 @@ from repro.wire import (
 
 
 class ApiError(RuntimeError):
-    """A non-2xx response from the server (carries status + typed payload)."""
+    """A non-2xx response from the server (carries status + typed payload).
 
-    def __init__(self, status: int, error_type: str, message: str):
+    ``retry_after`` holds the server's ``Retry-After`` hint in seconds when
+    one was sent (backpressure 503s always carry it), else ``None``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        retry_after: "Optional[float]" = None,
+    ):
         super().__init__(f"HTTP {status} {error_type}: {message}")
         self.status = status
         self.error_type = error_type
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -92,15 +104,36 @@ class RemoteExplainResponse:
 
 
 class Client:
-    """Synchronous wire-format client for one serving endpoint."""
+    """Synchronous wire-format client for one serving endpoint.
 
-    def __init__(self, base_url: str, timeout: float = 120.0):
+    ``timeout`` bounds every socket operation (connect + read).  With
+    ``retries > 0`` the client re-issues a request after a ``503`` (waiting
+    out the server's ``Retry-After`` hint, capped by ``max_retry_wait``) or
+    after a transport-level failure (connection refused/reset while a
+    sharded worker respawns), sleeping ``retry_backoff`` seconds between
+    transport retries.  Anything else — 4xx, 500 — is never retried: those
+    are deterministic answers, not transient load.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 120.0,
+        retries: int = 0,
+        retry_backoff: float = 0.5,
+        max_retry_wait: float = 30.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.max_retry_wait = max_retry_wait
+        #: Attempts the most recent ``_request`` used (observability/tests).
+        self.last_attempts = 0
 
     # -- transport ------------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+    def _request_once(self, method: str, path: str, body: Optional[dict] = None) -> dict:
         url = f"{self.base_url}/{API_VERSION}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -116,11 +149,31 @@ class Client:
                 payload = json.loads(exc.read()).get("error", {})
             except Exception:  # noqa: BLE001 - error body may be anything
                 payload = {}
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
             raise ApiError(
                 exc.code,
                 payload.get("type", "Unknown"),
                 payload.get("message", str(exc)),
+                retry_after=float(retry_after) if retry_after else None,
             ) from None
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        attempts = self.retries + 1
+        for attempt in range(1, attempts + 1):
+            self.last_attempts = attempt
+            try:
+                return self._request_once(method, path, body)
+            except ApiError as exc:
+                if exc.status != 503 or attempt == attempts:
+                    raise
+                wait = exc.retry_after if exc.retry_after is not None else self.retry_backoff
+                time.sleep(min(wait, self.max_retry_wait))
+            except urllib.error.URLError:
+                # Connection-level failure (refused/reset) — e.g. the server
+                # is still booting or a sharded worker front end restarted.
+                if attempt == attempts:
+                    raise
+                time.sleep(min(self.retry_backoff, self.max_retry_wait))
 
     # -- endpoints ------------------------------------------------------------
 

@@ -11,18 +11,23 @@ just Python — can submit why-not questions end-to-end:
 * ``POST /v1/query`` — a ``query-request`` document → the result relation
   plus execution metrics;
 * ``GET /v1/scenarios`` — the registered paper scenarios;
-* ``GET /v1/health`` — liveness, versions, cache counters.
+* ``GET /v1/health`` — liveness, versions, cache counters;
+* ``GET /v1/stats`` — serving metrics (request counters, QPS, latency
+  percentiles; see :mod:`repro.api.stats`).
 
 Errors come back as JSON ``{"error": {"type", "message"}}`` with 400 for
 malformed/ill-posed requests, 404 for unknown routes, 405 for wrong
-methods, and 500 for unexpected failures.  See ``docs/API.md`` for the
-endpoint reference and curl examples.
+methods, and 500 for unexpected failures.  The multi-process variant of
+this front end (``--processes N``) lives in :mod:`repro.api.sharded` and
+reuses :class:`JsonHandler`.  See ``docs/API.md`` for the endpoint
+reference and ``docs/SERVING.md`` for the process model.
 """
 
 from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from typing import Optional
 
 from repro import __version__
@@ -32,7 +37,9 @@ from repro.api.service import (
     ExplainOptions,
     ExplainRequest,
     ExplanationService,
+    scenarios_listing,
 )
+from repro.api.stats import ServingCounters
 from repro.wire import (
     WIRE_VERSION,
     check_envelope,
@@ -40,10 +47,63 @@ from repro.wire import (
     metrics_to_json,
     query_from_json,
     relation_to_json,
+    serving_stats_to_json,
 )
 
-#: Request bodies larger than this are rejected up front (64 MiB).
+#: Default cap on request bodies (64 MiB); servers take it as a knob so the
+#: oversized-body 400 path is testable without building a 64 MiB payload.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class JsonHandler(BaseHTTPRequestHandler):
+    """Shared JSON-over-HTTP plumbing for both serving front ends.
+
+    Subclasses implement the routing (``do_GET``/``do_POST``) on top of the
+    send/read helpers here; the bound server provides ``quiet`` (access-log
+    suppression) and ``max_body_bytes`` (request-body cap) attributes.
+    """
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Suppress per-request stderr noise unless the server is verbose."""
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, document: dict, headers: Optional[dict] = None
+    ) -> None:
+        body = json.dumps(document, ensure_ascii=True).encode("ascii")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, status: int, exc: BaseException, headers: Optional[dict] = None
+    ) -> None:
+        self._send_json(
+            status,
+            {"error": {"type": type(exc).__name__, "message": str(exc)}},
+            headers,
+        )
+
+    def _read_body(self) -> dict:
+        limit = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > limit:
+            raise ValueError(f"request body exceeds {limit} bytes")
+        raw = self.rfile.read(length)
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
 
 
 class ApiServer(ThreadingHTTPServer):
@@ -51,64 +111,41 @@ class ApiServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, service: ExplanationService, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        service: ExplanationService,
+        quiet: bool = True,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ):
         self.service = service
         self.quiet = quiet
+        self.max_body_bytes = max_body_bytes
+        self.counters = ServingCounters()
         super().__init__(address, _Handler)
 
 
-class _Handler(BaseHTTPRequestHandler):
+class _Handler(JsonHandler):
     """Routes ``/v1/...`` requests onto the bound service."""
 
     server: ApiServer  # narrowed type for the attribute lookups below
 
-    # -- plumbing -------------------------------------------------------------
-
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        """Suppress per-request stderr noise unless the server is verbose."""
-        if not self.server.quiet:
-            super().log_message(format, *args)
-
-    def _send_json(self, status: int, document: dict) -> None:
-        body = json.dumps(document, ensure_ascii=True).encode("ascii")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_json(self, status: int, exc: BaseException) -> None:
-        self._send_json(
-            status,
-            {"error": {"type": type(exc).__name__, "message": str(exc)}},
-        )
-
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise ValueError("request body required")
-        if length > MAX_BODY_BYTES:
-            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"request body is not valid JSON: {exc}") from None
-
     # -- routes ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """Dispatch ``GET /v1/health`` and ``GET /v1/scenarios``."""
+        """Dispatch ``GET /v1/health``, ``/v1/scenarios`` and ``/v1/stats``."""
         try:
             if self.path == f"/{API_VERSION}/health":
                 self._send_json(200, self._health())
+            elif self.path == f"/{API_VERSION}/stats":
+                self._send_json(200, self._stats())
             elif self.path == f"/{API_VERSION}/scenarios":
                 self._send_json(
                     200,
                     {
                         "format": WIRE_VERSION,
                         "kind": "scenarios",
-                        "scenarios": self.server.service.scenarios(),
+                        "scenarios": scenarios_listing(),
                     },
                 )
             elif self.path in (f"/{API_VERSION}/explain", f"/{API_VERSION}/query"):
@@ -122,24 +159,36 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         """Dispatch ``POST /v1/explain`` and ``POST /v1/query``."""
+        started = perf_counter()
+        status = 500
         try:
             if self.path == f"/{API_VERSION}/explain":
                 document = self._read_body()
                 request = ExplainRequest.from_json(document)
                 response = self.server.service.explain(request)
+                status = 200
                 self._send_json(200, response.to_json())
             elif self.path == f"/{API_VERSION}/query":
-                self._send_json(200, self._run_query(self._read_body()))
-            elif self.path in (f"/{API_VERSION}/health", f"/{API_VERSION}/scenarios"):
+                body = self._run_query(self._read_body())
+                status = 200
+                self._send_json(200, body)
+            elif self.path in (f"/{API_VERSION}/health", f"/{API_VERSION}/scenarios",
+                               f"/{API_VERSION}/stats"):
                 self._send_json(405, {"error": {"type": "MethodNotAllowed",
                                                 "message": "use GET"}})
+                return
             else:
                 self._send_json(404, {"error": {"type": "NotFound",
                                                 "message": f"no route {self.path}"}})
+                return
         except CLIENT_ERRORS as exc:
+            status = 400
             self._send_error_json(400, exc)
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_error_json(500, exc)
+        finally:
+            if self.path in (f"/{API_VERSION}/explain", f"/{API_VERSION}/query"):
+                self.server.counters.record_outcome(status, perf_counter() - started)
 
     def _health(self) -> dict:
         service = self.server.service
@@ -154,21 +203,39 @@ class _Handler(BaseHTTPRequestHandler):
             "databases": service.databases(),
         }
 
+    def _stats(self) -> dict:
+        cache = self.server.service.cache_stats()
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else None
+        serving = {"mode": "inprocess", "cache": cache}
+        serving.update(self.server.counters.snapshot())
+        return serving_stats_to_json(serving)
+
     def _run_query(self, document: dict) -> dict:
-        check_envelope(document, "query-request")
-        query = query_from_json(document["query"])
-        db_field = document["database"]
-        database = (
-            db_field if isinstance(db_field, str) else database_from_json(db_field)
-        )
-        options = ExplainOptions.from_json(document.get("options"))
-        result, metrics = self.server.service.query(query, database, options)
-        return {
-            "format": WIRE_VERSION,
-            "kind": "query-response",
-            "result": relation_to_json(result),
-            "metrics": metrics_to_json(metrics),
-        }
+        return run_query_document(self.server.service, document)
+
+
+def run_query_document(service: ExplanationService, document: dict) -> dict:
+    """Evaluate a ``query-request`` wire document into a ``query-response``.
+
+    Shared by the in-process handler and the sharded workers
+    (:mod:`repro.api.sharded`) so both front ends answer ``POST /v1/query``
+    identically.
+    """
+    check_envelope(document, "query-request")
+    query = query_from_json(document["query"])
+    db_field = document["database"]
+    database = (
+        db_field if isinstance(db_field, str) else database_from_json(db_field)
+    )
+    options = ExplainOptions.from_json(document.get("options"))
+    result, metrics = service.query(query, database, options)
+    return {
+        "format": WIRE_VERSION,
+        "kind": "query-response",
+        "result": relation_to_json(result),
+        "metrics": metrics_to_json(metrics),
+    }
 
 
 def make_server(
@@ -176,6 +243,7 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> ApiServer:
     """Build a bound (but not yet serving) API server.
 
@@ -183,7 +251,12 @@ def make_server(
     ``server.server_address`` (the pattern the tests and the CI smoke
     script use).
     """
-    return ApiServer((host, port), service or ExplanationService(), quiet=quiet)
+    return ApiServer(
+        (host, port),
+        service or ExplanationService(),
+        quiet=quiet,
+        max_body_bytes=max_body_bytes,
+    )
 
 
 def serve(
@@ -198,7 +271,8 @@ def serve(
     print(f"repro api {API_VERSION} (wire format {WIRE_VERSION}) "
           f"listening on http://{bound_host}:{bound_port}")
     print(f"  POST /{API_VERSION}/explain   POST /{API_VERSION}/query   "
-          f"GET /{API_VERSION}/scenarios   GET /{API_VERSION}/health")
+          f"GET /{API_VERSION}/scenarios   GET /{API_VERSION}/health   "
+          f"GET /{API_VERSION}/stats")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

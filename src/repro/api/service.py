@@ -71,6 +71,28 @@ class UnknownDatabase(KeyError):
     """Raised when a request references a database name not in the registry."""
 
 
+def scenarios_listing() -> "list[dict]":
+    """Metadata of every registered paper scenario (the ``/v1/scenarios`` body).
+
+    Module-level so front ends that own no :class:`ExplanationService`
+    instance (the sharded dispatcher answers this route without a worker
+    round-trip) serve the identical listing.
+    """
+    from repro.scenarios import SCENARIOS
+
+    return [
+        {
+            "name": s.name,
+            "description": s.description,
+            "default_scale": s.default_scale,
+            "alternatives": [list(g) for g in s.alternatives],
+            "gold": sorted(s.gold) if s.gold is not None else None,
+            "notes": s.notes,
+        }
+        for s in SCENARIOS.values()
+    ]
+
+
 class BadRequest(ValueError):
     """Raised when a request payload is structurally invalid or incomplete."""
 
@@ -301,19 +323,7 @@ class ExplanationService:
 
     def scenarios(self) -> "list[dict]":
         """Metadata of every registered paper scenario (for ``/v1/scenarios``)."""
-        from repro.scenarios import SCENARIOS
-
-        return [
-            {
-                "name": s.name,
-                "description": s.description,
-                "default_scale": s.default_scale,
-                "alternatives": [list(g) for g in s.alternatives],
-                "gold": sorted(s.gold) if s.gold is not None else None,
-                "notes": s.notes,
-            }
-            for s in SCENARIOS.values()
-        ]
+        return scenarios_listing()
 
     # -- request lifecycle ----------------------------------------------------
 

@@ -53,6 +53,8 @@ from repro.wire.payloads import (
     relation_from_json,
     relation_to_json,
     result_to_json,
+    serving_stats_from_json,
+    serving_stats_to_json,
 )
 
 __all__ = [
@@ -81,4 +83,6 @@ __all__ = [
     "result_to_json",
     "metrics_to_json",
     "metrics_from_json",
+    "serving_stats_to_json",
+    "serving_stats_from_json",
 ]

@@ -322,3 +322,45 @@ def metrics_from_json(data: dict) -> ExecutionMetrics:
             origins=tuple(m["origins"]),
         )
     return metrics
+
+
+#: Counter fields every ``stats`` payload's ``serving`` section must carry.
+SERVING_STAT_FIELDS = (
+    "mode",
+    "uptime_s",
+    "requests",
+    "completed",
+    "errors",
+    "rejected",
+    "coalesced",
+    "timeouts",
+    "qps",
+    "latency_ms",
+    "cache",
+)
+
+
+def serving_stats_to_json(serving: dict, workers: "Sequence[dict]" = ()) -> dict:
+    """Encode serving metrics as a ``stats`` payload (``GET /v1/stats``).
+
+    ``serving`` is the front-end-wide section (see
+    :data:`SERVING_STAT_FIELDS`; ``mode`` is ``"inprocess"`` or
+    ``"sharded"``, ``cache`` the aggregated hit/miss/size counters);
+    ``workers`` holds one dict per shard worker (pid, liveness, restarts,
+    queue depth, per-worker cache counters and latency percentiles) and is
+    empty for the single-process server.
+    """
+    missing = [f for f in SERVING_STAT_FIELDS if f not in serving]
+    if missing:
+        raise ValueError(f"serving stats are missing fields {missing}")
+    return envelope("stats", {"serving": dict(serving), "workers": [dict(w) for w in workers]})
+
+
+def serving_stats_from_json(data: dict) -> "tuple[dict, list[dict]]":
+    """Decode :func:`serving_stats_to_json` output into ``(serving, workers)``."""
+    check_envelope(data, "stats")
+    serving = data["serving"]
+    missing = [f for f in SERVING_STAT_FIELDS if f not in serving]
+    if missing:
+        raise ValueError(f"stats payload is missing serving fields {missing}")
+    return dict(serving), [dict(w) for w in data.get("workers", [])]

@@ -1,0 +1,208 @@
+"""Single-process serving edges: cache boundary, body limits, client retries.
+
+These close the gaps the happy-path suite (``test_http.py``) leaves open:
+LRU eviction observed *through* the HTTP layer at the exact ``--cache-size``
+boundary, the request-body guardrails (oversized, non-object JSON), and the
+:class:`repro.api.Client` retry/timeout contract exercised against stub
+servers with scripted failure behaviour.
+"""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.api import ApiError, Client, ExplanationService
+from repro.api.http import make_server
+
+
+@pytest.fixture
+def boot_api():
+    """Boot a real API server with per-test knobs; torn down afterwards."""
+    servers = []
+
+    def boot(**kwargs):
+        server = make_server(**kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append(server)
+        host, port = server.server_address[:2]
+        return server, Client(f"http://{host}:{port}", timeout=60)
+
+    yield boot
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+
+
+def _post_raw(server, path, body: bytes):
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestCacheBoundary:
+    """Eviction at exactly ``--cache-size`` entries, observed over HTTP."""
+
+    def test_eviction_at_cache_size_boundary(self, boot_api):
+        server, client = boot_api(service=ExplanationService(cache_size=2))
+        for scale in (20, 21, 22):  # third insert evicts the oldest (20)
+            assert not client.explain(scenario="Q1", scale=scale).cached
+        assert client.health()["cache"]["size"] == 2
+        evicted = client.explain(scenario="Q1", scale=20)
+        assert not evicted.cached, "entry beyond the boundary must be recomputed"
+        assert evicted.cache["size"] == 2  # still bounded after re-insert
+
+    def test_recency_not_insertion_order_decides_eviction(self, boot_api):
+        server, client = boot_api(service=ExplanationService(cache_size=2))
+        client.explain(scenario="Q1", scale=20)
+        client.explain(scenario="Q1", scale=21)
+        client.explain(scenario="Q1", scale=20)  # refresh 20 → 21 is now LRU
+        client.explain(scenario="Q1", scale=22)  # evicts 21, not 20
+        assert client.explain(scenario="Q1", scale=20).cached
+        assert not client.explain(scenario="Q1", scale=21).cached
+
+
+class TestBodyGuardrails:
+    def test_oversized_body_is_400_not_read(self, boot_api):
+        server, client = boot_api(max_body_bytes=64)
+        status, document = _post_raw(
+            server, "/v1/explain", b'{"pad": "' + b"x" * 200 + b'"}'
+        )
+        assert status == 400
+        assert "exceeds 64 bytes" in document["error"]["message"]
+
+    def test_non_object_json_body_is_400(self, boot_api):
+        server, _ = boot_api()
+        for body in (b"[1, 2, 3]", b'"scenario"', b"42"):
+            status, document = _post_raw(server, "/v1/explain", body)
+            assert status == 400, f"body {body!r} must be a client error"
+            assert "JSON object" in document["error"]["message"]
+
+    def test_small_valid_request_fits_under_a_tight_limit(self, boot_api):
+        # The cap must not reject legitimate scenario-shorthand requests.
+        server, client = boot_api(max_body_bytes=4096)
+        assert client.explain(scenario="Q1", scale=20).explanation_sets()
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Replays the server's scripted (status, headers) per request."""
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self.server.calls += 1
+        if self.server.calls <= self.server.failures:
+            status, headers = self.server.failure
+            body = json.dumps(
+                {"error": {"type": "Overloaded", "message": "scripted"}}
+            ).encode("ascii")
+        else:
+            status, headers = 200, {}
+            body = json.dumps({"status": "ok"}).encode("ascii")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+@pytest.fixture
+def scripted_server():
+    servers = []
+
+    def boot(failures, failure=(503, {"Retry-After": "0"})):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+        server.calls = 0
+        server.failures = failures
+        server.failure = failure
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append(server)
+        host, port = server.server_address[:2]
+        return server, f"http://{host}:{port}"
+
+    yield boot
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+class TestClientRetries:
+    def test_retries_ride_out_503_with_retry_after(self, scripted_server):
+        server, url = scripted_server(failures=2)
+        client = Client(url, timeout=10, retries=3, retry_backoff=0.01)
+        assert client.health()["status"] == "ok"
+        assert client.last_attempts == 3
+        assert server.calls == 3
+
+    def test_retries_exhausted_raises_the_503(self, scripted_server):
+        server, url = scripted_server(failures=99)
+        client = Client(url, timeout=10, retries=2, retry_backoff=0.01)
+        with pytest.raises(ApiError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 503
+        assert client.last_attempts == 3
+
+    def test_4xx_and_500_are_never_retried(self, scripted_server):
+        for status in (400, 404, 500):
+            server, url = scripted_server(failures=99, failure=(status, {}))
+            client = Client(url, timeout=10, retries=5, retry_backoff=0.01)
+            with pytest.raises(ApiError) as excinfo:
+                client.health()
+            assert excinfo.value.status == status
+            assert client.last_attempts == 1, f"{status} must not be retried"
+            assert server.calls == 1
+
+    def test_transport_failure_is_retried_then_raised(self):
+        # Bind-then-close guarantees a dead port: every attempt is refused.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = Client(
+            f"http://127.0.0.1:{port}", timeout=5, retries=2, retry_backoff=0.01
+        )
+        with pytest.raises(urllib.error.URLError):
+            client.health()
+        assert client.last_attempts == 3
+
+    def test_zero_retries_is_the_default_single_shot(self, scripted_server):
+        server, url = scripted_server(failures=1)
+        client = Client(url, timeout=10)
+        with pytest.raises(ApiError):
+            client.health()
+        assert client.last_attempts == 1
+
+
+class TestClientTimeout:
+    def test_read_timeout_surfaces_as_transport_error(self):
+        # A socket that accepts connections but never answers: the client's
+        # read deadline must fire instead of hanging the caller.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        try:
+            client = Client(f"http://127.0.0.1:{port}", timeout=0.3)
+            with pytest.raises((urllib.error.URLError, TimeoutError)):
+                client.health()
+        finally:
+            listener.close()

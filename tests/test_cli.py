@@ -116,9 +116,27 @@ class TestServeCommand:
         _usage_error(["serve", "--workers", "0"])
         assert "--workers" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("value", ["0", "-1", "x"])
+    def test_rejects_bad_processes(self, value, capsys):
+        _usage_error(["serve", "--processes", value])
+        err = capsys.readouterr().err
+        assert "--processes" in err and "Traceback" not in err
+
+    @pytest.mark.parametrize("value", ["0", "-4"])
+    def test_rejects_bad_queue_depth(self, value, capsys):
+        _usage_error(["serve", "--queue-depth", value])
+        err = capsys.readouterr().err
+        assert "--queue-depth" in err and "Traceback" not in err
+
+    def test_rejects_negative_cache_size(self, capsys):
+        _usage_error(["serve", "--cache-size", "-1"])
+        assert "--cache-size" in capsys.readouterr().err
+
     def test_help_documents_endpoints_doc(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["serve", "--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
         assert "--port" in out and "--cache-size" in out
+        assert "--processes" in out and "--queue-depth" in out
+        assert "SERVING.md" in out

@@ -187,3 +187,51 @@ class TestRelationAndMetricsPayloads:
             document, resolve_database=lambda name: person_db
         )
         assert restored.query.evaluate(restored.db) == running_query.evaluate(person_db)
+
+
+class TestServingStatsPayload:
+    def _serving(self, **overrides):
+        serving = {
+            "mode": "sharded",
+            "uptime_s": 12.5,
+            "requests": 10,
+            "completed": 7,
+            "errors": 1,
+            "rejected": 1,
+            "coalesced": 1,
+            "timeouts": 0,
+            "qps": 0.56,
+            "latency_ms": {"count": 7, "p50_ms": 30.0, "p95_ms": 90.0, "p99_ms": 90.0},
+            "cache": {"hits": 3, "misses": 4, "size": 4, "hit_rate": 3 / 7},
+        }
+        serving.update(overrides)
+        return serving
+
+    def test_round_trip_with_workers(self):
+        from repro.wire import serving_stats_from_json, serving_stats_to_json
+
+        workers = [{"index": 0, "pid": 123, "alive": True, "restarts": 0}]
+        document = _wire_trip(serving_stats_to_json(self._serving(), workers))
+        check_envelope(document, "stats")
+        serving, decoded_workers = serving_stats_from_json(document)
+        assert serving == self._serving()
+        assert decoded_workers == workers
+
+    def test_workers_default_to_empty(self):
+        from repro.wire import serving_stats_from_json, serving_stats_to_json
+
+        document = serving_stats_to_json(self._serving(mode="inprocess"))
+        serving, workers = serving_stats_from_json(document)
+        assert serving["mode"] == "inprocess" and workers == []
+
+    def test_missing_counter_fields_rejected_both_ways(self):
+        from repro.wire import serving_stats_from_json, serving_stats_to_json
+
+        incomplete = self._serving()
+        del incomplete["qps"]
+        with pytest.raises(ValueError, match="qps"):
+            serving_stats_to_json(incomplete)
+        document = serving_stats_to_json(self._serving())
+        del document["serving"]["latency_ms"]
+        with pytest.raises(ValueError, match="latency_ms"):
+            serving_stats_from_json(document)

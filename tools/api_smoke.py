@@ -9,7 +9,10 @@ drives it through :class:`repro.api.Client`:
    response whose explanation sets are **identical** to in-process
    ``explain()``;
 4. the repeated request is served from the LRU cache (hit counter + flag);
-5. ``POST /v1/query`` returns the correct result bag.
+5. ``POST /v1/query`` returns the correct result bag;
+6. the same checks against ``serve --processes 2`` (the sharded front end:
+   two real worker processes), plus ``GET /v1/stats`` decoding and the
+   routing-locality cache hit.
 
 Exits non-zero on any failure; the surrounding CI step adds the timeout.
 
@@ -33,7 +36,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.api import Client, ExplainOptions  # noqa: E402
 from repro.scenarios import get_scenario  # noqa: E402
 from repro.whynot.explain import explain  # noqa: E402
-from repro.wire import check_envelope  # noqa: E402
+from repro.wire import check_envelope, serving_stats_from_json  # noqa: E402
 
 SCENARIO = "Q1"
 SCALE = 20
@@ -61,18 +64,69 @@ def wait_for_health(client: Client, deadline: float) -> dict:
     raise TimeoutError(f"server did not become healthy: {last_error!r}")
 
 
-def main() -> int:
+def boot_serve(extra_args: "list[str]") -> "tuple[subprocess.Popen, Client, int]":
+    """Start ``python -m repro serve`` on a free port and return its client."""
     port = free_port()
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", str(port), "--quiet"],
+        [sys.executable, "-m", "repro", "serve", "--port", str(port), "--quiet"]
+        + extra_args,
         env=env,
         cwd=REPO_ROOT,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
     )
-    client = Client(f"http://127.0.0.1:{port}")
+    return process, Client(f"http://127.0.0.1:{port}"), port
+
+
+def drain(process: subprocess.Popen) -> None:
+    """Terminate the server subprocess and echo its captured log."""
+    process.terminate()
+    try:
+        output, _ = process.communicate(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        output, _ = process.communicate()
+    if output:
+        print("--- server log ---")
+        print(output.rstrip())
+
+
+def sharded_smoke(expected: "list[frozenset[str]]") -> None:
+    """Boot the sharded front end and re-verify the contract across it."""
+    process, client, _ = boot_serve(["--processes", "2"])
+    try:
+        health = wait_for_health(client, time.monotonic() + BOOT_TIMEOUT_S)
+        workers = health.get("workers", [])
+        assert health.get("processes") == 2 and len(workers) == 2, health
+        assert all(w["alive"] for w in workers), workers
+        print(f"sharded health ok: pids={[w['pid'] for w in workers]}")
+
+        cold = client.explain(scenario=SCENARIO, scale=SCALE)
+        check_envelope(cold.raw, "explain-response")
+        assert cold.explanation_sets() == expected, (
+            f"sharded explanations {cold.explanation_sets()} != in-process"
+        )
+        warm = client.explain(scenario=SCENARIO, scale=SCALE)
+        assert warm.cached, "repeat request must hit the routed worker's cache"
+        assert warm.explanation_sets() == expected
+        print("sharded explain ok: payload matches in-process, locality hit")
+
+        serving, worker_stats = serving_stats_from_json(
+            client._request("GET", "/stats")
+        )
+        assert serving["mode"] == "sharded", serving
+        assert serving["completed"] >= 1 and serving["requests"] >= 2, serving
+        assert len(worker_stats) == 2, worker_stats
+        print(f"sharded stats ok: completed={serving['completed']} "
+              f"hit_rate={serving['cache']['hit_rate']}")
+    finally:
+        drain(process)
+
+
+def main() -> int:
+    process, client, _ = boot_serve([])
     try:
         health = wait_for_health(client, time.monotonic() + BOOT_TIMEOUT_S)
         print(f"health ok: version={health['version']} wire={health['wire_format']}")
@@ -112,18 +166,12 @@ def main() -> int:
         )
         assert bag == question.query.evaluate(question.db), "/v1/query result differs"
         print(f"query ok: |result|={len(bag)} backend={metrics.backend}")
-        print("api smoke: OK")
-        return 0
     finally:
-        process.terminate()
-        try:
-            output, _ = process.communicate(timeout=10)
-        except subprocess.TimeoutExpired:
-            process.kill()
-            output, _ = process.communicate()
-        if output:
-            print("--- server log ---")
-            print(output.rstrip())
+        drain(process)
+
+    sharded_smoke(expected)
+    print("api smoke: OK")
+    return 0
 
 
 if __name__ == "__main__":
