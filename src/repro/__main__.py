@@ -7,8 +7,11 @@ Usage::
     python -m repro run Q10 --backend process --workers 4   # multi-core
     python -m repro run Q10 --optimize       # optimized answer path
     python -m repro run Q10 --show-plan      # original vs optimized plan
+    python -m repro run --query-file f.rq    # run a textual .rq program
+    python -m repro repl [--scenario Q10]    # interactive .rq REPL
     python -m repro table7 [--scale 40]      # the Table-7 summary
     python -m repro fuzz --seed 4 --cases 200   # differential fuzz sweep
+    python -m repro fuzz --text --cases 200     # + grammar round-trip oracle
     python -m repro serve --port 8080        # HTTP explanation service
 
 ``--backend serial`` (default) evaluates in-process; ``--backend process``
@@ -28,6 +31,15 @@ across ``Query.evaluate`` × backends × optimizer on/off × partition counts
 any divergence is shrunk to a minimal repro and (with ``--corpus-dir``)
 written as a corpus JSON file ready to pin as a regression test.  Exit code
 1 signals at least one divergence.
+
+``run --query-file`` executes a textual ``.rq`` program (grammar:
+``docs/LANGUAGE.md``) against a scenario database — the scenario named by
+``--db``, or the one matching the program's own ``query NAME``.  ``repl``
+starts the interactive read-eval-print loop of :mod:`repro.lang.repl`.
+``fuzz --text`` adds the grammar round-trip oracle: every generated plan and
+question is pretty-printed, reparsed and checked structurally identical;
+divergences are shrunk and (with ``--corpus-dir``) also written as ``.rq``
+files.
 
 ``serve`` boots the HTTP serving front end (:mod:`repro.api.http`): the
 versioned wire-format endpoints ``POST /v1/explain``, ``POST /v1/query``,
@@ -86,9 +98,70 @@ def _fmt(sets) -> str:
     return ", ".join("{" + ", ".join(sorted(s)) + "}" for s in sets)
 
 
+def _run_query_file(args: argparse.Namespace) -> int:
+    """``run --query-file``: execute one textual .rq program."""
+    from repro.lang import LangError, lower_program, parse_program
+    from repro.lang.repl import print_explanation, print_result
+    from repro.scenarios import SCENARIOS, get_scenario
+
+    try:
+        with open(args.query_file, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"error: cannot read {args.query_file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        program = parse_program(text)
+    except LangError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 2
+    db_name = args.db or args.scenario or program.name
+    if not db_name:
+        print(
+            "error: the program is unnamed; pick its database with --db NAME",
+            file=sys.stderr,
+        )
+        return 2
+    if db_name not in SCENARIOS:
+        print(
+            f"error: no scenario named {db_name!r} to supply the database "
+            "(see `python -m repro list`); override with --db NAME",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = get_scenario(db_name)
+    scale = args.scale if args.scale is not None else scenario.default_scale
+    db = scenario.make_db(scale)
+    try:
+        lowered = lower_program(program, database=db, source=text)
+    except LangError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 2
+    print(f"{args.query_file}: database {db_name} (scale {scale})")
+    if lowered.has_question:
+        print_explanation(
+            lowered,
+            db,
+            dict(
+                backend=args.backend,
+                workers=args.workers,
+                optimize=args.optimize,
+                engine=args.engine,
+            ),
+        )
+    else:
+        print_result(lowered, db)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.scenarios import get_scenario, run_scenario
 
+    if args.query_file is not None:
+        return _run_query_file(args)
+    if args.scenario is None:
+        print("error: a scenario name (or --query-file) is required", file=sys.stderr)
+        return 2
     scenario = get_scenario(args.scenario)
     print(f"{scenario.name}: {scenario.description}")
     if scenario.notes:
@@ -156,11 +229,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         workers=args.workers,
         engines=engines,
         explain_grid=explain_grid,
+        grammar=args.text,
     )
     print(
         f"fuzzing: seed={args.seed} cases={args.cases} depth={args.depth} "
         f"rows={args.rows} ops={args.ops} partitions={','.join(map(str, args.partitions))} "
         f"backends={'+'.join(backends)} engines={'+'.join(engines)}"
+        f"{' grammar=on' if args.text else ''}"
     )
     result = run_sweep(
         args.seed,
@@ -190,6 +265,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 f"--partitions {','.join(map(str, args.partitions))} "
                 f"--backend {args.backend}"
                 + (f" --engine {args.engine}" if args.engine else "")
+                + (" --text" if args.text else "")
             )
             dump_case(
                 case,
@@ -202,9 +278,40 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 found_by=found_by,
             )
             print(f"  corpus file written: {path}")
+            if args.text and any(
+                d.kind == "grammar" for d in report.divergences
+            ):
+                from repro.lang import PrettyError, pretty_program
+
+                rq_path = os.path.join(args.corpus_dir, f"{case.name}.rq")
+                try:
+                    text = pretty_program(
+                        case.query, nip=case.nip, name=case.name
+                    )
+                except PrettyError as exc:
+                    print(f"  (.rq corpus skipped: {exc})")
+                else:
+                    with open(rq_path, "w", encoding="utf-8") as fh:
+                        fh.write(f"-- {found_by}\n{text}")
+                    print(f"  corpus file written: {rq_path}")
     print()
     print(result.summary())
     return 0 if result.ok else 1
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from repro.lang.repl import run_repl
+
+    return run_repl(
+        scenario=args.scenario,
+        scale=args.scale,
+        options=dict(
+            backend=args.backend,
+            workers=args.workers,
+            optimize=args.optimize,
+            engine=args.engine,
+        ),
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -276,15 +383,42 @@ def main(argv=None) -> int:
             "columnar kernels (default: REPRO_ENGINE or row)",
         )
 
-    run_parser = sub.add_parser("run", help="run one scenario")
-    run_parser.add_argument("scenario", help="scenario name, e.g. Q10")
+    run_parser = sub.add_parser("run", help="run one scenario or .rq program")
+    run_parser.add_argument(
+        "scenario", nargs="?", default=None, help="scenario name, e.g. Q10"
+    )
     run_parser.add_argument("--scale", type=int, default=None)
     run_parser.add_argument(
         "--show-plan",
         action="store_true",
         help="print the original vs optimized plan with rule annotations",
     )
+    run_parser.add_argument(
+        "--query-file",
+        default=None,
+        help="execute a textual .rq program (docs/LANGUAGE.md) instead of a "
+        "registered scenario query",
+    )
+    run_parser.add_argument(
+        "--db",
+        default=None,
+        help="scenario whose database the .rq program runs against "
+        "(default: the scenario matching the program's name)",
+    )
     add_backend_flags(run_parser)
+
+    repl_parser = sub.add_parser(
+        "repl", help="interactive .rq query REPL (docs/LANGUAGE.md)"
+    )
+    repl_parser.add_argument(
+        "--scenario",
+        default=None,
+        help="load this scenario's database on startup (like \\use)",
+    )
+    repl_parser.add_argument(
+        "--scale", type=_positive_int, default=None, help="database scale for --scenario"
+    )
+    add_backend_flags(repl_parser)
 
     t7 = sub.add_parser("table7", help="regenerate the Table-7 summary")
     t7.add_argument("--scale", type=int, default=40)
@@ -334,6 +468,12 @@ def main(argv=None) -> int:
         "--no-questions",
         action="store_true",
         help="skip why-not question derivation and the explanation differential",
+    )
+    fuzz.add_argument(
+        "--text",
+        action="store_true",
+        help="also check the grammar round-trip oracle: pretty-print each "
+        "plan+question to .rq text, reparse, require identical evaluation",
     )
     fuzz.add_argument(
         "--no-shrink",
@@ -388,6 +528,8 @@ def main(argv=None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "repl":
+        return _cmd_repl(args)
     if args.command == "table7":
         return _cmd_table7(args)
     if args.command == "fuzz":

@@ -36,6 +36,7 @@ from repro.wire import (
     metrics_from_json,
     query_to_json,
     relation_from_json,
+    text_query_request,
 )
 
 
@@ -44,6 +45,9 @@ class ApiError(RuntimeError):
 
     ``retry_after`` holds the server's ``Retry-After`` hint in seconds when
     one was sent (backpressure 503s always carry it), else ``None``.
+    ``position`` carries the server's ``{"line", "column"}`` source
+    position when the error came from parsing/validating a textual ``.rq``
+    payload, else ``None``.
     """
 
     def __init__(
@@ -52,11 +56,13 @@ class ApiError(RuntimeError):
         error_type: str,
         message: str,
         retry_after: "Optional[float]" = None,
+        position: "Optional[dict]" = None,
     ):
         super().__init__(f"HTTP {status} {error_type}: {message}")
         self.status = status
         self.error_type = error_type
         self.retry_after = retry_after
+        self.position = position
 
 
 @dataclass
@@ -155,6 +161,7 @@ class Client:
                 payload.get("type", "Unknown"),
                 payload.get("message", str(exc)),
                 retry_after=float(retry_after) if retry_after else None,
+                position=payload.get("position"),
             ) from None
 
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
@@ -191,18 +198,31 @@ class Client:
         scenario: Optional[str] = None,
         scale: Optional[int] = None,
         options: Optional[ExplainOptions] = None,
+        text: Optional[str] = None,
+        database: "str | Any | None" = None,
     ) -> RemoteExplainResponse:
         """``POST /v1/explain`` — answer a why-not question remotely.
 
-        Pass either a full :class:`ExplainRequest` or the scenario
-        shorthand (``scenario=`` + optional ``scale=``/``options=``).
+        Pass a full :class:`ExplainRequest`, the scenario shorthand
+        (``scenario=`` + optional ``scale=``/``options=``), or the textual
+        form (``text=`` an ``.rq`` program with a ``whynot`` block,
+        ``database=`` a registered name or inline database).
         """
         if request is None:
-            if scenario is None:
-                raise ValueError("explain needs a request or a scenario name")
-            request = ExplainRequest(
-                scenario=scenario, scale=scale, options=options or ExplainOptions()
-            )
+            if text is not None:
+                if database is None:
+                    raise ValueError("explain(text=...) needs a database")
+                request = ExplainRequest(
+                    text=text, database=database, options=options or ExplainOptions()
+                )
+            elif scenario is not None:
+                request = ExplainRequest(
+                    scenario=scenario, scale=scale, options=options or ExplainOptions()
+                )
+            else:
+                raise ValueError(
+                    "explain needs a request, a scenario name, or text="
+                )
         document = self._request("POST", "/explain", request.to_json())
         check_envelope(document, "explain-response")
         return RemoteExplainResponse(document)
@@ -228,6 +248,30 @@ class Client:
             ),
             "options": (options or ExplainOptions()).to_json(),
         }
+        document = self._request("POST", "/query", body)
+        check_envelope(document, "query-response")
+        return (
+            relation_from_json(document["result"]),
+            metrics_from_json(document["metrics"]),
+        )
+
+    def query_text(
+        self,
+        text: str,
+        database: "str | Any",
+        options: Optional[ExplainOptions] = None,
+    ) -> "tuple[Bag, ExecutionMetrics]":
+        """``POST /v1/query`` with a textual ``.rq`` program body.
+
+        The server parses, validates and lowers *text* against *database*
+        and evaluates its query pipeline (a trailing ``whynot`` block is
+        ignored — use :meth:`explain` with ``text=`` to answer it).
+        Returns the decoded result bag and execution metrics, exactly like
+        :meth:`query`.
+        """
+        body = text_query_request(
+            text, database, options=(options or ExplainOptions()).to_json()
+        )
         document = self._request("POST", "/query", body)
         check_envelope(document, "query-response")
         return (

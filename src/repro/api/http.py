@@ -15,12 +15,21 @@ just Python — can submit why-not questions end-to-end:
 * ``GET /v1/stats`` — serving metrics (request counters, QPS, latency
   percentiles; see :mod:`repro.api.stats`).
 
+Both POST endpoints also accept the **textual** payload variant: a body
+with a ``text`` field carrying an ``.rq`` program (grammar:
+``docs/LANGUAGE.md``) plus a ``database``.  ``/v1/query`` evaluates the
+program's query pipeline (a trailing ``whynot`` block is ignored there, so
+checked-in scenario files run unmodified); ``/v1/explain`` requires the
+``whynot`` block and answers it.
+
 Errors come back as JSON ``{"error": {"type", "message"}}`` with 400 for
 malformed/ill-posed requests, 404 for unknown routes, 405 for wrong
-methods, and 500 for unexpected failures.  The multi-process variant of
-this front end (``--processes N``) lives in :mod:`repro.api.sharded` and
-reuses :class:`JsonHandler`.  See ``docs/API.md`` for the endpoint
-reference and ``docs/SERVING.md`` for the process model.
+methods, and 500 for unexpected failures; parse/validation errors from
+textual payloads additionally carry ``"position": {"line", "column"}``.
+The multi-process variant of this front end (``--processes N``) lives in
+:mod:`repro.api.sharded` and reuses :class:`JsonHandler` and
+:func:`error_document`.  See ``docs/API.md`` for the endpoint reference
+and ``docs/SERVING.md`` for the process model.
 """
 
 from __future__ import annotations
@@ -55,6 +64,20 @@ from repro.wire import (
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
+def error_document(exc: BaseException) -> dict:
+    """The JSON error body for one exception (shared by both front ends).
+
+    Language errors (:class:`~repro.lang.errors.LangError`) carry a source
+    position; it is surfaced as ``{"line", "column"}`` so HTTP clients get
+    the same diagnostics the CLI and REPL render as carets.
+    """
+    error = {"type": type(exc).__name__, "message": str(exc)}
+    position = getattr(exc, "position", None)
+    if callable(position):
+        error["position"] = position()
+    return {"error": error}
+
+
 class JsonHandler(BaseHTTPRequestHandler):
     """Shared JSON-over-HTTP plumbing for both serving front ends.
 
@@ -83,11 +106,7 @@ class JsonHandler(BaseHTTPRequestHandler):
     def _send_error_json(
         self, status: int, exc: BaseException, headers: Optional[dict] = None
     ) -> None:
-        self._send_json(
-            status,
-            {"error": {"type": type(exc).__name__, "message": str(exc)}},
-            headers,
-        )
+        self._send_json(status, error_document(exc), headers)
 
     def _read_body(self) -> dict:
         limit = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
@@ -223,12 +242,30 @@ def run_query_document(service: ExplanationService, document: dict) -> dict:
     identically.
     """
     check_envelope(document, "query-request")
-    query = query_from_json(document["query"])
-    db_field = document["database"]
-    database = (
-        db_field if isinstance(db_field, str) else database_from_json(db_field)
-    )
     options = ExplainOptions.from_json(document.get("options"))
+    if "text" in document:
+        from repro.api.service import BadRequest
+        from repro.lang import compile_program
+
+        if not isinstance(document["text"], str):
+            raise BadRequest("the 'text' field must be an .rq program string")
+        db_field = document.get("database")
+        if db_field is None:
+            raise BadRequest("text query-request needs a database (name or inline)")
+        database = (
+            service.database(db_field)
+            if isinstance(db_field, str)
+            else database_from_json(db_field)
+        )
+        # A trailing whynot block is legal and ignored here: /v1/query
+        # evaluates the query pipeline, /v1/explain answers the question.
+        query = compile_program(document["text"], database=database).query
+    else:
+        query = query_from_json(document["query"])
+        db_field = document["database"]
+        database = (
+            db_field if isinstance(db_field, str) else database_from_json(db_field)
+        )
     result, metrics = service.query(query, database, options)
     return {
         "format": WIRE_VERSION,

@@ -158,10 +158,14 @@ class ExplainOptions:
 class ExplainRequest:
     """One why-not request: ⟨Q, D, t⟩ plus alternatives and options.
 
-    Two forms are accepted:
+    Three forms are accepted:
 
     * **explicit** — ``query`` + ``nip`` + ``database`` (a registered name
       or an inline :class:`Database`);
+    * **textual** — ``text`` (an ``.rq`` program with a ``whynot`` block;
+      grammar: ``docs/LANGUAGE.md``) + ``database``: the server parses,
+      validates and lowers the program, taking query, NIP and attribute
+      alternatives from the text;
     * **scenario shorthand** — ``scenario`` (+ optional ``scale``): the
       server builds query, database, NIP and attribute alternatives from
       its scenario registry.
@@ -175,11 +179,21 @@ class ExplainRequest:
     name: str = ""
     scenario: Optional[str] = None
     scale: Optional[int] = None
+    text: Optional[str] = None
 
     def to_json(self) -> dict:
         """Encode as an ``explain-request`` wire document."""
         body: dict = {"options": self.options.to_json(), "name": self.name}
-        if self.scenario is not None:
+        if self.text is not None:
+            if self.database is None:
+                raise BadRequest("text request needs a database (name or inline)")
+            body["text"] = self.text
+            body["database"] = (
+                self.database
+                if isinstance(self.database, str)
+                else database_to_json(self.database)
+            )
+        elif self.scenario is not None:
             body["scenario"] = self.scenario
             if self.scale is not None:
                 body["scale"] = self.scale
@@ -203,6 +217,22 @@ class ExplainRequest:
         """Decode :meth:`to_json` output (databases stay name refs/inline)."""
         check_envelope(data, "explain-request")
         options = ExplainOptions.from_json(data.get("options"))
+        if "text" in data:
+            if not isinstance(data["text"], str):
+                raise BadRequest("the 'text' field must be an .rq program string")
+            db_field = data.get("database")
+            if db_field is None:
+                raise BadRequest("text request needs a database (name or inline)")
+            return cls(
+                text=data["text"],
+                database=(
+                    db_field
+                    if isinstance(db_field, str)
+                    else database_from_json(db_field)
+                ),
+                options=options,
+                name=data.get("name", ""),
+            )
         if "scenario" in data:
             return cls(
                 scenario=data["scenario"],
@@ -339,9 +369,35 @@ class ExplanationService:
         question.validate()
         return question, alternatives, key
 
+    def _resolve_database(self, request: ExplainRequest):
+        """Resolve the request's database field into ``(db, cache_token)``."""
+        if isinstance(request.database, str):
+            db = self.database(request.database)
+            with self._lock:
+                token = self._databases[request.database][1]
+            return db, ("named", request.database, token, db.version)
+        db = request.database
+        return db, ("inline", database_to_json(db))
+
     def _resolve(self, request: ExplainRequest):
         """Build the question and its cache key without validating it."""
-        if request.scenario is not None:
+        if request.text is not None:
+            from repro.lang import compile_program
+
+            if request.database is None:
+                raise BadRequest("text request needs a database (name or inline)")
+            db, cache_token = self._resolve_database(request)
+            lowered = compile_program(request.text, database=db)
+            if not lowered.has_question:
+                raise BadRequest(
+                    "the text program has no whynot block — use POST /v1/query "
+                    "to evaluate a plain query"
+                )
+            question = WhyNotQuestion(
+                lowered.query, db, lowered.nip, name=request.name or lowered.name
+            )
+            alternatives = list(lowered.alternatives)
+        elif request.scenario is not None:
             from repro.scenarios import SCENARIOS, get_scenario
 
             try:
@@ -378,14 +434,7 @@ class ExplanationService:
                 raise BadRequest(
                     "request needs either a scenario name or query+nip+database"
                 )
-            if isinstance(request.database, str):
-                db = self.database(request.database)
-                with self._lock:
-                    token = self._databases[request.database][1]
-                cache_token = ("named", request.database, token, db.version)
-            else:
-                db = request.database
-                cache_token = ("inline", database_to_json(db))
+            db, cache_token = self._resolve_database(request)
             question = WhyNotQuestion(
                 request.query, db, request.nip, name=request.name
             )

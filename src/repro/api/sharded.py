@@ -51,7 +51,12 @@ from http.server import ThreadingHTTPServer
 from typing import Any, Optional
 
 from repro import __version__
-from repro.api.http import MAX_BODY_BYTES, JsonHandler, run_query_document
+from repro.api.http import (
+    MAX_BODY_BYTES,
+    JsonHandler,
+    error_document,
+    run_query_document,
+)
 from repro.api.service import (
     API_VERSION,
     CLIENT_ERRORS,
@@ -155,9 +160,9 @@ def _handle_job(service: ExplanationService, kind: str, document: dict) -> "tupl
             return 200, run_query_document(service, document)
         raise ValueError(f"unknown job kind {kind!r}")
     except CLIENT_ERRORS as exc:
-        return 400, {"error": {"type": type(exc).__name__, "message": str(exc)}}
+        return 400, error_document(exc)
     except Exception as exc:  # noqa: BLE001 - workers must always answer
-        return 500, {"error": {"type": type(exc).__name__, "message": str(exc)}}
+        return 500, error_document(exc)
 
 
 def _worker_main(

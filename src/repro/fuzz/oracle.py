@@ -25,7 +25,14 @@ and checks
    must return the same explanation payload as direct ``explain`` both with
    the result cache off and on, the cached re-request must be flagged as a
    hit, and a consistently-failing question must fail with the same
-   exception type through the service.
+   exception type through the service;
+6. **grammar round-trip** (``grammar=True``, the CLI's ``fuzz --text``) —
+   pretty-printing the plan and question to ``.rq`` text
+   (:mod:`repro.lang`), reparsing and relowering must reproduce a
+   structurally identical plan (wire-codec JSON equality) and NIP, the
+   reparsed plan must evaluate to the identical result bag, and — when a
+   question is present — direct ``explain`` over the reparsed program must
+   produce the identical ranked explanation label sets.
 
 A configuration raising the *same* exception type as the reference is
 treated as consistently-unsupported (the case is reported as skipped, not
@@ -65,7 +72,7 @@ EXPLAIN_GRID = (
 class Divergence:
     """One observed disagreement between execution paths."""
 
-    kind: str  #: "result" | "error" | "metrics" | "explanation" | "matcher" | "service"
+    kind: str  #: "result" | "error" | "metrics" | "explanation" | "matcher" | "service" | "grammar"
     config: str  #: the configuration that disagreed with the reference
     detail: str  #: human-readable description (truncated values)
 
@@ -128,6 +135,7 @@ def check_case(
     workers: int = 2,
     engines: Sequence[str] = ENGINES,
     explain_grid: Optional[Sequence] = None,
+    grammar: bool = False,
 ) -> OracleReport:
     """Differentially test one case across the full configuration grid."""
     report = OracleReport()
@@ -209,6 +217,9 @@ def check_case(
                             f"{previous[1]} on backend/engine={previous[0]}",
                         )
                     )
+
+    if grammar:
+        _check_grammar(report, db, query, question, reference, workers)
 
     if reference[0] == "error":
         report.reference_error = reference[1]
@@ -303,6 +314,115 @@ def _check_service(
         )
 
 
+def _check_grammar(
+    report: OracleReport,
+    db: Database,
+    query: Query,
+    question: Optional[WhyNotQuestion],
+    reference,
+    workers: int,
+) -> None:
+    """Grammar round-trip: pretty → reparse → relower must be the identity.
+
+    Structural identity is wire-codec JSON equality of the operator trees
+    (labels, parameters and expressions all participate).  On top of the
+    structural check, the reparsed plan is re-evaluated against the
+    reference bag, and — when the case carries a why-not question — a
+    direct ``explain`` pair over the original and reparsed programs must
+    produce identical ranked explanation label sets.
+    """
+    from repro.lang import PrettyError, compile_program, pretty_program
+    from repro.wire import op_to_json, value_to_json
+
+    nip = question.nip if question is not None else None
+    try:
+        text = pretty_program(query, nip=nip, name=query.name)
+    except PrettyError as exc:
+        report.divergences.append(
+            Divergence("grammar", "pretty", f"plan not printable: {exc}")
+        )
+        return
+    outcome = _outcome(lambda: compile_program(text, database=db))
+    report.configs_run += 1
+    if outcome[0] == "error":
+        report.divergences.append(
+            Divergence(
+                "grammar",
+                "reparse",
+                f"pretty output failed to recompile ({outcome[1]}): {_clip(text)}",
+            )
+        )
+        return
+    lowered = outcome[1]
+    if op_to_json(lowered.query.root) != op_to_json(query.root):
+        report.divergences.append(
+            Divergence(
+                "grammar",
+                "plan",
+                f"reparsed plan differs structurally for {_clip(text)}",
+            )
+        )
+        return
+    if nip is not None and value_to_json(lowered.nip) != value_to_json(nip):
+        report.divergences.append(
+            Divergence(
+                "grammar",
+                "nip",
+                f"reparsed NIP {_clip(lowered.nip)} vs {_clip(nip)}",
+            )
+        )
+        return
+    if reference[0] != "ok":
+        return
+    got = _outcome(lambda: lowered.query.evaluate(db))
+    if got[0] == "error":
+        report.divergences.append(
+            Divergence(
+                "grammar", "evaluate", f"reparsed plan raised {got[1]}"
+            )
+        )
+        return
+    if got[1] != reference[1]:
+        report.divergences.append(
+            Divergence("grammar", "evaluate", _bag_diff(reference[1], got[1]))
+        )
+        return
+    if question is None:
+        return
+    from repro.whynot.explain import explain
+
+    def run(program_query, program_nip):
+        fresh = WhyNotQuestion(program_query, db, program_nip, name=query.name)
+        return explain(
+            fresh, backend="serial", workers=workers, engine="row", validate=True
+        )
+
+    original = _outcome(lambda: run(query, nip))
+    reparsed = _outcome(lambda: run(lowered.query, lowered.nip))
+    report.explain_configs_run += 2
+    if original[0] != reparsed[0]:
+        report.divergences.append(
+            Divergence(
+                "grammar",
+                "explain",
+                f"outcome {reparsed[1] if reparsed[0] == 'error' else 'ok'} "
+                f"vs original {original[1] if original[0] == 'error' else 'ok'}",
+            )
+        )
+        return
+    if original[0] == "ok":
+        got_key = _explanation_key(reparsed[1])
+        expected_key = _explanation_key(original[1])
+        if got_key != expected_key:
+            report.divergences.append(
+                Divergence(
+                    "grammar",
+                    "explain",
+                    f"explanations {got_key} vs {expected_key}",
+                )
+            )
+
+
 def _check_matcher(report: OracleReport, result: Bag, nip: Any) -> None:
     """Reference vs compiled NIP matcher agreement over the result rows."""
     compiled = compile_pattern(nip)
@@ -337,6 +457,8 @@ def _check_explanations(
 ) -> None:
     from repro.whynot.explain import explain
 
+    if not grid:
+        return
     outcomes = []
     for backend, opt, engine in grid:
         # A fresh question per configuration: ``explain`` seeds the result

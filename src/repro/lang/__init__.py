@@ -1,0 +1,55 @@
+"""``repro.lang`` — the textual ``.rq`` query language over the nested algebra.
+
+A small concrete syntax (grammar: ``docs/LANGUAGE.md``) for everything the
+reproduction's operator model expresses: pipelines of nested-algebra stages
+(selection, projection, joins, group/aggregate, nesting/unnesting, computed
+columns, dotted paths) plus Definition-5 why-not questions — ``whynot``
+tuple patterns with placeholders and ``with alternatives`` mutual/directed
+attribute-alternative groups.
+
+The stack is lexer → recursive-descent parser → AST → algebra lowering
+(:mod:`~repro.lang.lexer`, :mod:`~repro.lang.parser`, :mod:`~repro.lang.ast`,
+:mod:`~repro.lang.lower`) with a canonical pretty-printer
+(:mod:`~repro.lang.pretty`) that is the parser's exact inverse, and an
+interactive REPL (:mod:`~repro.lang.repl`, ``python -m repro repl``).
+Errors are position-carrying :class:`~repro.lang.errors.LangError` s.
+
+Typical use::
+
+    from repro.lang import compile_program, pretty_program
+
+    lowered = compile_program('query { from orders |> select o_total > 10 }')
+    result = lowered.query.evaluate(db)
+"""
+
+from repro.lang.errors import LangError, PrettyError
+from repro.lang.lexer import tokenize
+from repro.lang.lower import LoweredProgram, lower_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_alternatives, pretty_program, pretty_query
+
+
+def compile_program(source: str, database=None) -> LoweredProgram:
+    """Parse + lower an ``.rq`` program in one step.
+
+    When *database* is given the lowered plan is validated against its
+    schemas, so unknown attributes, bad paths and type mismatches raise a
+    position-carrying :class:`LangError` here instead of failing later
+    inside the engine.
+    """
+    program = parse_program(source)
+    return lower_program(program, database=database, source=source)
+
+
+__all__ = [
+    "LangError",
+    "LoweredProgram",
+    "PrettyError",
+    "compile_program",
+    "lower_program",
+    "parse_program",
+    "pretty_alternatives",
+    "pretty_program",
+    "pretty_query",
+    "tokenize",
+]

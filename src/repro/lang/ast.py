@@ -1,0 +1,164 @@
+"""AST for the ``.rq`` query language.
+
+The parser (:mod:`repro.lang.parser`) produces these nodes; the lowering
+pass (:mod:`repro.lang.lower`) turns them into :mod:`repro.algebra`
+operator trees and why-not questions.  Every node carries the ``(line,
+column)`` position of its first token so lowering errors (unknown
+attribute, type mismatch, bad path) point back into the source text.
+
+Expressions and why-not patterns are *not* mirrored here: the algebra's
+:class:`~repro.algebra.expressions.Expr` nodes and the value-model
+``Tup``/``Bag``/placeholder objects are already pure structural ASTs, so
+the parser builds them directly and semantic errors anchor at the enclosing
+stage's position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+#: A 1-based (line, column) source position.
+Pos = Tuple[int, int]
+
+
+@dataclass
+class Source:
+    """The pipeline head ``from <table>`` — a table access."""
+
+    table: str
+    label: Optional[str] = None
+    pos: Pos = (1, 1)
+
+
+@dataclass
+class Stage:
+    """Base class for one ``|>`` pipeline stage."""
+
+    label: Optional[str] = None
+    pos: Pos = (1, 1)
+
+
+@dataclass
+class SelectStage(Stage):
+    """``select <pred>`` — σ."""
+
+    pred: Any = None
+
+
+@dataclass
+class ProjectStage(Stage):
+    """``project [col, out = expr, ...]`` — π with computed columns.
+
+    ``cols`` holds ``(out_name, expr)`` pairs in source order.
+    """
+
+    cols: Sequence = ()
+
+
+@dataclass
+class RenameStage(Stage):
+    """``rename [new = old, ...]`` — ρ."""
+
+    pairs: Sequence = ()
+
+
+@dataclass
+class JoinStage(Stage):
+    """``join [how] (<pipeline>) on l = r, ... [extra (<pred>)] [drop]``."""
+
+    how: str = "inner"
+    right: Any = None  #: the right-hand :class:`Pipeline`
+    on: Sequence = ()  #: ``(left_path, right_path)`` dotted-path pairs
+    extra: Any = None
+    drop_right_keys: bool = False
+
+
+@dataclass
+class SetStage(Stage):
+    """``union (P)`` / ``except (P)`` / ``product (P)`` binary stages."""
+
+    kind: str = "union"  #: "union" | "except" | "product"
+    right: Any = None
+
+
+@dataclass
+class FlattenStage(Stage):
+    """``flatten inner|outer|tuple <path> [as <alias>]`` — μ/F variants."""
+
+    mode: str = "inner"  #: "inner" | "outer" | "tuple"
+    path: Tuple[str, ...] = ()
+    alias: Optional[str] = None
+
+
+@dataclass
+class NestStage(Stage):
+    """``nest bag|tuple [attrs] as <target>`` — ν / tuple-nesting."""
+
+    mode: str = "bag"  #: "bag" | "tuple"
+    attrs: Sequence = ()
+    target: str = ""
+
+
+@dataclass
+class NestedAggStage(Stage):
+    """``aggregate func(<path>) [field <f>] as <out>`` — Φ on a nested bag."""
+
+    func: str = "count"
+    path: Tuple[str, ...] = ()
+    out: str = ""
+    agg_field: Optional[str] = None
+
+
+@dataclass
+class GroupStage(Stage):
+    """``group by [keys] agg [specs]`` — γ."""
+
+    keys: Sequence = ()  #: key specs: ``(out, path)`` pairs or plain names
+    aggs: Sequence = ()  #: :class:`~repro.algebra.aggregates.AggSpec` list
+
+
+@dataclass
+class DistinctStage(Stage):
+    """``distinct`` — δ."""
+
+
+@dataclass
+class DestroyStage(Stage):
+    """``destroy <attr>`` — bag destroy (unnest-discard)."""
+
+    attr: str = ""
+
+
+@dataclass
+class Pipeline:
+    """A source plus a stage chain — the left spine of an operator tree."""
+
+    source: Source
+    stages: List[Stage] = field(default_factory=list)
+
+
+@dataclass
+class AltGroup:
+    """One ``with alternatives`` group (Definition 5).
+
+    ``sources`` are dotted ``table.path`` strings.  A mutual group has
+    ``directed_from is None``; a directed group reads
+    ``from -> [targets]``.
+    """
+
+    sources: List[str]
+    directed_from: Optional[str] = None
+    pos: Pos = (1, 1)
+
+
+@dataclass
+class Program:
+    """A whole ``.rq`` program: query + optional why-not question."""
+
+    name: str
+    pipeline: Pipeline
+    nip: Any = None  #: the ``whynot`` tuple pattern (None when absent)
+    alternatives: List[AltGroup] = field(default_factory=list)
+    pos: Pos = (1, 1)
+    nip_pos: Pos = (1, 1)

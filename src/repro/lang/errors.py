@@ -1,0 +1,60 @@
+"""Position-carrying diagnostics for the textual query language.
+
+Every error raised while lexing, parsing or lowering an ``.rq`` program is a
+:class:`LangError`: it knows the 1-based ``line``/``column`` it points at and
+can render a caret snippet of the offending source line.  ``LangError``
+subclasses :class:`ValueError` on purpose — the serving layer maps
+``ValueError`` to HTTP 400 (see ``repro.api.service.CLIENT_ERRORS``), so a
+malformed text payload becomes a client error with the position in the JSON
+body instead of a 500 with a traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LangError(ValueError):
+    """A lexer/parser/lowering error anchored at a source position.
+
+    ``str(exc)`` is a one-line message with the position appended;
+    :meth:`render` adds the offending source line and a caret, which is what
+    the CLI and the REPL print.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int,
+        column: int,
+        source: Optional[str] = None,
+    ):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column
+        self.source = source
+
+    def position(self) -> dict:
+        """The position as wire data (used in HTTP 400 error bodies)."""
+        return {"line": self.line, "column": self.column}
+
+    def render(self) -> str:
+        """Multi-line diagnostic: message, source line and a caret."""
+        header = f"line {self.line}, column {self.column}: {self.message}"
+        if not self.source:
+            return header
+        lines = self.source.splitlines()
+        if not (1 <= self.line <= len(lines)):
+            return header
+        snippet = lines[self.line - 1]
+        caret = " " * (self.column - 1) + "^"
+        return f"{header}\n  {snippet}\n  {caret}"
+
+
+class PrettyError(ValueError):
+    """Raised when a plan holds something the grammar cannot express.
+
+    The only such operator today is :class:`~repro.algebra.operators.Map`,
+    whose parameter is an arbitrary Python callable.
+    """

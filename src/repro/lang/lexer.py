@@ -1,0 +1,225 @@
+"""Lexer for the ``.rq`` query language (``docs/LANGUAGE.md``).
+
+Produces a flat list of :class:`Token` s with 1-based line/column positions.
+Identifiers are ``[A-Za-z_][A-Za-z0-9_]*``; names that collide with a
+keyword or contain other characters are written backquoted (```like this```)
+— the pretty-printer quotes automatically, so *any* attribute or table name
+round-trips.  Keywords are recognised in lowercase or full UPPERCASE
+(``whynot`` / ``WHYNOT``); mixed case is an identifier.  ``--`` starts a
+comment running to the end of the line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.errors import LangError
+
+#: Reserved words of the grammar.  Aggregate function names (``sum`` …) are
+#: deliberately *not* reserved: they are ordinary identifiers that the
+#: parser interprets in function position, so columns may share their names.
+KEYWORDS = frozenset(
+    """
+    agg aggregate alternatives and as bag by destroy distinct drop except
+    extra field flatten from full group has in inner is join left nest not
+    null on or outer product project query rename right select tuple union
+    where whynot with
+    true false nan inf
+    """.split()
+)
+
+#: Multi-character punctuation, longest first (matched before single chars).
+_PUNCT2 = ("|>", "->", "!=", "<=", ">=")
+_PUNCT1 = "@=<>()[]{},.:*?+-/"
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX = frozenset("0123456789abcdefABCDEF")
+
+
+class Token:
+    """One lexed token: ``kind`` + decoded ``value`` + source position.
+
+    ``kind`` is ``"ident"``, ``"string"``, ``"int"``, ``"float"``, ``"kw"``,
+    ``"eof"`` or the punctuation lexeme itself (``"|>"``, ``"("``, …).
+    """
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: str, value, line: int, column: int):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind!r}, {self.value!r}, {self.line}:{self.column})"
+
+    def describe(self) -> str:
+        """Human-readable rendering for error messages."""
+        if self.kind == "eof":
+            return "end of input"
+        if self.kind == "kw":
+            return f"keyword '{self.value}'"
+        if self.kind in ("ident", "int", "float"):
+            return repr(self.value)
+        if self.kind == "string":
+            return f"string {self.value!r}"
+        return f"'{self.kind}'"
+
+
+class _Scanner:
+    """Character cursor with line/column tracking."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.source[index] if index < len(self.source) else ""
+
+    def advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def error(self, message: str, line: Optional[int] = None,
+              column: Optional[int] = None) -> LangError:
+        return LangError(
+            message,
+            self.line if line is None else line,
+            self.column if column is None else column,
+            source=self.source,
+        )
+
+
+def _scan_escape(scanner: _Scanner, quote: str) -> str:
+    """Decode one backslash escape (cursor is past the backslash)."""
+    if not scanner.peek():
+        raise scanner.error("unterminated escape sequence")
+    ch = scanner.advance()
+    simple = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", quote: quote}
+    if ch in simple:
+        return simple[ch]
+    if ch in ("u", "U"):
+        width = 4 if ch == "u" else 8
+        digits = ""
+        for _ in range(width):
+            if scanner.peek() not in _HEX:
+                raise scanner.error(
+                    f"\\{ch} escape needs exactly {width} hex digits"
+                )
+            digits += scanner.advance()
+        return chr(int(digits, 16))
+    raise scanner.error(f"unknown escape sequence \\{ch}")
+
+
+def _scan_quoted(scanner: _Scanner, quote: str, what: str) -> str:
+    """Scan a quoted run (string literal or backquoted identifier)."""
+    line, column = scanner.line, scanner.column
+    scanner.advance()  # opening quote
+    parts = []
+    while True:
+        ch = scanner.peek()
+        if ch == "" or ch == "\n":
+            raise scanner.error(f"unterminated {what}", line, column)
+        scanner.advance()
+        if ch == quote:
+            return "".join(parts)
+        if ch == "\\":
+            parts.append(_scan_escape(scanner, quote))
+        else:
+            parts.append(ch)
+
+
+def _scan_number(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    text = ""
+    while scanner.peek() in _DIGITS:
+        text += scanner.advance()
+    is_float = False
+    if scanner.peek() == "." and scanner.peek(1) in _DIGITS:
+        is_float = True
+        text += scanner.advance()
+        while scanner.peek() in _DIGITS:
+            text += scanner.advance()
+    if scanner.peek() in ("e", "E") and (
+        scanner.peek(1) in _DIGITS
+        or (scanner.peek(1) in ("+", "-") and scanner.peek(2) in _DIGITS)
+    ):
+        is_float = True
+        text += scanner.advance()
+        if scanner.peek() in ("+", "-"):
+            text += scanner.advance()
+        while scanner.peek() in _DIGITS:
+            text += scanner.advance()
+    if is_float:
+        return Token("float", float(text), line, column)
+    return Token("int", int(text), line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex *source* into tokens (ending with one ``eof`` token).
+
+    Raises :class:`LangError` on the first lexical problem (unterminated
+    string, stray character, bad escape).
+    """
+    scanner = _Scanner(source)
+    tokens: List[Token] = []
+    while scanner.pos < len(scanner.source):
+        ch = scanner.peek()
+        if ch in (" ", "\t", "\r", "\n"):
+            scanner.advance()
+            continue
+        if ch == "-" and scanner.peek(1) == "-":
+            while scanner.peek() and scanner.peek() != "\n":
+                scanner.advance()
+            continue
+        line, column = scanner.line, scanner.column
+        if ch == '"':
+            value = _scan_quoted(scanner, '"', "string literal")
+            tokens.append(Token("string", value, line, column))
+            continue
+        if ch == "`":
+            value = _scan_quoted(scanner, "`", "quoted identifier")
+            if not value:
+                raise scanner.error("empty quoted identifier", line, column)
+            tokens.append(Token("ident", value, line, column))
+            continue
+        if ch in _DIGITS:
+            tokens.append(_scan_number(scanner))
+            continue
+        if ch in _IDENT_START:
+            text = ""
+            while scanner.peek() in _IDENT_CONT:
+                text += scanner.advance()
+            lowered = text.lower()
+            if lowered in KEYWORDS and text in (lowered, text.upper()):
+                tokens.append(Token("kw", lowered, line, column))
+            else:
+                tokens.append(Token("ident", text, line, column))
+            continue
+        two = ch + scanner.peek(1)
+        if two in _PUNCT2:
+            scanner.advance()
+            scanner.advance()
+            tokens.append(Token(two, two, line, column))
+            continue
+        if ch in _PUNCT1:
+            scanner.advance()
+            tokens.append(Token(ch, ch, line, column))
+            continue
+        raise scanner.error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", None, scanner.line, scanner.column))
+    return tokens

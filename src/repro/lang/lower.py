@@ -1,0 +1,372 @@
+"""Lowering: ``.rq`` AST → :mod:`repro.algebra` operator trees.
+
+:func:`lower_program` turns a parsed :class:`~repro.lang.ast.Program` into a
+:class:`LoweredProgram` — the executable :class:`~repro.algebra.operators.Query`,
+the why-not NIP and the alternative groups in the shapes the rest of the
+reproduction consumes.  Constructor-level complaints (bad join type,
+duplicate projection names, …) are re-raised as position-carrying
+:class:`~repro.lang.errors.LangError` s anchored at the offending stage.
+
+When a :class:`~repro.engine.database.Database` is supplied, the lowered
+plan is additionally *validated* against its schemas: every operator's
+output schema is inferred bottom-up and every expression's attribute paths
+are resolved, so unknown attributes, paths into primitives and
+bag-vs-primitive type mismatches fail here — with a source position — not
+at evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    Contains,
+    Expr,
+    IsNull,
+    Not,
+    Or,
+)
+from repro.algebra.operators import (
+    BagDestroy,
+    CartesianProduct,
+    Deduplication,
+    Difference,
+    GroupAggregation,
+    Join,
+    NestedAggregation,
+    Operator,
+    Projection,
+    Query,
+    RelationFlatten,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+    TupleNesting,
+    Union,
+)
+from repro.engine.database import Database
+from repro.lang import ast
+from repro.lang.errors import LangError
+from repro.nested.types import BOOL, FLOAT, INT, STR, BagType, TupleType
+from repro.nested.values import is_null
+
+#: Expression types accepted by arithmetic.  BOOL rides along because the
+#: value model keeps Python's numeric tower (``True == 1`` groups and joins
+#: like ``1``), and the fuzz generator exercises exactly that.
+_NUMERIC = (INT, FLOAT, BOOL)
+
+
+@dataclass
+class LoweredProgram:
+    """The executable pieces of one ``.rq`` program."""
+
+    query: Query
+    nip: Any = None
+    alternatives: List = field(default_factory=list)
+    name: str = ""
+
+    @property
+    def has_question(self) -> bool:
+        """True when the program carried a ``whynot`` block."""
+        return self.nip is not None
+
+
+class _Lowerer:
+    """One lowering run: builds operators and records their positions."""
+
+    def __init__(self, source: Optional[str] = None):
+        self.source = source
+        self.positions: Dict[int, ast.Pos] = {}
+
+    def error(self, message: str, pos: ast.Pos) -> LangError:
+        return LangError(message, pos[0], pos[1], source=self.source)
+
+    def _construct(self, pos: ast.Pos, factory):
+        """Run an operator constructor, re-raising errors with a position."""
+        try:
+            op = factory()
+        except LangError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise self.error(str(exc), pos) from None
+        self.positions[id(op)] = pos
+        return op
+
+    def pipeline(self, pipeline: ast.Pipeline) -> Operator:
+        """Lower one pipeline into its operator chain."""
+        source = pipeline.source
+        op = self._construct(
+            source.pos, lambda: TableAccess(source.table, label=source.label)
+        )
+        for stage in pipeline.stages:
+            op = self.stage(op, stage)
+        return op
+
+    def stage(self, child: Operator, stage: ast.Stage) -> Operator:
+        """Lower one stage onto its child operator."""
+        pos, label = stage.pos, stage.label
+        if isinstance(stage, ast.SelectStage):
+            return self._construct(
+                pos, lambda: Selection(child, stage.pred, label=label)
+            )
+        if isinstance(stage, ast.ProjectStage):
+            return self._construct(
+                pos, lambda: Projection(child, stage.cols, label=label)
+            )
+        if isinstance(stage, ast.RenameStage):
+            return self._construct(
+                pos, lambda: Renaming(child, stage.pairs, label=label)
+            )
+        if isinstance(stage, ast.JoinStage):
+            right = self.pipeline(stage.right)
+            return self._construct(
+                pos,
+                lambda: Join(
+                    child,
+                    right,
+                    on=stage.on,
+                    how=stage.how,
+                    extra=stage.extra,
+                    drop_right_keys=stage.drop_right_keys,
+                    label=label,
+                ),
+            )
+        if isinstance(stage, ast.SetStage):
+            right = self.pipeline(stage.right)
+            ctor = {
+                "union": Union,
+                "except": Difference,
+                "product": CartesianProduct,
+            }[stage.kind]
+            return self._construct(pos, lambda: ctor(child, right, label=label))
+        if isinstance(stage, ast.FlattenStage):
+            if stage.mode == "tuple":
+                return self._construct(
+                    pos,
+                    lambda: TupleFlatten(
+                        child, stage.path, alias=stage.alias, label=label
+                    ),
+                )
+            return self._construct(
+                pos,
+                lambda: RelationFlatten(
+                    child,
+                    stage.path,
+                    alias=stage.alias,
+                    outer=stage.mode == "outer",
+                    label=label,
+                ),
+            )
+        if isinstance(stage, ast.NestStage):
+            ctor = TupleNesting if stage.mode == "tuple" else RelationNesting
+            return self._construct(
+                pos, lambda: ctor(child, stage.attrs, stage.target, label=label)
+            )
+        if isinstance(stage, ast.NestedAggStage):
+            return self._construct(
+                pos,
+                lambda: NestedAggregation(
+                    child,
+                    stage.func,
+                    stage.path,
+                    stage.out,
+                    field=stage.agg_field,
+                    label=label,
+                ),
+            )
+        if isinstance(stage, ast.GroupStage):
+            return self._construct(
+                pos,
+                lambda: GroupAggregation(child, stage.keys, stage.aggs, label=label),
+            )
+        if isinstance(stage, ast.DistinctStage):
+            return self._construct(pos, lambda: Deduplication(child, label=label))
+        if isinstance(stage, ast.DestroyStage):
+            return self._construct(
+                pos, lambda: BagDestroy(child, stage.attr, label=label)
+            )
+        raise self.error(f"cannot lower stage {type(stage).__name__}", pos)
+
+
+def lower_program(
+    program: ast.Program,
+    database: Optional[Database] = None,
+    source: Optional[str] = None,
+) -> LoweredProgram:
+    """Lower a parsed program; validate against *database* when given."""
+    lowerer = _Lowerer(source=source)
+    root = lowerer.pipeline(program.pipeline)
+    query = Query(root, name=program.name)
+    if database is not None:
+        _validate(query, database, lowerer, program)
+    alternatives = lower_alternatives(program.alternatives)
+    return LoweredProgram(
+        query=query,
+        nip=program.nip,
+        alternatives=alternatives,
+        name=program.name,
+    )
+
+
+def lower_alternatives(groups: List[ast.AltGroup]) -> List:
+    """AST alternative groups → the shapes ``explain()`` consumes.
+
+    Mutual groups become lists of dotted-path strings; directed groups
+    become ``(origin, [targets])`` pairs.
+    """
+    return [
+        (group.directed_from, list(group.sources))
+        if group.directed_from is not None
+        else list(group.sources)
+        for group in groups
+    ]
+
+
+# -- schema validation --------------------------------------------------------
+
+
+def _validate(
+    query: Query, db: Database, lowerer: _Lowerer, program: ast.Program
+) -> None:
+    """Infer schemas bottom-up, checking expressions at each operator."""
+    schemas: Dict[int, TupleType] = {}
+    for op in query.ops:
+        child_schemas = [schemas[id(child)] for child in op.children]
+        pos = lowerer.positions.get(id(op), program.pos)
+        if isinstance(op, TableAccess) and op.table not in db.tables():
+            raise lowerer.error(
+                f"unknown table {op.table!r}; available: "
+                + ", ".join(db.tables()),
+                pos,
+            )
+        _check_op_exprs(op, child_schemas, pos, lowerer)
+        try:
+            schemas[id(op)] = op.output_schema(child_schemas, db)
+        except LangError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            message = str(exc) or type(exc).__name__
+            raise lowerer.error(message.strip('"'), pos) from None
+
+
+def _check_op_exprs(
+    op: Operator, child_schemas: List[TupleType], pos: ast.Pos, lowerer: _Lowerer
+) -> None:
+    """Resolve every expression the operator holds against its input."""
+    if isinstance(op, Selection):
+        _expr_type(op.pred, child_schemas[0], pos, lowerer)
+    elif isinstance(op, Projection):
+        for _, expr in op.cols:
+            _expr_type(expr, child_schemas[0], pos, lowerer)
+    elif isinstance(op, Join) and op.extra is not None:
+        combined = TupleType(
+            tuple(child_schemas[0].fields) + tuple(child_schemas[1].fields)
+        )
+        _expr_type(op.extra, combined, pos, lowerer)
+    elif isinstance(op, GroupAggregation):
+        for spec in op.aggs:
+            if spec.expr is not None:
+                _expr_type(spec.expr, child_schemas[0], pos, lowerer)
+
+
+def _attr_type(schema: TupleType, path: Tuple[str, ...], pos: ast.Pos,
+               lowerer: _Lowerer):
+    """The type an ``Attr`` path reaches — without crossing bag boundaries."""
+    current: Any = schema
+    for i, step in enumerate(path):
+        if isinstance(current, BagType):
+            raise lowerer.error(
+                f"bad path '{'.'.join(path)}': cannot navigate step {step!r} "
+                "through a bag-valued attribute; flatten it first",
+                pos,
+            )
+        if not isinstance(current, TupleType):
+            raise lowerer.error(
+                f"bad path '{'.'.join(path)}': step {step!r} enters the "
+                f"primitive attribute '{'.'.join(path[:i])}'",
+                pos,
+            )
+        if not current.has_field(step):
+            raise lowerer.error(
+                f"unknown attribute '{'.'.join(path[: i + 1])}'; available: "
+                + ", ".join(current.names),
+                pos,
+            )
+        current = current.field(step)
+    return current
+
+
+def _expr_type(expr: Expr, schema: TupleType, pos: ast.Pos, lowerer: _Lowerer):
+    """Best-effort expression typing for early, positioned diagnostics.
+
+    Returns the resolved type, or ``None`` when it cannot be determined
+    statically (e.g. a ⊥ constant).  Flags the two classes of mistakes the
+    engine would otherwise only hit at run time: arithmetic over
+    non-numeric operands and comparisons against bag/tuple-valued
+    attributes.
+    """
+    if isinstance(expr, Attr):
+        return _attr_type(schema, expr.path, pos, lowerer)
+    if isinstance(expr, Const):
+        value = expr.value
+        if is_null(value):
+            return None
+        if isinstance(value, bool):
+            return BOOL
+        if isinstance(value, int):
+            return INT
+        if isinstance(value, float):
+            return FLOAT
+        if isinstance(value, str):
+            return STR
+        return None
+    if isinstance(expr, Arith):
+        for side in (expr.left, expr.right):
+            side_type = _expr_type(side, schema, pos, lowerer)
+            if side_type is not None and side_type not in _NUMERIC:
+                raise lowerer.error(
+                    f"type mismatch: arithmetic '{expr.op}' needs numeric "
+                    f"operands, got {side_type!r}",
+                    pos,
+                )
+        return FLOAT
+    if isinstance(expr, Cmp):
+        left = _expr_type(expr.left, schema, pos, lowerer)
+        right = _expr_type(expr.right, schema, pos, lowerer)
+        for side_type in (left, right):
+            if isinstance(side_type, (BagType, TupleType)):
+                raise lowerer.error(
+                    f"type mismatch: comparison '{expr.op}' over a "
+                    f"{'bag' if isinstance(side_type, BagType) else 'tuple'}-"
+                    "valued operand",
+                    pos,
+                )
+        return BOOL
+    if isinstance(expr, (And, Or)):
+        for term in expr.terms:
+            _expr_type(term, schema, pos, lowerer)
+        return BOOL
+    if isinstance(expr, Not):
+        _expr_type(expr.term, schema, pos, lowerer)
+        return BOOL
+    if isinstance(expr, IsNull):
+        _expr_type(expr.term, schema, pos, lowerer)
+        return BOOL
+    if isinstance(expr, Contains):
+        haystack = _expr_type(expr.haystack, schema, pos, lowerer)
+        if haystack is not None and haystack != STR:
+            raise lowerer.error(
+                f"type mismatch: 'in' needs a string haystack, got {haystack!r}",
+                pos,
+            )
+        _expr_type(expr.needle, schema, pos, lowerer)
+        return BOOL
+    return None

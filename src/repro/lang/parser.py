@@ -1,0 +1,630 @@
+"""Recursive-descent parser for the ``.rq`` query language.
+
+Grammar reference: ``docs/LANGUAGE.md``.  The parser consumes the token
+stream of :mod:`repro.lang.lexer` and produces a :class:`repro.lang.ast.Program`
+— a pipeline AST whose expressions are :mod:`repro.algebra.expressions`
+nodes and whose why-not patterns are value-model ``Tup``/``Bag``/placeholder
+objects.  Every syntax error is a position-carrying
+:class:`~repro.lang.errors.LangError` (never a raw traceback).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.algebra.aggregates import AGGREGATE_FUNCTIONS, AggSpec
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    Contains,
+    Expr,
+    IsNull,
+    Not,
+    Or,
+)
+from repro.lang import ast
+from repro.lang.errors import LangError
+from repro.lang.lexer import Token, tokenize
+from repro.nested.values import NAN, NULL, Bag, Tup
+from repro.whynot.placeholders import ANY, STAR, Cond, HasValue
+
+#: Comparison punctuation accepted by ``Cmp`` and why-not ``Cond`` patterns.
+_CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+_JOIN_HOWS = ("inner", "left", "right", "full")
+
+
+class Parser:
+    """Token cursor with the recursive-descent productions."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- cursor helpers -------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        """The token *ahead* positions from the cursor (clamped to eof)."""
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, kind: str) -> bool:
+        """True when the current token has the given kind."""
+        return self.peek().kind == kind
+
+    def at_kw(self, *words: str) -> bool:
+        """True when the current token is one of the given keywords."""
+        token = self.peek()
+        return token.kind == "kw" and token.value in words
+
+    def error(self, message: str, token: Optional[Token] = None) -> LangError:
+        """A :class:`LangError` anchored at *token* (default: current)."""
+        token = token or self.peek()
+        return LangError(message, token.line, token.column, source=self.source)
+
+    def expect(self, kind: str, what: str = "") -> Token:
+        """Consume a token of the given kind or fail with a diagnostic."""
+        token = self.peek()
+        if token.kind != kind:
+            expected = what or f"'{kind}'"
+            if token.kind == "eof":
+                raise self.error(f"unexpected end of input, expected {expected}")
+            raise self.error(f"expected {expected}, got {token.describe()}")
+        return self.advance()
+
+    def expect_kw(self, word: str) -> Token:
+        """Consume one specific keyword or fail."""
+        token = self.peek()
+        if not self.at_kw(word):
+            if token.kind == "eof":
+                raise self.error(f"unexpected end of input, expected '{word}'")
+            raise self.error(f"expected '{word}', got {token.describe()}")
+        return self.advance()
+
+    def ident(self, what: str = "identifier") -> str:
+        """Consume an identifier and return its name."""
+        return self.expect("ident", what).value
+
+    # -- program --------------------------------------------------------------
+
+    def program(self) -> ast.Program:
+        """``program := query_block [whynot_block] [alternatives_block]``."""
+        start = self.peek()
+        self.expect_kw("query")
+        name = ""
+        if self.at("ident") or self.at("string"):
+            name = self.advance().value
+        self.expect("{", "'{' opening the query block")
+        pipeline = self.pipeline()
+        self.expect("}", "'}' closing the query block")
+        program = ast.Program(
+            name=name, pipeline=pipeline, pos=(start.line, start.column)
+        )
+        if self.at_kw("whynot"):
+            nip_tok = self.advance()
+            program.nip = self.tuple_pattern()
+            program.nip_pos = (nip_tok.line, nip_tok.column)
+        if self.at_kw("with"):
+            if program.nip is None:
+                raise self.error("'with alternatives' requires a whynot block")
+            program.alternatives = self.with_alternatives()
+        eof = self.peek()
+        if eof.kind != "eof":
+            raise self.error(f"unexpected {eof.describe()} after the program")
+        return program
+
+    def with_alternatives(self) -> List[ast.AltGroup]:
+        """``with alternatives { group (, group)* }`` (cursor at ``with``)."""
+        self.expect_kw("with")
+        self.expect_kw("alternatives")
+        return self.alternative_groups()
+
+    def question(self) -> "Tuple[Any, ast.Pos, List[ast.AltGroup]]":
+        """A standalone question: ``whynot pattern [with alternatives …]``.
+
+        Used by the REPL to attach a why-not question to the previously run
+        query.  Returns ``(nip, nip_pos, alternative_groups)``.
+        """
+        nip_tok = self.expect_kw("whynot")
+        nip = self.tuple_pattern()
+        groups: List[ast.AltGroup] = []
+        if self.at_kw("with"):
+            groups = self.with_alternatives()
+        eof = self.peek()
+        if eof.kind != "eof":
+            raise self.error(f"unexpected {eof.describe()} after the question")
+        return nip, (nip_tok.line, nip_tok.column), groups
+
+    # -- pipelines and stages -------------------------------------------------
+
+    def pipeline(self) -> ast.Pipeline:
+        """``pipeline := from <table> [@label] ("|>" stage)*``."""
+        start = self.peek()
+        self.expect_kw("from")
+        table = self.ident("table name")
+        source = ast.Source(
+            table=table, label=self.maybe_label(), pos=(start.line, start.column)
+        )
+        stages: List[ast.Stage] = []
+        while self.at("|>"):
+            self.advance()
+            stages.append(self.stage())
+        return ast.Pipeline(source=source, stages=stages)
+
+    def maybe_label(self) -> Optional[str]:
+        """An optional ``@"label"`` suffix."""
+        if self.at("@"):
+            self.advance()
+            return self.expect("string", "label string after '@'").value
+        return None
+
+    def stage(self) -> ast.Stage:
+        """Dispatch on the stage keyword."""
+        token = self.peek()
+        pos = (token.line, token.column)
+        if token.kind != "kw":
+            raise self.error(
+                f"expected a pipeline stage keyword, got {token.describe()}"
+            )
+        handlers = {
+            "select": self._stage_select,
+            "project": self._stage_project,
+            "rename": self._stage_rename,
+            "join": self._stage_join,
+            "union": self._stage_set,
+            "except": self._stage_set,
+            "product": self._stage_set,
+            "flatten": self._stage_flatten,
+            "nest": self._stage_nest,
+            "aggregate": self._stage_aggregate,
+            "group": self._stage_group,
+            "distinct": self._stage_distinct,
+            "destroy": self._stage_destroy,
+        }
+        handler = handlers.get(token.value)
+        if handler is None:
+            raise self.error(f"unknown pipeline stage keyword '{token.value}'")
+        stage = handler()
+        stage.pos = pos
+        stage.label = self.maybe_label()
+        return stage
+
+    def _stage_select(self) -> ast.Stage:
+        self.advance()
+        return ast.SelectStage(pred=self.expr())
+
+    def _stage_project(self) -> ast.Stage:
+        self.advance()
+        self.expect("[", "'[' opening the projection list")
+        cols: List[Tuple[str, Expr]] = []
+        while not self.at("]"):
+            if cols:
+                self.expect(",", "',' between projection columns")
+            cols.append(self.projection_col())
+        self.expect("]", "']' closing the projection list")
+        if not cols:
+            raise self.error("projection list must not be empty")
+        return ast.ProjectStage(cols=cols)
+
+    def projection_col(self) -> Tuple[str, Expr]:
+        """``path`` (named by its last step) or ``out = expr``."""
+        if self.at("ident") and self.peek(1).kind == "=":
+            out = self.ident()
+            self.advance()  # '='
+            return (out, self.expr())
+        path = self.path("projection column")
+        return (path[-1], Attr(path))
+
+    def _stage_rename(self) -> ast.Stage:
+        self.advance()
+        self.expect("[", "'[' opening the rename list")
+        pairs: List[Tuple[str, str]] = []
+        while not self.at("]"):
+            if pairs:
+                self.expect(",", "',' between renames")
+            new = self.ident("new attribute name")
+            self.expect("=", "'=' in rename (new = old)")
+            pairs.append((new, self.ident("old attribute name")))
+        self.expect("]", "']' closing the rename list")
+        if not pairs:
+            raise self.error("rename list must not be empty")
+        return ast.RenameStage(pairs=pairs)
+
+    def _stage_join(self) -> ast.Stage:
+        self.advance()
+        how = "inner"
+        if self.at_kw(*_JOIN_HOWS):
+            how = self.advance().value
+        self.expect("(", "'(' opening the join's right-hand pipeline")
+        right = self.pipeline()
+        self.expect(")", "')' closing the join's right-hand pipeline")
+        on: List[Tuple[str, str]] = []
+        if self.at_kw("on"):
+            self.advance()
+            while True:
+                left_path = self.dotted("join key path")
+                self.expect("=", "'=' between join key paths")
+                on.append((left_path, self.dotted("join key path")))
+                if not self.at(","):
+                    break
+                self.advance()
+        extra = None
+        if self.at_kw("extra"):
+            self.advance()
+            self.expect("(", "'(' around the extra join predicate")
+            extra = self.expr()
+            self.expect(")", "')' closing the extra join predicate")
+        drop = False
+        if self.at_kw("drop"):
+            self.advance()
+            drop = True
+        return ast.JoinStage(
+            how=how, right=right, on=on, extra=extra, drop_right_keys=drop
+        )
+
+    def _stage_set(self) -> ast.Stage:
+        kind = self.advance().value
+        self.expect("(", f"'(' opening the {kind} right-hand pipeline")
+        right = self.pipeline()
+        self.expect(")", f"')' closing the {kind} right-hand pipeline")
+        return ast.SetStage(kind=kind, right=right)
+
+    def _stage_flatten(self) -> ast.Stage:
+        self.advance()
+        if not self.at_kw("inner", "outer", "tuple"):
+            raise self.error(
+                "flatten needs a mode: 'inner', 'outer' or 'tuple'"
+            )
+        mode = self.advance().value
+        path = self.path("flatten path")
+        alias = None
+        if self.at_kw("as"):
+            self.advance()
+            alias = self.ident("flatten alias")
+        return ast.FlattenStage(mode=mode, path=path, alias=alias)
+
+    def _stage_nest(self) -> ast.Stage:
+        self.advance()
+        if not self.at_kw("bag", "tuple"):
+            raise self.error("nest needs a mode: 'bag' or 'tuple'")
+        mode = self.advance().value
+        self.expect("[", "'[' opening the nested attribute list")
+        attrs: List[str] = []
+        while not self.at("]"):
+            if attrs:
+                self.expect(",", "',' between nested attributes")
+            attrs.append(self.ident("attribute name"))
+        self.expect("]", "']' closing the nested attribute list")
+        self.expect_kw("as")
+        return ast.NestStage(mode=mode, attrs=attrs, target=self.ident("target name"))
+
+    def _stage_aggregate(self) -> ast.Stage:
+        self.advance()
+        func = self.agg_func()
+        self.expect("(", "'(' after the aggregate function")
+        path = self.path("aggregated bag path")
+        self.expect(")", "')' closing the aggregate argument")
+        agg_field = None
+        if self.at_kw("field"):
+            self.advance()
+            agg_field = self.ident("aggregated field name")
+        self.expect_kw("as")
+        return ast.NestedAggStage(
+            func=func, path=path, agg_field=agg_field, out=self.ident("output name")
+        )
+
+    def agg_func(self) -> str:
+        """One of the registered aggregate function names."""
+        token = self.expect("ident", "an aggregate function name")
+        if token.value not in AGGREGATE_FUNCTIONS:
+            raise self.error(
+                f"unknown aggregate function '{token.value}'; expected one of "
+                + ", ".join(AGGREGATE_FUNCTIONS),
+                token,
+            )
+        return token.value
+
+    def _stage_group(self) -> ast.Stage:
+        self.advance()
+        self.expect_kw("by")
+        self.expect("[", "'[' opening the grouping key list")
+        keys: List[Any] = []
+        while not self.at("]"):
+            if keys:
+                self.expect(",", "',' between grouping keys")
+            keys.append(self.group_key())
+        self.expect("]", "']' closing the grouping key list")
+        self.expect_kw("agg")
+        self.expect("[", "'[' opening the aggregate list")
+        aggs: List[AggSpec] = []
+        while not self.at("]"):
+            if aggs:
+                self.expect(",", "',' between aggregates")
+            aggs.append(self.agg_spec())
+        self.expect("]", "']' closing the aggregate list")
+        if not aggs:
+            raise self.error("aggregate list must not be empty")
+        return ast.GroupStage(keys=keys, aggs=aggs)
+
+    def group_key(self) -> Any:
+        """``name`` (plain key) or ``out = path`` (re-sourced key)."""
+        out = self.ident("grouping key")
+        if self.at("="):
+            self.advance()
+            return (out, self.dotted("grouping key source path"))
+        return out
+
+    def agg_spec(self) -> AggSpec:
+        """``func([distinct] expr) as out`` with ``count(*)`` special-cased."""
+        func = self.agg_func()
+        self.expect("(", "'(' after the aggregate function")
+        if self.at("*"):
+            self.advance()
+            self.expect(")", "')' closing the aggregate argument")
+            self.expect_kw("as")
+            if func != "count":
+                raise self.error(f"only count(*) may aggregate '*', not {func}(*)")
+            return AggSpec("count", None, self.ident("output name"))
+        distinct = False
+        if self.at_kw("distinct"):
+            self.advance()
+            distinct = True
+        expr = self.expr()
+        self.expect(")", "')' closing the aggregate argument")
+        self.expect_kw("as")
+        return AggSpec(func, expr, self.ident("output name"), distinct=distinct)
+
+    def _stage_distinct(self) -> ast.Stage:
+        self.advance()
+        return ast.DistinctStage()
+
+    def _stage_destroy(self) -> ast.Stage:
+        self.advance()
+        return ast.DestroyStage(attr=self.ident("bag attribute name"))
+
+    # -- paths ----------------------------------------------------------------
+
+    def path(self, what: str = "path") -> Tuple[str, ...]:
+        """``ident ('.' ident)*`` as a path tuple."""
+        steps = [self.ident(what)]
+        while self.at("."):
+            self.advance()
+            steps.append(self.ident("path step"))
+        return tuple(steps)
+
+    def dotted(self, what: str = "path") -> str:
+        """A path as its dotted-string spelling (constructor input form)."""
+        return ".".join(self.path(what))
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self) -> Expr:
+        """``or_expr`` — the expression entry point."""
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        terms = [self._and_expr()]
+        while self.at_kw("or"):
+            self.advance()
+            terms.append(self._and_expr())
+        return terms[0] if len(terms) == 1 else Or(*terms)
+
+    def _and_expr(self) -> Expr:
+        terms = [self._not_expr()]
+        while self.at_kw("and"):
+            self.advance()
+            terms.append(self._not_expr())
+        return terms[0] if len(terms) == 1 else And(*terms)
+
+    def _not_expr(self) -> Expr:
+        if self.at_kw("not"):
+            self.advance()
+            return Not(self._not_expr())
+        return self._cmp_expr()
+
+    def _cmp_expr(self) -> Expr:
+        left = self._add_expr()
+        token = self.peek()
+        if token.kind in _CMP_OPS:
+            self.advance()
+            return Cmp(token.kind, left, self._add_expr())
+        if self.at_kw("in"):
+            self.advance()
+            return Contains(self._add_expr(), left)
+        if self.at_kw("is"):
+            self.advance()
+            self.expect_kw("null")
+            return IsNull(left)
+        return left
+
+    def _add_expr(self) -> Expr:
+        left = self._mul_expr()
+        while self.at("+") or self.at("-"):
+            op = self.advance().kind
+            left = Arith(op, left, self._mul_expr())
+        return left
+
+    def _mul_expr(self) -> Expr:
+        left = self._primary()
+        while self.at("*") or self.at("/"):
+            op = self.advance().kind
+            left = Arith(op, left, self._primary())
+        return left
+
+    def _primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "(":
+            self.advance()
+            inner = self.expr()
+            self.expect(")", "')' closing the parenthesized expression")
+            return inner
+        if token.kind == "ident":
+            return Attr(self.path("attribute path"))
+        if self._at_literal():
+            return Const(self.literal())
+        if token.kind == "eof":
+            raise self.error("unexpected end of input inside an expression")
+        raise self.error(f"expected an expression, got {token.describe()}")
+
+    # -- literals -------------------------------------------------------------
+
+    def _at_literal(self) -> bool:
+        token = self.peek()
+        if token.kind in ("int", "float", "string"):
+            return True
+        if token.kind == "-":
+            ahead = self.peek(1)
+            return ahead.kind in ("int", "float") or (
+                ahead.kind == "kw" and ahead.value == "inf"
+            )
+        return token.kind == "kw" and token.value in (
+            "true", "false", "null", "nan", "inf",
+        )
+
+    def literal(self) -> Any:
+        """One literal value: number, string, true/false, null, nan, inf."""
+        token = self.peek()
+        if token.kind == "-":
+            self.advance()
+            number = self.peek()
+            if number.kind == "kw" and number.value == "inf":
+                self.advance()
+                return float("-inf")
+            if number.kind not in ("int", "float"):
+                raise self.error("expected a number after '-'")
+            self.advance()
+            return -number.value
+        if token.kind in ("int", "float", "string"):
+            return self.advance().value
+        if token.kind == "kw":
+            named = {
+                "true": True,
+                "false": False,
+                "null": NULL,
+                "nan": NAN,
+                "inf": float("inf"),
+            }
+            if token.value in named:
+                self.advance()
+                return named[token.value]
+        if token.kind == "eof":
+            raise self.error("unexpected end of input, expected a literal")
+        raise self.error(f"expected a literal, got {token.describe()}")
+
+    # -- why-not patterns -----------------------------------------------------
+
+    def tuple_pattern(self) -> Tup:
+        """``{ field: pattern, ... }`` — a ``Tup`` of patterns/values."""
+        self.expect("{", "'{' opening the tuple pattern")
+        fields: List[Tuple[str, Any]] = []
+        seen = set()
+        while not self.at("}"):
+            if fields:
+                self.expect(",", "',' between tuple pattern fields")
+            name_tok = self.expect("ident", "a field name")
+            if name_tok.value in seen:
+                raise self.error(
+                    f"duplicate field '{name_tok.value}' in tuple pattern", name_tok
+                )
+            seen.add(name_tok.value)
+            self.expect(":", "':' after the field name")
+            fields.append((name_tok.value, self.pattern()))
+        self.expect("}", "'}' closing the tuple pattern")
+        return Tup(fields)
+
+    def pattern(self) -> Any:
+        """One why-not pattern: placeholder, condition, literal or nested."""
+        token = self.peek()
+        if token.kind == "?":
+            self.advance()
+            return ANY
+        if token.kind == "{":
+            return self.tuple_pattern()
+        if token.kind == "[":
+            return self.bag_pattern()
+        if token.kind in _CMP_OPS:
+            op = self.advance().kind
+            return Cond(op, self.literal())
+        if self.at_kw("has"):
+            self.advance()
+            return HasValue(self.literal())
+        return self.literal()
+
+    def bag_pattern(self) -> Bag:
+        """``[ pattern-or-*, ... ]`` — a bag pattern (``*`` is STAR)."""
+        self.expect("[", "'[' opening the bag pattern")
+        elements: List[Any] = []
+        while not self.at("]"):
+            if elements:
+                self.expect(",", "',' between bag pattern elements")
+            if self.at("*"):
+                self.advance()
+                elements.append(STAR)
+            else:
+                elements.append(self.pattern())
+        self.expect("]", "']' closing the bag pattern")
+        return Bag(elements)
+
+    # -- alternatives ---------------------------------------------------------
+
+    def alternative_groups(self) -> List[ast.AltGroup]:
+        """``{ group* }`` — mutual ``[a, b]`` and directed ``a -> [b]``."""
+        self.expect("{", "'{' opening the alternatives block")
+        groups: List[ast.AltGroup] = []
+        while not self.at("}"):
+            token = self.peek()
+            pos = (token.line, token.column)
+            if self.at("["):
+                sources = self._alt_source_list()
+                groups.append(ast.AltGroup(sources=sources, pos=pos))
+            else:
+                origin = self.dotted("alternative source path")
+                self.expect("->", "'->' in a directed alternative group")
+                targets = self._alt_source_list()
+                groups.append(
+                    ast.AltGroup(sources=targets, directed_from=origin, pos=pos)
+                )
+        self.expect("}", "'}' closing the alternatives block")
+        return groups
+
+    def _alt_source_list(self) -> List[str]:
+        self.expect("[", "'[' opening the alternative source list")
+        sources = [self.dotted("alternative source path")]
+        while self.at(","):
+            self.advance()
+            sources.append(self.dotted("alternative source path"))
+        self.expect("]", "']' closing the alternative source list")
+        return sources
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a full ``.rq`` program (query + optional why-not question)."""
+    return Parser(source).program()
+
+
+def parse_question(source: str):
+    """Parse a standalone ``whynot …`` question (REPL continuation form).
+
+    Returns ``(nip, nip_pos, alternative_groups)``.
+    """
+    return Parser(source).question()
+
+
+def parse_alternatives(source: str) -> List[ast.AltGroup]:
+    """Parse a standalone ``with alternatives { … }`` block (REPL form)."""
+    parser = Parser(source)
+    groups = parser.with_alternatives()
+    eof = parser.peek()
+    if eof.kind != "eof":
+        raise parser.error(f"unexpected {eof.describe()} after the alternatives")
+    return groups

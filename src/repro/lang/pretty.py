@@ -1,0 +1,403 @@
+"""Canonical pretty-printer for the ``.rq`` query language.
+
+The printer is the parser's exact inverse: for every expressible plan ``Q``,
+``parse(pretty(Q))`` lowers to a structurally identical plan — same operator
+tree, same parameters, same explicit labels (and therefore identical result
+bags and explanation sets).  The fuzz oracle's grammar round-trip check
+(:mod:`repro.fuzz.oracle`) and the golden scenario files under ``queries/``
+both pin this property.
+
+Output is *canonical*: one fixed layout (two-space indent, one stage per
+line, lowercase keywords, double-quoted strings) so golden files can be
+byte-pinned.  The only plan the grammar cannot express is one containing a
+:class:`~repro.algebra.operators.Map` (its parameter is an arbitrary Python
+callable); printing such a plan raises :class:`~repro.lang.errors.PrettyError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Sequence
+
+from repro.algebra.operators import (
+    BagDestroy,
+    CartesianProduct,
+    Deduplication,
+    Difference,
+    GroupAggregation,
+    Join,
+    NestedAggregation,
+    Operator,
+    Projection,
+    Query,
+    RelationFlatten,
+    RelationNesting,
+    Renaming,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+    TupleNesting,
+    Union,
+)
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    Contains,
+    Expr,
+    IsNull,
+    Not,
+    Or,
+)
+from repro.lang.errors import PrettyError
+from repro.lang.lexer import KEYWORDS
+from repro.nested.values import Bag, Tup, is_null
+from repro.whynot.placeholders import Cond, HasValue, _Any, _Star
+
+_INDENT = "  "
+_PLAIN_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+# -- atoms --------------------------------------------------------------------
+
+
+def _escape_char(ch: str, quote: str) -> str:
+    if ch == quote:
+        return "\\" + quote
+    if ch == "\\":
+        return "\\\\"
+    if ch == "\n":
+        return "\\n"
+    if ch == "\t":
+        return "\\t"
+    if ch == "\r":
+        return "\\r"
+    code = ord(ch)
+    if 0xD800 <= code <= 0xDFFF or not ch.isprintable():
+        if code > 0xFFFF:
+            return f"\\U{code:08x}"
+        return f"\\u{code:04x}"
+    return ch
+
+
+def string_literal(text: str) -> str:
+    """A double-quoted string literal (printable chars stay raw)."""
+    return '"' + "".join(_escape_char(ch, '"') for ch in text) + '"'
+
+
+def ident(name: str) -> str:
+    """An identifier, backquoted when it collides with the grammar."""
+    if _PLAIN_IDENT.match(name) and name.lower() not in KEYWORDS:
+        return name
+    return "`" + "".join(_escape_char(ch, "`") for ch in name) + "`"
+
+
+def path_text(path: Sequence[str]) -> str:
+    """A dotted path with per-step quoting."""
+    return ".".join(ident(step) for step in path)
+
+
+def dotted_text(dotted: str) -> str:
+    """A dotted-string path (``table.attr``) with per-step quoting."""
+    return path_text(dotted.split("."))
+
+
+def literal(value: Any) -> str:
+    """One literal value: number, string, boolean, null, nan, inf."""
+    if is_null(value):
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return string_literal(value)
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        return repr(value)
+    if isinstance(value, int):
+        return repr(value)
+    raise PrettyError(f"cannot print literal {value!r} of type {type(value).__name__}")
+
+
+# -- expressions --------------------------------------------------------------
+
+#: Precedence levels (higher binds tighter).
+_LVL_OR, _LVL_AND, _LVL_NOT, _LVL_CMP, _LVL_ADD, _LVL_MUL, _LVL_ATOM = range(1, 8)
+
+
+def _level(expr: Expr) -> int:
+    if isinstance(expr, Or):
+        return _LVL_OR
+    if isinstance(expr, And):
+        return _LVL_AND
+    if isinstance(expr, Not):
+        return _LVL_NOT
+    if isinstance(expr, (Cmp, Contains, IsNull)):
+        return _LVL_CMP
+    if isinstance(expr, Arith):
+        return _LVL_ADD if expr.op in ("+", "-") else _LVL_MUL
+    return _LVL_ATOM
+
+
+def _expr_at(expr: Expr, min_level: int) -> str:
+    text = _expr(expr)
+    if _level(expr) < min_level:
+        return f"({text})"
+    return text
+
+
+def _expr(expr: Expr) -> str:
+    if isinstance(expr, Attr):
+        return path_text(expr.path)
+    if isinstance(expr, Const):
+        return literal(expr.value)
+    if isinstance(expr, Or):
+        return " or ".join(_expr_at(t, _LVL_AND) for t in expr.terms)
+    if isinstance(expr, And):
+        return " and ".join(_expr_at(t, _LVL_NOT) for t in expr.terms)
+    if isinstance(expr, Not):
+        return "not " + _expr_at(expr.term, _LVL_NOT)
+    if isinstance(expr, Cmp):
+        left = _expr_at(expr.left, _LVL_ADD)
+        right = _expr_at(expr.right, _LVL_ADD)
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, Contains):
+        needle = _expr_at(expr.needle, _LVL_ADD)
+        haystack = _expr_at(expr.haystack, _LVL_ADD)
+        return f"{needle} in {haystack}"
+    if isinstance(expr, IsNull):
+        return _expr_at(expr.term, _LVL_ADD) + " is null"
+    if isinstance(expr, Arith):
+        if expr.op in ("+", "-"):
+            left = _expr_at(expr.left, _LVL_ADD)
+            right = _expr_at(expr.right, _LVL_MUL)
+        else:
+            left = _expr_at(expr.left, _LVL_MUL)
+            right = _expr_at(expr.right, _LVL_ATOM)
+        return f"{left} {expr.op} {right}"
+    raise PrettyError(f"cannot print expression node {type(expr).__name__}")
+
+
+def expr_text(expr: Expr) -> str:
+    """Render one expression in canonical concrete syntax."""
+    return _expr(expr)
+
+
+# -- why-not patterns ---------------------------------------------------------
+
+
+def pattern_text(pattern: Any) -> str:
+    """Render one why-not pattern (NIP component)."""
+    if isinstance(pattern, _Any):
+        return "?"
+    if isinstance(pattern, _Star):
+        return "*"
+    if isinstance(pattern, Cond):
+        return f"{pattern.op} {literal(pattern.bound)}"
+    if isinstance(pattern, HasValue):
+        return f"has {literal(pattern.needle)}"
+    if isinstance(pattern, Tup):
+        fields = ", ".join(
+            f"{ident(name)}: {pattern_text(value)}" for name, value in pattern.items()
+        )
+        return "{" + fields + "}"
+    if isinstance(pattern, Bag):
+        elements: List[str] = []
+        for element, count in pattern.items():
+            elements.extend([pattern_text(element)] * count)
+        return "[" + ", ".join(elements) + "]"
+    return literal(pattern)
+
+
+# -- operators ----------------------------------------------------------------
+
+
+def _label_suffix(op: Operator) -> str:
+    if op._label is None:
+        return ""
+    return ' @"' + "".join(_escape_char(ch, '"') for ch in op._label) + '"'
+
+
+def _projection_col(name: str, expr: Expr) -> str:
+    if isinstance(expr, Attr) and expr.path[-1] == name:
+        return path_text(expr.path)
+    return f"{ident(name)} = {_expr(expr)}"
+
+
+def _group_key(out: str, src: Sequence[str]) -> str:
+    if tuple(src) == (out,):
+        return ident(out)
+    return f"{ident(out)} = {path_text(src)}"
+
+
+def _agg_spec(spec) -> str:
+    if spec.expr is None:
+        return f"{spec.func}(*) as {ident(spec.out)}"
+    distinct = "distinct " if spec.distinct else ""
+    return f"{spec.func}({distinct}{_expr(spec.expr)}) as {ident(spec.out)}"
+
+
+def _pipeline_lines(op: Operator, indent: int) -> List[str]:
+    """Linearize the left spine of *op* into ``from``/``|>`` lines."""
+    pad = _INDENT * indent
+    spine: List[Operator] = []
+    current = op
+    while not isinstance(current, TableAccess):
+        if not current.children:
+            raise PrettyError(
+                f"cannot print operator {type(current).__name__} as a pipeline head"
+            )
+        spine.append(current)
+        current = current.children[0]
+    lines = [f"{pad}from {ident(current.table)}{_label_suffix(current)}"]
+    for stage_op in reversed(spine):
+        lines.extend(_stage_lines(stage_op, indent))
+    return lines
+
+
+def _binary_stage_lines(
+    op: Operator, head: str, tail: str, indent: int
+) -> List[str]:
+    pad = _INDENT * indent
+    lines = [f"{pad}|> {head} ("]
+    lines.extend(_pipeline_lines(op.children[1], indent + 1))
+    lines.append(f"{pad}){tail}{_label_suffix(op)}")
+    return lines
+
+
+def _stage_lines(op: Operator, indent: int) -> List[str]:
+    pad = _INDENT * indent
+
+    def one(text: str) -> List[str]:
+        return [f"{pad}|> {text}{_label_suffix(op)}"]
+
+    if isinstance(op, Selection):
+        return one(f"select {_expr(op.pred)}")
+    if isinstance(op, Projection):
+        cols = ", ".join(_projection_col(n, e) for n, e in op.cols)
+        return one(f"project [{cols}]")
+    if isinstance(op, Renaming):
+        pairs = ", ".join(f"{ident(n)} = {ident(o)}" for n, o in op.pairs)
+        return one(f"rename [{pairs}]")
+    if isinstance(op, Join):
+        head = "join" if op.how == "inner" else f"join {op.how}"
+        tail = ""
+        if op.on:
+            pairs = ", ".join(
+                f"{path_text(l)} = {path_text(r)}" for l, r in op.on
+            )
+            tail += f" on {pairs}"
+        if op.extra is not None:
+            tail += f" extra ({_expr(op.extra)})"
+        if op.drop_right_keys:
+            tail += " drop"
+        return _binary_stage_lines(op, head, tail, indent)
+    if isinstance(op, Union):
+        return _binary_stage_lines(op, "union", "", indent)
+    if isinstance(op, Difference):
+        return _binary_stage_lines(op, "except", "", indent)
+    if isinstance(op, CartesianProduct):
+        return _binary_stage_lines(op, "product", "", indent)
+    if isinstance(op, TupleFlatten):
+        alias = f" as {ident(op.alias)}" if op.alias else ""
+        return one(f"flatten tuple {path_text(op.path)}{alias}")
+    if isinstance(op, RelationFlatten):
+        mode = "outer" if op.outer else "inner"
+        alias = f" as {ident(op.alias)}" if op.alias else ""
+        return one(f"flatten {mode} {path_text(op.path)}{alias}")
+    if isinstance(op, TupleNesting):
+        attrs = ", ".join(ident(a) for a in op.attrs)
+        return one(f"nest tuple [{attrs}] as {ident(op.target)}")
+    if isinstance(op, RelationNesting):
+        attrs = ", ".join(ident(a) for a in op.attrs)
+        return one(f"nest bag [{attrs}] as {ident(op.target)}")
+    if isinstance(op, NestedAggregation):
+        agg_field = f" field {ident(op.field)}" if op.field else ""
+        return one(
+            f"aggregate {op.func}({path_text(op.attr)}){agg_field} "
+            f"as {ident(op.out)}"
+        )
+    if isinstance(op, GroupAggregation):
+        keys = ", ".join(_group_key(out, src) for out, src in op.key_specs)
+        aggs = ", ".join(_agg_spec(spec) for spec in op.aggs)
+        return one(f"group by [{keys}] agg [{aggs}]")
+    if isinstance(op, Deduplication):
+        return one("distinct")
+    if isinstance(op, BagDestroy):
+        return one(f"destroy {ident(op.attr)}")
+    raise PrettyError(
+        f"operator {type(op).__name__} is not expressible in the query language"
+    )
+
+
+# -- entry points -------------------------------------------------------------
+
+
+def pretty_query(query: Query, name: Optional[str] = None) -> str:
+    """Render one query as a canonical ``query ... { ... }`` block."""
+    text = query.name if name is None else name
+    name = ""
+    if text:
+        name = ident(text) + " " if _is_bare_name(text) else (
+            string_literal(text) + " "
+        )
+    lines = [f"query {name}{{"]
+    lines.extend(_pipeline_lines(query.root, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _is_bare_name(name: str) -> bool:
+    return bool(_PLAIN_IDENT.match(name)) and name.lower() not in KEYWORDS
+
+
+def _alt_sources(sources: Sequence[str]) -> str:
+    return "[" + ", ".join(dotted_text(s) for s in sources) + "]"
+
+
+def pretty_alternatives(alternatives: Sequence) -> str:
+    """Render a ``with alternatives { ... }`` block.
+
+    Accepts the repository's group shapes: a mutual group is a sequence of
+    dotted source strings; a directed group is an ``(origin, targets)``
+    pair.
+    """
+    lines = ["with alternatives {"]
+    for group in alternatives:
+        if (
+            isinstance(group, tuple)
+            and len(group) == 2
+            and isinstance(group[0], str)
+            and not isinstance(group[1], str)
+        ):
+            origin, targets = group
+            lines.append(f"{_INDENT}{dotted_text(origin)} -> {_alt_sources(targets)}")
+        else:
+            lines.append(f"{_INDENT}{_alt_sources(list(group))}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_program(
+    query: Query,
+    nip: Any = None,
+    alternatives: Sequence = (),
+    name: Optional[str] = None,
+) -> str:
+    """Render a full ``.rq`` program (query + optional why-not question).
+
+    ``name`` overrides the query's own name when given.  The output ends
+    with a newline and reparses to a structurally identical program.
+    """
+    parts = [pretty_query(query, name=name)]
+    if nip is not None:
+        parts.append(f"whynot {pattern_text(nip)}")
+        if alternatives:
+            parts.append(pretty_alternatives(alternatives))
+    return "\n\n".join(parts) + "\n"

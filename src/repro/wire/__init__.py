@@ -50,6 +50,7 @@ from repro.wire.payloads import (
     metrics_to_json,
     question_from_json,
     question_to_json,
+    text_query_request,
     relation_from_json,
     relation_to_json,
     result_to_json,
@@ -75,6 +76,7 @@ __all__ = [
     "database_to_json",
     "database_from_json",
     "question_to_json",
+    "text_query_request",
     "question_from_json",
     "relation_to_json",
     "relation_from_json",

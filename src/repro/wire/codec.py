@@ -61,6 +61,11 @@ from repro.algebra.operators import (
     Union,
 )
 from repro.nested.types import (
+    BOOL,
+    DATE,
+    FLOAT,
+    INT,
+    STR,
     AnyType,
     BagType,
     NestedType,
@@ -149,12 +154,17 @@ def type_to_json(nested_type: NestedType) -> Any:
     raise TypeError(f"cannot serialize type {nested_type!r}")
 
 
+_PRIMITIVE_SINGLETONS = {t.name: t for t in (INT, STR, BOOL, FLOAT, DATE)}
+
+
 def type_from_json(data: Any) -> NestedType:
     """Decode :func:`type_to_json` output."""
     if data == "any":
         return AnyType()
     if isinstance(data, str):
-        return PrimitiveType(data)
+        # Return the interned singletons so identity checks keep working
+        # on decoded schemas, not just freshly built ones.
+        return _PRIMITIVE_SINGLETONS.get(data) or PrimitiveType(data)
     if "tuple" in data:
         return TupleType((n, type_from_json(t)) for n, t in data["tuple"])
     if "bag" in data:

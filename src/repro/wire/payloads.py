@@ -204,6 +204,28 @@ def question_from_json(
     return question, alternatives_from_json(data.get("alternatives"))
 
 
+def text_query_request(
+    text: str, database: "str | Database", options: Optional[dict] = None
+) -> dict:
+    """Build a ``query-request`` document carrying a textual ``.rq`` program.
+
+    The ``text`` variant of ``POST /v1/query``: instead of a structured
+    ``query`` payload, the body ships the program source (grammar:
+    ``docs/LANGUAGE.md``) and the server parses, validates and lowers it
+    against *database* (a registered name or an inline
+    :class:`~repro.engine.database.Database`).  ``options`` is an
+    already-encoded options object (the wire layer stays agnostic of the
+    API's option dataclasses).
+    """
+    body: dict = {
+        "text": text,
+        "database": database if isinstance(database, str) else database_to_json(database),
+    }
+    if options is not None:
+        body["options"] = options
+    return envelope("query-request", body)
+
+
 # -- relations ----------------------------------------------------------------
 
 

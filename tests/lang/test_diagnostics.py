@@ -1,0 +1,209 @@
+"""Parser/validation diagnostics: positions, carets, and HTTP error bodies.
+
+Every user-facing failure mode of the query language must surface as a
+:class:`repro.lang.LangError` carrying a 1-based ``line``/``column`` and a
+``render()`` with a caret under the offending token — never a Python
+traceback.  The same errors crossing the HTTP boundary must map to
+status 400 with the position echoed in the JSON error document.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import ExplanationService
+from repro.api.http import make_server
+from repro.lang import LangError, compile_program, parse_program
+from repro.scenarios import get_scenario
+from repro.wire import WIRE_VERSION
+
+REPO = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+@pytest.fixture(scope="module")
+def db():
+    scenario = get_scenario("Q1")
+    return scenario.make_db(2)
+
+
+def fails_at(text, db=None):
+    """Compile ``text`` expecting a LangError; returns the exception."""
+    with pytest.raises(LangError) as info:
+        compile_program(text, database=db)
+    exc = info.value
+    # Every diagnostic must carry a usable position and caret rendering.
+    assert exc.line >= 1 and exc.column >= 1
+    rendered = exc.render()
+    assert f"line {exc.line}, column {exc.column}" in rendered
+    caret_line = rendered.splitlines()[-1]
+    assert caret_line.strip() == "^"
+    assert "Traceback" not in rendered
+    return exc
+
+
+# -- the five diagnostic classes ----------------------------------------------
+
+
+def test_unknown_attribute(db):
+    exc = fails_at("query { from nestedOrders |> select bogus = 1 }", db)
+    assert "unknown attribute 'bogus'" in str(exc)
+    assert "o_orderkey" in str(exc)  # suggests what IS available
+    assert (exc.line, exc.column) == (1, 30)
+
+
+def test_unknown_table(db):
+    exc = fails_at("query { from Part }", db)
+    assert "unknown table 'Part'" in str(exc)
+    assert "nestedOrders" in str(exc)
+    assert (exc.line, exc.column) == (1, 9)
+
+
+def test_type_mismatch_arithmetic_on_string(db):
+    exc = fails_at("query { from nestedOrders |> project [x = o_comment + 1] }", db)
+    assert "arithmetic '+' needs numeric operands" in str(exc)
+
+
+def test_type_mismatch_comparison_over_bag(db):
+    exc = fails_at("query { from nestedOrders |> select o_lineitems < 3 }", db)
+    assert "bag-valued operand" in str(exc)
+
+
+def test_bad_path_crossing_a_bag(db):
+    exc = fails_at(
+        "query { from nestedOrders |> project [o_lineitems.l_tax] }", db
+    )
+    assert "flatten it first" in str(exc)
+
+
+def test_flatten_of_scalar_attribute(db):
+    exc = fails_at("query { from nestedOrders |> flatten inner o_comment }", db)
+    assert "not a bag of tuples" in str(exc)
+
+
+def test_truncated_input(db):
+    exc = fails_at("query { from nestedOrders |> select", db)
+    assert "unexpected end of input" in str(exc)
+
+
+def test_unbalanced_nesting(db):
+    exc = fails_at("query { from nestedOrders |> project [a, b }", db)
+    assert (exc.line, exc.column) == (1, 44)
+
+
+def test_multiline_position_and_caret_alignment(db):
+    text = "query {\n  from nestedOrders\n  |> select bogus = 1\n}"
+    exc = fails_at(text, db)
+    assert exc.line == 3
+    lines = exc.render().splitlines()
+    source_line, caret_line = lines[-2], lines[-1]
+    # The caret must sit under the start of the offending stage.
+    assert caret_line.index("^") == source_line.index("select")
+
+
+def test_parse_error_without_database_still_positions():
+    with pytest.raises(LangError) as info:
+        parse_program("query { from t |> |> select a = 1 }")
+    assert info.value.line == 1
+
+
+# -- CLI surface: errors render, never traceback ------------------------------
+
+
+def test_query_file_error_renders_caret_to_stderr(tmp_path):
+    bad = tmp_path / "bad.rq"
+    bad.write_text("query { from nestedOrders |> select bogus = 1 }")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "run", "--query-file", str(bad), "--db", "Q1"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert proc.returncode == 2
+    assert "unknown attribute 'bogus'" in proc.stderr
+    assert "^" in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+# -- HTTP surface: 400 + position in the JSON body ----------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = ExplanationService(cache_size=4)
+    service.register_database("Q1", get_scenario("Q1").make_db(2))
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.service.close()
+
+
+def post(server, path, document):
+    host, port = server.server_address[:2]
+    document.setdefault("format", WIRE_VERSION)
+    document.setdefault(
+        "kind", "query-request" if path == "/v1/query" else "explain-request"
+    )
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(document).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_http_parse_error_is_400_with_position(server):
+    status, payload = post(
+        server,
+        "/v1/query",
+        {"text": "query { from nestedOrders |> select bogus = 1 }", "database": "Q1"},
+    )
+    assert status == 400
+    error = payload["error"]
+    assert "unknown attribute 'bogus'" in error["message"]
+    assert error["position"] == {"line": 1, "column": 30}
+
+
+def test_http_unknown_table_is_400_with_position(server):
+    status, payload = post(
+        server, "/v1/query", {"text": "query { from Part }", "database": "Q1"}
+    )
+    assert status == 400
+    assert payload["error"]["position"] == {"line": 1, "column": 9}
+
+
+def test_http_explain_text_without_whynot_is_400(server):
+    status, payload = post(
+        server, "/v1/explain", {"text": "query { from nestedOrders }", "database": "Q1"}
+    )
+    assert status == 400
+    assert "no whynot block" in payload["error"]["message"]
+
+
+def test_http_truncated_text_is_400_not_500(server):
+    status, payload = post(
+        server, "/v1/query", {"text": "query { from nestedOrders |> ", "database": "Q1"}
+    )
+    assert status == 400
+    assert "position" in payload["error"]
+
+
+def test_http_structured_errors_have_no_position(server):
+    # Non-language client errors keep the plain {type, message} shape.
+    status, payload = post(server, "/v1/explain", {"scenario": "NoSuchScenario"})
+    assert status == 400
+    assert "position" not in payload["error"]

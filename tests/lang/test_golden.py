@@ -1,0 +1,79 @@
+"""Golden ``.rq`` files: byte-pinned and structurally verified.
+
+``queries/<name>.rq`` is the canonical textual form of each paper
+scenario, produced by ``tools/gen_golden_queries.py``.  These tests pin
+the files two ways:
+
+* **byte-pin** — the checked-in file must equal the generator's output
+  exactly, so any printer/grammar change that shifts the canonical form
+  shows up as a reviewable ``queries/`` diff;
+* **structural** — parsing the file must reproduce the hand-built
+  operator tree, NIP and alternatives of the scenario, so the goldens
+  can never drift away from the Python definitions they mirror.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.lang import compile_program
+from repro.scenarios import SCENARIOS, get_scenario
+from repro.wire import op_to_json, value_to_json
+from repro.wire.payloads import alternatives_to_json
+
+REPO = os.path.join(os.path.dirname(__file__), "..", "..")
+QUERIES_DIR = os.path.join(REPO, "queries")
+
+sys.path.insert(0, os.path.join(REPO, "tools"))
+from gen_golden_queries import render  # noqa: E402
+
+
+def golden_path(name):
+    return os.path.join(QUERIES_DIR, f"{name}.rq")
+
+
+def read_golden(name):
+    path = golden_path(name)
+    assert os.path.exists(path), (
+        f"missing golden file queries/{name}.rq — "
+        "run: PYTHONPATH=src python tools/gen_golden_queries.py"
+    )
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_every_scenario_has_a_golden_and_no_strays():
+    checked_in = {
+        entry[:-3] for entry in os.listdir(QUERIES_DIR) if entry.endswith(".rq")
+    }
+    assert checked_in == set(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_is_byte_identical_to_generator(name):
+    assert read_golden(name) == render(name), (
+        f"queries/{name}.rq is stale — "
+        "run: PYTHONPATH=src python tools/gen_golden_queries.py"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_parses_to_the_hand_built_tree(name):
+    scenario = get_scenario(name)
+    db = scenario.make_db(scenario.default_scale)
+    lowered = compile_program(read_golden(name), database=db)
+    assert lowered.name == name
+    assert op_to_json(lowered.query.root) == op_to_json(scenario.make_query().root)
+    assert value_to_json(lowered.nip) == value_to_json(scenario.make_nip())
+    assert alternatives_to_json(lowered.alternatives) == alternatives_to_json(
+        scenario.alternatives
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_evaluates_to_the_scenario_result(name):
+    scenario = get_scenario(name)
+    db = scenario.make_db(scenario.default_scale)
+    lowered = compile_program(read_golden(name), database=db)
+    assert lowered.query.evaluate(db) == scenario.make_query().evaluate(db)

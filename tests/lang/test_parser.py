@@ -1,0 +1,263 @@
+"""Unit tests for the .rq lexer, parser, pretty-printer and lowering."""
+
+import math
+
+import pytest
+
+from repro.algebra.expressions import And, Arith, Attr, Cmp, Const, Contains, Not, Or
+from repro.algebra.operators import (
+    GroupAggregation,
+    Join,
+    Projection,
+    RelationFlatten,
+    RelationNesting,
+    Selection,
+    TableAccess,
+)
+from repro.lang import LangError, compile_program, parse_program, pretty_program, tokenize
+from repro.lang.lexer import KEYWORDS
+from repro.lang.lower import lower_program
+from repro.lang.pretty import expr_text, pattern_text, string_literal
+from repro.nested.values import Bag, Tup
+from repro.whynot.placeholders import ANY, STAR, Cond, HasValue
+from repro.wire import op_to_json
+
+
+def lower(text):
+    return lower_program(parse_program(text), source=text)
+
+
+def roundtrip(text):
+    """Parse → pretty → reparse; returns both lowered programs."""
+    first = lower(text)
+    printed = pretty_program(
+        first.query, nip=first.nip, alternatives=first.alternatives, name=first.name
+    )
+    second = lower(printed)
+    return first, second, printed
+
+
+# -- lexer --------------------------------------------------------------------
+
+
+def test_tokenize_positions_are_one_based():
+    tokens = tokenize("query {\n  from t\n}")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    from_tok = next(t for t in tokens if t.value == "from")
+    assert (from_tok.line, from_tok.column) == (2, 3)
+
+
+def test_keywords_match_lower_and_upper_but_not_mixed():
+    assert tokenize("whynot")[0].kind == "kw"
+    assert tokenize("WHYNOT")[0].kind == "kw"
+    assert tokenize("WhyNot")[0].kind == "ident"
+
+
+def test_backquoted_identifier_can_collide_with_keyword():
+    token = tokenize("`select`")[0]
+    assert (token.kind, token.value) == ("ident", "select")
+
+
+def test_comments_run_to_end_of_line():
+    kinds = [t.kind for t in tokenize("from -- a comment\nx")]
+    assert kinds == ["kw", "ident", "eof"]
+
+
+def test_string_escapes_decode():
+    assert tokenize(r'"a\nb\t\"\\"')[0].value == 'a\nb\t"\\'
+    assert tokenize(r'"A\U0001F680"')[0].value == "A\U0001f680"
+
+
+def test_unterminated_string_is_positioned():
+    with pytest.raises(LangError) as info:
+        tokenize('from x |> select a = "oops')
+    assert (info.value.line, info.value.column) == (1, 22)
+
+
+def test_float_and_int_lexing():
+    values = [t.value for t in tokenize("1 2.5 1e3 7")[:4]]
+    assert values == [1, 2.5, 1000.0, 7]
+    assert isinstance(values[0], int) and isinstance(values[2], float)
+
+
+# -- parser: stages and expressions -------------------------------------------
+
+
+def test_minimal_pipeline_lowers_to_table_access():
+    lowered = lower("query { from people }")
+    root = lowered.query.root
+    assert isinstance(root, TableAccess) and root.table == "people"
+    assert lowered.nip is None and lowered.alternatives == []
+
+
+def test_select_predicate_precedence():
+    lowered = lower("query { from t |> select a = 1 or b = 2 and not c = 3 }")
+    pred = lowered.query.root.pred
+    assert isinstance(pred, Or)
+    assert isinstance(pred.terms[1], And)
+    assert isinstance(pred.terms[1].terms[1], Not)
+
+
+def test_arithmetic_left_associativity_survives_roundtrip():
+    first, second, _ = roundtrip("query { from t |> project [x = a - b - c] }")
+    assert op_to_json(first.query.root) == op_to_json(second.query.root)
+    (_, expr), = first.query.root.cols
+    assert isinstance(expr, Arith) and isinstance(expr.left, Arith)
+
+
+def test_parenthesized_right_associative_arith_is_preserved():
+    first, second, printed = roundtrip("query { from t |> project [x = a - (b - c)] }")
+    assert "(" in printed
+    assert op_to_json(first.query.root) == op_to_json(second.query.root)
+    (_, expr), = first.query.root.cols
+    assert isinstance(expr.right, Arith)
+
+
+def test_contains_and_is_null():
+    lowered = lower('query { from t |> select "x" in name and a is null }')
+    pred = lowered.query.root.pred
+    contains = pred.terms[0]
+    assert isinstance(contains, Contains)
+    assert isinstance(contains.haystack, Attr) and contains.haystack.path == ("name",)
+    assert contains.needle == Const("x")
+
+
+def test_projection_path_shorthand():
+    lowered = lower("query { from t |> project [a.b.c, out = a.b] }")
+    cols = lowered.query.root.cols
+    assert cols[0][0] == "c" and cols[0][1].path == ("a", "b", "c")
+    assert cols[1][0] == "out" and cols[1][1].path == ("a", "b")
+
+
+def test_join_with_all_clauses():
+    lowered = lower(
+        "query { from l |> join left ( from r |> distinct ) "
+        'on a = b, c = d extra (x > 1) drop @"J" }'
+    )
+    join = lowered.query.root
+    assert isinstance(join, Join) and join.how == "left"
+    assert join.on == ((("a",), ("b",)), (("c",), ("d",)))
+    assert join.drop_right_keys is True
+    assert isinstance(join.extra, Cmp)
+    assert join._label == "J"
+
+
+def test_group_by_bare_key_is_single_attribute():
+    lowered = lower("query { from t |> group by [a] agg [count(*) as n] }")
+    group = lowered.query.root
+    assert isinstance(group, GroupAggregation)
+    assert group.key_specs == (("a", ("a",)),)
+
+
+def test_group_by_renaming_key_pair():
+    lowered = lower("query { from t |> group by [k = a.b] agg [sum(x) as s] }")
+    assert lowered.query.root.key_specs == (("k", ("a", "b")),)
+
+
+def test_flatten_and_nest_stages():
+    lowered = lower(
+        "query { from t |> flatten outer items as it |> nest bag [a, b] as grp }"
+    )
+    nest = lowered.query.root
+    assert isinstance(nest, RelationNesting) and nest.target == "grp"
+    flatten = nest.children[0]
+    assert isinstance(flatten, RelationFlatten) and flatten.outer is True
+    assert flatten.alias == "it"
+
+
+def test_distinct_aggregate_spec():
+    lowered = lower("query { from t |> group by [k] agg [sum(distinct x) as s] }")
+    spec = lowered.query.root.aggs[0]
+    assert spec.distinct is True
+
+
+def test_labels_attach_to_any_stage_and_source():
+    lowered = lower('query { from t @"src" |> distinct @"dd" }')
+    assert lowered.query.root._label == "dd"
+    assert lowered.query.root.children[0]._label == "src"
+
+
+def test_query_name_forms():
+    assert lower("query myname { from t }").name == "myname"
+    assert lower('query "odd name" { from t }').name == "odd name"
+    assert lower("query { from t }").name == ""
+
+
+# -- why-not questions and alternatives ---------------------------------------
+
+
+def test_whynot_patterns():
+    lowered = lower(
+        "query { from t } whynot {a: ?, b: [*], c: {d: 1}, e: < 5, f: has 2}"
+    )
+    nip = lowered.nip
+    assert nip["a"] is ANY
+    assert isinstance(nip["b"], Bag) and STAR in nip["b"]
+    assert nip["c"] == Tup(d=1)
+    assert nip["e"] == Cond("<", 5)
+    assert nip["f"] == HasValue(2)
+
+
+def test_alternative_groups_both_shapes():
+    lowered = lower(
+        "query { from t } whynot {a: ?} with alternatives {"
+        " [t.a, t.b]\n t.c -> [t.d, t.e] }"
+    )
+    assert lowered.alternatives == [["t.a", "t.b"], ("t.c", ["t.d", "t.e"])]
+
+
+def test_alternatives_without_whynot_is_an_error():
+    with pytest.raises(LangError, match="requires a whynot block"):
+        parse_program("query { from t } with alternatives { [a.b, c.d] }")
+
+
+def test_duplicate_pattern_field_is_an_error():
+    with pytest.raises(LangError, match="duplicate"):
+        parse_program("query { from t } whynot {a: 1, a: 2}")
+
+
+# -- pretty-printer details ---------------------------------------------------
+
+
+def test_string_literal_escapes_are_lossless():
+    for value in ["plain", 'quo"te', "back\\slash", "new\nline", "\udc80", "\U0001f680", ""]:
+        literal = string_literal(value)
+        assert tokenize(literal)[0].value == value
+
+
+def test_keyword_identifiers_are_backquoted():
+    first, second, printed = roundtrip("query { from t |> project [x = `select`] }")
+    assert "`select`" in printed
+    assert op_to_json(first.query.root) == op_to_json(second.query.root)
+
+
+def test_every_keyword_roundtrips_as_identifier():
+    for word in sorted(KEYWORDS):
+        text = f"query {{ from t |> project [out = `{word}`] }}"
+        first, second, _ = roundtrip(text)
+        assert op_to_json(first.query.root) == op_to_json(second.query.root)
+
+
+def test_float_literals_roundtrip_exactly():
+    for value in (0.1, -0.0, 1e300, 5e-324, math.inf, -math.inf):
+        text = f"query {{ from t |> select a = {pattern_text(value)} }}"
+        lowered = lower(text)
+        literal = lowered.query.root.pred.right.value
+        assert literal == value
+        assert math.copysign(1.0, literal) == math.copysign(1.0, value)
+
+
+def test_nan_literal_roundtrips():
+    lowered = lower("query { from t |> select a = nan }")
+    assert math.isnan(lowered.query.root.pred.right.value)
+
+
+def test_expr_text_parenthesizes_only_when_needed():
+    lowered = lower("query { from t |> select (a = 1 or b = 2) and c = 3 }")
+    printed = expr_text(lowered.query.root.pred)
+    assert printed == "(a = 1 or b = 2) and c = 3"
+
+
+def test_compile_program_one_step(person_db):
+    lowered = compile_program("query { from person |> distinct }", database=person_db)
+    assert len(lowered.query.evaluate(person_db)) > 0

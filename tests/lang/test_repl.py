@@ -1,0 +1,106 @@
+"""Scripted REPL sessions against byte-pinned transcripts.
+
+Each ``transcripts/<name>.in.txt`` is fed to ``python -m repro repl`` on
+stdin (the REPL echoes input when stdin is not a tty, so the pinned
+``<name>.out.txt`` is a complete, self-contained session transcript).
+The comparison is byte-for-byte: prompt placement, error carets, row
+elision and the ``bye`` farewell are all part of the contract.
+
+To refresh after an intentional change::
+
+    PYTHONPATH=src python -m repro repl < tests/lang/transcripts/NAME.in.txt \
+        > tests/lang/transcripts/NAME.out.txt
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.join(os.path.dirname(__file__), "..", "..")
+TRANSCRIPTS = os.path.join(os.path.dirname(__file__), "transcripts")
+
+SESSIONS = sorted(
+    entry[: -len(".in.txt")]
+    for entry in os.listdir(TRANSCRIPTS)
+    if entry.endswith(".in.txt")
+)
+
+
+def run_repl(stdin_text, args=()):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "repl", *args],
+        input=stdin_text,
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": "src"},
+        timeout=180,
+    )
+    return proc
+
+
+def test_transcript_pairs_are_complete():
+    outs = {
+        entry[: -len(".out.txt")]
+        for entry in os.listdir(TRANSCRIPTS)
+        if entry.endswith(".out.txt")
+    }
+    assert outs == set(SESSIONS) and SESSIONS
+
+
+@pytest.mark.parametrize("name", SESSIONS)
+def test_session_matches_pinned_transcript(name):
+    with open(os.path.join(TRANSCRIPTS, f"{name}.in.txt"), encoding="utf-8") as fh:
+        script = fh.read()
+    with open(os.path.join(TRANSCRIPTS, f"{name}.out.txt"), encoding="utf-8") as fh:
+        expected = fh.read()
+    proc = run_repl(script)
+    assert proc.returncode == 0, proc.stderr
+    assert "Traceback" not in proc.stdout and "Traceback" not in proc.stderr
+    assert proc.stdout == expected, (
+        f"transcript drift for {name} — if intentional, re-pin with:\n"
+        f"  PYTHONPATH=src python -m repro repl "
+        f"< tests/lang/transcripts/{name}.in.txt "
+        f"> tests/lang/transcripts/{name}.out.txt"
+    )
+
+
+def test_eof_without_quit_says_bye():
+    proc = run_repl("\\use C1\nquery { from W |> group by [] agg [count(*) as n] }\n")
+    assert proc.returncode == 0
+    assert proc.stdout.rstrip().endswith("bye")
+    assert "{n: 20}" in proc.stdout
+
+
+def test_scenario_flag_preloads_database():
+    proc = run_repl("\\schema\n\\quit\n", args=["--scenario", "C1"])
+    assert proc.returncode == 0
+    assert "S: " in proc.stdout  # schema printed without an explicit \use
+
+
+def test_repl_survives_malformed_then_runs_valid_query():
+    script = (
+        "\\use C1\n"
+        "query { from S |> select }\n"
+        "query { from S |> group by [] agg [count(*) as n] }\n"
+        "\\quit\n"
+    )
+    proc = run_repl(script)
+    assert proc.returncode == 0
+    assert "Traceback" not in proc.stdout
+    assert "^" in proc.stdout  # the caret diagnostic for the bad line
+    assert "{n: 21}" in proc.stdout  # and the next query still ran
+
+
+def test_golden_file_paste_runs_question_via_continuations():
+    # Pasting a full .rq file (query + whynot + alternatives blocks, as
+    # emitted by tools/gen_golden_queries.py) must attach the question to
+    # the query and answer it with the paper's explanation.
+    with open(os.path.join(REPO, "queries", "C3.rq"), encoding="utf-8") as fh:
+        golden = fh.read()
+    proc = run_repl("\\use C3\n" + golden + "\n\\quit\n")
+    assert proc.returncode == 0
+    assert "-- explanations: 1" in proc.stdout
+    assert "{π6}" in proc.stdout

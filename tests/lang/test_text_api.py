@@ -1,0 +1,228 @@
+"""Textual ``.rq`` payloads across the wire, service, HTTP and client layers.
+
+The acceptance bar for the query language: a program sent as a ``text``
+field must behave *identically* to the equivalent structured request —
+same results byte-for-byte, same cache entries, same error mapping.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    Client,
+    ExplainOptions,
+    ExplainRequest,
+    ExplanationService,
+)
+from repro.api.http import make_server
+from repro.api.service import BadRequest
+from repro.lang import pretty_program
+from repro.scenarios import SCENARIOS, get_scenario
+from repro.wire import (
+    WIRE_VERSION,
+    database_to_json,
+    relation_from_json,
+    relation_to_json,
+)
+from repro.wire.payloads import text_query_request
+
+
+# -- wire layer ---------------------------------------------------------------
+
+
+def test_text_query_request_envelope_with_named_database():
+    document = text_query_request("query { from t }", "mydb")
+    assert document["format"] == WIRE_VERSION
+    assert document["kind"] == "query-request"
+    assert document["text"] == "query { from t }"
+    assert document["database"] == "mydb"
+    assert "options" not in document
+    # The envelope must survive JSON transport untouched.
+    assert json.loads(json.dumps(document)) == document
+
+
+def test_text_query_request_inlines_database_objects(person_db):
+    document = text_query_request("query { from person }", person_db)
+    assert document["database"] == database_to_json(person_db)
+
+
+def test_text_query_request_carries_encoded_options():
+    options = ExplainOptions(max_sas=7).to_json()
+    document = text_query_request("query { from t }", "db", options=options)
+    assert document["options"] == options
+
+
+# -- service layer: ExplainRequest text form ----------------------------------
+
+
+def test_explain_request_text_json_roundtrip(person_db):
+    request = ExplainRequest(text="query { from person } whynot {name: ?}",
+                             database=person_db)
+    decoded = ExplainRequest.from_json(request.to_json())
+    assert decoded.text == request.text
+    assert decoded.to_json() == request.to_json()
+
+
+def test_explain_request_text_requires_database():
+    with pytest.raises(BadRequest, match="database"):
+        ExplainRequest(text="query { from t } whynot {a: ?}").to_json()
+
+
+def test_explain_text_matches_structured_and_shares_cache():
+    scenario = get_scenario("C3")
+    db = scenario.make_db(scenario.default_scale)
+    service = ExplanationService(cache_size=8)
+    text = pretty_program(
+        scenario.make_query(),
+        nip=scenario.make_nip(),
+        alternatives=scenario.alternatives,
+        name="C3",
+    )
+    textual = service.explain(ExplainRequest(text=text, database=db))
+    structured = service.explain(
+        ExplainRequest(
+            query=scenario.make_query(),
+            nip=scenario.make_nip(),
+            database=db,
+            alternatives=scenario.alternatives,
+            name="C3",
+        )
+    )
+    assert not textual.cached
+    # The structured twin hits the entry the textual request populated:
+    # both lower to the same plan, so they share one cache key.
+    assert structured.cached
+    assert [e.labels for e in structured.result.explanations] == [
+        e.labels for e in textual.result.explanations
+    ]
+    service.close()
+
+
+def test_explain_text_without_whynot_block_is_rejected():
+    scenario = get_scenario("C1")
+    db = scenario.make_db(scenario.default_scale)
+    service = ExplanationService()
+    with pytest.raises(BadRequest, match="no whynot block"):
+        service.explain(ExplainRequest(text="query { from S }", database=db))
+    service.close()
+
+
+# -- HTTP + client ------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = ExplanationService(cache_size=32)
+    for name in ("C1", "C3"):
+        scenario = get_scenario(name)
+        service.register_database(name, scenario.make_db(scenario.default_scale))
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.service.close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    host, port = server.server_address[:2]
+    return Client(f"http://{host}:{port}")
+
+
+def canonical(document):
+    """Order-insensitive form of a ``relation_to_json`` document.
+
+    Bags are unordered: the service's executor is free to emit rows in a
+    different order than direct evaluation, so "byte-identical" means
+    identical up to row permutation — same rows, same multiplicities.
+    """
+    out = dict(document)
+    out["rows"] = sorted(document["rows"], key=lambda row: json.dumps(row))
+    return out
+
+
+def test_client_query_text_matches_direct_evaluation(client):
+    scenario = get_scenario("C1")
+    db = scenario.make_db(scenario.default_scale)
+    text = pretty_program(scenario.make_query(), name="C1")
+    result, metrics = client.query_text(text, "C1")
+    assert result == scenario.make_query().evaluate(db)  # bag equality
+    assert canonical(relation_to_json(result)) == canonical(
+        relation_to_json(scenario.make_query().evaluate(db))
+    )
+    assert metrics is not None  # decoded ExecutionMetrics ride along
+
+
+def test_client_query_text_ignores_trailing_whynot(client):
+    scenario = get_scenario("C1")
+    text = pretty_program(
+        scenario.make_query(), nip=scenario.make_nip(), name="C1"
+    )
+    result, _ = client.query_text(text, "C1")
+    assert len(result) > 0
+
+
+def test_client_explain_text_matches_scenario_explain(client):
+    scenario = get_scenario("C3")
+    text = pretty_program(
+        scenario.make_query(),
+        nip=scenario.make_nip(),
+        alternatives=scenario.alternatives,
+        name="C3",
+    )
+    via_text = client.explain(text=text, database="C3")
+    via_scenario = client.explain(scenario="C3")
+    assert via_text.explanation_sets() == via_scenario.explanation_sets()
+    assert via_text.explanation_sets() == [frozenset({"π6"})]
+
+
+def test_client_explain_text_parse_error_carries_position(client):
+    with pytest.raises(ApiError) as info:
+        client.explain(text="query { from Nope } whynot {a: ?}", database="C1")
+    assert info.value.status == 400
+    assert info.value.position == {"line": 1, "column": 9}
+
+
+def test_client_query_text_with_inline_database(client, person_db):
+    from repro.lang import compile_program
+
+    text = "query { from person |> distinct }"
+    result, _ = client.query_text(text, person_db)
+    assert result == compile_program(text, database=person_db).query.evaluate(
+        person_db
+    )
+
+
+# -- acceptance: every golden .rq evaluates identically over HTTP -------------
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_golden_runs_over_http_with_identical_bytes(server, name):
+    import os
+
+    scenario = get_scenario(name)
+    db = scenario.make_db(scenario.default_scale)
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "queries", f"{name}.rq"
+    )
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}/v1/query",
+        data=json.dumps(text_query_request(text, db)).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        payload = json.loads(response.read())
+    # Bag equality: nested bags are unordered at every level, so decode
+    # the wire document back into values rather than diffing row arrays.
+    assert relation_from_json(payload["result"]) == scenario.make_query().evaluate(db)

@@ -20,6 +20,7 @@ def test_required_docs_exist():
         "docs/API.md",
         "docs/ARCHITECTURE.md",
         "docs/BENCHMARKS.md",
+        "docs/LANGUAGE.md",
         "docs/OPTIMIZER.md",
     ):
         assert (REPO_ROOT / name).exists(), f"missing documentation page {name}"
@@ -135,3 +136,56 @@ def test_optimizer_doc_plan_renderings_are_verbatim():
             f"docs/OPTIMIZER.md is stale for {name}: regenerate the fenced "
             "block with optimize_query(question.query, question.db).describe()"
         )
+
+
+def test_language_doc_linked_from_readme_architecture_and_api():
+    assert "docs/LANGUAGE.md" in (REPO_ROOT / "README.md").read_text()
+    assert "LANGUAGE.md" in (REPO_ROOT / "docs/ARCHITECTURE.md").read_text()
+    assert "LANGUAGE.md" in (REPO_ROOT / "docs/API.md").read_text()
+
+
+def test_language_doc_covers_grammar_and_repl():
+    language_doc = (REPO_ROOT / "docs/LANGUAGE.md").read_text()
+    for needle in (
+        "```ebnf",
+        "whynot",
+        "with alternatives",
+        "\\scenarios",
+        "python -m repro repl",
+        "--query-file",
+        "fuzz --text",
+        "tools/gen_golden_queries.py",
+    ):
+        assert needle in language_doc, f"docs/LANGUAGE.md is missing {needle!r}"
+
+
+def test_language_doc_rq_examples_compile_and_run():
+    """Every ```rq block in docs/LANGUAGE.md must compile — and when it
+    declares its database (``-- db: NAME``), evaluate — as written."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.lang import compile_program
+    from repro.scenarios import get_scenario
+
+    language_doc = (REPO_ROOT / "docs/LANGUAGE.md").read_text()
+    blocks = re.findall(r"```rq\n(.*?)```", language_doc, flags=re.DOTALL)
+    assert blocks, "docs/LANGUAGE.md has no ```rq example blocks"
+    for block in blocks:
+        header = block.splitlines()[0]
+        database = None
+        if header.startswith("-- db:"):
+            scenario = get_scenario(header.split(":", 1)[1].strip())
+            database = scenario.make_db(scenario.default_scale)
+        lowered = compile_program(block, database=database)
+        if database is not None:
+            lowered.query.evaluate(database)
+
+
+def test_language_doc_c3_walkthrough_matches_golden():
+    """The worked example is the C3 golden file — it must not drift."""
+    language_doc = (REPO_ROOT / "docs/LANGUAGE.md").read_text()
+    golden = (REPO_ROOT / "queries" / "C3.rq").read_text()
+    body = golden.split("\n\n", 1)[1].strip()  # drop the header comment
+    assert body in language_doc, (
+        "the C3 walkthrough in docs/LANGUAGE.md no longer matches "
+        "queries/C3.rq — update the doc after regenerating goldens"
+    )

@@ -40,6 +40,7 @@ CHECKED_PACKAGES = (
     "repro/api",
     "repro/engine",
     "repro/fuzz",
+    "repro/lang",
     "repro/whynot",
     "repro/wire",
 )
