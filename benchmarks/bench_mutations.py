@@ -1,0 +1,164 @@
+"""Incremental vs from-scratch evaluation under mutations → ``BENCH_mutations.json``.
+
+For each Fig. 10 TPC-H scenario, builds the scenario database and query,
+then measures — across mutation batch sizes (single-row edits up to bulk
+batches) — the latency of:
+
+* **from-scratch**: a full ``Executor.execute`` of the query against the
+  new version (what a cache miss costs without delta maintenance);
+* **incremental**: ``DeltaEvaluator.update`` propagating the signed row
+  deltas through the same partitioned plan.
+
+Both paths are checked for identical result bags on every measured version
+(a benchmark that drifts from correctness measures nothing).  The tracked
+headline is the per-scenario single-row speedup; the issue's target is a
+geometric-mean speedup ≥ 5× on batch size 1.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mutations.py            # full
+    PYTHONPATH=src python benchmarks/bench_mutations.py --smoke    # CI gate
+
+``--smoke`` runs one scenario at two batch sizes and asserts the equality
+invariant only (timings on CI runners are noise; the speedup is tracked,
+not gated, just like the other BENCH payloads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.deltas import DeltaEvaluator  # noqa: E402
+from repro.engine.executor import Executor  # noqa: E402
+from repro.scenarios import get_scenario  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCENARIOS = ["Q1", "Q3", "Q4", "Q6", "Q10", "Q13"]
+SCALE = 60
+BATCH_SIZES = [1, 8, 64]
+ROUNDS = 5
+PARTITIONS = 4
+
+
+def _mutation_chain(rng, db, table, batch, rounds):
+    """*rounds* versions, each deleting and re-inserting *batch* rows of
+    *table* — steady-state churn that never empties the relation."""
+    versions = []
+    version = db
+    for _ in range(rounds):
+        rows = list(version.relation(table).distinct())
+        take = rng.sample(rows, min(batch, len(rows)))
+        version = version.apply_mutations(
+            inserts={table: take}, deletes={table: take}
+        )
+        versions.append(version)
+    return versions
+
+
+def bench_scenario(name, batch_sizes, rounds, check=True):
+    """Measure incremental vs from-scratch update latency for one scenario."""
+    scenario = get_scenario(name)
+    db = scenario.make_db(SCALE)
+    query = scenario.make_query()
+    scratch = Executor(num_partitions=PARTITIONS, optimize=False)
+    rng = random.Random(f"bench-mutations:{name}")
+
+    evaluator = DeltaEvaluator(query, db, num_partitions=PARTITIONS)
+    table = sorted(evaluator.reads)[0]
+    entry = {"scenario": name, "scale": SCALE, "table": table, "batches": []}
+
+    for batch in batch_sizes:
+        versions = _mutation_chain(rng, db, table, batch, rounds)
+        # Re-base the evaluator on the chain root so every batch size starts
+        # from the same state.
+        evaluator.update(db)
+        incremental_s = []
+        scratch_s = []
+        for version in versions:
+            started = time.perf_counter()
+            incremental = evaluator.update(version)
+            incremental_s.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            full = scratch.execute(query, version)
+            scratch_s.append(time.perf_counter() - started)
+            if check and incremental != full:
+                raise AssertionError(
+                    f"{name} batch={batch}: incremental != from-scratch"
+                )
+        inc = sum(incremental_s) / len(incremental_s)
+        scr = sum(scratch_s) / len(scratch_s)
+        entry["batches"].append(
+            {
+                "batch": batch,
+                "incremental_s": inc,
+                "scratch_s": scr,
+                "speedup": scr / inc if inc > 0 else float("inf"),
+                "mode": evaluator.last_stats["mode"],
+                "partitions_recomputed": evaluator.last_stats[
+                    "partitions_recomputed"
+                ],
+            }
+        )
+    return entry
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one scenario, equality gate only (CI)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        entry = bench_scenario("Q1", [1, 8], rounds=2)
+        for row in entry["batches"]:
+            print(f"smoke Q1 batch={row['batch']}: "
+                  f"incremental={row['incremental_s'] * 1000:.2f} ms "
+                  f"scratch={row['scratch_s'] * 1000:.2f} ms "
+                  f"speedup={row['speedup']:.1f}x mode={row['mode']}")
+        print("bench_mutations smoke: OK (incremental ≡ from-scratch)")
+        return 0
+
+    series = []
+    for name in SCENARIOS:
+        entry = bench_scenario(name, BATCH_SIZES, ROUNDS)
+        series.append(entry)
+        single = entry["batches"][0]
+        print(f"{name}: single-row speedup {single['speedup']:.1f}x "
+              f"(incremental {single['incremental_s'] * 1000:.2f} ms, "
+              f"scratch {single['scratch_s'] * 1000:.2f} ms)")
+
+    single_speedups = [e["batches"][0]["speedup"] for e in series]
+    geomean = math.exp(sum(math.log(s) for s in single_speedups)
+                       / len(single_speedups))
+    payload = {
+        "bench": "mutations",
+        "scale": SCALE,
+        "partitions": PARTITIONS,
+        "rounds": ROUNDS,
+        "batch_sizes": BATCH_SIZES,
+        "series": series,
+        "single_row_geomean_speedup": geomean,
+        "target_single_row_speedup": 5.0,
+        "meets_target": geomean >= 5.0,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = RESULTS_DIR / "BENCH_mutations.json"
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"single-row geomean speedup: {geomean:.1f}x "
+          f"(target ≥ 5.0x, met: {payload['meets_target']})")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

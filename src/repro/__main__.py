@@ -223,6 +223,33 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     explain_grid = [
         (b, opt, e) for b in backends for opt in (False, True) for e in engines
     ]
+    if args.mutations:
+        from repro.fuzz.mutations import run_mutation_sweep
+
+        print(
+            f"mutation fuzzing: seed={args.seed} cases={args.cases} "
+            f"steps={args.mutation_steps} depth={args.depth} rows={args.rows} "
+            f"ops={args.ops} partitions={args.partitions[-1]} "
+            f"backends={'+'.join(backends)} engines={'+'.join(engines)}"
+        )
+        result = run_mutation_sweep(
+            args.seed,
+            args.cases,
+            config,
+            steps=args.mutation_steps,
+            questions=not args.no_questions,
+            backends=backends,
+            engines=engines,
+            workers=args.workers,
+            num_partitions=args.partitions[-1],
+        )
+        for case, report in result.failures:
+            print(f"\nDIVERGENT: {case.name}")
+            for divergence in report.divergences:
+                print(f"  {divergence.describe()}")
+        print()
+        print(result.summary())
+        return 0 if result.ok else 1
     oracle_options = dict(
         partitions=args.partitions,
         backends=backends,
@@ -474,6 +501,19 @@ def main(argv=None) -> int:
         action="store_true",
         help="also check the grammar round-trip oracle: pretty-print each "
         "plan+question to .rq text, reparse, require identical evaluation",
+    )
+    fuzz.add_argument(
+        "--mutations",
+        action="store_true",
+        help="fuzz mutation sequences instead: delta-incremental evaluation "
+        "and explanation maintenance must equal from-scratch recomputation "
+        "at every database version (docs/MUTATIONS.md)",
+    )
+    fuzz.add_argument(
+        "--mutation-steps",
+        type=_positive_int,
+        default=3,
+        help="mutations applied per case in --mutations mode (default 3)",
     )
     fuzz.add_argument(
         "--no-shrink",

@@ -31,9 +31,11 @@ from repro.nested.values import Bag
 from repro.whynot.approximate import Explanation
 from repro.wire import (
     check_envelope,
+    database_info_from_json,
     database_to_json,
     explanation_from_json,
     metrics_from_json,
+    mutation_to_json,
     query_to_json,
     relation_from_json,
     text_query_request,
@@ -79,6 +81,19 @@ class RemoteExplainResponse:
     def cached(self) -> bool:
         """True when the server answered from its LRU without re-tracing."""
         return self.raw["cached"]
+
+    @property
+    def satisfied(self) -> bool:
+        """True for a typed "question satisfied" answer: the request opted
+        in via ``satisfied_ok`` and the "missing" tuple is actually present
+        (e.g. after a mutation inserted a row answering the question).  Such
+        responses carry ``witnesses`` instead of ``result``."""
+        return bool(self.raw.get("satisfied", False))
+
+    @property
+    def witnesses(self) -> "list[dict]":
+        """Matching result tuples of a satisfied answer (wire-encoded)."""
+        return self.raw.get("witnesses", [])
 
     @property
     def cache(self) -> dict:
@@ -278,3 +293,57 @@ class Client:
             relation_from_json(document["result"]),
             metrics_from_json(document["metrics"]),
         )
+
+    # -- database registry -----------------------------------------------------
+
+    def databases(self) -> "list[dict]":
+        """``GET /v1/databases`` — every registered database's info doc.
+
+        Each entry carries ``name``, ``version_id`` and per-table row counts
+        plus relation version stamps (see :func:`database_info_to_json`).
+        """
+        document = self._request("GET", "/databases")
+        check_envelope(document, "database-listing")
+        return document["databases"]
+
+    def database(self, name: str) -> dict:
+        """``GET /v1/databases/{name}`` — one database's info document."""
+        document = self._request("GET", f"/databases/{name}")
+        check_envelope(document, "database-info")
+        return database_info_from_json(document)
+
+    def register_database(self, name: str, db: Any) -> dict:
+        """``PUT /v1/databases/{name}`` — register *db* under *name*.
+
+        Re-registering an existing name replaces its snapshot.  Returns the
+        resulting info document.
+        """
+        document = self._request("PUT", f"/databases/{name}", database_to_json(db))
+        check_envelope(document, "database-info")
+        return database_info_from_json(document)
+
+    def mutate(
+        self,
+        name: str,
+        inserts: "Optional[dict]" = None,
+        deletes: "Optional[dict]" = None,
+        mutation: Optional[Any] = None,
+    ) -> dict:
+        """``POST /v1/databases/{name}/mutate`` — advance *name* one version.
+
+        Pass per-relation row mappings (``inserts``/``deletes`` of plain
+        dict rows, exactly like :meth:`Database.apply_mutations`) or a
+        prebuilt :class:`~repro.engine.database.Mutation` via ``mutation=``.
+        Returns the new version's info document; cached results for queries
+        that read an untouched relation of *name* — and for every other
+        database — stay warm on the server.
+        """
+        from repro.engine.database import Mutation
+
+        if mutation is None:
+            mutation = Mutation(inserts, deletes)
+        document = self._request(
+            "POST", f"/databases/{name}/mutate", mutation_to_json(mutation)
+        )
+        check_envelope(document, "database-info")
+        return database_info_from_json(document)

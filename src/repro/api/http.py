@@ -10,6 +10,14 @@ just Python — can submit why-not questions end-to-end:
   ``explain-response`` with the ranked explanations and cache counters;
 * ``POST /v1/query`` — a ``query-request`` document → the result relation
   plus execution metrics;
+* ``GET /v1/databases`` — every registered database's name, version id and
+  per-table row counts; ``GET /v1/databases/{name}`` — one database's info;
+* ``PUT /v1/databases/{name}`` — register (or replace) a named database
+  from a ``database`` document;
+* ``POST /v1/databases/{name}/mutate`` — a ``mutation`` document of
+  per-relation inserts/deletes: advances the named database to the next
+  version of its chain (``docs/MUTATIONS.md``) and returns the new
+  ``database-info``;
 * ``GET /v1/scenarios`` — the registered paper scenarios;
 * ``GET /v1/health`` — liveness, versions, cache counters;
 * ``GET /v1/stats`` — serving metrics (request counters, QPS, latency
@@ -46,6 +54,7 @@ from repro.api.service import (
     ExplainOptions,
     ExplainRequest,
     ExplanationService,
+    UnknownDatabase,
     scenarios_listing,
 )
 from repro.api.stats import ServingCounters
@@ -54,6 +63,7 @@ from repro.wire import (
     check_envelope,
     database_from_json,
     metrics_to_json,
+    mutation_from_json,
     query_from_json,
     relation_to_json,
     serving_stats_to_json,
@@ -62,6 +72,28 @@ from repro.wire import (
 #: Default cap on request bodies (64 MiB); servers take it as a knob so the
 #: oversized-body 400 path is testable without building a 64 MiB payload.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def databases_route(path: str) -> "Optional[tuple[str, Optional[str]]]":
+    """Parse a ``/v1/databases...`` path into ``(action, name)``.
+
+    Returns ``("list", None)``, ``("info", name)`` or ``("mutate", name)``
+    — or ``None`` when the path is not a databases route.  Shared by both
+    front ends so the single-process and sharded servers expose identical
+    URLs.
+    """
+    prefix = f"/{API_VERSION}/databases"
+    if path == prefix:
+        return ("list", None)
+    if path.startswith(prefix + "/"):
+        rest = path[len(prefix) + 1 :]
+        if rest.endswith("/mutate"):
+            name = rest[: -len("/mutate")]
+            if name and "/" not in name:
+                return ("mutate", name)
+        elif rest and "/" not in rest:
+            return ("info", rest)
+    return None
 
 
 def error_document(exc: BaseException) -> dict:
@@ -152,7 +184,9 @@ class _Handler(JsonHandler):
     # -- routes ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """Dispatch ``GET /v1/health``, ``/v1/scenarios`` and ``/v1/stats``."""
+        """Dispatch ``GET /v1/health``, ``/v1/scenarios``, ``/v1/stats`` and
+        the ``/v1/databases`` listing/info routes."""
+        route = databases_route(self.path)
         try:
             if self.path == f"/{API_VERSION}/health":
                 self._send_json(200, self._health())
@@ -167,6 +201,16 @@ class _Handler(JsonHandler):
                         "scenarios": scenarios_listing(),
                     },
                 )
+            elif route is not None and route[0] == "list":
+                self._send_json(200, self.server.service.database_listing())
+            elif route is not None and route[0] == "info":
+                try:
+                    self._send_json(200, self.server.service.database_info(route[1]))
+                except UnknownDatabase as exc:
+                    self._send_error_json(404, exc)
+            elif route is not None:  # GET on .../mutate
+                self._send_json(405, {"error": {"type": "MethodNotAllowed",
+                                                "message": "use POST"}})
             elif self.path in (f"/{API_VERSION}/explain", f"/{API_VERSION}/query"):
                 self._send_json(405, {"error": {"type": "MethodNotAllowed",
                                                 "message": "use POST"}})
@@ -176,10 +220,28 @@ class _Handler(JsonHandler):
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_error_json(500, exc)
 
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        """Dispatch ``PUT /v1/databases/{name}`` (register a database)."""
+        route = databases_route(self.path)
+        try:
+            if route is not None and route[0] == "info":
+                db = database_from_json(self._read_body())
+                self.server.service.register_database(route[1], db)
+                self._send_json(200, self.server.service.database_info(route[1]))
+            else:
+                self._send_json(404, {"error": {"type": "NotFound",
+                                                "message": f"no route {self.path}"}})
+        except CLIENT_ERRORS as exc:
+            self._send_error_json(400, exc)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_error_json(500, exc)
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        """Dispatch ``POST /v1/explain`` and ``POST /v1/query``."""
+        """Dispatch ``POST /v1/explain``, ``/v1/query`` and
+        ``/v1/databases/{name}/mutate``."""
         started = perf_counter()
         status = 500
+        route = databases_route(self.path)
         try:
             if self.path == f"/{API_VERSION}/explain":
                 document = self._read_body()
@@ -191,6 +253,20 @@ class _Handler(JsonHandler):
                 body = self._run_query(self._read_body())
                 status = 200
                 self._send_json(200, body)
+            elif route is not None and route[0] == "mutate":
+                mutation = mutation_from_json(self._read_body())
+                try:
+                    self.server.service.mutate_database(route[1], mutation)
+                except UnknownDatabase as exc:
+                    status = 404
+                    self._send_error_json(404, exc)
+                    return
+                status = 200
+                self._send_json(200, self.server.service.database_info(route[1]))
+            elif route is not None:  # POST on /v1/databases[/{name}]
+                self._send_json(405, {"error": {"type": "MethodNotAllowed",
+                                                "message": "use GET or PUT"}})
+                return
             elif self.path in (f"/{API_VERSION}/health", f"/{API_VERSION}/scenarios",
                                f"/{API_VERSION}/stats"):
                 self._send_json(405, {"error": {"type": "MethodNotAllowed",
@@ -206,7 +282,9 @@ class _Handler(JsonHandler):
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_error_json(500, exc)
         finally:
-            if self.path in (f"/{API_VERSION}/explain", f"/{API_VERSION}/query"):
+            if self.path in (f"/{API_VERSION}/explain", f"/{API_VERSION}/query") or (
+                route is not None and route[0] == "mutate"
+            ):
                 self.server.counters.record_outcome(status, perf_counter() - started)
 
     def _health(self) -> dict:
@@ -310,6 +388,8 @@ def serve(
     print(f"  POST /{API_VERSION}/explain   POST /{API_VERSION}/query   "
           f"GET /{API_VERSION}/scenarios   GET /{API_VERSION}/health   "
           f"GET /{API_VERSION}/stats")
+    print(f"  GET/PUT /{API_VERSION}/databases[/{{name}}]   "
+          f"POST /{API_VERSION}/databases/{{name}}/mutate")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

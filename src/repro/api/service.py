@@ -4,7 +4,13 @@ The service is the stateful, production-facing entry point the ROADMAP's
 north star asks for.  It owns
 
 * a **database registry** — named :class:`~repro.engine.database.Database`
-  objects requests can reference instead of shipping data inline;
+  objects requests can reference instead of shipping data inline.  The
+  registry is *versioned*: :meth:`ExplanationService.mutate_database`
+  advances a name to the next version of its chain
+  (``Database.apply_mutations``), and cache keys for named databases fold
+  in the version stamps of exactly the relations a query reads, so a
+  mutation leaves every entry that does not read a mutated relation warm
+  (a dependency map actively purges the entries that do);
 * **prepared questions** — every request is resolved and validated
   (Definition 5) before work is dispatched, so malformed or ill-posed
   questions fail fast with a typed error;
@@ -36,17 +42,20 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Sequence
 
-from repro.engine.database import Database
+from repro.engine.database import Database, Mutation
+from repro.engine.deltas import read_tables
 from repro.engine.executor import Executor
 from repro.engine.hashing import stable_hash
 from repro.engine.metrics import ExecutionMetrics
 from repro.nested.values import Bag
 from repro.whynot.explain import WhyNotResult, explain
+from repro.whynot.matching import matching_tuples
 from repro.whynot.question import IllPosedQuestion, WhyNotQuestion
 from repro.wire import (
     WIRE_VERSION,
     check_envelope,
     database_from_json,
+    database_info_to_json,
     database_to_json,
     envelope,
     query_from_json,
@@ -180,10 +189,16 @@ class ExplainRequest:
     scenario: Optional[str] = None
     scale: Optional[int] = None
     text: Optional[str] = None
+    #: Opt-in: when the "missing" answer is actually present (the question is
+    #: ill-posed, e.g. after an insert satisfied it), return a typed
+    #: :class:`SatisfiedResponse` instead of raising ``IllPosedQuestion``.
+    satisfied_ok: bool = False
 
     def to_json(self) -> dict:
         """Encode as an ``explain-request`` wire document."""
         body: dict = {"options": self.options.to_json(), "name": self.name}
+        if self.satisfied_ok:
+            body["satisfied_ok"] = True
         if self.text is not None:
             if self.database is None:
                 raise BadRequest("text request needs a database (name or inline)")
@@ -217,6 +232,7 @@ class ExplainRequest:
         """Decode :meth:`to_json` output (databases stay name refs/inline)."""
         check_envelope(data, "explain-request")
         options = ExplainOptions.from_json(data.get("options"))
+        satisfied_ok = bool(data.get("satisfied_ok", False))
         if "text" in data:
             if not isinstance(data["text"], str):
                 raise BadRequest("the 'text' field must be an .rq program string")
@@ -232,6 +248,7 @@ class ExplainRequest:
                 ),
                 options=options,
                 name=data.get("name", ""),
+                satisfied_ok=satisfied_ok,
             )
         if "scenario" in data:
             return cls(
@@ -239,6 +256,7 @@ class ExplainRequest:
                 scale=data.get("scale"),
                 options=options,
                 name=data.get("name", ""),
+                satisfied_ok=satisfied_ok,
             )
         try:
             query = query_from_json(data["query"])
@@ -254,6 +272,7 @@ class ExplainRequest:
             alternatives=alternatives_from_json(data.get("alternatives")),
             options=options,
             name=data.get("name", ""),
+            satisfied_ok=satisfied_ok,
         )
 
 
@@ -293,6 +312,37 @@ class ExplainResponse:
         )
 
 
+@dataclass
+class SatisfiedResponse:
+    """Typed "question satisfied" answer (opt-in via ``satisfied_ok``).
+
+    Returned instead of a 4xx ``IllPosedQuestion`` error when the request
+    sets ``satisfied_ok`` and the "missing" answer is actually present —
+    the normal outcome after a mutation inserts a row that answers the
+    question.  ``witnesses`` lists result tuples matching the NIP (at most
+    three, like the error message).
+    """
+
+    witnesses: "list[Any]"
+    cache: dict
+    cached: bool = False
+    satisfied: bool = True
+    api_version: str = API_VERSION
+
+    def to_json(self) -> dict:
+        """Encode as an ``explain-response`` document with ``satisfied: true``."""
+        return envelope(
+            "explain-response",
+            {
+                "api_version": self.api_version,
+                "cached": self.cached,
+                "cache": dict(self.cache),
+                "satisfied": True,
+                "witnesses": [value_to_json(w) for w in self.witnesses],
+            },
+        )
+
+
 class ExplanationService:
     """Stateful explanation server core (registry + cache + dispatch).
 
@@ -313,6 +363,10 @@ class ExplanationService:
         self._databases: "OrderedDict[str, tuple[Database, int]]" = OrderedDict()
         self._registrations = 0
         self._cache: "OrderedDict[int, WhyNotResult]" = OrderedDict()
+        #: Dependency map: cache key -> (database name, relations the cached
+        #: query reads).  Lets :meth:`mutate_database` purge exactly the
+        #: entries whose read set intersects the mutated relations.
+        self._cache_deps: "dict[int, tuple[str, frozenset[str]]]" = {}
         self.cache_size = cache_size
         self.hits = 0
         self.misses = 0
@@ -351,6 +405,58 @@ class ExplanationService:
         with self._lock:
             return list(self._databases)
 
+    def mutate_database(
+        self,
+        name: str,
+        inserts: "Any | Mutation | None" = None,
+        deletes: Optional[Any] = None,
+    ) -> Database:
+        """Advance the named database to its next version and return it.
+
+        *inserts*/*deletes* are per-relation row mappings (or *inserts* a
+        prebuilt :class:`~repro.engine.database.Mutation`); the new version
+        is produced by ``Database.apply_mutations`` and replaces the name's
+        registry entry **without** bumping the registration token, so cache
+        keys stay comparable across versions.  Cached entries whose read set
+        intersects the mutated relations are purged via the dependency map;
+        every other entry (same or other databases) stays warm.
+
+        Raises :class:`UnknownDatabase` for an unknown name and the
+        underlying ``KeyError``/``ValueError`` for invalid mutations.
+        """
+        with self._lock:
+            entry = self._databases.get(name)
+            if entry is None:
+                raise UnknownDatabase(
+                    f"no database registered as {name!r}; "
+                    f"have {sorted(self._databases)}"
+                )
+            db, token = entry
+            new_db = db.apply_mutations(inserts, deletes)
+            self._databases[name] = (new_db, token)
+            mutated = set(new_db.last_mutation.tables())
+            stale = [
+                key
+                for key, (dep_name, reads) in self._cache_deps.items()
+                if dep_name == name and reads & mutated
+            ]
+            for key in stale:
+                self._cache.pop(key, None)
+                self._cache_deps.pop(key, None)
+        return new_db
+
+    def database_info(self, name: str) -> dict:
+        """One registered database's ``database-info`` document
+        (name, chain version id, per-table row counts and version stamps)."""
+        return database_info_to_json(name, self.database(name))
+
+    def database_listing(self) -> dict:
+        """The ``GET /v1/databases`` body: every registered database's info."""
+        return envelope(
+            "database-listing",
+            {"databases": [self.database_info(name) for name in self.databases()]},
+        )
+
     def scenarios(self) -> "list[dict]":
         """Metadata of every registered paper scenario (for ``/v1/scenarios``)."""
         return scenarios_listing()
@@ -375,7 +481,10 @@ class ExplanationService:
             db = self.database(request.database)
             with self._lock:
                 token = self._databases[request.database][1]
-            return db, ("named", request.database, token, db.version)
+            # The version-aware part of the key — the stamps of the relations
+            # the query actually reads — is appended in ``_resolve`` once the
+            # query is known.
+            return db, ("named", request.database, token)
         db = request.database
         return db, ("inline", database_to_json(db))
 
@@ -439,6 +548,20 @@ class ExplanationService:
                 request.query, db, request.nip, name=request.name
             )
             alternatives = list(request.alternatives)
+        if cache_token[0] == "named":
+            # Version-aware keys: fold in the stamps of exactly the relations
+            # the query reads.  Mutating any *other* relation of the same
+            # database (or any other database) leaves this key — and hence
+            # the cached entry — valid and warm.
+            db = question.db
+            stamps = tuple(
+                (t, db.relation_stamp(t))
+                for t in sorted(read_tables(question.query))
+                if t in db
+            )
+            if not stamps:  # no reads resolved: be conservative, pin the version
+                stamps = (("*", (db.version_id, db.version)),)
+            cache_token = cache_token + (stamps,)
         key_doc = {
             "db": cache_token,
             "query": query_to_json(question.query),
@@ -449,8 +572,15 @@ class ExplanationService:
         key = stable_hash(json.dumps(key_doc, sort_keys=True, ensure_ascii=True))
         return question, alternatives, key
 
-    def explain(self, request: ExplainRequest, use_cache: bool = True) -> ExplainResponse:
-        """Answer one request (through the cache unless ``use_cache=False``)."""
+    def explain(
+        self, request: ExplainRequest, use_cache: bool = True
+    ) -> "ExplainResponse | SatisfiedResponse":
+        """Answer one request (through the cache unless ``use_cache=False``).
+
+        With ``request.satisfied_ok`` set, a question whose "missing" answer
+        is already present returns a :class:`SatisfiedResponse` instead of
+        raising ``IllPosedQuestion`` (satisfied answers are never cached).
+        """
         question, alternatives, key = self._resolve(request)
         if use_cache and self.cache_size > 0:
             with self._lock:
@@ -460,7 +590,14 @@ class ExplanationService:
                     self.hits += 1
                     return ExplainResponse(cached, True, self._stats_locked())
                 self.misses += 1
-        question.validate()
+        try:
+            question.validate()
+        except IllPosedQuestion:
+            if not request.satisfied_ok:
+                raise
+            witnesses = matching_tuples(question.result(), question.nip)[:3]
+            with self._lock:
+                return SatisfiedResponse(witnesses, self._stats_locked())
         options = request.options
         result = explain(
             question,
@@ -482,8 +619,14 @@ class ExplanationService:
             with self._lock:
                 self._cache[key] = result
                 self._cache.move_to_end(key)
+                if isinstance(request.database, str):
+                    self._cache_deps[key] = (
+                        request.database,
+                        read_tables(question.query),
+                    )
                 while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+                    evicted, _ = self._cache.popitem(last=False)
+                    self._cache_deps.pop(evicted, None)
         with self._lock:
             return ExplainResponse(result, False, self._stats_locked())
 
@@ -539,6 +682,7 @@ class ExplanationService:
         """Drop every cached result (counters keep accumulating)."""
         with self._lock:
             self._cache.clear()
+            self._cache_deps.clear()
 
     def close(self) -> None:
         """Shut the dispatch pool down (idempotent)."""

@@ -26,6 +26,13 @@ the stdlib-only contract:
 * **Fault tolerance** — a crashed worker is respawned automatically; its
   in-flight requests fail with a clean ``503`` (never a hang, never
   partial JSON) and subsequent requests hit the fresh worker.
+* **Replicated database registry** — ``PUT /v1/databases/{name}`` and
+  ``POST /v1/databases/{name}/mutate`` broadcast to **every** worker under
+  the dispatch lock and are recorded in an ordered replay log; a respawned
+  worker starts empty and replays the log, so per-worker registries stay
+  convergent across crashes (mutate through any worker, read the new
+  version through any other).  ``GET /v1/databases[/{name}]`` asks all
+  workers and reports per-shard version ids plus a ``converged`` flag.
 
 ``GET /v1/health`` reports per-worker liveness and ``GET /v1/stats`` the
 full serving metrics (QPS, queue depths, cache hit-rate, coalesce count,
@@ -54,6 +61,7 @@ from repro import __version__
 from repro.api.http import (
     MAX_BODY_BYTES,
     JsonHandler,
+    databases_route,
     error_document,
     run_query_document,
 )
@@ -63,11 +71,17 @@ from repro.api.service import (
     ExplainOptions,
     ExplainRequest,
     ExplanationService,
+    UnknownDatabase,
     scenarios_listing,
 )
 from repro.api.stats import LatencyWindow, ServingCounters
 from repro.engine.hashing import stable_hash
-from repro.wire import WIRE_VERSION, serving_stats_to_json
+from repro.wire import (
+    WIRE_VERSION,
+    database_from_json,
+    mutation_from_json,
+    serving_stats_to_json,
+)
 
 #: Option fields that change explanation *content*; everything else
 #: (backend/workers/partitions/optimize/engine) is execution-only and is
@@ -158,6 +172,20 @@ def _handle_job(service: ExplanationService, kind: str, document: dict) -> "tupl
             return 200, service.explain(request).to_json()
         if kind == "query":
             return 200, run_query_document(service, document)
+        if kind == "register":
+            db = database_from_json(document["database"])
+            service.register_database(document["name"], db)
+            return 200, service.database_info(document["name"])
+        if kind in ("mutate", "database-info"):
+            try:
+                if kind == "mutate":
+                    mutation = mutation_from_json(document["mutation"])
+                    service.mutate_database(document["name"], mutation)
+                return 200, service.database_info(document["name"])
+            except UnknownDatabase as exc:
+                return 404, error_document(exc)
+        if kind == "databases":
+            return 200, service.database_listing()
         raise ValueError(f"unknown job kind {kind!r}")
     except CLIENT_ERRORS as exc:
         return 400, error_document(exc)
@@ -201,7 +229,7 @@ def _worker_main(
     )
     send_lock = threading.Lock()
     jobs: "queue.SimpleQueue" = queue.SimpleQueue()
-    served = {"explain": 0, "query": 0, "errors": 0}
+    served = {"explain": 0, "query": 0, "errors": 0}  # registry kinds added lazily
 
     def send(message) -> None:
         with send_lock:
@@ -215,7 +243,7 @@ def _worker_main(
             request_id, kind, document = item
             status, payload = _handle_job(service, kind, document)
             if status == 200:
-                served[kind] += 1
+                served[kind] = served.get(kind, 0) + 1
             else:
                 served["errors"] += 1
             try:
@@ -242,6 +270,7 @@ def _worker_main(
                             "pid": os.getpid(),
                             "cache": service.cache_stats(),
                             "served": dict(served),
+                            "databases": service.databases(),
                         },
                     )
                 )
@@ -353,6 +382,9 @@ class ShardDispatcher:
         self.counters = ServingCounters()
         self._lock = threading.Lock()
         self._inflight: "dict[int, _Pending]" = {}
+        #: Ordered register/mutate history; replayed into respawned workers
+        #: so every worker's registry converges to the same version chain.
+        self._replay: "list[tuple[str, dict]]" = []
         self._closed = False
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
@@ -436,6 +468,7 @@ class ShardDispatcher:
             worker.alive = False
             worker.restarts += 1
             worker.spawn()
+            self._replay_registry(worker)
             self._start_reader(worker)
         error = {
             "error": {
@@ -509,6 +542,140 @@ class ShardDispatcher:
             )
         return pending.status, pending.document, pending.headers
 
+    # -- database registry -----------------------------------------------------
+
+    def _replay_registry(self, worker: _WorkerHandle) -> None:
+        """Rebuild a fresh worker's registry (caller holds the lock).
+
+        A respawned worker starts with an empty service; replaying the
+        recorded register/mutate history in order rebuilds exactly the state
+        the surviving workers hold.  Entries that failed when first applied
+        fail identically on replay (the documents are deterministic), so
+        they cannot fork shard state.  Replay answers are discarded.
+        """
+        for kind, document in self._replay:
+            pending = _Pending()
+            request_id = worker.next_id
+            worker.next_id += 1
+            worker.pending[request_id] = (pending, None, time.perf_counter(), True)
+            try:
+                worker.send(("job", request_id, kind, document))
+            except (BrokenPipeError, OSError):
+                break  # died again already; the next exit replays afresh
+
+    def _broadcast_registry(
+        self, kind: str, document: dict, record: bool = False
+    ) -> "list[Optional[tuple[int, dict]]]":
+        """Send one registry job to EVERY worker; per-worker ``(status, body)``.
+
+        Holds the dispatcher lock across recording the document in the
+        replay log (for ``record=True``, i.e. register/mutate) and writing
+        it to every worker pipe.  Log order and pipe order therefore agree:
+        a worker that crashes either never saw the job (its respawn replays
+        the recorded document) or saw it before dying (its respawn rebuilds
+        from the full history) — either way each worker applies the
+        operation exactly once and shards converge even across crashes.
+        ``None`` entries mark workers that did not answer in time.
+        """
+        probes: "list[Optional[_Pending]]" = []
+        with self._lock:
+            if self._closed:
+                raise Overloaded("server is shutting down", self.config.retry_after)
+            if record:
+                self._replay.append((kind, document))
+            for worker in self.workers:
+                pending = _Pending()
+                request_id = worker.next_id
+                worker.next_id += 1
+                worker.pending[request_id] = (pending, None, time.perf_counter(), True)
+                try:
+                    worker.send(("job", request_id, kind, document))
+                    probes.append(pending)
+                except (BrokenPipeError, OSError):
+                    worker.pending.pop(request_id, None)
+                    probes.append(None)
+        deadline = time.monotonic() + self.config.request_timeout
+        replies: "list[Optional[tuple[int, dict]]]" = []
+        for pending in probes:
+            if pending is None:
+                replies.append(None)
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            if pending.event.wait(remaining):
+                replies.append((pending.status, pending.document))
+            else:
+                replies.append(None)
+        return replies
+
+    def _registry_response(
+        self, replies: "list[Optional[tuple[int, dict]]]"
+    ) -> "tuple[int, dict, Optional[dict]]":
+        """Fold per-worker replies into one HTTP answer ``(status, body, headers)``.
+
+        Deterministic worker errors win (404 unknown name, 400 bad
+        document — every worker answers them identically); a missing reply
+        is a 503 with ``Retry-After``.  On success the body is worker 0's
+        document plus per-shard version ids and a ``converged`` flag — the
+        cross-worker proof the sharded serving tests assert on.
+        """
+        for reply in replies:
+            if reply is not None and reply[0] != 200:
+                status, payload = reply
+                headers = (
+                    {"Retry-After": self.config.retry_after} if status == 503 else None
+                )
+                return status, payload, headers
+        if any(reply is None for reply in replies):
+            return (
+                503,
+                {"error": {"type": "WorkerCrashed",
+                           "message": "a worker did not answer; retry shortly"}},
+                {"Retry-After": self.config.retry_after},
+            )
+        body = dict(replies[0][1])
+        if "version_id" in body:
+            shards = [
+                {"index": worker.index, "version_id": reply[1]["version_id"]}
+                for worker, reply in zip(self.workers, replies)
+            ]
+            body["shards"] = shards
+            body["converged"] = len({s["version_id"] for s in shards}) == 1
+        elif body.get("kind") == "database-listing":
+            views = [
+                {d["name"]: d["version_id"] for d in reply[1]["databases"]}
+                for reply in replies
+            ]
+            body["converged"] = all(view == views[0] for view in views[1:])
+        return 200, body, None
+
+    def register_database_doc(
+        self, name: str, database_doc: dict
+    ) -> "tuple[int, dict, Optional[dict]]":
+        """``PUT /v1/databases/{name}``: register *database_doc* on every worker."""
+        replies = self._broadcast_registry(
+            "register", {"name": name, "database": database_doc}, record=True
+        )
+        return self._registry_response(replies)
+
+    def mutate_database_doc(
+        self, name: str, mutation_doc: dict
+    ) -> "tuple[int, dict, Optional[dict]]":
+        """``POST .../mutate``: apply one mutation document on every worker."""
+        replies = self._broadcast_registry(
+            "mutate", {"name": name, "mutation": mutation_doc}, record=True
+        )
+        return self._registry_response(replies)
+
+    def database_info(self, name: str) -> "tuple[int, dict, Optional[dict]]":
+        """Convergence-checked ``database-info`` for *name* (asks every worker)."""
+        replies = self._broadcast_registry("database-info", {"name": name})
+        return self._registry_response(replies)
+
+    def database_listing(self) -> "tuple[int, dict, Optional[dict]]":
+        """The ``/v1/databases`` body with a cross-shard ``converged`` flag."""
+        replies = self._broadcast_registry("databases", {})
+        return self._registry_response(replies)
+
     # -- observability --------------------------------------------------------
 
     def _probe_workers(self, timeout: float) -> "list[Optional[dict]]":
@@ -545,6 +712,7 @@ class ShardDispatcher:
         replies = self._probe_workers(timeout)
         workers = []
         cache = {"hits": 0, "misses": 0, "size": 0}
+        databases: "list[str]" = []
         all_up = True
         for worker, reply in zip(self.workers, replies):
             info = worker.summary()
@@ -554,6 +722,9 @@ class ShardDispatcher:
                 info["cache"] = reply["cache"]
                 for field_name in cache:
                     cache[field_name] += reply["cache"][field_name]
+                for name in reply.get("databases", []):
+                    if name not in databases:
+                        databases.append(name)
             workers.append(info)
             all_up = all_up and info["alive"]
         return {
@@ -566,7 +737,7 @@ class ShardDispatcher:
             "processes": len(self.workers),
             "cache": cache,
             "workers": workers,
-            "databases": [],
+            "databases": databases,
         }
 
     def stats(self, timeout: float = 2.0) -> dict:
@@ -664,7 +835,9 @@ class _ShardedHandler(JsonHandler):
     server: ShardedApiServer  # narrowed type for the attribute lookups below
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """Dispatch ``GET /v1/health``, ``/v1/scenarios`` and ``/v1/stats``."""
+        """Dispatch ``GET /v1/health``, ``/v1/scenarios``, ``/v1/stats`` and
+        the convergence-checked ``/v1/databases`` listing/info routes."""
+        route = databases_route(self.path)
         try:
             if self.path == f"/{API_VERSION}/health":
                 self._send_json(200, self.server.dispatcher.health())
@@ -679,22 +852,72 @@ class _ShardedHandler(JsonHandler):
                         "scenarios": scenarios_listing(),
                     },
                 )
+            elif route is not None and route[0] == "list":
+                status, body, headers = self.server.dispatcher.database_listing()
+                self._send_json(status, body, headers)
+            elif route is not None and route[0] == "info":
+                status, body, headers = self.server.dispatcher.database_info(route[1])
+                self._send_json(status, body, headers)
+            elif route is not None:  # GET on .../mutate
+                self._send_json(405, {"error": {"type": "MethodNotAllowed",
+                                                "message": "use POST"}})
             elif self.path in (f"/{API_VERSION}/explain", f"/{API_VERSION}/query"):
                 self._send_json(405, {"error": {"type": "MethodNotAllowed",
                                                 "message": "use POST"}})
             else:
                 self._send_json(404, {"error": {"type": "NotFound",
                                                 "message": f"no route {self.path}"}})
+        except Overloaded as exc:
+            self._send_error_json(503, exc, {"Retry-After": exc.retry_after})
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_error_json(500, exc)
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        """Broadcast ``PUT /v1/databases/{name}`` to every worker."""
+        route = databases_route(self.path)
+        try:
+            if route is not None and route[0] == "info":
+                try:
+                    document = self._read_body()
+                except ValueError as exc:
+                    self._send_error_json(400, exc)
+                    return
+                status, body, headers = self.server.dispatcher.register_database_doc(
+                    route[1], document
+                )
+                self._send_json(status, body, headers)
+            else:
+                self._send_json(404, {"error": {"type": "NotFound",
+                                                "message": f"no route {self.path}"}})
+        except Overloaded as exc:
+            self._send_error_json(503, exc, {"Retry-After": exc.retry_after})
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_error_json(500, exc)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        """Relay ``POST /v1/explain`` / ``/v1/query`` to a worker process."""
+        """Relay ``POST /v1/explain`` / ``/v1/query`` to one worker and
+        broadcast ``POST /v1/databases/{name}/mutate`` to all of them."""
+        route = databases_route(self.path)
         try:
             if self.path == f"/{API_VERSION}/explain":
                 kind = "explain"
             elif self.path == f"/{API_VERSION}/query":
                 kind = "query"
+            elif route is not None and route[0] == "mutate":
+                try:
+                    document = self._read_body()
+                except ValueError as exc:
+                    self._send_error_json(400, exc)
+                    return
+                status, body, headers = self.server.dispatcher.mutate_database_doc(
+                    route[1], document
+                )
+                self._send_json(status, body, headers)
+                return
+            elif route is not None:  # POST on /v1/databases[/{name}]
+                self._send_json(405, {"error": {"type": "MethodNotAllowed",
+                                                "message": "use GET or PUT"}})
+                return
             elif self.path in (f"/{API_VERSION}/health", f"/{API_VERSION}/scenarios",
                                f"/{API_VERSION}/stats"):
                 self._send_json(405, {"error": {"type": "MethodNotAllowed",
@@ -709,14 +932,10 @@ class _ShardedHandler(JsonHandler):
             except ValueError as exc:
                 self._send_error_json(400, exc)
                 return
-            try:
-                status, body, headers = self.server.dispatcher.dispatch(kind, document)
-            except Overloaded as exc:
-                self._send_error_json(
-                    503, exc, {"Retry-After": exc.retry_after}
-                )
-                return
+            status, body, headers = self.server.dispatcher.dispatch(kind, document)
             self._send_json(status, body, headers)
+        except Overloaded as exc:
+            self._send_error_json(503, exc, {"Retry-After": exc.retry_after})
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_error_json(500, exc)
 
@@ -757,6 +976,8 @@ def serve_sharded(
     print(f"  POST /{API_VERSION}/explain   POST /{API_VERSION}/query   "
           f"GET /{API_VERSION}/scenarios   GET /{API_VERSION}/health   "
           f"GET /{API_VERSION}/stats")
+    print(f"  GET/PUT /{API_VERSION}/databases[/{{name}}]   "
+          f"POST /{API_VERSION}/databases/{{name}}/mutate")
 
     def _terminate(signum, frame):
         raise KeyboardInterrupt

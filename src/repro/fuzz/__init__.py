@@ -18,16 +18,26 @@ Modules:
 * :mod:`repro.fuzz.oracle` — the differential oracle (results, metrics
   invariants, explanation sets, matcher agreement);
 * :mod:`repro.fuzz.harness` — seeded sweeps and failure shrinking;
+* :mod:`repro.fuzz.mutations` — fuzzed mutation chains: delta-incremental
+  evaluation and explanation maintenance vs from-scratch recomputation;
 * :mod:`repro.fuzz.serialize` — JSON round-tripping of cases for the pinned
   corpus in ``tests/fuzz/corpus/``.
 
-Entry points: ``python -m repro fuzz --seed 4 --cases 200`` (CLI) and
+Entry points: ``python -m repro fuzz --seed 4 --cases 200`` (CLI; add
+``--mutations`` for the incremental-vs-scratch sweep) and
 ``tests/fuzz/test_differential.py`` (pinned corpus + tier-1 mini sweep).
 See ``docs/FUZZING.md`` for the workflow.
 """
 
 from repro.fuzz.data import FuzzConfig, gen_database
 from repro.fuzz.harness import FuzzCase, SweepResult, generate_case, run_sweep, shrink_case
+from repro.fuzz.mutations import (
+    MutationSweepResult,
+    check_mutation_case,
+    gen_mutation,
+    gen_mutation_chain,
+    run_mutation_sweep,
+)
 from repro.fuzz.oracle import Divergence, OracleReport, check_case
 from repro.fuzz.plans import gen_query, gen_question
 
@@ -44,4 +54,9 @@ __all__ = [
     "generate_case",
     "run_sweep",
     "shrink_case",
+    "MutationSweepResult",
+    "check_mutation_case",
+    "gen_mutation",
+    "gen_mutation_chain",
+    "run_mutation_sweep",
 ]

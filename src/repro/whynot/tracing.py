@@ -272,6 +272,8 @@ class Tracer:
         sas: list[SchemaAlternative],
         revalidate: bool = True,
         backend: "str | ExecutionBackend | None" = None,
+        reuse: "Optional[dict[int, OpTrace]]" = None,
+        rid_start: int = 0,
     ):
         self.query = query
         self.db = db
@@ -279,7 +281,8 @@ class Tracer:
         self.revalidate = revalidate
         self.n = len(sas)
         self._full_mask = (1 << self.n) - 1
-        self._rid = itertools.count(1)
+        self.reuse = reuse or {}
+        self._rid = itertools.count(rid_start + 1)
         # Per-SA operator views, schemas and evaluation contexts.
         self._ops = {
             op.op_id: [sa.query.op(op.op_id) for sa in sas] for op in query.ops
@@ -307,12 +310,26 @@ class Tracer:
     # -- public entry --------------------------------------------------------
 
     def run(self) -> TraceResult:
-        """Trace every operator bottom-up and assemble the :class:`TraceResult`."""
+        """Trace every operator bottom-up and assemble the :class:`TraceResult`.
+
+        Operators listed in ``reuse`` (a retained base trace, keyed by op id)
+        are **not** re-evaluated: their annotated rows — including the per-SA
+        validity/consistency bitmasks — are merged into the result as-is, and
+        only operators outside the reuse set are traced afresh.  This is what
+        makes incremental re-tracing after a mutation cheap: the caller passes
+        the base version's :class:`OpTrace` for every operator whose inputs
+        did not change (see :mod:`repro.engine.deltas`), together with a
+        ``rid_start`` above every retained row id so new rows never collide.
+        """
         result = TraceResult({}, self.query.root.op_id, self.n)
         for op in self.query.ops:
-            child_traces = [result.traces[c.op_id] for c in op.children]
-            rows, groups = self._trace_op(op, child_traces)
-            self._annotate_consistency(op, rows, groups, result.rows_by_rid)
+            reused = self.reuse.get(op.op_id)
+            if reused is not None:
+                rows, groups = reused.rows, reused.groups
+            else:
+                child_traces = [result.traces[c.op_id] for c in op.children]
+                rows, groups = self._trace_op(op, child_traces)
+                self._annotate_consistency(op, rows, groups, result.rows_by_rid)
             result.traces[op.op_id] = OpTrace(op.op_id, rows, groups)
             for row in rows:
                 result.rows_by_rid[row.rid] = row
@@ -930,10 +947,18 @@ def trace(
     sas: list[SchemaAlternative],
     revalidate: bool = True,
     backend: "str | ExecutionBackend | None" = None,
+    reuse: "Optional[dict[int, OpTrace]]" = None,
+    rid_start: int = 0,
 ) -> TraceResult:
     """Run the instrumented (relaxed) evaluation for all schema alternatives.
 
     *backend* selects where independent SA groups evaluate (see
-    :mod:`repro.engine.backends`); results are backend-invariant.
+    :mod:`repro.engine.backends`); results are backend-invariant.  *reuse*
+    merges retained per-operator traces from a base version instead of
+    re-evaluating them (incremental re-trace after a mutation); *rid_start*
+    offsets freshly allocated row ids above the retained ones.
     """
-    return Tracer(query, db, sas, revalidate=revalidate, backend=backend).run()
+    return Tracer(
+        query, db, sas, revalidate=revalidate, backend=backend, reuse=reuse,
+        rid_start=rid_start,
+    ).run()

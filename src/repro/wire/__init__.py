@@ -42,8 +42,12 @@ from repro.wire.codec import (
 from repro.wire.payloads import (
     check_envelope,
     database_from_json,
+    database_info_from_json,
+    database_info_to_json,
     database_to_json,
     envelope,
+    mutation_from_json,
+    mutation_to_json,
     explanation_from_json,
     explanation_to_json,
     metrics_from_json,
@@ -75,6 +79,10 @@ __all__ = [
     "check_envelope",
     "database_to_json",
     "database_from_json",
+    "database_info_to_json",
+    "database_info_from_json",
+    "mutation_to_json",
+    "mutation_from_json",
     "question_to_json",
     "text_query_request",
     "question_from_json",

@@ -17,7 +17,11 @@ Payload kinds:
   unbounded and carry no API contract);
 * ``metrics``    — an :class:`~repro.engine.metrics.ExecutionMetrics` dump
   (per-operator counters + backend/engine/optimizer/kernel summaries);
-* ``relation``   — a bag of tuples (query results on the wire).
+* ``relation``   — a bag of tuples (query results on the wire);
+* ``mutation``   — per-relation inserted/deleted rows (``[row, count]``
+  pairs), the body of ``POST /v1/databases/{name}/mutate``;
+* ``database-info`` — one registered database's version summary (name,
+  version id, per-table row counts and version stamps).
 
 The request/response envelopes of the serving layer (``explain-request`` /
 ``explain-response``) are defined next to their dataclasses in
@@ -28,7 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
-from repro.engine.database import Database
+from repro.engine.database import Database, Mutation
 from repro.engine.metrics import ExecutionMetrics, OperatorMetrics
 from repro.nested.values import Bag
 from repro.whynot.approximate import Explanation
@@ -101,6 +105,65 @@ def database_from_json(data: dict) -> Database:
         )
         db.add(name, rows, schema=type_from_json(table["schema"]))
     return db
+
+
+# -- mutations and database info ----------------------------------------------
+
+
+def mutation_to_json(mutation: Mutation) -> dict:
+    """Encode a :class:`~repro.engine.database.Mutation` as a ``mutation``
+    document: per-relation inserted/deleted rows as ``[row, count]`` pairs."""
+
+    def side(bags: "dict[str, Bag]") -> dict:
+        return {
+            name: [[value_to_json(row), count] for row, count in bag.items()]
+            for name, bag in bags.items()
+        }
+
+    return envelope(
+        "mutation", {"inserts": side(mutation.inserts), "deletes": side(mutation.deletes)}
+    )
+
+
+def mutation_from_json(data: dict) -> Mutation:
+    """Decode :func:`mutation_to_json` output (rows re-canonicalize on entry)."""
+    check_envelope(data, "mutation")
+
+    def side(key: str) -> dict:
+        return {
+            name: Bag.from_counts(
+                (value_from_json(row), count) for row, count in rows
+            )
+            for name, rows in (data.get(key) or {}).items()
+        }
+
+    return Mutation(side("inserts"), side("deletes"))
+
+
+def database_info_to_json(name: str, db: Database, extra: Optional[dict] = None) -> dict:
+    """Encode one registered database's version summary as ``database-info``.
+
+    The body carries the database ``name``, its chain ``version_id``, and a
+    per-table map of row counts and relation version stamps; *extra* merges
+    additional serving-layer fields (e.g. per-shard versions).
+    """
+    body: dict = {
+        "name": name,
+        "version_id": db.version_id,
+        "tables": {
+            t: {"rows": db.size(t), "version_id": db.relation_version(t)}
+            for t in db.tables()
+        },
+    }
+    if extra:
+        body.update(extra)
+    return envelope("database-info", body)
+
+
+def database_info_from_json(data: dict) -> dict:
+    """Validate a ``database-info`` document and return its body fields."""
+    check_envelope(data, "database-info")
+    return {k: v for k, v in data.items() if k not in ("format", "kind")}
 
 
 # -- attribute-alternative groups ---------------------------------------------

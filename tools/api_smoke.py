@@ -10,9 +10,14 @@ drives it through :class:`repro.api.Client`:
    ``explain()``;
 4. the repeated request is served from the LRU cache (hit counter + flag);
 5. ``POST /v1/query`` returns the correct result bag;
-6. the same checks against ``serve --processes 2`` (the sharded front end:
-   two real worker processes), plus ``GET /v1/stats`` decoding and the
-   routing-locality cache hit.
+6. the database registry: ``PUT /v1/databases/{name}`` registers, ``GET
+   /v1/databases[/{name}]`` lists, ``POST /v1/databases/{name}/mutate``
+   advances the version — and the version-aware cache proof (a mutation to
+   database A leaves database B's cached entries warm, hit counters show it);
+7. the same checks against ``serve --processes 2`` (the sharded front end:
+   two real worker processes), plus ``GET /v1/stats`` decoding, the
+   routing-locality cache hit, and the replicated registry: a mutation
+   broadcast through the front end converges on every worker.
 
 Exits non-zero on any failure; the surrounding CI step adds the timeout.
 
@@ -33,7 +38,16 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.api import Client, ExplainOptions  # noqa: E402
+from repro.api import Client, ExplainOptions, ExplainRequest  # noqa: E402
+from repro.algebra.expressions import Attr, Cmp, Const  # noqa: E402
+from repro.algebra.operators import (  # noqa: E402
+    Projection,
+    Query,
+    Selection,
+    TableAccess,
+)
+from repro.engine.database import Database  # noqa: E402
+from repro.nested.values import Tup  # noqa: E402
 from repro.scenarios import get_scenario  # noqa: E402
 from repro.whynot.explain import explain  # noqa: E402
 from repro.wire import check_envelope, serving_stats_from_json  # noqa: E402
@@ -93,6 +107,59 @@ def drain(process: subprocess.Popen) -> None:
         print(output.rstrip())
 
 
+def registry_smoke(client: Client) -> None:
+    """Drive the database registry and prove the cache is version-aware."""
+    db_a = Database({"T": [Tup(a=1, b="x"), Tup(a=5, b="y")], "U": [Tup(c=7)]})
+    db_b = Database({"V": [Tup(d=1), Tup(d=2)]})
+    client.register_database("smoke_a", db_a)
+    client.register_database("smoke_b", db_b)
+    names = {d["name"] for d in client.databases()}
+    assert {"smoke_a", "smoke_b"} <= names, names
+    assert client.database("smoke_a")["version_id"] == 0
+    print(f"registry ok: {len(names)} databases listed")
+
+    req_a = ExplainRequest(
+        query=Query(Selection(TableAccess("T"), Cmp(">=", Attr("a"), Const(3)))),
+        nip=Tup(a=1, b="x"),
+        database="smoke_a",
+    )
+    req_b = ExplainRequest(
+        query=Query(Projection(TableAccess("V"), ["d"])),
+        nip=Tup(d=99),
+        database="smoke_b",
+    )
+    client.explain(request=req_a)
+    client.explain(request=req_b)
+    warm_b = client.explain(request=req_b)
+    assert warm_b.cached, "database-B entry should be warm before the mutation"
+    hits_before = warm_b.cache["hits"]
+
+    info = client.mutate("smoke_a", inserts={"T": [{"a": 9, "b": "z"}]})
+    assert info["version_id"] == 1, info
+    after_b = client.explain(request=req_b)
+    assert after_b.cached, "mutating A must leave B's cached entry warm"
+    assert after_b.cache["hits"] == hits_before + 1, after_b.cache
+    after_a = client.explain(request=req_a)
+    assert not after_a.cached, "mutating a read relation must evict A's entry"
+    print("mutation ok: version advanced, cache invalidation is per-database")
+
+
+def sharded_registry_smoke(client: Client) -> None:
+    """Register + mutate through the sharded front end; every worker must
+    hold the same version (the broadcast writes carry a ``converged`` flag
+    computed from per-worker replies)."""
+    db = Database({"T": [Tup(a=1, b="x"), Tup(a=5, b="y")]})
+    info = client.register_database("smoke_shard", db)
+    assert info["converged"] is True and len(info["shards"]) == 2, info
+    info = client.mutate("smoke_shard", deletes={"T": [{"a": 1, "b": "x"}]})
+    assert info["version_id"] == 1 and info["converged"] is True, info
+    # The follow-up read is itself a broadcast: convergence re-checked.
+    read = client.database("smoke_shard")
+    assert read["version_id"] == 1 and read["converged"] is True, read
+    assert read["tables"]["T"]["rows"] == 1, read
+    print("sharded registry ok: mutation converged on both workers")
+
+
 def sharded_smoke(expected: "list[frozenset[str]]") -> None:
     """Boot the sharded front end and re-verify the contract across it."""
     process, client, _ = boot_serve(["--processes", "2"])
@@ -121,6 +188,8 @@ def sharded_smoke(expected: "list[frozenset[str]]") -> None:
         assert len(worker_stats) == 2, worker_stats
         print(f"sharded stats ok: completed={serving['completed']} "
               f"hit_rate={serving['cache']['hit_rate']}")
+
+        sharded_registry_smoke(client)
     finally:
         drain(process)
 
@@ -166,6 +235,8 @@ def main() -> int:
         )
         assert bag == question.query.evaluate(question.db), "/v1/query result differs"
         print(f"query ok: |result|={len(bag)} backend={metrics.backend}")
+
+        registry_smoke(client)
     finally:
         drain(process)
 
