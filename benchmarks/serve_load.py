@@ -58,6 +58,9 @@ MIX = [
     ("Q1", 30, 2),
     ("Q6", 20, 2),
     ("Q4", 40, 1),
+    # Factory-generated corpora (scale = scale factor, see docs/SCENARIOS.md)
+    ("GenTPCH", 2, 2),
+    ("GenSocial", 2, 1),
 ]
 BOOT_TIMEOUT_S = 60.0
 

@@ -13,6 +13,16 @@ Usage::
     python -m repro fuzz --seed 4 --cases 200   # differential fuzz sweep
     python -m repro fuzz --text --cases 200     # + grammar round-trip oracle
     python -m repro serve --port 8080        # HTTP explanation service
+    python -m repro generate tpch --sf 10    # factory database → stdout/file
+    python -m repro run GenSocial --summarize   # + explanation summaries
+
+``generate`` builds one :mod:`repro.factory` family (``tpch`` or ``social``)
+at the given scale factor and seed, verifies its cardinality invariants, and
+writes the database as a wire-format JSON document (``--out FILE`` or
+stdout) — see ``docs/SCENARIOS.md``.  ``run --summarize`` rolls the RP
+explanations up into ontology-aware summary groups
+(:mod:`repro.whynot.summarize`); ``--hierarchy FILE`` supplies a concept
+hierarchy document and ``--max-summaries N`` bounds the group count.
 
 ``--backend serial`` (default) evaluates in-process; ``--backend process``
 fans the partitioned execution and SA-group tracing out across worker
@@ -188,13 +198,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if scenario.gold is not None:
         status = f"rank {gold}" if gold else "NOT FOUND"
         print(f"  gold {{{', '.join(sorted(scenario.gold))}}}: {status}")
+    if args.summarize:
+        return _print_summaries(run.rp_result, args)
+    return 0
+
+
+def _print_summaries(result, args: argparse.Namespace) -> int:
+    """Summarize an RP result per the ``--summarize`` flags and print it."""
+    import json
+
+    from repro.whynot.summarize import ConceptHierarchy, attach_summaries
+
+    hierarchy = None
+    if args.hierarchy is not None:
+        try:
+            with open(args.hierarchy, encoding="utf-8") as fh:
+                hierarchy = ConceptHierarchy.from_json(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load hierarchy {args.hierarchy}: {exc}", file=sys.stderr)
+            return 2
+    summaries = attach_summaries(result, hierarchy, max_summaries=args.max_summaries)
+    total = sum(s.count for s in summaries)
+    print(f"  summaries ({len(summaries)} group(s), {total} explanation(s)):")
+    for s in summaries:
+        print(f"    {s.describe()}")
+    if not summaries:
+        print("    (none)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: build one factory family, check it, write wire JSON."""
+    import json
+
+    from repro.factory import make_bundle
+    from repro.wire import database_to_json
+
+    try:
+        bundle = make_bundle(args.family, args.sf, seed=args.seed)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    observed = bundle.check()
+    document = database_to_json(bundle.database)
+    header = (
+        f"{bundle.name}: family={bundle.family} sf={bundle.sf} seed={bundle.seed}"
+    )
+    counts = ", ".join(f"{k}={v}" for k, v in observed.items())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, ensure_ascii=True, sort_keys=True)
+            fh.write("\n")
+        print(header, file=sys.stderr)
+        print(f"  invariants ok: {counts}", file=sys.stderr)
+        print(f"  written: {args.out}", file=sys.stderr)
+    else:
+        print(header, file=sys.stderr)
+        print(f"  invariants ok: {counts}", file=sys.stderr)
+        json.dump(document, sys.stdout, ensure_ascii=True, sort_keys=True)
+        sys.stdout.write("\n")
     return 0
 
 
 def _cmd_table7(args: argparse.Namespace) -> int:
     from repro.scenarios import SCENARIOS, run_scenario
 
-    names = [n for n in SCENARIOS if not n.startswith("C")]
+    # The Table-7 reproduction covers the paper's hand-built corpus: crime
+    # scenarios (no Table-7 row) and factory-generated families stay out.
+    names = [
+        n for n, s in SCENARIOS.items() if not n.startswith("C") and not s.generated
+    ]
     print(f"{'scen.':>6} {'WN++':>6} {'RPnoSA':>7} {'RP':>6}  gold-rank")
     for name in names:
         run = run_scenario(
@@ -432,7 +505,43 @@ def main(argv=None) -> int:
         help="scenario whose database the .rq program runs against "
         "(default: the scenario matching the program's name)",
     )
+    run_parser.add_argument(
+        "--summarize",
+        action="store_true",
+        help="roll the RP explanations up into ontology-aware summary groups "
+        "(repro.whynot.summarize)",
+    )
+    run_parser.add_argument(
+        "--hierarchy",
+        default=None,
+        help="concept-hierarchy wire document (JSON file) for --summarize",
+    )
+    run_parser.add_argument(
+        "--max-summaries",
+        type=_positive_int,
+        default=8,
+        help="summary group budget for --summarize (default 8)",
+    )
     add_backend_flags(run_parser)
+
+    gen_parser = sub.add_parser(
+        "generate",
+        help="generate a scale-factor factory database (docs/SCENARIOS.md)",
+    )
+    gen_parser.add_argument(
+        "family",
+        choices=("tpch", "social"),
+        help="generator family: nested TPC-H shapes or the twitter shape",
+    )
+    gen_parser.add_argument(
+        "--sf", type=_positive_int, default=1, help="scale factor (default 1)"
+    )
+    gen_parser.add_argument(
+        "--seed", type=int, default=None, help="generator seed (default: per-family)"
+    )
+    gen_parser.add_argument(
+        "--out", default=None, help="output file (default: stdout)"
+    )
 
     repl_parser = sub.add_parser(
         "repl", help="interactive .rq query REPL (docs/LANGUAGE.md)"
@@ -570,6 +679,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "repl":
         return _cmd_repl(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
     if args.command == "table7":
         return _cmd_table7(args)
     if args.command == "fuzz":

@@ -22,7 +22,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Optional, Sequence
 
 from repro.api.service import API_VERSION, ExplainOptions, ExplainRequest
@@ -123,6 +123,20 @@ class RemoteExplainResponse:
         """Ranked explanations as label sets (byte-comparable to in-process)."""
         return [frozenset(e["labels"]) for e in self.raw["result"]["explanations"]]
 
+    def summaries(self) -> "Optional[list]":
+        """Decoded summary groups (``options.summarize`` requests them).
+
+        Returns ``None`` when the response carries no ``summaries`` section
+        (summarization was not requested), else the decoded
+        :class:`~repro.whynot.summarize.ExplanationSummary` list.
+        """
+        from repro.wire import summary_from_json
+
+        raw = self.raw["result"].get("summaries")
+        if raw is None:
+            return None
+        return [summary_from_json(s) for s in raw]
+
 
 class Client:
     """Synchronous wire-format client for one serving endpoint.
@@ -215,14 +229,25 @@ class Client:
         options: Optional[ExplainOptions] = None,
         text: Optional[str] = None,
         database: "str | Any | None" = None,
+        summarize: Any = None,
     ) -> RemoteExplainResponse:
         """``POST /v1/explain`` — answer a why-not question remotely.
 
         Pass a full :class:`ExplainRequest`, the scenario shorthand
         (``scenario=`` + optional ``scale=``/``options=``), or the textual
         form (``text=`` an ``.rq`` program with a ``whynot`` block,
-        ``database=`` a registered name or inline database).
+        ``database=`` a registered name or inline database).  ``summarize``
+        is a shorthand for ``ExplainOptions(summarize=...)`` — ``True`` or a
+        spec object requests ontology-aware summary groups, retrievable via
+        :meth:`RemoteExplainResponse.summaries`.
         """
+        if summarize is not None:
+            if request is not None:
+                request = replace(
+                    request, options=replace(request.options, summarize=summarize)
+                )
+            else:
+                options = replace(options or ExplainOptions(), summarize=summarize)
         if request is None:
             if text is not None:
                 if database is None:

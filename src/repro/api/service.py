@@ -51,6 +51,7 @@ from repro.nested.values import Bag
 from repro.whynot.explain import WhyNotResult, explain
 from repro.whynot.matching import matching_tuples
 from repro.whynot.question import IllPosedQuestion, WhyNotQuestion
+from repro.whynot.summarize import ConceptHierarchy, attach_summaries, resolve_summarize
 from repro.wire import (
     WIRE_VERSION,
     check_envelope,
@@ -120,6 +121,14 @@ class ExplainOptions:
     ablation) and therefore participate in the cache key.  ``engine`` is an
     execution-only knob — explanations are engine-invariant, so it stays out
     of the cache key like ``backend``.
+
+    ``summarize`` requests ontology-aware explanation summaries
+    (:mod:`repro.whynot.summarize`): ``None`` (default) skips them, ``True``
+    summarizes with defaults, and an object with any of
+    :data:`~repro.whynot.summarize.SUMMARIZE_SPEC_FIELDS` supplies a concept
+    hierarchy (inline :class:`~repro.whynot.summarize.ConceptHierarchy` or
+    its wire document), the group budget and the witness sample size.  It
+    changes response content, so it participates in the cache key.
     """
 
     backend: Optional[str] = None
@@ -130,6 +139,16 @@ class ExplainOptions:
     use_schema_alternatives: bool = True
     revalidate: bool = True
     max_sas: int = 64
+    summarize: Any = None
+
+    def summarize_json(self) -> Any:
+        """The ``summarize`` spec in canonical JSON form (hierarchy encoded)."""
+        spec = self.summarize
+        if isinstance(spec, dict):
+            spec = dict(spec)
+            if isinstance(spec.get("hierarchy"), ConceptHierarchy):
+                spec["hierarchy"] = spec["hierarchy"].to_json()
+        return spec
 
     def semantic_fields(self) -> dict:
         """The option fields that change explanation content (cache key part)."""
@@ -137,6 +156,7 @@ class ExplainOptions:
             "use_schema_alternatives": self.use_schema_alternatives,
             "revalidate": self.revalidate,
             "max_sas": self.max_sas,
+            "summarize": self.summarize_json(),
         }
 
     def to_json(self) -> dict:
@@ -150,6 +170,7 @@ class ExplainOptions:
             "use_schema_alternatives": self.use_schema_alternatives,
             "revalidate": self.revalidate,
             "max_sas": self.max_sas,
+            "summarize": self.summarize_json(),
         }
 
     @classmethod
@@ -490,6 +511,13 @@ class ExplanationService:
 
     def _resolve(self, request: ExplainRequest):
         """Build the question and its cache key without validating it."""
+        if request.options.summarize is not None:
+            # Reject malformed summarize specs before any cache or engine
+            # work — resolution is repeated (cheaply) after the explain run.
+            try:
+                resolve_summarize(request.options.summarize)
+            except ValueError as exc:
+                raise BadRequest(str(exc)) from None
         if request.text is not None:
             from repro.lang import compile_program
 
@@ -615,6 +643,11 @@ class ExplanationService:
             ),
             engine=options.engine or self.default_options.engine,
         )
+        if options.summarize is not None:
+            hierarchy, max_summaries, sample = resolve_summarize(options.summarize)
+            attach_summaries(
+                result, hierarchy, max_summaries=max_summaries, sample=sample
+            )
         if use_cache and self.cache_size > 0:
             with self._lock:
                 self._cache[key] = result

@@ -86,7 +86,7 @@ from repro.wire import (
 #: Option fields that change explanation *content*; everything else
 #: (backend/workers/partitions/optimize/engine) is execution-only and is
 #: stripped from explain routing keys so equivalent requests co-locate.
-SEMANTIC_OPTION_FIELDS = ("use_schema_alternatives", "revalidate", "max_sas")
+SEMANTIC_OPTION_FIELDS = ("use_schema_alternatives", "revalidate", "max_sas", "summarize")
 
 
 class Overloaded(RuntimeError):

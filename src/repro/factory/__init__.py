@@ -1,0 +1,155 @@
+"""Scenario factory: seeded, scale-factor-parameterized database generators.
+
+The hand-built scenarios (:mod:`repro.scenarios`) freeze the paper's Fig. 8
+corpus at one data size; this package generates databases **in the same
+shapes** at any scale factor, each with a planted why-not story that holds
+at every SF:
+
+* :mod:`repro.factory.tpch_sf` — the relational family: six nested TPC-H
+  table shapes with a Q3-style erroneous query (``GenTPCH``);
+* :mod:`repro.factory.social` — the nested social-graph family: a
+  twitter-shaped tweet table with a T2-style erroneous query
+  (``GenSocial``).
+
+Each family builds a :class:`FactoryBundle` — database, query, NIP,
+attribute-alternative groups, gold explanation, and **expected-cardinality
+invariants** (exact table sizes and ``|Q(D)|`` as pure functions of the SF)
+that :meth:`FactoryBundle.check` verifies against the materialized data.
+The bundles are registered as ordinary scenarios (``GenTPCH``/``GenSocial``
+in :data:`repro.scenarios.SCENARIOS`, with the scenario *scale* meaning the
+scale factor), so every existing harness — the CLI, the serving layer, the
+fuzz oracle, the benchmarks — runs them unchanged.
+
+Determinism: same ``(family, sf, seed)`` → byte-identical wire encoding;
+row counts and filter qualification never depend on the seed, so the
+invariants are provable without generating (``tests/factory`` locks both
+properties down).
+
+See ``docs/SCENARIOS.md`` for the generator knobs and SF semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.factory.social import (
+    SOCIAL_ALTERNATIVES,
+    SOCIAL_GOLD,
+    generate_social,
+    social_invariants,
+    social_nip,
+    social_query,
+)
+from repro.factory.tpch_sf import (
+    TPCH_ALTERNATIVES,
+    TPCH_GOLD,
+    generate_tpch,
+    tpch_invariants,
+    tpch_nip,
+    tpch_query,
+)
+from repro.whynot.question import WhyNotQuestion
+
+#: Default seeds — one per family, so the two corpora are uncorrelated.
+DEFAULT_SEEDS = {"tpch": 4242, "social": 77}
+
+
+@dataclass
+class FactoryBundle:
+    """One generated scenario: database + question + provable invariants.
+
+    ``invariants`` maps each table name to its expected cardinality plus the
+    ``result_rows`` key for the exact expected ``|Q(D)|``; all values are
+    pure functions of ``sf`` (never of ``seed``).
+    """
+
+    family: str
+    sf: int
+    seed: int
+    database: Database = field(repr=False)
+    query: Any = field(repr=False)
+    nip: Any = field(repr=False)
+    alternatives: Sequence = ()
+    gold: Optional[frozenset] = None
+    invariants: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """The registered scenario name of this bundle's family."""
+        return FAMILY_SCENARIOS[self.family]
+
+    def question(self) -> WhyNotQuestion:
+        """The bundle's why-not question over the generated database."""
+        return WhyNotQuestion(self.query, self.database, self.nip, name=self.name)
+
+    def check(self) -> dict:
+        """Verify every cardinality invariant against the materialized data.
+
+        Returns the ``{invariant: actual}`` observations on success; raises
+        ``AssertionError`` naming the first violated invariant otherwise.
+        """
+        observed: dict = {}
+        for key, expected in self.invariants.items():
+            if key == "result_rows":
+                actual = len(self.query.evaluate(self.database))
+            else:
+                actual = self.database.size(key)
+            observed[key] = actual
+            assert actual == expected, (
+                f"{self.family} SF {self.sf}: invariant {key!r} expected "
+                f"{expected}, observed {actual}"
+            )
+        return observed
+
+
+def tpch_bundle(sf: int, seed: Optional[int] = None) -> FactoryBundle:
+    """The relational family at scale factor *sf* (GenTPCH)."""
+    seed = DEFAULT_SEEDS["tpch"] if seed is None else seed
+    return FactoryBundle(
+        family="tpch",
+        sf=sf,
+        seed=seed,
+        database=generate_tpch(sf, seed=seed),
+        query=tpch_query(),
+        nip=tpch_nip(),
+        alternatives=TPCH_ALTERNATIVES,
+        gold=TPCH_GOLD,
+        invariants=tpch_invariants(sf),
+    )
+
+
+def social_bundle(sf: int, seed: Optional[int] = None) -> FactoryBundle:
+    """The nested social-graph family at scale factor *sf* (GenSocial)."""
+    seed = DEFAULT_SEEDS["social"] if seed is None else seed
+    return FactoryBundle(
+        family="social",
+        sf=sf,
+        seed=seed,
+        database=generate_social(sf, seed=seed),
+        query=social_query(),
+        nip=social_nip(),
+        alternatives=SOCIAL_ALTERNATIVES,
+        gold=SOCIAL_GOLD,
+        invariants=social_invariants(sf),
+    )
+
+
+#: Generator families by CLI name.
+FAMILIES: "dict[str, Callable[..., FactoryBundle]]" = {
+    "tpch": tpch_bundle,
+    "social": social_bundle,
+}
+
+#: Registered scenario name of each family.
+FAMILY_SCENARIOS = {"tpch": "GenTPCH", "social": "GenSocial"}
+
+
+def make_bundle(family: str, sf: int, seed: Optional[int] = None) -> FactoryBundle:
+    """Build the named family's bundle at scale factor *sf*."""
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        raise KeyError(f"unknown generator family {family!r}; have {sorted(FAMILIES)}")
+    return builder(sf, seed=seed)

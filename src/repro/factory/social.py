@@ -1,0 +1,215 @@
+"""Scale-factor nested social-graph generator (twitter-shaped family).
+
+Produces a single deeply nested ``T`` table in the shape of
+:mod:`repro.datasets.twitter` — tweets with nested ``user``/``place``
+tuples, ``entities`` bags and ⊥-padded status references — at any scale
+factor, with a planted T2-style why-not story that holds at **every** SF:
+
+* the ``GenSocial`` query flattens ``place.country`` and ``user.name``,
+  keeps tweets about concerts (``σ61``) and filters on the flattened
+  country (``σ62``);
+* the planted fan :data:`FAN_NAME` tweets about concerts with the country
+  only in ``user.location`` — ``place.country`` is ⊥, so the directed
+  alternative ``place.country → user.location`` must reparameterize either
+  the country filter ``σ62`` (the gold explanation: no filler location
+  mentions the country, so it has the fewest side effects) or the flatten
+  ``F60`` (the runner-up);
+* filler tweet ids and user names live in namespaces disjoint from the
+  planted rows, so the question stays well-posed at every scale.
+
+Row counts are pure functions of the scale factor (the seeded RNG varies
+content only) and filter qualification is deterministic index arithmetic,
+so :func:`social_invariants` predicts the table cardinality and the exact
+query result size without building the database.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    Projection,
+    Query,
+    Selection,
+    TableAccess,
+    TupleFlatten,
+)
+from repro.engine.database import Database
+from repro.nested.values import NULL, Bag, Tup
+from repro.whynot.placeholders import ANY
+
+#: Filler tweets added per scale factor.
+TWEETS_PER_SF = 150
+#: Distinct filler users per scale factor (plus a scale-independent base).
+USERS_PER_SF = 25
+USERS_BASE = 5
+
+#: The planted fan whose tweets are the missing answer.
+FAN_NAME = "gen_fan"
+FAN_LOCATION = "Chicago, United States"
+_FAN_TWEET_IDS = (9901, 9902)
+_FILLER_TWEET_BASE = 100_000
+
+_COUNTRIES = ["Brazil", "Japan", "Germany", "India"]
+_LOCATIONS = ["NYC", "Rio", "Tokyo", "Berlin", "Mumbai", "Paris"]
+_HASHTAGS = ["#data", "#sports", "#music", "#news", "#tech"]
+_WORDS = ["great", "match", "today", "listen", "breaking", "launch", "open"]
+
+#: The paper's directed arrow: only references to place.country substitute.
+SOCIAL_ALTERNATIVES = [("T.place.country", ["T.user.location"])]
+
+#: Gold-standard explanation: repoint the country filter at user.location.
+SOCIAL_GOLD = frozenset({"σ62"})
+
+_NULL_STATUS = Tup(id=NULL, text=NULL, count=NULL)
+
+
+def _n_users(sf: int) -> int:
+    return USERS_BASE + USERS_PER_SF * sf
+
+
+def _tweet_qualifies(i: int) -> bool:
+    """True when filler tweet *i* survives both filters of the query."""
+    if i % 3 != 0:  # text does not mention concerts
+        return False
+    if i % 11 == 7:  # place.country is ⊥
+        return False
+    return i % 5 == 0  # country is "United States"
+
+
+def expected_result_rows(sf: int) -> int:
+    """Exact ``|Q(D)|`` at scale factor *sf* (texts are unique per tweet)."""
+    return sum(1 for i in range(TWEETS_PER_SF * sf) if _tweet_qualifies(i))
+
+
+def social_invariants(sf: int) -> dict:
+    """Expected cardinalities at scale factor *sf* (seed-independent)."""
+    if sf < 1:
+        raise ValueError(f"scale factor must be >= 1, got {sf}")
+    return {
+        "T": TWEETS_PER_SF * sf + len(_FAN_TWEET_IDS),
+        "result_rows": expected_result_rows(sf),
+    }
+
+
+def _tweet(
+    rng: random.Random,
+    tid: int,
+    text: str,
+    user_name: str,
+    user_location,
+    country,
+    hashtags: "Bag | None" = None,
+    media: "Bag | None" = None,
+    urls: "Bag | None" = None,
+) -> Tup:
+    return Tup(
+        id=tid,
+        text=text,
+        user=Tup(
+            name=user_name,
+            location=user_location,
+            lang="en",
+            followers_count=rng.randint(10, 5000),
+        ),
+        place=Tup(country=country),
+        entities=Tup(
+            hashtags=hashtags if hashtags is not None else Bag(),
+            media=media if media is not None else Bag(),
+            urls=urls if urls is not None else Bag(),
+            thumbs=Bag(),
+            mentioned_user=Bag(),
+        ),
+        retweeted_status=_NULL_STATUS,
+        quoted_status=_NULL_STATUS,
+        pinned_status=_NULL_STATUS,
+        replied_status=_NULL_STATUS,
+        retweet_count=rng.randint(0, 20),
+        quote_count=0,
+    )
+
+
+def generate_social(sf: int, seed: int = 77) -> Database:
+    """Build the SF-parameterized tweet table with the planted fan rows.
+
+    Same ``(sf, seed)`` → byte-identical wire encoding; the row count
+    depends on *sf* only (see :func:`social_invariants`).
+    """
+    if sf < 1:
+        raise ValueError(f"scale factor must be >= 1, got {sf}")
+    rng = random.Random(seed)
+    n_users = _n_users(sf)
+
+    tweets = [
+        # The fan's tweets: country only in user.location, place.country ⊥.
+        _tweet(
+            rng,
+            _FAN_TWEET_IDS[0],
+            "Heading to the concert downtown tonight!",
+            FAN_NAME,
+            FAN_LOCATION,
+            NULL,
+            hashtags=Bag([Tup(text="#music")]),
+        ),
+        _tweet(
+            rng,
+            _FAN_TWEET_IDS[1],
+            "Best concert of the year, no contest",
+            FAN_NAME,
+            FAN_LOCATION,
+            NULL,
+            hashtags=Bag([Tup(text="#music")]),
+        ),
+    ]
+    for i in range(TWEETS_PER_SF * sf):
+        text = (
+            f"concert night {i} in town"
+            if i % 3 == 0
+            else f"{' '.join(rng.sample(_WORDS, 3))} {i}"
+        )
+        if i % 11 == 7:
+            country = NULL
+        elif i % 5 == 0:
+            country = "United States"
+        else:
+            country = _COUNTRIES[i % len(_COUNTRIES)]
+        tweets.append(
+            _tweet(
+                rng,
+                _FILLER_TWEET_BASE + i,
+                text,
+                f"user{i % n_users}",
+                _LOCATIONS[i % len(_LOCATIONS)] if i % 7 != 3 else NULL,
+                country,
+                hashtags=Bag(
+                    [Tup(text=t) for t in rng.sample(_HASHTAGS, rng.randint(0, 2))]
+                ),
+                media=(
+                    Bag([Tup(url=f"https://pics.example.com/{i}.jpg")])
+                    if i % 4 == 0
+                    else Bag()
+                ),
+                urls=(
+                    Bag([Tup(url=f"https://link.example.com/{i}")])
+                    if i % 2 == 0
+                    else Bag()
+                ),
+            )
+        )
+    return Database({"T": tweets})
+
+
+def social_query() -> Query:
+    """The deliberately erroneous GenSocial query (T2-shaped)."""
+    plan = TupleFlatten(TableAccess("T"), "place.country", alias="country", label="F60")
+    plan = TupleFlatten(plan, "user.name", alias="uName")
+    plan = Projection(plan, ["text", "country", "uName"])
+    plan = Selection(plan, col("text").contains("concert"), label="σ61")
+    plan = Selection(plan, col("country").contains("United States"), label="σ62")
+    return Query(plan, name="GenSocial")
+
+
+def social_nip() -> Tup:
+    """The why-not question's NIP: any concert tweet by the planted fan."""
+    return Tup(text=ANY, country=ANY, uName=FAN_NAME)

@@ -1,0 +1,266 @@
+"""Scale-factor TPC-H generator (the relational scenario family).
+
+Produces the paper's six TPC-H table shapes (see
+:mod:`repro.datasets.tpch`) at any scale factor, with a planted Q3-style
+why-not story that holds at **every** SF:
+
+* the ``GenTPCH`` query joins customers with flattened nested orders,
+  filters on a typo'd commit-date bound (``σ52``) and the wrong market
+  segment (``σ53``), and groups revenue per order;
+* the planted order :data:`GEN_ORDERKEY` belongs to a BUILDING customer
+  (``σ53`` drops it) and every one of its lineitems commits before the
+  typo'd bound (``σ52`` drops it) — but ships *after* it, so the
+  ship/commit/receipt date alternative group rescues it;
+* planted keys live in number ranges disjoint from the SF-scaled filler,
+  so the question stays well-posed (Definition 5) at every scale.
+
+Row **counts** are pure functions of the scale factor: the seeded RNG only
+varies row *content* (prices, names, dates that no filter reads), and
+qualification under the query's filters is decided by deterministic index
+arithmetic.  :func:`tpch_invariants` therefore predicts every table
+cardinality and the exact query result size without building the database —
+the expected-cardinality invariants of the scenario bundle.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expressions import col, lit
+from repro.algebra.operators import (
+    GroupAggregation,
+    InnerFlatten,
+    Join,
+    Query,
+    Selection,
+    TableAccess,
+)
+from repro.engine.database import Database
+from repro.nested.values import Bag, Tup
+from repro.whynot.placeholders import ANY
+
+#: Filler rows added per scale factor (SF 1 ≈ the hand-built default size).
+CUSTOMERS_PER_SF = 20
+ORDERS_PER_SF = 60
+#: Scale-independent base customers (so tiny SFs still join interestingly).
+CUSTOMERS_BASE = 10
+
+#: Planted keys — in ranges the SF-scaled filler can never reach.
+GEN_ORDERKEY = 9_300_001
+GEN_CUSTKEY = 70_001
+ORDERLESS_CUSTKEY = 70_002
+_FILLER_ORDERKEY_BASE = 10_000_000
+_FILLER_CUSTKEY_BASE = 80_000
+
+#: The erroneous commit-date bound of ``σ52`` and the dates that straddle it.
+DATE_BOUND = "1995-03-25"
+_DATE_PASS = "1995-04-10"
+_DATE_FAIL = "1995-03-20"
+_SHIP_PASS = "1995-04-02"
+_SHIP_FAIL = "1995-01-15"
+_RECEIPT = "1995-05-01"
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_NATIONS = ["FRANCE", "GERMANY", "JAPAN", "BRAZIL", "KENYA"]
+_FLAGS = ["A", "N", "R"]
+
+#: The paper's ship/commit/receipt mutual alternative group, nested layout.
+TPCH_ALTERNATIVES = [
+    [
+        "nestedOrders.o_lineitems.l_commitdate",
+        "nestedOrders.o_lineitems.l_shipdate",
+        "nestedOrders.o_lineitems.l_receiptdate",
+    ]
+]
+
+#: Gold-standard explanation: reparameterize both erroneous selections (S1).
+TPCH_GOLD = frozenset({"σ52", "σ53"})
+
+
+def _n_customers(sf: int) -> int:
+    return CUSTOMERS_BASE + CUSTOMERS_PER_SF * sf
+
+
+def _items_per_order(i: int) -> int:
+    return 1 + i % 3
+
+
+def _item_passes(i: int, j: int) -> bool:
+    """Deterministic date qualification of lineitem *j* of filler order *i*."""
+    return (i + j) % 4 == 0
+
+
+def _order_qualifies(i: int, n_customers: int) -> bool:
+    """True when filler order *i* survives both filters of the query."""
+    segment = _SEGMENTS[(i % n_customers) % len(_SEGMENTS)]
+    if segment != "HOUSEHOLD":
+        return False
+    return any(_item_passes(i, j) for j in range(_items_per_order(i)))
+
+
+def expected_result_rows(sf: int) -> int:
+    """Exact ``|Q(D)|`` of the GenTPCH query at scale factor *sf*.
+
+    One result row per qualifying order (the query groups by
+    ``o_orderkey``); the planted order never qualifies by construction.
+    """
+    n_customers = _n_customers(sf)
+    return sum(
+        1 for i in range(ORDERS_PER_SF * sf) if _order_qualifies(i, n_customers)
+    )
+
+
+def tpch_invariants(sf: int) -> dict:
+    """Expected cardinalities at scale factor *sf* (seed-independent)."""
+    if sf < 1:
+        raise ValueError(f"scale factor must be >= 1, got {sf}")
+    n_orders = ORDERS_PER_SF * sf
+    n_customers = _n_customers(sf) + 2  # + planted BUILDING + orderless
+    return {
+        "customer": n_customers,
+        "nation": len(_NATIONS),
+        "nestedOrders": n_orders + 1,  # + the planted missing order
+        "orders": n_orders + 1,
+        "lineitem": sum(_items_per_order(i) for i in range(n_orders)) + 3,
+        "customerNested": n_customers,
+        "result_rows": expected_result_rows(sf),
+    }
+
+
+def _lineitem(rng: random.Random, orderkey: int, commit: str, ship: str) -> Tup:
+    return Tup(
+        l_orderkey=orderkey,
+        l_quantity=rng.randint(1, 50),
+        l_extendedprice=round(rng.uniform(1000.0, 90000.0), 2),
+        l_discount=round(rng.uniform(0.0, 0.04), 3),
+        l_tax=round(rng.uniform(0.0, 0.08), 3),
+        l_returnflag=rng.choice(_FLAGS),
+        l_shipdate=ship,
+        l_commitdate=commit,
+        l_receiptdate=_RECEIPT,
+    )
+
+
+def _customer(rng: random.Random, custkey: int, segment: str, name: str) -> Tup:
+    return Tup(
+        c_custkey=custkey,
+        c_name=name,
+        c_acctbal=round(rng.uniform(-900.0, 9900.0), 2),
+        c_phone=f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+        c_address=f"{rng.randint(1, 999)} Factory Ave",
+        c_comment="generated account",
+        c_mktsegment=segment,
+        c_nationkey=custkey % len(_NATIONS),
+    )
+
+
+def _order(rng: random.Random, orderkey: int, custkey: int, items: list) -> Tup:
+    return Tup(
+        o_orderkey=orderkey,
+        o_custkey=custkey,
+        o_orderdate=f"{rng.randint(1992, 1998):04d}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+        o_orderpriority=rng.choice(_PRIORITIES),
+        o_shippriority="0",
+        o_comment="generated deposits",
+        o_lineitems=Bag(items),
+    )
+
+
+def generate_tpch(sf: int, seed: int = 4242) -> Database:
+    """Build the SF-parameterized nested TPC-H database (all six shapes).
+
+    Same ``(sf, seed)`` → byte-identical wire encoding; row counts depend on
+    *sf* only (see :func:`tpch_invariants`).
+    """
+    if sf < 1:
+        raise ValueError(f"scale factor must be >= 1, got {sf}")
+    rng = random.Random(seed)
+    n_customers = _n_customers(sf)
+
+    customers = [
+        _customer(
+            rng,
+            _FILLER_CUSTKEY_BASE + i,
+            _SEGMENTS[i % len(_SEGMENTS)],
+            f"Customer#{_FILLER_CUSTKEY_BASE + i}",
+        )
+        for i in range(n_customers)
+    ]
+    # The missing answer's customer: BUILDING while σ53 asks HOUSEHOLD.
+    customers.append(
+        _customer(rng, GEN_CUSTKEY, "BUILDING", "Customer#gen-building")
+    )
+    # A customer without orders (keeps the Q13-style shapes interesting).
+    customers.append(
+        _customer(rng, ORDERLESS_CUSTKEY, "FURNITURE", "Customer#gen-orderless")
+    )
+
+    nations = [Tup(n_nationkey=i, n_name=name) for i, name in enumerate(_NATIONS)]
+
+    orders = []
+    for i in range(ORDERS_PER_SF * sf):
+        orderkey = _FILLER_ORDERKEY_BASE + i
+        custkey = _FILLER_CUSTKEY_BASE + (i % n_customers)
+        items = [
+            _lineitem(
+                rng,
+                orderkey,
+                commit=_DATE_PASS if _item_passes(i, j) else _DATE_FAIL,
+                ship=_SHIP_PASS if (i + j) % 4 == 1 else _SHIP_FAIL,
+            )
+            for j in range(_items_per_order(i))
+        ]
+        orders.append(_order(rng, orderkey, custkey, items))
+
+    # The planted missing order: every lineitem commits before the typo'd
+    # bound but ships after it — the date alternative group rescues σ52.
+    planted_items = [
+        _lineitem(rng, GEN_ORDERKEY, commit=_DATE_FAIL, ship=_SHIP_PASS)
+        for _ in range(3)
+    ]
+    orders.append(_order(rng, GEN_ORDERKEY, GEN_CUSTKEY, planted_items))
+
+    flat_orders = [o.drop(["o_lineitems"]) for o in orders]
+    lineitems = [item for o in orders for item in o["o_lineitems"]]
+    by_customer: "dict[int, list[Tup]]" = {}
+    for order in orders:
+        by_customer.setdefault(order["o_custkey"], []).append(order)
+    customer_nested = [
+        c.with_attr("c_orders", Bag(by_customer.get(c["c_custkey"], [])))
+        for c in customers
+    ]
+
+    return Database(
+        {
+            "customer": customers,
+            "nation": nations,
+            "nestedOrders": orders,
+            "orders": flat_orders,
+            "lineitem": lineitems,
+            "customerNested": customer_nested,
+        }
+    )
+
+
+def tpch_query() -> Query:
+    """The deliberately erroneous GenTPCH query (Q3-shaped)."""
+    joined = Join(
+        TableAccess("customer"),
+        InnerFlatten(TableAccess("nestedOrders"), "o_lineitems", label="F50"),
+        [("c_custkey", "o_custkey")],
+        label="⋈51",
+    )
+    plan = Selection(joined, col("l_commitdate").gt(DATE_BOUND), label="σ52")
+    plan = Selection(plan, col("c_mktsegment").eq("HOUSEHOLD"), label="σ53")
+    revenue = col("l_extendedprice") * (lit(1) - col("l_discount"))
+    plan = GroupAggregation(
+        plan, ["o_orderkey"], [AggSpec("sum", revenue, "revenue")], label="γ54"
+    )
+    return Query(plan, name="GenTPCH")
+
+
+def tpch_nip() -> Tup:
+    """The why-not question's NIP: the planted order's revenue row."""
+    return Tup(o_orderkey=GEN_ORDERKEY, revenue=ANY)

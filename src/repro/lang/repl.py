@@ -12,6 +12,9 @@ Backslash commands::
     \\use NAME [N]    load scenario NAME's database (at scale N)
     \\schema          show the table schemas of the loaded database
     \\explain         re-run the why-not explanation of the last program
+    \\summarize [FILE] [N]  roll the last explanations up into summary
+                     groups (:mod:`repro.whynot.summarize`) — FILE is an
+                     optional ``hierarchy`` wire document, N the group budget
     \\quit            exit (EOF / Ctrl-D also works)
 
 Parse and lowering errors print their caret diagnostics and the input
@@ -45,6 +48,8 @@ class Repl:
         self.db = None
         self.db_name: Optional[str] = None
         self.last: Optional[LoweredProgram] = None
+        #: Full result of the last explanation run (feeds ``\summarize``).
+        self.last_result = None
         self.options = options or {}
         self._buffer: list = []
         if scenario is not None:
@@ -134,6 +139,7 @@ class Repl:
             "use": self._cmd_use,
             "schema": self._cmd_schema,
             "explain": self._cmd_explain,
+            "summarize": self._cmd_summarize,
         }
         handler = handlers.get(name)
         if handler is None:
@@ -148,6 +154,8 @@ class Repl:
         print("  \\use NAME [N]    load scenario NAME's database at scale N")
         print("  \\schema          show the loaded database's table schemas")
         print("  \\explain         re-run the last program's whynot question")
+        print("  \\summarize [FILE] [N]  group the last explanations (FILE:")
+        print("                   hierarchy JSON, N: summary budget)")
         print("  \\quit            exit")
         print("anything else is parsed as an .rq program (docs/LANGUAGE.md).")
 
@@ -193,6 +201,43 @@ class Repl:
             print("nothing to explain — run a program with a whynot block first")
             return
         self._explain(self.last)
+
+    def _cmd_summarize(self, args=()) -> None:
+        import json
+
+        from repro.whynot.summarize import (
+            ConceptHierarchy,
+            HierarchyError,
+            attach_summaries,
+        )
+
+        if self.last_result is None:
+            print("nothing to summarize — run a whynot question first")
+            return
+        hierarchy = None
+        max_summaries = 8
+        for arg in args:
+            if arg.isdigit():
+                max_summaries = int(arg)
+                continue
+            try:
+                with open(arg, encoding="utf-8") as fh:
+                    hierarchy = ConceptHierarchy.from_json(json.load(fh))
+            except (OSError, ValueError, HierarchyError) as exc:
+                print(f"cannot load hierarchy {arg!r}: {exc}")
+                return
+        if max_summaries < 1:
+            print("the summary budget must be at least 1")
+            return
+        summaries = attach_summaries(
+            self.last_result, hierarchy, max_summaries=max_summaries
+        )
+        total = sum(s.count for s in summaries)
+        print(f"-- summaries: {len(summaries)} group(s) covering {total} explanation(s)")
+        for s in summaries:
+            print(f"   {s.describe()}")
+        if not summaries:
+            print("   (no explanations to summarize)")
 
     # -- program execution ----------------------------------------------------
 
@@ -254,7 +299,7 @@ class Repl:
         print_result(lowered, self.db)
 
     def _explain(self, lowered: LoweredProgram) -> None:
-        print_explanation(lowered, self.db, self.options)
+        self.last_result = print_explanation(lowered, self.db, self.options)
 
 
 def print_result(lowered: LoweredProgram, db) -> None:
@@ -275,8 +320,13 @@ def print_result(lowered: LoweredProgram, db) -> None:
         print(f"   {pattern_text(row)}{times}")
 
 
-def print_explanation(lowered: LoweredProgram, db, options: dict) -> None:
-    """Run the program's why-not question and print the ranked label sets."""
+def print_explanation(lowered: LoweredProgram, db, options: dict):
+    """Run the program's why-not question and print the ranked label sets.
+
+    Returns the full :class:`~repro.whynot.explain.WhyNotResult` (``None``
+    for an ill-posed question), which the REPL keeps as ``last_result`` so
+    ``\\summarize`` can roll the explanations up afterwards.
+    """
     from repro.whynot.explain import explain
     from repro.whynot.question import IllPosedQuestion, WhyNotQuestion
 
@@ -285,7 +335,7 @@ def print_explanation(lowered: LoweredProgram, db, options: dict) -> None:
         result = explain(question, alternatives=lowered.alternatives, **options)
     except IllPosedQuestion as exc:
         print(f"ill-posed question: {exc}")
-        return
+        return None
     print(
         f"-- explanations: {len(result.explanations)} "
         f"({result.n_sas} schema alternatives)"
@@ -294,6 +344,7 @@ def print_explanation(lowered: LoweredProgram, db, options: dict) -> None:
         print(f"   {e.rank}. {{{', '.join(e.labels)}}}")
     if not result.explanations:
         print("   (none found)")
+    return result
 
 
 def run_repl(scenario: Optional[str] = None, scale: Optional[int] = None,

@@ -6,7 +6,10 @@ Every scenario of the paper's evaluation is registered here:
 * T1–T4 and T_ASD on Twitter,
 * Q1, Q3, Q4, Q6, Q10, Q13 on nested TPC-H (plus the flat variants Q1F…Q13F
   and the deeply nested Q13N),
-* C1–C3 on the crime dataset.
+* C1–C3 on the crime dataset,
+* plus the factory-generated families GenTPCH and GenSocial
+  (:mod:`repro.factory`), whose scale argument is the generator's scale
+  factor.
 """
 
 from repro.scenarios.base import SCENARIOS, Scenario, ScenarioRun, get_scenario, run_scenario
@@ -14,6 +17,7 @@ from repro.scenarios.base import SCENARIOS, Scenario, ScenarioRun, get_scenario,
 # Importing the modules registers the scenarios.
 from repro.scenarios import crime_scenarios  # noqa: F401
 from repro.scenarios import dblp_scenarios  # noqa: F401
+from repro.scenarios import factory_scenarios  # noqa: F401
 from repro.scenarios import tpch_scenarios  # noqa: F401
 from repro.scenarios import twitter_scenarios  # noqa: F401
 

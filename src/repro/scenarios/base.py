@@ -34,6 +34,10 @@ class Scenario:
     gold: Optional[frozenset[str]] = None
     default_scale: int = 60
     notes: str = ""
+    #: True for factory-generated scenarios (:mod:`repro.factory`), whose
+    #: *scale* means the generator's scale factor; excluded from the paper's
+    #: Table 7 reproduction, which covers the hand-built corpus only.
+    generated: bool = False
 
     def question(self, scale: Optional[int] = None) -> WhyNotQuestion:
         db = self.make_db(scale if scale is not None else self.default_scale)

@@ -1,0 +1,65 @@
+"""Factory-generated scenarios (GenTPCH, GenSocial).
+
+Registers one scenario per :mod:`repro.factory` generator family.  For these
+scenarios the *scale* argument is the generator's **scale factor** (default
+1), so ``run_scenario("GenTPCH", scale=10)`` evaluates the planted why-not
+story over an SF-10 corpus; the paper-default ``scale=60`` of the hand-built
+scenarios does not apply.  Both are flagged ``generated=True`` and excluded
+from the Table 7 reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.factory.social import (
+    SOCIAL_ALTERNATIVES,
+    SOCIAL_GOLD,
+    generate_social,
+    social_nip,
+    social_query,
+)
+from repro.factory.tpch_sf import (
+    TPCH_ALTERNATIVES,
+    TPCH_GOLD,
+    generate_tpch,
+    tpch_nip,
+    tpch_query,
+)
+from repro.scenarios.base import Scenario, register
+
+register(
+    Scenario(
+        name="GenTPCH",
+        description=(
+            "Generated relational family: Q3-shaped revenue query over "
+            "SF-scaled nested TPC-H with a typo'd date bound and wrong "
+            "market segment (scale = scale factor)"
+        ),
+        make_db=generate_tpch,
+        make_query=tpch_query,
+        make_nip=tpch_nip,
+        alternatives=TPCH_ALTERNATIVES,
+        gold=TPCH_GOLD,
+        default_scale=1,
+        notes="repro.factory.tpch_sf; planted order 9300001 of a BUILDING customer",
+        generated=True,
+    )
+)
+
+register(
+    Scenario(
+        name="GenSocial",
+        description=(
+            "Generated nested social-graph family: T2-shaped concert query "
+            "flattening place.country while the fan's country lives in "
+            "user.location (scale = scale factor)"
+        ),
+        make_db=generate_social,
+        make_query=social_query,
+        make_nip=social_nip,
+        alternatives=SOCIAL_ALTERNATIVES,
+        gold=SOCIAL_GOLD,
+        default_scale=1,
+        notes="repro.factory.social; planted fan 'gen_fan', tweets 9901/9902",
+        generated=True,
+    )
+)

@@ -44,6 +44,9 @@ class WhyNotResult:
     timings: dict[str, float] = field(default_factory=dict)
     #: Rule-fire summary of the answer-path optimizer run (None: not used).
     optimizer: Optional[dict] = None
+    #: Ontology-aware summary groups (:mod:`repro.whynot.summarize`);
+    #: ``None`` until :func:`~repro.whynot.summarize.attach_summaries` runs.
+    summaries: Optional[list] = None
 
     @property
     def n_sas(self) -> int:
@@ -77,6 +80,10 @@ class WhyNotResult:
             )
         if not self.explanations:
             lines.append("    (none found)")
+        if self.summaries is not None:
+            lines.append(f"  summaries ({len(self.summaries)}):")
+            for s in self.summaries:
+                lines.append(f"    {s.describe()}")
         return "\n".join(lines)
 
 

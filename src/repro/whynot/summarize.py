@@ -1,0 +1,312 @@
+"""Ontology-aware explanation summarization (ROADMAP open item 4).
+
+Large answers return hundreds of attribute-alternative explanations; this
+module rolls them up into a handful of high-level statements, following the
+design of "High-Level Why-Not Explanations using Ontologies" (ten Cate et
+al., PODS'15) and "Approximate Summaries for Why and Why-not Provenance"
+(Lee/Ludäscher/Glavic, VLDB'20): a user-supplied **concept hierarchy** maps
+the fine-grained vocabulary of explanations onto concepts, and a
+lattice-walking summarizer generalizes every explanation uniformly until the
+number of distinct groups fits a budget — keeping *exact* counts and sampled
+witnesses per group.
+
+Vocabulary.  Every :class:`~repro.whynot.approximate.Explanation` is
+described by a set of **terms**:
+
+* ``op:<label>`` — one per operator label in the explanation, and
+* ``alt:<table.path>`` — one per substituted source attribute of the
+  explanation's schema alternative (S1-based explanations carry none).
+
+Generalization.  Each term owns a **chain** from most-specific to
+most-general: the term itself, then (when a hierarchy maps its name) the
+hierarchy's concept path to its root, or a structural prefix fallback for
+unmapped attribute terms (``a.b.c ⊑ a.b.* ⊑ a.*``); every chain ends in the
+kind-level top (:data:`ANY_OPERATOR` / :data:`ANY_ATTRIBUTE`) and finally
+:data:`TOP`.  The summarizer picks the *smallest uniform level* at which the
+distinct generalized signatures fit ``max_summaries``; because every
+explanation maps to exactly one signature at any level, the summaries always
+**partition** the explanation set — counts sum to the total and no
+explanation is covered twice (``tests/whynot/test_summarize.py`` proves it).
+With no hierarchy the summarizer degrades gracefully to the structural
+fallback alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+#: Kind-level top concepts (one per term kind) and the lattice top.
+ANY_OPERATOR = "any-operator"
+ANY_ATTRIBUTE = "any-attribute"
+TOP = "*"
+
+#: Recognized keys of an ``ExplainOptions.summarize`` spec object.
+SUMMARIZE_SPEC_FIELDS = ("hierarchy", "max_summaries", "sample")
+
+
+class HierarchyError(ValueError):
+    """Raised for a structurally invalid concept hierarchy."""
+
+
+class ConceptHierarchy:
+    """A rooted concept forest plus a member map (the ontology input).
+
+    ``concepts`` maps each concept name to its parent concept (``None`` for
+    a root); ``members`` maps explanation vocabulary — operator labels and
+    dotted attribute strings, *without* the ``op:``/``alt:`` kind prefix —
+    to the concept that covers them.  Construction validates that every
+    parent and member target exists and that parent links are acyclic.
+    """
+
+    def __init__(
+        self,
+        concepts: Mapping[str, Optional[str]],
+        members: Mapping[str, str],
+        name: str = "",
+    ):
+        self.name = name
+        self.concepts = dict(concepts)
+        self.members = dict(members)
+        for concept, parent in self.concepts.items():
+            if parent is not None and parent not in self.concepts:
+                raise HierarchyError(
+                    f"concept {concept!r} names unknown parent {parent!r}"
+                )
+        for member, concept in self.members.items():
+            if concept not in self.concepts:
+                raise HierarchyError(
+                    f"member {member!r} maps to unknown concept {concept!r}"
+                )
+        for concept in self.concepts:
+            self.chain(concept)  # cycle check via the walk
+
+    def chain(self, concept: str) -> "tuple[str, ...]":
+        """The concept's generalization path ``(concept, parent, …, root)``."""
+        out = []
+        seen = set()
+        node: Optional[str] = concept
+        while node is not None:
+            if node in seen:
+                raise HierarchyError(f"parent cycle through concept {node!r}")
+            seen.add(node)
+            out.append(node)
+            node = self.concepts[node]
+        return tuple(out)
+
+    def to_json(self) -> dict:
+        """Encode as a ``hierarchy`` wire document."""
+        from repro.wire.payloads import envelope
+
+        return envelope(
+            "hierarchy",
+            {
+                "name": self.name,
+                "concepts": dict(self.concepts),
+                "members": dict(self.members),
+            },
+        )
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ConceptHierarchy":
+        """Decode :meth:`to_json` output (validates structure)."""
+        from repro.wire.payloads import check_envelope
+
+        check_envelope(data, "hierarchy")
+        return cls(
+            concepts=data.get("concepts") or {},
+            members=data.get("members") or {},
+            name=data.get("name", ""),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConceptHierarchy)
+            and self.name == other.name
+            and self.concepts == other.concepts
+            and self.members == other.members
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ConceptHierarchy({self.name!r}, {len(self.concepts)} concepts, "
+            f"{len(self.members)} members)"
+        )
+
+
+@dataclass
+class ExplanationSummary:
+    """One summary group: a concept signature covering ``count`` explanations.
+
+    ``concepts`` is the generalized signature (sorted), ``count`` the exact
+    number of raw explanations it covers, ``ranks`` the (min, max) rank of
+    the covered explanations, ``lb``/``ub`` the tightest enclosing
+    side-effect bounds, ``witnesses`` up to ``sample`` covered explanations
+    (rank, labels, SA description) and ``level`` the uniform generalization
+    level the summarizer settled on.
+    """
+
+    concepts: "tuple[str, ...]"
+    count: int
+    ranks: "tuple[int, int]"
+    lb: float = 0.0
+    ub: float = 0.0
+    witnesses: "tuple[dict, ...]" = ()
+    level: int = 0
+
+    def describe(self) -> str:
+        """One-line rendering, e.g. ``{date-attrs, σ53} ×4 (ranks 1..4)``."""
+        inner = ", ".join(self.concepts)
+        lo, hi = self.ranks
+        ranks = f"rank {lo}" if lo == hi else f"ranks {lo}..{hi}"
+        return f"{{{inner}}} ×{self.count} ({ranks})"
+
+
+def explanation_terms(explanation, sas: Sequence) -> "frozenset[str]":
+    """The vocabulary of one explanation: operator and substitution terms."""
+    terms = {f"op:{label}" for label in explanation.labels}
+    if 0 <= explanation.sa_index < len(sas):
+        sa = sas[explanation.sa_index]
+        for ref, src in sa.assignment.items():
+            if ref.origin is not None and ref.origin.path != src[1]:
+                terms.add("alt:" + ".".join((src[0], *src[1])))
+    return frozenset(terms)
+
+
+def term_chain(term: str, hierarchy: Optional[ConceptHierarchy] = None) -> "tuple[str, ...]":
+    """The term's generalization chain, most-specific first.
+
+    A hierarchy member follows its concept path; an unmapped attribute term
+    falls back to structural prefixes (``a.b.c ⊑ a.b.* ⊑ a.*``); every chain
+    ends in the kind-level top and then :data:`TOP`.
+    """
+    kind, _, name = term.partition(":")
+    chain = [term]
+    if hierarchy is not None and name in hierarchy.members:
+        chain.extend(hierarchy.chain(hierarchy.members[name]))
+    elif kind == "alt":
+        parts = name.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            chain.append(".".join(parts[:cut]) + ".*")
+    chain.append(ANY_OPERATOR if kind == "op" else ANY_ATTRIBUTE)
+    chain.append(TOP)
+    return tuple(chain)
+
+
+def signature_at_level(chains: Sequence, level: int) -> "frozenset[str]":
+    """Generalize a term-chain set uniformly to *level* (clamped per chain)."""
+    return frozenset(chain[min(level, len(chain) - 1)] for chain in chains)
+
+
+def summarize_explanations(
+    explanations: Sequence,
+    sas: Sequence,
+    hierarchy: Optional[ConceptHierarchy] = None,
+    max_summaries: int = 8,
+    sample: int = 3,
+) -> "list[ExplanationSummary]":
+    """Roll the explanations up to at most ``max_summaries`` summary groups.
+
+    Walks the uniform generalization levels bottom-up and stops at the first
+    level whose distinct signatures fit the budget; level ``L`` (where every
+    chain has reached :data:`TOP`) always yields a single group, so the
+    budget is met for any ``max_summaries >= 1``.  The returned groups
+    partition the input exactly: every explanation is counted in exactly one
+    group and the counts sum to ``len(explanations)``.
+    """
+    if max_summaries < 1:
+        raise ValueError(f"max_summaries must be positive, got {max_summaries}")
+    if sample < 0:
+        raise ValueError(f"sample must be >= 0, got {sample}")
+    if not explanations:
+        return []
+    per_expl = [
+        [term_chain(t, hierarchy) for t in sorted(explanation_terms(e, sas))]
+        for e in explanations
+    ]
+    max_level = max(len(chain) for chains in per_expl for chain in chains) - 1
+    chosen = max_level
+    for level in range(max_level + 1):
+        signatures = {signature_at_level(chains, level) for chains in per_expl}
+        if len(signatures) <= max_summaries:
+            chosen = level
+            break
+    groups: "dict[frozenset[str], list]" = {}
+    for e, chains in zip(explanations, per_expl):
+        groups.setdefault(signature_at_level(chains, chosen), []).append(e)
+    summaries = []
+    for signature, members in groups.items():
+        members = sorted(members, key=lambda e: e.rank)
+        summaries.append(
+            ExplanationSummary(
+                concepts=tuple(sorted(signature)),
+                count=len(members),
+                ranks=(members[0].rank, members[-1].rank),
+                lb=min(e.lb for e in members),
+                ub=max(e.ub for e in members),
+                witnesses=tuple(
+                    {
+                        "rank": e.rank,
+                        "labels": list(e.labels),
+                        "sa": e.sa_description,
+                    }
+                    for e in members[:sample]
+                ),
+                level=chosen,
+            )
+        )
+    summaries.sort(key=lambda s: (s.ranks[0], s.concepts))
+    return summaries
+
+
+def attach_summaries(
+    result,
+    hierarchy: Optional[ConceptHierarchy] = None,
+    max_summaries: int = 8,
+    sample: int = 3,
+) -> "list[ExplanationSummary]":
+    """Summarize a :class:`~repro.whynot.explain.WhyNotResult` in place.
+
+    Computes the summary groups over ``result.explanations``, stores them on
+    ``result.summaries`` and returns them.
+    """
+    summaries = summarize_explanations(
+        result.explanations,
+        result.sas,
+        hierarchy=hierarchy,
+        max_summaries=max_summaries,
+        sample=sample,
+    )
+    result.summaries = summaries
+    return summaries
+
+
+def resolve_summarize(spec: Any) -> "tuple[Optional[ConceptHierarchy], int, int]":
+    """Parse an ``ExplainOptions.summarize`` spec into summarizer arguments.
+
+    Accepts ``True`` (all defaults) or an object with any of
+    :data:`SUMMARIZE_SPEC_FIELDS` — ``hierarchy`` being a
+    :class:`ConceptHierarchy` or its wire document.  Raises ``ValueError``
+    (mapped to HTTP 400 by the serving layer) on anything else.
+    """
+    if spec is True:
+        spec = {}
+    if not isinstance(spec, dict):
+        raise ValueError(
+            f"summarize must be true or an object, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - set(SUMMARIZE_SPEC_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown summarize fields: {sorted(unknown)}")
+    hierarchy = spec.get("hierarchy")
+    if hierarchy is not None and not isinstance(hierarchy, ConceptHierarchy):
+        hierarchy = ConceptHierarchy.from_json(hierarchy)
+    max_summaries = spec.get("max_summaries", 8)
+    if not isinstance(max_summaries, int) or isinstance(max_summaries, bool) or max_summaries < 1:
+        raise ValueError(
+            f"max_summaries must be a positive integer, got {max_summaries!r}"
+        )
+    sample = spec.get("sample", 3)
+    if not isinstance(sample, int) or isinstance(sample, bool) or sample < 0:
+        raise ValueError(f"sample must be a non-negative integer, got {sample!r}")
+    return hierarchy, max_summaries, sample

@@ -46,12 +46,16 @@ from repro.wire.payloads import (
     database_info_to_json,
     database_to_json,
     envelope,
+    hierarchy_from_json,
+    hierarchy_to_json,
     mutation_from_json,
     mutation_to_json,
     explanation_from_json,
     explanation_to_json,
     metrics_from_json,
     metrics_to_json,
+    summary_from_json,
+    summary_to_json,
     question_from_json,
     question_to_json,
     text_query_request,
@@ -90,6 +94,10 @@ __all__ = [
     "relation_from_json",
     "explanation_to_json",
     "explanation_from_json",
+    "hierarchy_to_json",
+    "hierarchy_from_json",
+    "summary_to_json",
+    "summary_from_json",
     "result_to_json",
     "metrics_to_json",
     "metrics_from_json",

@@ -21,7 +21,14 @@ Payload kinds:
 * ``mutation``   — per-relation inserted/deleted rows (``[row, count]``
   pairs), the body of ``POST /v1/databases/{name}/mutate``;
 * ``database-info`` — one registered database's version summary (name,
-  version id, per-table row counts and version stamps).
+  version id, per-table row counts and version stamps);
+* ``hierarchy``  — a concept hierarchy for explanation summarization
+  (:class:`~repro.whynot.summarize.ConceptHierarchy`): concept→parent map
+  plus the member map from explanation vocabulary to concepts.
+
+``result`` payloads gained an **optional** ``summaries`` section (absent
+unless summarization was requested) — older readers ignore it, older
+payloads decode without it.
 
 The request/response envelopes of the serving layer (``explain-request`` /
 ``explain-response``) are defined next to their dataclasses in
@@ -38,6 +45,7 @@ from repro.nested.values import Bag
 from repro.whynot.approximate import Explanation
 from repro.whynot.explain import WhyNotResult
 from repro.whynot.question import WhyNotQuestion
+from repro.whynot.summarize import ConceptHierarchy, ExplanationSummary
 from repro.wire.codec import (
     SUPPORTED_VERSIONS,
     WIRE_VERSION,
@@ -332,15 +340,54 @@ def explanation_from_json(data: dict) -> Explanation:
     )
 
 
+def summary_to_json(summary: ExplanationSummary) -> dict:
+    """Encode one explanation summary group (concepts, count, bounds)."""
+    return {
+        "concepts": list(summary.concepts),
+        "count": summary.count,
+        "ranks": list(summary.ranks),
+        "lb": summary.lb,
+        "ub": summary.ub,
+        "witnesses": [dict(w) for w in summary.witnesses],
+        "level": summary.level,
+    }
+
+
+def summary_from_json(data: dict) -> ExplanationSummary:
+    """Decode :func:`summary_to_json` output."""
+    return ExplanationSummary(
+        concepts=tuple(data["concepts"]),
+        count=data["count"],
+        ranks=(data["ranks"][0], data["ranks"][1]),
+        lb=data["lb"],
+        ub=data["ub"],
+        witnesses=tuple(dict(w) for w in data.get("witnesses") or ()),
+        level=data.get("level", 0),
+    )
+
+
+def hierarchy_to_json(hierarchy: ConceptHierarchy) -> dict:
+    """Encode a concept hierarchy as a ``hierarchy`` wire document."""
+    return hierarchy.to_json()
+
+
+def hierarchy_from_json(data: dict) -> ConceptHierarchy:
+    """Decode a ``hierarchy`` wire document (validates structure)."""
+    return ConceptHierarchy.from_json(data)
+
+
 def result_to_json(result: WhyNotResult) -> dict:
     """Encode a :class:`WhyNotResult` as a ``result`` payload.
 
     The payload is the API contract of an explanation run: the question
     identity (name + NIP), the ranked explanations, the number and
     descriptions of the traced schema alternatives, per-step timings, rows
-    traced, and the optimizer summary.  The in-process-only fields
-    (``backtrace``, ``trace``, the SA queries themselves) are deliberately
-    not wire-visible.
+    traced, and the optimizer summary.  When the result carries summary
+    groups (:mod:`repro.whynot.summarize`), an optional ``summaries``
+    section is included; it is omitted entirely otherwise, keeping the
+    payload byte-identical to pre-summarization encoders.  The
+    in-process-only fields (``backtrace``, ``trace``, the SA queries
+    themselves) are deliberately not wire-visible.
     """
     body = {
         "question": result.question.name,
@@ -352,6 +399,8 @@ def result_to_json(result: WhyNotResult) -> dict:
         "timings": dict(result.timings),
         "optimizer": result.optimizer,
     }
+    if result.summaries is not None:
+        body["summaries"] = [summary_to_json(s) for s in result.summaries]
     return envelope("result", body)
 
 

@@ -1,0 +1,151 @@
+"""`ExplainOptions(summarize=)` through the serving stack.
+
+Summarization is a *semantic* option: it changes the response payload, so
+it must split the cache key and the sharded routing key — while execution
+knobs still don't.  These tests pin the option surface at every layer:
+service (cache semantics, validation), wire (``summaries`` response
+section), sharded routing, and HTTP via ``Client.explain(summarize=…)``.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    BadRequest,
+    Client,
+    ExplainOptions,
+    ExplainRequest,
+    ExplanationService,
+    routing_key,
+)
+from repro.api.http import make_server
+from repro.whynot.summarize import ConceptHierarchy
+
+
+def _request(scenario="Q1", scale=20, **options):
+    return ExplainRequest(
+        scenario=scenario, scale=scale, options=ExplainOptions(**options)
+    )
+
+
+@pytest.fixture(scope="module")
+def service():
+    service = ExplanationService(cache_size=16)
+    yield service
+    service.close()
+
+
+class TestServiceSummarize:
+    def test_summaries_attach_and_partition(self, service):
+        response = service.explain(_request(summarize=True))
+        result = response.result
+        assert result.summaries is not None
+        assert sum(s.count for s in result.summaries) == len(result.explanations)
+        document = response.to_json()["result"]
+        assert len(document["summaries"]) == len(result.summaries)
+
+    def test_no_summarize_means_no_summaries_section(self, service):
+        response = service.explain(_request(scenario="Q4"))
+        assert response.result.summaries is None
+        assert "summaries" not in response.to_json()["result"]
+
+    def test_summarize_splits_the_cache_key(self, service):
+        service.clear_cache()
+        plain = service.explain(_request(scenario="Q6"))
+        summarized = service.explain(_request(scenario="Q6", summarize=True))
+        assert not plain.cached and not summarized.cached
+        assert plain.result.summaries is None
+        assert summarized.result.summaries
+
+    def test_repeat_hits_carry_the_summaries(self, service):
+        spec = {"max_summaries": 2}
+        cold = service.explain(_request(scenario="T2", summarize=spec))
+        warm = service.explain(_request(scenario="T2", summarize=spec))
+        assert not cold.cached and warm.cached
+        assert warm.result.summaries == cold.result.summaries
+
+    def test_hierarchy_spec_drives_grouping(self, service):
+        hierarchy = ConceptHierarchy({"anything": None}, {})
+        response = service.explain(
+            _request(summarize={"hierarchy": hierarchy, "max_summaries": 1})
+        )
+        assert len(response.result.summaries) == 1
+        (summary,) = response.result.summaries
+        assert summary.count == len(response.result.explanations)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"bogus": 1},
+            {"max_summaries": 0},
+            "yes",
+            {"hierarchy": {"format": 2, "kind": "database", "tables": {}}},
+        ],
+    )
+    def test_bad_specs_are_rejected_up_front(self, service, spec):
+        with pytest.raises(BadRequest):
+            service.explain(_request(summarize=spec))
+
+
+class TestOptionsSurface:
+    def test_summarize_is_a_semantic_field(self):
+        fields = ExplainOptions(summarize=True).semantic_fields()
+        assert fields["summarize"] is True
+        assert "engine" not in fields  # execution knobs stay out
+
+    def test_hierarchy_objects_canonicalize_for_keys(self):
+        hierarchy = ConceptHierarchy({"geo": None}, {"a.b": "geo"})
+        by_object = ExplainOptions(summarize={"hierarchy": hierarchy})
+        by_wire = ExplainOptions(summarize={"hierarchy": hierarchy.to_json()})
+        assert by_object.semantic_fields() == by_wire.semantic_fields()
+        assert by_object.to_json()["summarize"]["hierarchy"]["kind"] == "hierarchy"
+
+    def test_routing_key_splits_on_summarize(self):
+        def doc(**options):
+            return _request(**options).to_json()
+
+        assert routing_key(doc(summarize=True)) != routing_key(doc())
+        assert routing_key(doc(summarize=True)) == routing_key(doc(summarize=True))
+        assert routing_key(doc(summarize={"max_summaries": 2})) != routing_key(
+            doc(summarize=True)
+        )
+
+
+@pytest.fixture(scope="module")
+def http_client():
+    server = make_server(ExplanationService(cache_size=8))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield Client(f"http://{host}:{port}")
+    server.shutdown()
+    server.server_close()
+    server.service.close()
+
+
+class TestHttpSummarize:
+    def test_client_round_trip(self, http_client):
+        response = http_client.explain(scenario="Q1", scale=20, summarize=True)
+        summaries = response.summaries()
+        assert summaries
+        assert sum(s.count for s in summaries) == len(response.explanations())
+        plain = http_client.explain(scenario="Q1", scale=20)
+        assert plain.summaries() is None
+
+    def test_wire_hierarchy_spec_over_http(self, http_client):
+        hierarchy = ConceptHierarchy({"all": None}, {}, name="demo")
+        response = http_client.explain(
+            scenario="GenSocial",
+            scale=1,
+            summarize={"hierarchy": hierarchy.to_json(), "max_summaries": 1},
+        )
+        (summary,) = response.summaries()
+        assert summary.count == len(response.explanations())
+
+    def test_bad_spec_maps_to_http_400(self, http_client):
+        with pytest.raises(ApiError) as excinfo:
+            http_client.explain(scenario="Q1", scale=20, summarize={"bogus": 1})
+        assert excinfo.value.status == 400
+        assert "summarize" in str(excinfo.value)

@@ -1,0 +1,131 @@
+"""Factory generator determinism, validity and invariant tests.
+
+Locks down the :mod:`repro.factory` contract:
+
+* **determinism** — same ``(SF, seed)`` → byte-identical wire document;
+  different seeds change content but never row counts;
+* **invariants** — every cardinality prediction of
+  ``tpch_invariants``/``social_invariants`` matches the materialized data
+  at several scale factors, including the exact ``|Q(D)|``;
+* **validity** — generated questions pass Definition-5 validation, the
+  databases obey the canonical-NaN value model, and the planted gold
+  explanation is found by RP at every tested SF;
+* **registration** — the bundles are registered as ``generated`` scenarios
+  with SF semantics (``default_scale=1``).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.factory import DEFAULT_SEEDS, FAMILIES, FAMILY_SCENARIOS, make_bundle
+from repro.nested.values import NAN, Bag, Tup
+from repro.scenarios import SCENARIOS, get_scenario, run_scenario
+from repro.wire import database_from_json, database_to_json
+
+
+def wire_bytes(db) -> str:
+    return json.dumps(database_to_json(db), sort_keys=True, ensure_ascii=True)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_same_sf_and_seed_is_byte_identical(family):
+    a = make_bundle(family, 2)
+    b = make_bundle(family, 2)
+    assert wire_bytes(a.database) == wire_bytes(b.database)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_different_seed_changes_content_but_not_counts(family):
+    base = make_bundle(family, 2)
+    other = make_bundle(family, 2, seed=DEFAULT_SEEDS[family] + 1)
+    assert wire_bytes(base.database) != wire_bytes(other.database)
+    for table in base.database.tables():
+        assert base.database.size(table) == other.database.size(table)
+    # Qualification is index arithmetic, so |Q(D)| is seed-independent too.
+    assert other.check() == base.check()
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("sf", [1, 2, 5])
+def test_invariants_hold_at_scale(family, sf):
+    bundle = make_bundle(family, sf)
+    observed = bundle.check()
+    assert observed == bundle.invariants
+    assert observed["result_rows"] > 0, "the planted story needs surviving rows"
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_row_counts_scale_linearly(family):
+    small, large = make_bundle(family, 1), make_bundle(family, 4)
+    for table in small.database.tables():
+        assert large.database.size(table) >= small.database.size(table)
+    # The dominant table grows ~linearly in SF (fixed planted rows aside).
+    biggest = max(small.database.tables(), key=small.database.size)
+    ratio = large.database.size(biggest) / small.database.size(biggest)
+    assert 3.0 < ratio < 5.0
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("sf", [1, 3])
+def test_questions_are_well_posed(family, sf):
+    bundle = make_bundle(family, sf)
+    bundle.question().validate()  # Definition 5: raises IllPosedQuestion if not
+
+
+def _walk(value):
+    yield value
+    if isinstance(value, Tup):
+        for v in value.values():
+            yield from _walk(v)
+    elif isinstance(value, Bag):
+        for v in value.distinct():
+            yield from _walk(v)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_value_model_invariants(family):
+    """No raw floats that are NaN — only the canonical NAN object — and no
+    raw container types that bypass Tup/Bag."""
+    bundle = make_bundle(family, 1)
+    for table in bundle.database.tables():
+        for row in bundle.database.relation(table).distinct():
+            for value in _walk(row):
+                assert not isinstance(value, (list, dict, set))
+                if isinstance(value, float) and math.isnan(value):
+                    assert value is NAN
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("sf", [1, 2])
+def test_wire_roundtrip_preserves_database(family, sf):
+    bundle = make_bundle(family, sf)
+    decoded = database_from_json(
+        json.loads(json.dumps(database_to_json(bundle.database)))
+    )
+    assert decoded.tables() == bundle.database.tables()
+    for table in bundle.database.tables():
+        assert decoded.relation(table) == bundle.database.relation(table)
+    assert len(bundle.query.evaluate(decoded)) == bundle.invariants["result_rows"]
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_bundles_are_registered_scenarios(family):
+    scenario = get_scenario(FAMILY_SCENARIOS[family])
+    assert scenario.generated is True
+    assert scenario.default_scale == 1
+    assert scenario.gold is not None
+
+
+def test_hand_built_scenarios_are_not_generated():
+    assert all(
+        not s.generated for n, s in SCENARIOS.items() if n not in ("GenTPCH", "GenSocial")
+    )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("sf", [1, 2])
+def test_rp_finds_gold_at_scale(family, sf):
+    run = run_scenario(FAMILY_SCENARIOS[family], scale=sf, with_baselines=False)
+    assert run.gold_position() == 1

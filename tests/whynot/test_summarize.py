@@ -1,0 +1,237 @@
+"""Summarization correctness: exact partition, budgets, hierarchy, wire.
+
+The central guarantee (ISSUE 10): the summary groups **partition** the raw
+explanation set — counts sum to the total, no explanation is uncovered or
+double-counted — at every budget, with or without a hierarchy.  Plus:
+hierarchy validation errors, graceful degradation, determinism, and the
+wire round-trip of both the hierarchy document and summary payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.factory import make_bundle
+from repro.whynot.approximate import Explanation
+from repro.whynot.explain import explain
+from repro.whynot.summarize import (
+    ANY_ATTRIBUTE,
+    ANY_OPERATOR,
+    TOP,
+    ConceptHierarchy,
+    HierarchyError,
+    attach_summaries,
+    explanation_terms,
+    resolve_summarize,
+    summarize_explanations,
+    term_chain,
+)
+from repro.wire import hierarchy_from_json, hierarchy_to_json, summary_from_json, summary_to_json
+
+
+def fake_explanations(n):
+    """Synthetic explanations over a rotating label alphabet (no SAs)."""
+    labels = ["σ1", "σ2", "F3", "⋈4", "γ5"]
+    return [
+        Explanation(
+            ops=frozenset({i}),
+            labels=(labels[i % len(labels)], labels[(i + 1) % len(labels)]),
+            sa_index=-1,
+            sa_description="S1 (original)",
+            lb=float(i),
+            ub=float(10 + i),
+            rank=i + 1,
+        )
+        for i in range(n)
+    ]
+
+
+# -- partition exactness -------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [1, 2, 7, 23])
+@pytest.mark.parametrize("budget", [1, 2, 4, 100])
+def test_summaries_partition_exactly(n, budget):
+    explanations = fake_explanations(n)
+    summaries = summarize_explanations(explanations, [], max_summaries=budget)
+    assert 1 <= len(summaries) <= budget
+    assert sum(s.count for s in summaries) == n
+    covered_ranks = sorted(
+        rank for s in summaries for rank in range(s.ranks[0], s.ranks[1] + 1)
+    )
+    # Rank ranges may interleave across groups, but witness membership is
+    # exact: replay the grouping and check it's a disjoint cover.
+    signatures = set()
+    total = 0
+    for s in summaries:
+        assert s.count >= 1
+        assert s.ranks[0] <= s.ranks[1]
+        assert s.concepts == tuple(sorted(s.concepts))
+        assert s.concepts not in signatures, "duplicate group signature"
+        signatures.add(s.concepts)
+        total += s.count
+    assert total == n
+    assert covered_ranks[0] == 1 and covered_ranks[-1] == n
+
+
+def test_real_explanations_partition_with_and_without_hierarchy():
+    bundle = make_bundle("social", 1)
+    result = explain(bundle.question(), alternatives=bundle.alternatives)
+    assert result.explanations
+    hierarchy = ConceptHierarchy(
+        {"geo": None, "ops": None},
+        {"T.user.location": "geo", "F60": "ops", "σ62": "ops"},
+    )
+    for h in (None, hierarchy):
+        for budget in (1, 2, 8):
+            summaries = summarize_explanations(
+                result.explanations, result.sas, hierarchy=h, max_summaries=budget
+            )
+            assert sum(s.count for s in summaries) == len(result.explanations)
+            assert len(summaries) <= budget
+
+
+def test_budget_one_always_collapses_to_a_single_group():
+    explanations = fake_explanations(9)
+    summaries = summarize_explanations(explanations, [], max_summaries=1)
+    assert len(summaries) == 1
+    (summary,) = summaries
+    assert summary.count == 9
+    assert summary.ranks == (1, 9)
+    # Maximal generalization: only top-level concepts remain.
+    assert set(summary.concepts) <= {ANY_OPERATOR, ANY_ATTRIBUTE, TOP}
+
+
+def test_empty_explanations_summarize_to_nothing():
+    assert summarize_explanations([], []) == []
+
+
+def test_witness_sampling_respects_rank_order_and_budget():
+    explanations = fake_explanations(10)
+    summaries = summarize_explanations(explanations, [], max_summaries=1, sample=2)
+    (summary,) = summaries
+    assert len(summary.witnesses) == 2
+    assert [w["rank"] for w in summary.witnesses] == [1, 2]
+    none = summarize_explanations(explanations, [], max_summaries=1, sample=0)
+    assert none[0].witnesses == ()
+
+
+def test_summaries_are_deterministic():
+    explanations = fake_explanations(12)
+    a = summarize_explanations(explanations, [], max_summaries=3)
+    b = summarize_explanations(explanations, [], max_summaries=3)
+    assert [summary_to_json(s) for s in a] == [summary_to_json(s) for s in b]
+
+
+def test_attach_summaries_stores_on_result():
+    bundle = make_bundle("tpch", 1)
+    result = explain(bundle.question(), alternatives=bundle.alternatives)
+    assert result.summaries is None
+    summaries = attach_summaries(result)
+    assert result.summaries == summaries
+    assert "summaries" in result.describe()
+
+
+# -- vocabulary and chains -----------------------------------------------------
+
+
+def test_explanation_terms_carry_substitutions():
+    bundle = make_bundle("social", 1)
+    result = explain(bundle.question(), alternatives=bundle.alternatives)
+    by_labels = {e.labels: explanation_terms(e, result.sas) for e in result.explanations}
+    assert {"op:F60", "alt:T.user.location"} in [set(t) for t in by_labels.values()]
+
+
+def test_term_chain_structural_fallback_and_tops():
+    chain = term_chain("alt:T.user.location")
+    assert chain == (
+        "alt:T.user.location",
+        "T.user.*",
+        "T.*",
+        ANY_ATTRIBUTE,
+        TOP,
+    )
+    assert term_chain("op:σ1") == ("op:σ1", ANY_OPERATOR, TOP)
+
+
+def test_term_chain_follows_hierarchy():
+    hierarchy = ConceptHierarchy(
+        {"geo": "attrs", "attrs": None}, {"T.user.location": "geo"}
+    )
+    assert term_chain("alt:T.user.location", hierarchy) == (
+        "alt:T.user.location",
+        "geo",
+        "attrs",
+        ANY_ATTRIBUTE,
+        TOP,
+    )
+
+
+# -- hierarchy validation ------------------------------------------------------
+
+
+def test_hierarchy_rejects_unknown_parent():
+    with pytest.raises(HierarchyError):
+        ConceptHierarchy({"a": "missing"}, {})
+
+
+def test_hierarchy_rejects_unknown_member_target():
+    with pytest.raises(HierarchyError):
+        ConceptHierarchy({"a": None}, {"x": "missing"})
+
+
+def test_hierarchy_rejects_parent_cycle():
+    with pytest.raises(HierarchyError):
+        ConceptHierarchy({"a": "b", "b": "a"}, {})
+
+
+def test_hierarchy_wire_roundtrip():
+    hierarchy = ConceptHierarchy(
+        {"geo": None, "city": "geo"}, {"T.user.location": "city"}, name="demo"
+    )
+    document = json.loads(json.dumps(hierarchy_to_json(hierarchy)))
+    assert document["format"] == 2 and document["kind"] == "hierarchy"
+    assert hierarchy_from_json(document) == hierarchy
+
+
+# -- summarize spec resolution -------------------------------------------------
+
+
+def test_resolve_summarize_accepts_true_and_specs():
+    assert resolve_summarize(True) == (None, 8, 3)
+    hierarchy = ConceptHierarchy({"geo": None}, {})
+    resolved = resolve_summarize(
+        {"hierarchy": hierarchy, "max_summaries": 2, "sample": 0}
+    )
+    assert resolved == (hierarchy, 2, 0)
+    # A wire-encoded hierarchy decodes transparently.
+    resolved = resolve_summarize({"hierarchy": hierarchy.to_json()})
+    assert resolved[0] == hierarchy
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        False,
+        "yes",
+        3,
+        {"bogus": 1},
+        {"max_summaries": 0},
+        {"max_summaries": True},
+        {"sample": -1},
+        {"hierarchy": {"format": 2, "kind": "database", "tables": {}}},
+    ],
+)
+def test_resolve_summarize_rejects_bad_specs(spec):
+    with pytest.raises(ValueError):
+        resolve_summarize(spec)
+
+
+# -- summary wire round-trip ---------------------------------------------------
+
+
+def test_summary_wire_roundtrip():
+    explanations = fake_explanations(6)
+    for summary in summarize_explanations(explanations, [], max_summaries=2):
+        decoded = summary_from_json(json.loads(json.dumps(summary_to_json(summary))))
+        assert decoded == summary

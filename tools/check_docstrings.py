@@ -39,6 +39,7 @@ CHECKED_PACKAGES = (
     "repro/algebra",
     "repro/api",
     "repro/engine",
+    "repro/factory",
     "repro/fuzz",
     "repro/lang",
     "repro/whynot",
